@@ -1,0 +1,132 @@
+// A1 (ablation) — Doom-Switch design choices.
+//
+// Algorithm 1 makes two decisions: (a) route a *maximum* matching
+// link-disjointly, (b) dump everyone else on the *least-loaded* color. This
+// ablation swaps each for plausible alternatives and measures the max-min
+// throughput on the Theorem 5.4 family and on random workloads:
+//
+//   doom          — Algorithm 1 as published
+//   doom-max      — dump on the MOST-loaded color instead
+//   doom-spread   — spread unmatched flows round-robin over all middles
+//   ecmp          — no structure at all (baseline)
+#include <algorithm>
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/doom_switch.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+namespace {
+
+// Variants share steps 1-2 via doom_switch() and re-place the unmatched
+// flows per policy.
+enum class DumpPolicy { kDoomed, kMostLoaded, kSpread };
+
+MiddleAssignment variant(const ClosNetwork& net, const FlowSet& flows, DumpPolicy policy) {
+  const DoomSwitchResult doom = doom_switch(net, flows);
+  if (policy == DumpPolicy::kDoomed) return doom.middles;
+
+  std::vector<bool> matched(flows.size(), false);
+  for (FlowIndex f : doom.matched) matched[f] = true;
+
+  std::vector<std::size_t> per_middle(static_cast<std::size_t>(net.num_middles()) + 1, 0);
+  for (FlowIndex f : doom.matched) ++per_middle[static_cast<std::size_t>(doom.middles[f])];
+
+  MiddleAssignment result = doom.middles;
+  if (policy == DumpPolicy::kMostLoaded) {
+    int most = 1;
+    for (int m = 2; m <= net.num_middles(); ++m) {
+      if (per_middle[static_cast<std::size_t>(m)] >
+          per_middle[static_cast<std::size_t>(most)]) {
+        most = m;
+      }
+    }
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      if (!matched[f]) result[f] = most;
+    }
+  } else {
+    int next = 1;
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      if (!matched[f]) {
+        result[f] = next;
+        next = next % net.num_middles() + 1;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A1: Doom-Switch ablation — where should doomed flows go? ===\n\n";
+
+  std::cout << "Theorem 5.4 family (k = 4):\n";
+  TextTable table({"n", "T^MmF(MS)", "doom", "doom-max", "doom-spread", "ecmp"});
+  for (int n : {5, 7, 9, 11}) {
+    const AdversarialInstance inst = theorem_5_4_instance(n, 4);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+
+    auto throughput_of = [&](const MiddleAssignment& middles) {
+      return max_min_fair<Rational>(net, flows, middles).throughput();
+    };
+    Rng rng(static_cast<std::uint64_t>(n) * 3 + 7);
+    table.add_row({std::to_string(n), macro.throughput().to_string(),
+                   throughput_of(variant(net, flows, DumpPolicy::kDoomed)).to_string(),
+                   throughput_of(variant(net, flows, DumpPolicy::kMostLoaded)).to_string(),
+                   throughput_of(variant(net, flows, DumpPolicy::kSpread)).to_string(),
+                   throughput_of(ecmp_routing(net, flows, rng)).to_string()});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "random uniform workloads (C_4, 80 flows, mean over 5 seeds):\n";
+  TextTable random_table({"policy", "mean throughput", "mean min-rate"});
+  {
+    const int n = 4;
+    const ClosNetwork net = ClosNetwork::paper(n);
+    struct Acc {
+      double tput = 0.0;
+      double min_rate = 0.0;
+    };
+    Acc accs[4];
+    const char* names[4] = {"doom", "doom-max", "doom-spread", "ecmp"};
+    for (int seed = 0; seed < 5; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 97 + 13);
+      const FlowSet flows =
+          instantiate(net, uniform_random(Fabric{2 * n, n}, 80, rng));
+      const MiddleAssignment assignments[4] = {
+          variant(net, flows, DumpPolicy::kDoomed),
+          variant(net, flows, DumpPolicy::kMostLoaded),
+          variant(net, flows, DumpPolicy::kSpread),
+          ecmp_routing(net, flows, rng),
+      };
+      for (int i = 0; i < 4; ++i) {
+        const auto alloc = max_min_fair<Rational>(net, flows, assignments[i]);
+        accs[i].tput += alloc.throughput().to_double();
+        accs[i].min_rate += alloc.sorted().front().to_double();
+      }
+    }
+    for (int i = 0; i < 4; ++i) {
+      random_table.add_row({names[i], fmt_double(accs[i].tput / 5, 3),
+                            fmt_double(accs[i].min_rate / 5, 4)});
+    }
+  }
+  std::cout << random_table << '\n';
+
+  std::cout << "reading: concentrating the doomed flows (Algorithm 1's choice) is what\n"
+               "buys throughput on the adversarial family — spreading them back over\n"
+               "middles re-couples them with matched flows and erases the gain. On\n"
+               "benign workloads the variants converge, which is why the pathology\n"
+               "matters: a throughput-optimizing operator sees no cost until an\n"
+               "adversarial (or unlucky) pattern arrives.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// A2 (ablation) — search machinery design choices.
+//
+// Measures the pruning techniques that make the exhaustive tools usable:
+//   * replication search: canonical middle symmetry breaking on/off
+//     (nodes explored to prove Theorem 4.2 infeasibility);
+//   * exhaustive lex-max-min: pin-first-flow symmetry on/off and
+//     stop-at-macro-vector early exit on/off (routings evaluated).
+#include <chrono>
+#include <thread>
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/replication.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A2: search ablations ===\n\n";
+
+  std::cout << "replication search on the Theorem 4.2 instance (infeasible -> the\n"
+               "search must exhaust the space):\n";
+  TextTable rep({"n", "symmetry", "nodes", "seconds"});
+  for (int n : {3, 4}) {
+    const AdversarialInstance inst = theorem_4_2_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    for (bool sym : {true, false}) {
+      ReplicationOptions options;
+      options.break_symmetry = sym;
+      options.max_nodes = 50'000'000;  // keep the ablation bounded
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        const auto result = find_feasible_routing(net, flows, inst.macro_rates, options);
+        rep.add_row({std::to_string(n), sym ? "on" : "off",
+                     std::to_string(result.nodes_explored),
+                     fmt_double(seconds_since(start), 3)});
+      } catch (const ContractViolation&) {
+        rep.add_row({std::to_string(n), sym ? "on" : "off", "> 50M (budget exhausted)",
+                     fmt_double(seconds_since(start), 3)});
+      }
+    }
+  }
+  std::cout << rep << '\n';
+
+  std::cout << "exhaustive lex-max-min on a replicable permutation workload (C_2,\n"
+               "8 flows; the macro vector is reachable, so early exit can trigger):\n";
+  TextTable lex({"pin first flow", "stop at macro", "routings evaluated"});
+  {
+    const ClosNetwork net = ClosNetwork::paper(2);
+    const MacroSwitch ms = MacroSwitch::paper(2);
+    Rng rng(5);
+    const FlowCollection specs = random_permutation(Fabric{4, 2}, rng);
+    const FlowSet flows = instantiate(net, specs);
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+    for (bool pin : {true, false}) {
+      for (bool stop : {true, false}) {
+        ExhaustiveOptions options;
+        options.fix_first_flow = pin;
+        if (stop) options.stop_at_sorted = macro.sorted();
+        const auto result = lex_max_min_exhaustive(net, flows, options);
+        lex.add_row({pin ? "on" : "off", stop ? "on" : "off",
+                     std::to_string(result.routings_evaluated)});
+      }
+    }
+  }
+  std::cout << lex << '\n';
+
+  std::cout << "thread scaling of exhaustive lex-max-min (C_4, 9 random flows, full\n"
+               "4^8 = 65536-routing space, no early exit; speedup is bounded by the\n"
+               "host's core count — this machine reports "
+            << std::thread::hardware_concurrency() << "):\n";
+  {
+    const ClosNetwork net = ClosNetwork::paper(4);
+    Rng rng(2024);
+    const FlowSet flows = instantiate(
+        net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 9, rng));
+    TextTable table({"threads", "seconds", "routings", "sorted vector matches serial"});
+    std::vector<Rational> serial_sorted;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      ExhaustiveOptions options;
+      options.num_threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = lex_max_min_exhaustive(net, flows, options);
+      const double secs = seconds_since(start);
+      if (threads == 1) serial_sorted = result.alloc.sorted();
+      table.add_row({std::to_string(threads), fmt_double(secs, 3),
+                     std::to_string(result.routings_evaluated),
+                     result.alloc.sorted() == serial_sorted ? "yes" : "NO"});
+    }
+    std::cout << table << '\n';
+  }
+
+  std::cout << "reading: symmetry breaking shrinks the infeasibility proof by orders\n"
+               "of magnitude (it is what makes the n=4 proof tractable), the\n"
+               "macro-vector early exit turns replicable instances from exponential\n"
+               "to near-instant, and the exhaustive search parallelizes cleanly over\n"
+               "the last flow's middle choice.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E16 (extension) — the emergence tower: packets -> rate control -> max-min.
+//
+// The paper assumes congestion control imposes max-min fair rates at each
+// routing. This bench stacks the library's three independent layers of that
+// assumption on the same instances and shows them agree:
+//
+//   waterfill      the allocation itself (exact, combinatorial)
+//   rate_control   per-link advertised shares, iterated (converges)
+//   packet_sim     per-link fair queueing + window flow control (emerges)
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+#include "sim/packet_sim.hpp"
+#include "sim/rate_control.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+int main() {
+  std::cout << "=== E16: congestion control emerges max-min fairness ===\n\n";
+
+  std::cout << "Example 2.3 in MS_2, per-flow rates by layer:\n";
+  {
+    const MacroSwitch ms = MacroSwitch::paper(2);
+    const FlowSet flows = instantiate(
+        ms, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+             FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+    const Routing routing = macro_routing(ms, flows);
+    const auto exact = max_min_fair<Rational>(ms.topology(), flows, routing);
+    const auto rcp = rcp_rate_control(ms.topology(), flows, routing);
+    const auto packets = packet_fair_queueing(ms.topology(), flows, routing);
+
+    TextTable table({"flow", "waterfill (exact)", "rate control", "packet FQ"});
+    const char* names[] = {"type1 a", "type1 b", "type1 c", "type2 a", "type2 b", "type3"};
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      table.add_row({names[f], exact.rate(f).to_string(),
+                     fmt_double(rcp.rates.rate(f), 4),
+                     fmt_double(packets.rates.rate(f), 4)});
+    }
+    std::cout << table << '\n';
+    std::cout << "rate control converged in " << rcp.iterations << " rounds; packet sim "
+              << "processed " << packets.events << " service events.\n\n";
+  }
+
+  std::cout << "agreement across random Clos routings (C_2, 5 instances):\n";
+  {
+    const ClosNetwork net = ClosNetwork::paper(2);
+    TextTable table({"instance", "flows", "max |rcp - exact|", "max |packets - exact|"});
+    for (int seed = 0; seed < 5; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 67 + 11);
+      const FlowSet flows = instantiate(
+          net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()},
+                              6 + rng.next_below(8), rng));
+      const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+      const auto exact = max_min_fair<double>(net.topology(), flows, routing);
+      const auto rcp = rcp_rate_control(net.topology(), flows, routing);
+      const auto packets = packet_fair_queueing(net.topology(), flows, routing);
+      double rcp_err = 0.0;
+      double pkt_err = 0.0;
+      for (FlowIndex f = 0; f < flows.size(); ++f) {
+        rcp_err = std::max(rcp_err, std::abs(rcp.rates.rate(f) - exact.rate(f)));
+        pkt_err = std::max(pkt_err, std::abs(packets.rates.rate(f) - exact.rate(f)));
+      }
+      table.add_row({std::to_string(seed), std::to_string(flows.size()),
+                     fmt_double(rcp_err, 6), fmt_double(pkt_err, 4)});
+    }
+    std::cout << table << '\n';
+  }
+
+  std::cout << "reading: the paper's premise holds mechanically — explicit rate\n"
+               "control reproduces the water-fill allocation to numerical precision,\n"
+               "and dumb per-link fair queueing with windows lands within packet\n"
+               "quantization of it. The impossibility results are therefore about\n"
+               "*routing*, not about congestion control misbehaving.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// E15 (extension) — selfish routing and LP rounding as routing policies.
+//
+// Two more points on the policy spectrum the paper's related work spans:
+//   * best-response dynamics of the progressive-filling routing game
+//     (citation [17]): flows selfishly chase their own max-min rate;
+//   * randomized rounding of the splittable LP optimum: the classic
+//     approximation-algorithms route to unsplittable routings.
+// Scored like E6 (vs the macro-switch) on stochastic and adversarial input.
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "lp/splittable.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/games.hpp"
+#include "routing/greedy.hpp"
+#include "routing/lp_rounding.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+namespace {
+
+struct Scores {
+  double min_ratio = 1.0;
+  double tput_ratio = 0.0;
+};
+
+Scores score(const Allocation<Rational>& alloc, const Allocation<Rational>& macro) {
+  Scores s;
+  for (FlowIndex f = 0; f < alloc.size(); ++f) {
+    if (macro.rate(f).is_zero()) continue;
+    s.min_ratio = std::min(s.min_ratio, (alloc.rate(f) / macro.rate(f)).to_double());
+  }
+  s.tput_ratio = macro.throughput().is_zero()
+                     ? 1.0
+                     : (alloc.throughput() / macro.throughput()).to_double();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E15: selfish routing and LP rounding vs the macro-switch ===\n\n";
+
+  std::cout << "stochastic input (C_3, uniform-36, 5 seeds; means):\n";
+  {
+    const int n = 3;
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    double nash_min = 0.0;
+    double nash_tput = 0.0;
+    double round_min = 0.0;
+    double round_tput = 0.0;
+    double ecmp_min = 0.0;
+    double ecmp_tput = 0.0;
+    int nash_reached = 0;
+    const int seeds = 5;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 89 + 31);
+      const FlowCollection specs = uniform_random(Fabric{2 * n, n}, 36, rng);
+      const FlowSet flows = instantiate(net, specs);
+      const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+
+      const auto nash =
+          best_response_dynamics(net, flows, ecmp_routing(net, flows, rng));
+      if (nash.reached_nash) ++nash_reached;
+      const Scores ns = score(nash.alloc, macro);
+      nash_min += ns.min_ratio;
+      nash_tput += ns.tput_ratio;
+
+      const auto splittable = splittable_max_min(net, ms, specs);
+      const auto rounded = round_splittable_best_of(net, flows, splittable, rng, 8);
+      const Scores rs = score(rounded.alloc, macro);
+      round_min += rs.min_ratio;
+      round_tput += rs.tput_ratio;
+
+      const auto ecmp = max_min_fair<Rational>(net, flows, ecmp_routing(net, flows, rng));
+      const Scores es = score(ecmp, macro);
+      ecmp_min += es.min_ratio;
+      ecmp_tput += es.tput_ratio;
+    }
+    TextTable table({"policy", "mean min-ratio", "mean tput-ratio", "notes"});
+    table.add_row({"best-response (Nash)", fmt_double(nash_min / seeds, 3),
+                   fmt_double(nash_tput / seeds, 3),
+                   std::to_string(nash_reached) + "/" + std::to_string(seeds) +
+                       " reached Nash"});
+    table.add_row({"LP rounding (best of 8)", fmt_double(round_min / seeds, 3),
+                   fmt_double(round_tput / seeds, 3), "from splittable optimum"});
+    table.add_row({"ecmp", fmt_double(ecmp_min / seeds, 3),
+                   fmt_double(ecmp_tput / seeds, 3), "baseline"});
+    std::cout << table << '\n';
+  }
+
+  std::cout << "adversarial input (Theorem 4.3 family):\n";
+  {
+    TextTable table({"n", "nash type3 rate", "1/n", "rounding type3 (best of 8)",
+                     "rounding min-ratio"});
+    for (int n : {3, 4}) {
+      const AdversarialInstance inst = theorem_4_3_instance(n);
+      const ClosNetwork net = ClosNetwork::paper(n);
+      const MacroSwitch ms = MacroSwitch::paper(n);
+      const FlowSet flows = instantiate(net, inst.flows);
+      const FlowIndex type3 = flows.size() - 1;
+
+      const auto nash = best_response_dynamics(net, flows, *inst.witness,
+                                               BestResponseOptions{30});
+      Rng rng(static_cast<std::uint64_t>(n) * 7 + 1);
+      const auto splittable = splittable_max_min(net, ms, inst.flows);
+      const auto rounded = round_splittable_best_of(net, flows, splittable, rng, 8);
+
+      const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+      const Scores rs = score(rounded.alloc, macro);
+      table.add_row({std::to_string(n), nash.alloc.rate(type3).to_string(),
+                     Rational(1, n).to_string(), rounded.alloc.rate(type3).to_string(),
+                     fmt_double(rs.min_ratio, 3)});
+    }
+    std::cout << table << '\n';
+  }
+
+  std::cout << "reading: selfishness cannot rescue the starved flow — at the Nash\n"
+               "equilibrium it is indifferent across middles, every choice yielding\n"
+               "1/n. LP rounding *can* rescue the type 3 flow specifically (its split\n"
+               "routing often leaves some middle uncongested), but Theorem 4.2 still\n"
+               "collects: the rounding's min-ratio column shows another flow paying\n"
+               "instead — no unsplittable routing replicates all macro rates. On\n"
+               "stochastic input both are respectable policies above ECMP.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E13 (extension) — dynamic load sweep: flow completion times vs offered
+// load on C_n under ECMP / least-loaded routing, against the macro-switch
+// ideal.
+//
+// The classic data-center-paper figure (mean/p99 FCT vs load) rendered over
+// this library's flow-level simulator, quantifying in FCT terms how much of
+// the macro abstraction routing policies preserve at each utilization.
+#include <iostream>
+
+#include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+using namespace closfair;
+
+int main() {
+  const int n = 2;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const int servers = 2 * n * n;
+
+  std::cout << "=== E13: FCT vs offered load (C_" << n << ", " << servers
+            << " servers, exp(1) sizes, 400 flows, 3 seeds) ===\n\n";
+
+  TextTable table({"load", "ecmp mean", "ecmp p99", "least-loaded mean", "ll p99",
+                   "macro mean", "macro p99", "ecmp/macro"});
+  for (double load : {0.2, 0.4, 0.6, 0.8}) {
+    double ecmp_mean = 0.0;
+    double ecmp_p99 = 0.0;
+    double ll_mean = 0.0;
+    double ll_p99 = 0.0;
+    double macro_mean = 0.0;
+    double macro_p99 = 0.0;
+    const int seeds = 3;
+    for (int seed = 0; seed < seeds; ++seed) {
+      TraceParams params;
+      params.fabric = Fabric{2 * n, n};
+      params.num_flows = 400;
+      params.mean_size = 1.0;
+      // Offered load per server link = arrival_rate * mean_size / servers.
+      params.arrival_rate = load * servers;
+      Rng rng(static_cast<std::uint64_t>(seed) * 17 + 3);
+      const Trace trace = poisson_trace(params, rng);
+
+      Rng r1(static_cast<std::uint64_t>(seed) * 31 + 1);
+      const SimStats ecmp = simulate_clos(net, trace, SimPolicy::kEcmp, r1);
+      Rng r2(static_cast<std::uint64_t>(seed) * 31 + 2);
+      const SimStats ll = simulate_clos(net, trace, SimPolicy::kLeastLoaded, r2);
+      const SimStats macro = simulate_macro(ms, trace);
+      ecmp_mean += ecmp.mean_fct;
+      ecmp_p99 += ecmp.p99_fct;
+      ll_mean += ll.mean_fct;
+      ll_p99 += ll.p99_fct;
+      macro_mean += macro.mean_fct;
+      macro_p99 += macro.p99_fct;
+    }
+    table.add_row({fmt_double(load, 1), fmt_double(ecmp_mean / seeds, 3),
+                   fmt_double(ecmp_p99 / seeds, 3), fmt_double(ll_mean / seeds, 3),
+                   fmt_double(ll_p99 / seeds, 3), fmt_double(macro_mean / seeds, 3),
+                   fmt_double(macro_p99 / seeds, 3),
+                   fmt_double(ecmp_mean / macro_mean, 3)});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "reading: at low load all routings track the macro-switch (collisions\n"
+               "are rare); the gap opens with utilization, ECMP degrading before\n"
+               "least-loaded — the dynamic face of the rate-allocation gaps the\n"
+               "static benches measure.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E17 (extension) — the throughput-fairness frontier of the routing space.
+//
+// The paper's Q3 asks how routing trades throughput against fairness. For
+// small instances we can answer *completely*: enumerate every routing and
+// print the exact Pareto frontier of (throughput, worst-off flow rate). The
+// lex-max-min and throughput-max-min optima sit at the frontier's two ends;
+// everything in between is a routing someone could reasonably operate.
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/exhaustive.hpp"
+#include "util/table.hpp"
+
+using namespace closfair;
+
+namespace {
+
+void print_frontier(const char* title, const ClosNetwork& net, const FlowSet& flows) {
+  const auto frontier = throughput_fairness_frontier(net, flows);
+  std::cout << title << " (" << frontier.size() << " Pareto point(s)):\n";
+  TextTable table({"throughput", "min flow rate", "example middles"});
+  for (const ParetoPoint& p : frontier) {
+    std::string middles;
+    for (int m : p.middles) {
+      if (!middles.empty()) middles += ' ';
+      middles += std::to_string(m);
+    }
+    table.add_row({p.throughput.to_string(), p.min_rate.to_string(), middles});
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E17: exact throughput-vs-fairness Pareto frontiers ===\n\n";
+
+  {
+    const ClosNetwork net = ClosNetwork::paper(2);
+    const Example23 ex = example_2_3();
+    print_frontier("Example 2.3 in C_2", net, instantiate(net, ex.instance.flows));
+  }
+  {
+    const ClosNetwork net = ClosNetwork::paper(3);
+    const AdversarialInstance inst = theorem_5_4_instance(3, 2);
+    print_frontier("Theorem 5.4 gadget (n=3, k=2) in C_3", net,
+                   instantiate(net, inst.flows));
+  }
+  {
+    const ClosNetwork net = ClosNetwork::paper(5);
+    const AdversarialInstance inst = theorem_5_4_instance(5, 1);
+    print_frontier("stacked gadgets (n=5, k=1) in C_5", net, instantiate(net, inst.flows));
+  }
+  {
+    // k = 2 is where the trade-off opens: the lex end keeps every flow at
+    // 1/3 while sacrificing routings buy more total throughput.
+    const ClosNetwork net = ClosNetwork::paper(5);
+    const AdversarialInstance inst = theorem_5_4_instance(5, 2);
+    print_frontier("stacked gadgets (n=5, k=2) in C_5", net, instantiate(net, inst.flows));
+  }
+
+  std::cout << "reading: when the frontier is a single point, fairness and throughput\n"
+               "agree and routing is easy; the adversarial families stretch it into a\n"
+               "genuine trade-off curve — the operator must *choose*, which is exactly\n"
+               "the incongruence R3 formalizes.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E10 (extension) — multirate rearrangeability probe (§6, related work).
+//
+// For random feasible macro-switch allocations over a fabric with n servers
+// per ToR: how many middle switches does a first-fit routing need, versus
+// the exact minimum, the volume lower bound, and the conjectured 2n-1?
+#include <iostream>
+
+#include "fairness/waterfill.hpp"
+#include "net/macroswitch.hpp"
+#include "routing/rearrange.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+int main() {
+  std::cout << "=== E10: multirate rearrangeability — middles needed to route\n"
+               "    macro-switch max-min allocations (conjecture: 2n-1 always works) ===\n\n";
+
+  TextTable table({"servers/ToR n", "workload", "volume lb (max)", "exact min (max)",
+                   "first-fit (max)", "2n-1", "ff > exact (count)"});
+  const int tors = 4;
+  for (int servers : {2, 3, 4}) {
+    const ClosNetwork net(
+        ClosNetwork::Params{3 * servers, tors, servers, Rational{1}});
+    const MacroSwitch ms(MacroSwitch::Params{tors, servers, Rational{1}});
+    const Fabric fabric{tors, servers};
+
+    struct Wl {
+      const char* name;
+      int kind;
+    };
+    for (const Wl& wl : {Wl{"uniform", 0}, Wl{"permutation", 1}, Wl{"incast", 2}}) {
+      int worst_lb = 0;
+      int worst_exact = 0;
+      int worst_ff = 0;
+      int ff_suboptimal = 0;
+      for (int seed = 0; seed < 8; ++seed) {
+        Rng rng(static_cast<std::uint64_t>(seed) * 211 + servers * 17 + wl.kind);
+        FlowCollection specs;
+        switch (wl.kind) {
+          case 0: specs = uniform_random(fabric, static_cast<std::size_t>(4 * servers), rng); break;
+          case 1: specs = random_permutation(fabric, rng); break;
+          default: specs = incast(fabric, static_cast<std::size_t>(3 * servers), 1, 1, rng); break;
+        }
+        const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+        const FlowSet flows = instantiate(net, specs);
+
+        const int lb = middle_count_lower_bound(net, flows, macro.rates());
+        const auto exact = min_middles_exact(net, flows, macro.rates());
+        const auto ff = first_fit_rearrange(net, flows, macro.rates());
+        worst_lb = std::max(worst_lb, lb);
+        if (exact) worst_exact = std::max(worst_exact, *exact);
+        worst_ff = std::max(worst_ff, ff.middles_used);
+        if (exact && ff.middles_used > *exact) ++ff_suboptimal;
+      }
+      table.add_row({std::to_string(servers), wl.name, std::to_string(worst_lb),
+                     std::to_string(worst_exact), std::to_string(worst_ff),
+                     std::to_string(2 * servers - 1), std::to_string(ff_suboptimal)});
+    }
+  }
+  std::cout << table << '\n';
+
+  std::cout << "reading: max-min macro allocations are benign — the exact minimum\n"
+               "hugs the volume lower bound, and first-fit stays within the 2n-1\n"
+               "conjecture's budget (the conjecture's hard instances are crafted\n"
+               "fractional allocations, not max-min outputs).\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E14 (extension) — the cost of unsplittability, quantified.
+//
+// §1 frames the paper: with splittable flows a Clos network *is* its
+// macro-switch (demand satisfaction); unsplittability is what breaks the
+// abstraction. This bench measures the full lattice on one family:
+//
+//   splittable max-min (= macro rates, fractional-routing witness by LP)
+//     >=lex  lex-max-min (best unsplittable)   >=lex  greedy  >=lex  ecmp
+//
+// and reports each level's worst per-flow ratio to macro on the Theorem 4.3
+// starvation family.
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "lp/splittable.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/greedy.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace closfair;
+
+namespace {
+
+double min_ratio(const Allocation<Rational>& alloc, const std::vector<Rational>& macro) {
+  double worst = 1.0;
+  for (FlowIndex f = 0; f < alloc.size(); ++f) {
+    if (macro[f].is_zero()) continue;
+    worst = std::min(worst, (alloc.rate(f) / macro[f]).to_double());
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E14: splittable vs unsplittable on the starvation family ===\n\n";
+
+  TextTable table({"n", "splittable min-ratio", "flows that split", "lex witness",
+                   "greedy", "ecmp (1 seed)"});
+  for (int n : {3, 4, 5}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+
+    const auto splittable = splittable_max_min(net, ms, inst.flows);
+    int split_count = 0;
+    for (const auto& shares : splittable.shares) {
+      int used = 0;
+      for (const Rational& s : shares) {
+        if (!s.is_zero()) ++used;
+      }
+      if (used >= 2) ++split_count;
+    }
+
+    const auto lex = max_min_fair<Rational>(net, flows, *inst.witness);
+    std::vector<double> demands;
+    for (const Rational& r : inst.macro_rates) demands.push_back(r.to_double());
+    const auto greedy = max_min_fair<Rational>(net, flows, greedy_routing(net, flows, demands));
+    Rng rng(static_cast<std::uint64_t>(n));
+    const auto ecmp = max_min_fair<Rational>(net, flows, ecmp_routing(net, flows, rng));
+
+    table.add_row({std::to_string(n),
+                   fmt_double(min_ratio(splittable.rates, inst.macro_rates), 3),
+                   std::to_string(split_count) + "/" + std::to_string(flows.size()),
+                   fmt_double(min_ratio(lex, inst.macro_rates), 3),
+                   fmt_double(min_ratio(greedy, inst.macro_rates), 3),
+                   fmt_double(min_ratio(ecmp, inst.macro_rates), 3)});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "reading: splitting restores the macro abstraction exactly (ratio 1.0,\n"
+               "witnessed by an exact fractional-routing LP); the moment flows must\n"
+               "pick single paths, something gives — the lex objective gives 1/n on\n"
+               "one flow, heuristics spread the damage. Unsplittability, not routing\n"
+               "quality, is the paper's culprit.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E6 — extended-version stochastic evaluation (§6): on stochastic inputs,
+// congestion-aware routing approximates the macro-switch rates well.
+//
+// For each workload x routing algorithm: the worst and mean per-flow rate
+// ratio (Clos max-min rate / macro-switch max-min rate) and the throughput
+// ratio, averaged over seeds. ECMP, greedy (macro demands), congestion local
+// search, and the lex hill-climbing heuristic are compared.
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/greedy.hpp"
+#include "routing/local_search.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+namespace {
+
+struct Algo {
+  const char* name;
+  int kind;  // 0 ecmp, 1 greedy, 2 local search, 3 lex climb
+};
+
+MiddleAssignment route(const Algo& algo, const ClosNetwork& net, const FlowSet& flows,
+                       const Allocation<Rational>& macro, Rng& rng) {
+  std::vector<double> demands;
+  demands.reserve(flows.size());
+  for (FlowIndex f = 0; f < flows.size(); ++f) demands.push_back(macro.rate(f).to_double());
+  switch (algo.kind) {
+    case 0:
+      return ecmp_routing(net, flows, rng);
+    case 1:
+      return greedy_routing(net, flows, demands);
+    case 2:
+      return congestion_local_search(net, flows, demands,
+                                     greedy_routing(net, flows, demands));
+    default: {
+      LocalSearchOptions options;
+      options.max_moves = 400;
+      return lex_max_min_local_search(net, flows, greedy_routing(net, flows, demands),
+                                      options)
+          .middles;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E6: stochastic inputs — Clos rates vs macro-switch rates ===\n";
+  std::cout << "(C_4: 8 ToRs x 4 servers, 5 seeds per cell)\n\n";
+
+  const int n = 4;
+  const int seeds = 5;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const Fabric fabric{2 * n, n};
+
+  struct Workload {
+    const char* name;
+    int kind;
+  };
+  const Workload workloads[] = {{"uniform-64", 0}, {"permutation", 1},
+                                {"zipf1.1-64", 2}, {"hotspot50-64", 3}};
+  const Algo algos[] = {{"ecmp", 0}, {"greedy", 1}, {"local-search", 2}, {"lex-climb", 3}};
+
+  TextTable table({"workload", "algorithm", "min rate ratio", "mean rate ratio",
+                   "throughput ratio"});
+  for (const auto& wl : workloads) {
+    for (const auto& algo : algos) {
+      double min_ratio = 1.0;
+      double sum_mean = 0.0;
+      double sum_tput = 0.0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        Rng rng(static_cast<std::uint64_t>(seed) * 1009 + wl.kind * 31 + 7);
+        FlowCollection specs;
+        switch (wl.kind) {
+          case 0: specs = uniform_random(fabric, 64, rng); break;
+          case 1: specs = random_permutation(fabric, rng); break;
+          case 2: specs = zipf_destinations(fabric, 64, 1.1, rng); break;
+          default: specs = hotspot(fabric, 64, 1, 0.5, rng); break;
+        }
+        const FlowSet flows = instantiate(net, specs);
+        const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+        const MiddleAssignment middles = route(algo, net, flows, macro, rng);
+        const auto clos = max_min_fair<Rational>(net, flows, middles);
+
+        double worst = 1.0;
+        double mean = 0.0;
+        std::size_t counted = 0;
+        for (FlowIndex f = 0; f < flows.size(); ++f) {
+          if (macro.rate(f).is_zero()) continue;
+          const double ratio = (clos.rate(f) / macro.rate(f)).to_double();
+          worst = std::min(worst, ratio);
+          mean += ratio;
+          ++counted;
+        }
+        min_ratio = std::min(min_ratio, worst);
+        sum_mean += counted > 0 ? mean / static_cast<double>(counted) : 1.0;
+        sum_tput += (clos.throughput() / macro.throughput()).to_double();
+      }
+      table.add_row({wl.name, algo.name, fmt_double(min_ratio, 3),
+                     fmt_double(sum_mean / seeds, 3), fmt_double(sum_tput / seeds, 3)});
+    }
+  }
+  std::cout << table << '\n';
+
+  std::cout << "paper shape (§6): algorithms that borrow macro-switch rates and route\n"
+               "by path congestion (greedy/local-search) track the macro rates closely\n"
+               "on stochastic inputs; ECMP trails; nothing collapses to the 1/n worst\n"
+               "case seen in E7.\n";
+  return 0;
+}

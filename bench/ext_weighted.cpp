@@ -1,0 +1,77 @@
+// E11 (extension) — weighted congestion control vs R2 starvation.
+//
+// The paper's §7 proposes relative max-min fairness as the objective that
+// might preserve the macro-switch abstraction. This bench measures its
+// congestion-control analogue: weight every flow by its macro-switch rate,
+// so progressive filling maximizes min a(f)/macro(f) per routing. On the
+// Theorem 4.3 instance the type 3 flow recovers from 1/n to n/(2n-1) > 1/2
+// under the very same witness routing.
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "fairness/weighted.hpp"
+#include "routing/relative_maxmin.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace closfair;
+
+int main() {
+  std::cout << "=== E11: macro-weighted fairness vs the 1/n starvation (R2) ===\n\n";
+
+  TextTable table({"n", "type3 plain (=1/n)", "type3 weighted", "n/(2n-1)",
+                   "min ratio plain", "min ratio weighted"});
+  for (int n : {3, 4, 5, 6, 8}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const Routing routing = expand_routing(net, flows, *inst.witness);
+
+    const auto plain = max_min_fair<Rational>(net.topology(), flows, routing);
+    const auto weighted =
+        weighted_max_min_fair<Rational>(net.topology(), flows, routing, inst.macro_rates);
+
+    auto min_ratio = [&](const Allocation<Rational>& alloc) {
+      Rational worst{1};
+      for (FlowIndex f = 0; f < flows.size(); ++f) {
+        worst = min(worst, alloc.rate(f) / inst.macro_rates[f]);
+      }
+      return worst;
+    };
+
+    const FlowIndex type3 = flows.size() - 1;
+    table.add_row({std::to_string(n), plain.rate(type3).to_string(),
+                   weighted.rate(type3).to_string(),
+                   Rational(n, 2 * n - 1).to_string(),
+                   min_ratio(plain).to_string(), min_ratio(weighted).to_string()});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "routing + weighting together (relative-max-min search, heuristic) on\n"
+               "the Theorem 4.3 instance:\n";
+  TextTable search_table({"n", "worst ratio (plain witness)", "worst ratio (search)"});
+  for (int n : {3, 4}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const Routing routing = expand_routing(net, flows, *inst.witness);
+    const auto plain = max_min_fair<Rational>(net.topology(), flows, routing);
+    Rational worst_plain{1};
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      worst_plain = min(worst_plain, plain.rate(f) / inst.macro_rates[f]);
+    }
+    Rng rng(static_cast<std::uint64_t>(n) * 5 + 1);
+    const auto search =
+        relative_max_min_search(net, flows, inst.macro_rates, rng, 2, 3000);
+    search_table.add_row({std::to_string(n), worst_plain.to_string(),
+                          search.worst_ratio.to_string()});
+  }
+  std::cout << search_table << '\n';
+
+  std::cout << "reading: weighting by macro rates bounds every flow's loss to ~1/2 on\n"
+               "this family — far from the 1/n collapse of unweighted lex-max-min\n"
+               "fairness, supporting the paper's conjecture that relative max-min\n"
+               "fairness is the better objective for a macro-switch abstraction.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E7 — extended-version worst-case claim (§6, last paragraph): congestion-
+// aware routing with macro-switch demands can leave some flows' rates
+// arbitrarily below their macro-switch rates on adversarial inputs.
+//
+// Runs ECMP, greedy and local-search on the Theorem 4.3 starvation instance
+// for growing n: the minimum per-flow rate ratio tracks ~1/n for every
+// algorithm — the degradation is structural (Theorem 4.2), not an algorithm
+// artifact.
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/greedy.hpp"
+#include "routing/local_search.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace closfair;
+
+namespace {
+
+double min_ratio(const Allocation<Rational>& clos, const std::vector<Rational>& macro) {
+  double worst = 1.0;
+  for (FlowIndex f = 0; f < clos.size(); ++f) {
+    if (macro[f].is_zero()) continue;
+    worst = std::min(worst, (clos.rate(f) / macro[f]).to_double());
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E7: adversarial inputs — min rate ratio collapses as 1/n ===\n\n";
+
+  TextTable table({"n", "1/n", "ecmp (best of 5)", "greedy", "local-search",
+                   "paper witness"});
+  for (int n : {3, 4, 5, 6, 8}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+
+    std::vector<double> demands;
+    demands.reserve(flows.size());
+    for (const Rational& r : inst.macro_rates) demands.push_back(r.to_double());
+
+    // ECMP: best of 5 seeds (random routing can only do worse on average).
+    double ecmp_best = 0.0;
+    for (int seed = 0; seed < 5; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 17 + 3);
+      const auto alloc =
+          max_min_fair<Rational>(net, flows, ecmp_routing(net, flows, rng));
+      ecmp_best = std::max(ecmp_best, min_ratio(alloc, inst.macro_rates));
+    }
+
+    const MiddleAssignment greedy = greedy_routing(net, flows, demands);
+    const auto greedy_alloc = max_min_fair<Rational>(net, flows, greedy);
+
+    const MiddleAssignment ls = congestion_local_search(net, flows, demands, greedy);
+    const auto ls_alloc = max_min_fair<Rational>(net, flows, ls);
+
+    const auto witness_alloc = max_min_fair<Rational>(net, flows, *inst.witness);
+
+    table.add_row({std::to_string(n), fmt_double(1.0 / n, 3), fmt_double(ecmp_best, 3),
+                   fmt_double(min_ratio(greedy_alloc, inst.macro_rates), 3),
+                   fmt_double(min_ratio(ls_alloc, inst.macro_rates), 3),
+                   fmt_double(min_ratio(witness_alloc, inst.macro_rates), 3)});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "paper shape: Theorem 4.2 proves the macro rates cannot be routed, so\n"
+               "some flow must fall below its macro rate on this family. The *fairest*\n"
+               "objective falls hardest: lex-max-min fairness (the witness column)\n"
+               "starves the type 3 flow to exactly 1/n, because the lexicographic\n"
+               "order prefers upholding many small rates over one large one — the\n"
+               "heart of R2. Congestion-aware heuristics spread the damage instead\n"
+               "(higher min ratio), but their sorted vectors are still lex-dominated\n"
+               "by the witness; and ECMP degrades without structure.\n";
+  return 0;
+}

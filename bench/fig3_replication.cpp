@@ -1,0 +1,57 @@
+// E3 — Theorem 4.2 / Example 4.1 / Figure 3: macro-switch max-min rates that
+// no Clos routing can replicate.
+//
+// For each n, the backtracking searcher exhausts the routing space of the
+// adversarial collection and proves infeasibility; dropping the type 3 flow
+// restores feasibility (with a witness routing), exactly as the paper's
+// argument pivots on the type 3 flow.
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/replication.hpp"
+#include "util/table.hpp"
+
+using namespace closfair;
+
+int main() {
+  std::cout << "=== E3: Theorem 4.2 — macro rates unreachable by any routing ===\n\n";
+
+  TextTable table({"n", "flows", "macro rates (type1/2/3)", "replicable (paper: no)",
+                   "search nodes", "w/o type3 (paper: yes)"});
+  for (int n : {3, 4}) {
+    const AdversarialInstance inst = theorem_4_2_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+
+    // Confirm the macro max-min rates first.
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+    const bool macro_ok = macro.rates() == inst.macro_rates;
+
+    const FlowSet flows = instantiate(net, inst.flows);
+    const auto full = find_feasible_routing(net, flows, inst.macro_rates);
+
+    FlowCollection reduced = inst.flows;
+    std::vector<Rational> reduced_rates = inst.macro_rates;
+    reduced.pop_back();  // type 3 is last
+    reduced_rates.pop_back();
+    const auto without_type3 =
+        find_feasible_routing(net, instantiate(net, reduced), reduced_rates);
+
+    table.add_row({std::to_string(n), std::to_string(inst.flows.size()),
+                   std::string("1, 1/") + std::to_string(n) + ", 1" +
+                       (macro_ok ? "" : "  (MISMATCH!)"),
+                   full.feasible ? "YES (contradicts paper!)" : "no",
+                   std::to_string(full.nodes_explored),
+                   without_type3.feasible ? "yes" : "NO (contradicts paper!)"});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "(n = 5 and beyond: the exhaustive infeasibility proof is beyond a\n"
+               " bench-sized search budget; Theorem 4.2's induction covers all n >= 3.)\n\n";
+
+  std::cout << "consequence (paper §4.1): since no routing replicates a^MmF, every\n"
+               "routing's max-min vector is lexicographically below the macro's, i.e.\n"
+               "a^MmF > a^L-MmF for this collection.\n";
+  return 0;
+}

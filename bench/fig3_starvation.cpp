@@ -1,0 +1,66 @@
+// E4 — Theorem 4.3 / Lemmas 4.4-4.6: lex-max-min fairness starves the type 3
+// flow by a 1/n factor.
+//
+// For each n: the measured macro-switch rates (Lemma 4.4), the measured
+// max-min rates under the paper's witness routing (Lemma 4.6), the
+// bottleneck-property certificate, and the starvation factor next to the
+// predicted 1/n.
+#include <iostream>
+
+#include "core/adversarial.hpp"
+#include "core/theorems.hpp"
+#include "fairness/bottleneck.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/local_search.hpp"
+#include "util/table.hpp"
+
+using namespace closfair;
+
+int main() {
+  std::cout << "=== E4: Theorem 4.3 — lex-max-min starvation factor 1/n ===\n\n";
+
+  TextTable table({"n", "flows", "type3 macro (paper: 1)", "type3 lex (paper: 1/n)",
+                   "starvation (meas)", "1/n", "bottleneck cert"});
+  for (int n : {3, 4, 5, 6, 7, 8}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+    const FlowSet flows = instantiate(net, inst.flows);
+    const auto clos = max_min_fair<Rational>(net, flows, *inst.witness);
+    const Routing routing = expand_routing(net, flows, *inst.witness);
+    const bool cert = is_max_min_fair(net.topology(), routing, clos);
+
+    const FlowIndex type3 = flows.size() - 1;
+    const Rational factor = clos.rate(type3) / macro.rate(type3);
+    const Theorem43Prediction pred = predict_theorem_4_3(n);
+
+    table.add_row({std::to_string(n), std::to_string(flows.size()),
+                   macro.rate(type3).to_string(), clos.rate(type3).to_string(),
+                   factor.to_string(), pred.starvation_factor.to_string(),
+                   cert ? "ok" : "FAILED"});
+  }
+  std::cout << table << '\n';
+
+  // Local-optimality probe: hill climbing cannot improve the witness routing
+  // (step 2 of Lemma 4.6 proves global optimality; this is the searchable
+  // shadow of that claim).
+  std::cout << "hill-climb probe from the witness routing (no move may improve):\n";
+  TextTable probe({"n", "accepted moves (paper: 0)", "vector unchanged"});
+  for (int n : {3, 4, 5}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const auto base = max_min_fair<Rational>(net, flows, *inst.witness);
+    const auto climbed = lex_max_min_local_search(net, flows, *inst.witness);
+    probe.add_row({std::to_string(n), std::to_string(climbed.moves),
+                   climbed.alloc.sorted() == base.sorted() ? "yes" : "NO"});
+  }
+  std::cout << probe << '\n';
+
+  std::cout << "paper shape: the fairest routing objective (lex-max-min) cuts the\n"
+               "type 3 flow's rate to 1/n of its macro-switch share — starvation\n"
+               "grows unboundedly with network size.\n";
+  return 0;
+}

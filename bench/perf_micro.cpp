@@ -1,0 +1,156 @@
+// E9 — engineering microbenchmarks (google-benchmark): scaling of the
+// library's algorithmic core. Not a paper experiment; documents that the
+// exact machinery is fast enough for the instance sizes the theory benches
+// and tests use.
+#include <benchmark/benchmark.h>
+
+#include "fairness/waterfill.hpp"
+#include "lp/maxmin_lp.hpp"
+#include "lp/splittable.hpp"
+#include "matching/edge_coloring.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/hungarian.hpp"
+#include "routing/doom_switch.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/replication.hpp"
+#include "sim/rate_control.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+struct Instance {
+  ClosNetwork net;
+  FlowSet flows;
+  Routing routing;
+};
+
+Instance make_instance(int n, std::size_t num_flows, std::uint64_t seed) {
+  ClosNetwork net = ClosNetwork::paper(n);
+  Rng rng(seed);
+  FlowSet flows =
+      instantiate(net, uniform_random(Fabric{2 * n, n}, num_flows, rng));
+  Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+  return Instance{std::move(net), std::move(flows), std::move(routing)};
+}
+
+void BM_WaterfillRational(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto flows_count = static_cast<std::size_t>(state.range(1));
+  const Instance inst = make_instance(n, flows_count, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        max_min_fair<Rational>(inst.net.topology(), inst.flows, inst.routing));
+  }
+  state.SetLabel("C_" + std::to_string(n) + ", " + std::to_string(flows_count) + " flows");
+}
+BENCHMARK(BM_WaterfillRational)->Args({2, 16})->Args({4, 64})->Args({8, 256})->Args({8, 1024});
+
+void BM_WaterfillDouble(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto flows_count = static_cast<std::size_t>(state.range(1));
+  const Instance inst = make_instance(n, flows_count, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        max_min_fair<double>(inst.net.topology(), inst.flows, inst.routing));
+  }
+}
+BENCHMARK(BM_WaterfillDouble)->Args({2, 16})->Args({4, 64})->Args({8, 256})->Args({8, 1024});
+
+void BM_MaxMinLpRational(benchmark::State& state) {
+  const auto flows_count = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(2, flows_count, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        max_min_fair_lp<Rational>(inst.net.topology(), inst.flows, inst.routing));
+  }
+}
+BENCHMARK(BM_MaxMinLpRational)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto edges = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  BipartiteMultigraph g(edges / 2 + 1, edges / 2 + 1);
+  for (std::size_t e = 0; e < edges; ++e) {
+    g.add_edge(rng.next_below(g.num_left()), rng.next_below(g.num_right()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximum_matching(g));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_KonigColoring(benchmark::State& state) {
+  const auto edges = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  BipartiteMultigraph g(32, 32);
+  for (std::size_t e = 0; e < edges; ++e) {
+    g.add_edge(rng.next_below(32), rng.next_below(32));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge_coloring(g));
+  }
+}
+BENCHMARK(BM_KonigColoring)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DoomSwitch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance inst = make_instance(n, static_cast<std::size_t>(8 * n * n), 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doom_switch(inst.net, inst.flows));
+  }
+}
+BENCHMARK(BM_DoomSwitch)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ReplicationFeasible(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance inst = make_instance(n, static_cast<std::size_t>(4 * n), 29);
+  const std::vector<Rational> rates(inst.flows.size(), Rational{1, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_feasible_routing(inst.net, inst.flows, rates));
+  }
+}
+BENCHMARK(BM_ReplicationFeasible)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_HungarianMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(31);
+  std::vector<std::vector<double>> weight(n, std::vector<double>(n));
+  for (auto& row : weight) {
+    for (double& w : row) w = static_cast<double>(rng.next_int(0, 100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_weight_matching(weight));
+  }
+}
+BENCHMARK(BM_HungarianMatching)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SplittableLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  Rng rng(37);
+  const FlowCollection specs =
+      uniform_random(Fabric{2 * n, n}, static_cast<std::size_t>(4 * n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splittable_max_min(net, ms, specs));
+  }
+}
+BENCHMARK(BM_SplittableLp)->Arg(2)->Arg(3);
+
+void BM_RcpConvergence(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance inst = make_instance(n, static_cast<std::size_t>(8 * n), 41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rcp_rate_control(inst.net.topology(), inst.flows, inst.routing));
+  }
+}
+BENCHMARK(BM_RcpConvergence)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace closfair
+
+BENCHMARK_MAIN();

@@ -1,0 +1,185 @@
+// verify_paper — the paper, re-proven by computation, in one run.
+//
+// Executes every check the reproduction stands on and prints one PASS/FAIL
+// line per claim. Exit code 0 iff everything passed. This is the binary to
+// run first; the fig*/ext* benches then show each result quantitatively.
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/adversarial.hpp"
+#include "core/analysis.hpp"
+#include "core/proofs.hpp"
+#include "core/theorems.hpp"
+#include "fairness/bottleneck.hpp"
+#include "fairness/waterfill.hpp"
+#include "lp/maxmin_lp.hpp"
+#include "lp/splittable.hpp"
+#include "routing/doom_switch.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/replication.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+namespace {
+
+int failures = 0;
+
+void check(const std::string& claim, bool ok) {
+  std::cout << (ok ? "  PASS  " : "  FAIL  ") << claim << '\n';
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "verifying: Impossibility Results for Data-Center Routing with\n"
+               "Congestion Control and Unsplittable Flows (PODC 2024)\n\n";
+
+  std::cout << "[model machinery]\n";
+  {
+    // Water-filling == iterative LP == bottleneck property, on random input.
+    bool agree = true;
+    bool certified = true;
+    Rng rng(1);
+    for (int trial = 0; trial < 10; ++trial) {
+      const ClosNetwork net = ClosNetwork::paper(2 + static_cast<int>(rng.next_below(2)));
+      const FlowSet flows = instantiate(
+          net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()},
+                              1 + rng.next_below(10), rng));
+      const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+      const auto wf = max_min_fair<Rational>(net.topology(), flows, routing);
+      agree &= wf.rates() == max_min_fair_lp<Rational>(net.topology(), flows, routing).rates();
+      certified &= is_max_min_fair(net.topology(), routing, wf);
+    }
+    check("water-filling == exact LP oracle (10 random instances)", agree);
+    check("allocations certified by the bottleneck property (Lemma 2.2)", certified);
+  }
+
+  std::cout << "\n[Example 2.3 / Figure 1]\n";
+  {
+    const Example23 ex = example_2_3();
+    const ClosNetwork net = ClosNetwork::paper(2);
+    const MacroSwitch ms = MacroSwitch::paper(2);
+    const FlowSet flows = instantiate(net, ex.instance.flows);
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, ex.instance.flows));
+    check("macro-switch rates match the paper",
+          macro.rates() == ex.instance.macro_rates);
+    check("routing A and B rates match the paper",
+          max_min_fair<Rational>(net, flows, ex.routing_a).rates() == ex.rates_a &&
+              max_min_fair<Rational>(net, flows, ex.routing_b).rates() == ex.rates_b);
+    const auto lex = lex_max_min_exhaustive(net, flows);
+    check("routing A is lex-max-min (verified by full enumeration)",
+          lex.alloc.sorted() == Allocation<Rational>{ex.rates_a}.sorted());
+  }
+
+  std::cout << "\n[R1 / Theorem 3.4]\n";
+  {
+    const MacroSwitch ms = MacroSwitch::paper(1);
+    bool family_ok = true;
+    for (int k : {1, 4, 64, 1024}) {
+      const auto a = analyze_macro(ms, instantiate(ms, theorem_3_4_instance(1, k).flows));
+      family_ok &= a.price_of_fairness == predict_theorem_3_4(k).fairness_ratio;
+    }
+    check("adversarial family: T^MmF/T^MT == (1 + 1/(k+1))/2 exactly", family_ok);
+
+    bool bound_ok = true;
+    bool proof_ok = true;
+    Rng rng(2);
+    for (int trial = 0; trial < 10; ++trial) {
+      const MacroSwitch msn = MacroSwitch::paper(1 + static_cast<int>(rng.next_below(3)));
+      const FlowSet flows = instantiate(
+          msn, uniform_random(Fabric{msn.num_tors(), msn.servers_per_tor()},
+                              1 + rng.next_below(24), rng));
+      const auto a = analyze_macro(msn, flows);
+      bound_ok &= a.t_maxmin * Rational{2} >= a.t_max_throughput;
+      const auto replay = replay_theorem_3_4(msn, flows);
+      proof_ok &= replay.bottleneck_step_holds && replay.max_step_holds &&
+                  replay.half_step_holds && replay.conclusion_holds;
+    }
+    check("T^MmF >= 1/2 T^MT on random instances", bound_ok);
+    check("the proof's inequality chain replays step-by-step", proof_ok);
+  }
+
+  std::cout << "\n[R2 / Theorems 4.2 + 4.3]\n";
+  {
+    const AdversarialInstance t42 = theorem_4_2_instance(3);
+    const ClosNetwork net = ClosNetwork::paper(3);
+    const MacroSwitch ms = MacroSwitch::paper(3);
+    check("Claim 4.5: Equation 1 has exactly the two posited solutions (n=3..8)", [&] {
+      for (int n = 3; n <= 8; ++n) {
+        const auto sols = replay_claim_4_5(n);
+        if (sols.size() != 2 || sols[0].x != 0 || sols[1].y != 0) return false;
+      }
+      return true;
+    }());
+    const auto rep = find_feasible_routing(net, instantiate(net, t42.flows),
+                                           t42.macro_rates);
+    check("Theorem 4.2: macro rates unroutable (proven by exhaustive search, n=3)",
+          !rep.feasible);
+    const auto split = splittable_max_min(net, ms, t42.flows);
+    check("...yet splittably routable (LP witness) — unsplittability is the culprit",
+          split.rates.rates() == t42.macro_rates);
+
+    bool starvation_ok = true;
+    for (int n : {3, 4, 5, 6}) {
+      const AdversarialInstance t43 = theorem_4_3_instance(n);
+      const ClosNetwork cn = ClosNetwork::paper(n);
+      const FlowSet flows = instantiate(cn, t43.flows);
+      const auto alloc = max_min_fair<Rational>(cn, flows, *t43.witness);
+      starvation_ok &= alloc.rates() == *t43.witness_rates;
+      starvation_ok &=
+          alloc.rate(flows.size() - 1) == predict_theorem_4_3(n).type3_clos_rate;
+    }
+    check("Theorem 4.3: lex-max-min rates starve the type 3 flow to exactly 1/n",
+          starvation_ok);
+  }
+
+  std::cout << "\n[R3 / Theorem 5.4]\n";
+  {
+    bool doom_ok = true;
+    for (int n : {5, 7, 9}) {
+      for (int k : {1, 4, 16}) {
+        const AdversarialInstance inst = theorem_5_4_instance(n, k);
+        const ClosNetwork net = ClosNetwork::paper(n);
+        const MacroSwitch ms = MacroSwitch::paper(n);
+        const FlowSet flows = instantiate(net, inst.flows);
+        const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+        const auto alloc =
+            max_min_fair<Rational>(net, flows, doom_switch(net, flows).middles);
+        const auto pred = predict_theorem_5_4(n, k);
+        doom_ok &= alloc.throughput() == pred.doom_throughput;
+        doom_ok &= alloc.throughput() / macro.throughput() == pred.gain;
+        doom_ok &= alloc.throughput() <= Rational{2} * macro.throughput();
+      }
+    }
+    check("Doom-Switch achieves gain 2(1-eps) exactly; never exceeds 2 T^MmF", doom_ok);
+
+    bool upper_ok = true;
+    Rng rng(3);
+    for (int trial = 0; trial < 10; ++trial) {
+      const int n = 2 + static_cast<int>(rng.next_below(3));
+      const ClosNetwork net = ClosNetwork::paper(n);
+      const MacroSwitch ms = MacroSwitch::paper(n);
+      const FlowCollection specs =
+          uniform_random(Fabric{2 * n, n}, 1 + rng.next_below(30), rng);
+      const FlowSet flows = instantiate(net, specs);
+      const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+      const auto alloc =
+          max_min_fair<Rational>(net, flows, ecmp_routing(net, flows, rng));
+      upper_ok &= alloc.throughput() <= Rational{2} * macro.throughput();
+      upper_ok &= lex_compare_sorted(alloc, macro) != std::strong_ordering::greater;
+    }
+    check("every routing: throughput <= 2 T^MmF and sorted vector <=lex macro's",
+          upper_ok);
+  }
+
+  std::cout << '\n'
+            << (failures == 0 ? "ALL CLAIMS VERIFIED" : "FAILURES DETECTED") << " ("
+            << failures << " failure(s))\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,193 @@
+// closfair_cli — analyze a text-format instance file end to end.
+//
+//   $ ./closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex] [--seed S]
+//                    [--csv OUT.csv] [--dot OUT.dot] [--json OUT.json] [--verify]
+//                    [--replicate]
+//
+// --replicate asks the exact backtracking searcher whether the instance's
+// target rates (each flow's `@rate`, defaulting to its macro-switch max-min
+// rate) admit any feasible routing — the §4.1 question.
+//
+// Reads a Clos instance (see src/io/text_format.hpp for the format),
+// computes the macro-switch reference and the chosen routing's max-min
+// allocation, prints a comparison, and optionally writes per-flow rates as
+// CSV and the routed topology as Graphviz.
+//
+// Example instance (Example 3.3 from the paper):
+//
+//   clos n=1
+//   flow 1 1 -> 1 1
+//   flow 2 1 -> 2 1
+//   flow 2 1 -> 1 1
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/bounds.hpp"
+#include "core/report.hpp"
+#include "io/json_export.hpp"
+#include "fairness/waterfill.hpp"
+#include "io/text_format.hpp"
+#include "net/dot.hpp"
+#include "routing/doom_switch.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/greedy.hpp"
+#include "routing/local_search.hpp"
+#include "routing/replication.hpp"
+#include "util/rng.hpp"
+
+using namespace closfair;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex]\n"
+               "                    [--seed S] [--csv OUT.csv] [--dot OUT.dot]\n"
+               "                    [--json OUT.json] [--verify] [--replicate]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string policy = "greedy";
+  std::string csv_path;
+  std::string dot_path;
+  std::string json_path;
+  bool verify = false;
+  bool replicate = false;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      policy = next();
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::stoull(next()));
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--replicate") {
+      replicate = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << '\n';
+    return 1;
+  }
+
+  try {
+    const InstanceSpec spec = parse_instance_stream(in);
+    const ClosNetwork net = spec.build_clos();
+    const MacroSwitch ms(MacroSwitch::Params{spec.params.num_tors,
+                                             spec.params.servers_per_tor,
+                                             spec.params.link_capacity});
+    const FlowSet flows = instantiate(net, spec.flows);
+    std::cout << "instance: " << flows.size() << " flows on a "
+              << net.num_middles() << "-middle, " << net.num_tors() << "-ToR Clos\n\n";
+
+    const auto macro = analyze_macro(ms, instantiate(ms, spec.flows));
+
+    if (replicate) {
+      std::vector<Rational> targets;
+      targets.reserve(flows.size());
+      for (FlowIndex f = 0; f < flows.size(); ++f) {
+        const bool declared = f < spec.rates.size() && spec.rates[f].has_value();
+        targets.push_back(declared ? *spec.rates[f] : macro.maxmin.rate(f));
+      }
+      const ReplicationResult result = find_feasible_routing(net, flows, targets);
+      std::cout << "replication feasibility for target rates ("
+                << (spec.has_rates() ? "declared @rates + macro defaults"
+                                     : "macro max-min rates")
+                << "):\n  "
+                << (result.feasible ? "FEASIBLE" : "infeasible — no routing exists")
+                << " (" << result.nodes_explored << " search nodes)\n";
+      if (result.routing) {
+        std::cout << "  witness middles:";
+        for (int m : *result.routing) std::cout << ' ' << m;
+        std::cout << '\n';
+      }
+      std::cout << '\n';
+    }
+
+    std::vector<double> demands;
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      demands.push_back(macro.maxmin.rate(f).to_double());
+    }
+
+    Rng rng(seed);
+    MiddleAssignment middles;
+    if (policy == "ecmp") {
+      middles = ecmp_routing(net, flows, rng);
+    } else if (policy == "doom") {
+      middles = doom_switch(net, flows).middles;
+    } else if (policy == "lex") {
+      LocalSearchOptions options;
+      options.max_moves = 2000;
+      middles =
+          lex_max_min_local_search(net, flows, greedy_routing(net, flows, demands), options)
+              .middles;
+    } else if (policy == "greedy") {
+      middles = greedy_routing(net, flows, demands);
+    } else {
+      return usage();
+    }
+
+    const Comparison comparison = compare(net, ms, spec.flows, middles);
+    std::cout << "policy: " << policy << "\n\n" << render_comparison(comparison) << '\n';
+
+    std::cout << "macro rates:  " << format_rates(comparison.macro.maxmin) << '\n';
+    std::cout << "clos rates:   " << format_rates(comparison.clos.maxmin) << '\n';
+
+    if (verify) {
+      const BoundReport report = check_paper_bounds(net, ms, spec.flows, middles);
+      std::cout << '\n' << render_bound_report(report);
+      if (!report.all_hold()) {
+        std::cerr << "paper bound VIOLATED — this indicates a library bug\n";
+        return 3;
+      }
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream json(json_path);
+      json << to_json(comparison).dump(2) << '\n';
+      std::cout << "wrote " << json_path << '\n';
+    }
+    if (!csv_path.empty()) {
+      std::ofstream csv(csv_path);
+      write_rates_csv(csv, spec.flows, {},
+                      {NamedAllocation{"macro", &comparison.macro.maxmin},
+                       NamedAllocation{"clos", &comparison.clos.maxmin}});
+      std::cout << "wrote " << csv_path << '\n';
+    }
+    if (!dot_path.empty()) {
+      std::ofstream dot(dot_path);
+      dot << to_dot(net.topology(), flows, expand_routing(net, flows, middles));
+      std::cout << "wrote " << dot_path << '\n';
+    }
+  } catch (const ParseError& e) {
+    std::cerr << "parse error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

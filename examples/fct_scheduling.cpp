@@ -1,0 +1,75 @@
+// Flow completion times: congestion control vs scheduling (§7, R1) and the
+// dynamic Clos-vs-macro gap, on one Poisson trace.
+//
+//   $ ./fct_scheduling [n] [flows] [arrival_rate] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/event_sim.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+#include "workload/trace.hpp"
+
+using namespace closfair;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::size_t num_flows = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 200;
+  const double rate = argc > 3 ? std::atof(argv[3]) : 6.0;
+  const std::uint64_t seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 3;
+
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+
+  // Part 1: dynamic trace through the simulator.
+  TraceParams params;
+  params.fabric = Fabric{2 * n, n};
+  params.num_flows = num_flows;
+  params.arrival_rate = rate;
+  params.sizes = SizeDistribution::kExponential;
+  Rng rng(seed);
+  const Trace trace = poisson_trace(params, rng);
+  std::cout << "Poisson trace: " << trace.size() << " flows, arrival rate " << rate
+            << ", exp(1) sizes, C_" << n << " vs MS_" << n << "\n\n";
+
+  TextTable sim_table({"system", "mean FCT", "p50", "p99", "mean slowdown"});
+  Rng rng_ecmp(seed + 1);
+  const SimStats ecmp = simulate_clos(net, trace, SimPolicy::kEcmp, rng_ecmp);
+  Rng rng_ll(seed + 2);
+  const SimStats least = simulate_clos(net, trace, SimPolicy::kLeastLoaded, rng_ll);
+  const SimStats macro = simulate_macro(ms, trace);
+  for (const auto& [name, stats] :
+       {std::pair<const char*, const SimStats&>{"clos + ecmp", ecmp},
+        {"clos + least-loaded", least},
+        {"macro-switch (ideal)", macro}}) {
+    sim_table.add_row({name, fmt_double(stats.mean_fct, 3), fmt_double(stats.p50_fct, 3),
+                       fmt_double(stats.p99_fct, 3), fmt_double(stats.mean_slowdown, 3)});
+  }
+  std::cout << sim_table << '\n';
+
+  // Part 2: static batch, congestion control vs matching-round scheduling.
+  Rng rng_batch(seed + 3);
+  const FlowCollection specs = uniform_random(params.fabric, 40, rng_batch);
+  const FlowSet flows = instantiate(ms, specs);
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    sizes.push_back(rng_batch.next_exponential(1.0));
+  }
+  const auto cc =
+      batch_congestion_control(ms.topology(), flows, macro_routing(ms, flows), sizes);
+  const auto sched = batch_matching_schedule(ms, flows, sizes);
+
+  TextTable batch_table({"policy", "mean FCT", "makespan", "avg goodput"});
+  batch_table.add_row({"max-min congestion control", fmt_double(cc.mean_fct, 3),
+                       fmt_double(cc.max_fct, 3), fmt_double(cc.throughput_time_avg, 3)});
+  batch_table.add_row({"matching-round scheduling", fmt_double(sched.mean_fct, 3),
+                       fmt_double(sched.max_fct, 3),
+                       fmt_double(sched.throughput_time_avg, 3)});
+  std::cout << batch_table << '\n';
+
+  std::cout << "Scheduling trades waiting for full-rate transmission (the paper's R1\n"
+               "discussion): mean FCT usually improves, makespan stays comparable.\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "core/adversarial.hpp"
+
+#include "util/check.hpp"
+
+namespace closfair {
+
+Example23 example_2_3() {
+  Example23 ex;
+  AdversarialInstance& inst = ex.instance;
+  inst.n = 2;
+
+  // Flow order (paper's Figure 1):
+  //   0 type1 (s_1^2, t_1^2)   1 type1 (s_1^2, t_2^1)   2 type1 (s_1^2, t_2^2)
+  //   3 type2 (s_2^1, t_2^1)   4 type2 (s_2^2, t_2^2)   5 type3 (s_1^1, t_1^1)
+  inst.flows = {
+      FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+      FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1},
+  };
+  inst.labels = {"type1", "type1", "type1", "type2", "type2", "type3"};
+  inst.macro_rates = {Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                      Rational{2, 3}, Rational{2, 3}, Rational{1}};
+
+  // Routing A: the contested type 1 flow (s_1^2, t_2^1) rides M_1 together
+  // with the type 3 flow; the other two type 1 flows ride M_2. The type 3
+  // flow's bottleneck moves to I_1M_1 and its rate drops to 2/3.
+  ex.routing_a = {2, 1, 2, 1, 2, 1};
+  ex.rates_a = {Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                Rational{2, 3}, Rational{2, 3}, Rational{2, 3}};
+
+  // Routing B: re-assigning that flow to M_2 restores the type 3 flow to
+  // rate 1 but drags the type 2 flow (s_2^2, t_2^2) down to 1/3 on M_2O_2.
+  ex.routing_b = {2, 2, 2, 1, 2, 1};
+  ex.rates_b = {Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                Rational{2, 3}, Rational{1, 3}, Rational{1}};
+
+  inst.witness = ex.routing_a;
+  inst.witness_rates = ex.rates_a;
+  return ex;
+}
+
+AdversarialInstance theorem_3_4_instance(int n, int k) {
+  CF_CHECK_MSG(n >= 1, "Theorem 3.4 instance needs n >= 1");
+  CF_CHECK_MSG(k >= 1, "Theorem 3.4 instance needs k >= 1");
+  AdversarialInstance inst;
+  inst.n = n;
+  inst.flows = {FlowSpec{1, 1, 1, 1}, FlowSpec{2, 1, 2, 1}};
+  inst.labels = {"type1", "type1"};
+  for (int copy = 0; copy < k; ++copy) {
+    inst.flows.push_back(FlowSpec{2, 1, 1, 1});
+    inst.labels.emplace_back("type2");
+  }
+  // All k+2 flows share a saturated link carrying k+1 flows, so the max-min
+  // fair rate of every flow is 1/(k+1).
+  inst.macro_rates.assign(inst.flows.size(), Rational{1, k + 1});
+  return inst;
+}
+
+AdversarialInstance theorem_4_2_instance(int n) {
+  CF_CHECK_MSG(n >= 3, "Theorem 4.2 instance needs n >= 3");
+  AdversarialInstance inst;
+  inst.n = n;
+
+  // Type 1: (s_i^j, t_i^j), i in [n], j in [2, n] — macro rate 1.
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 2; j <= n; ++j) {
+      inst.flows.push_back(FlowSpec{i, j, i, j});
+      inst.labels.emplace_back("type1");
+      inst.macro_rates.emplace_back(1);
+    }
+  }
+  // Type 2.a: (s_i^1, t_i^1), i in [n] — macro rate 1/n (n type 2 flows
+  // share each s_i^1 edge link).
+  for (int i = 1; i <= n; ++i) {
+    inst.flows.push_back(FlowSpec{i, 1, i, 1});
+    inst.labels.emplace_back("type2a");
+    inst.macro_rates.emplace_back(Rational{1, n});
+  }
+  // Type 2.b: (s_i^1, t_{n+1}^j), i in [n], j in [n-1] — macro rate 1/n.
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= n - 1; ++j) {
+      inst.flows.push_back(FlowSpec{i, 1, n + 1, j});
+      inst.labels.emplace_back("type2b");
+      inst.macro_rates.emplace_back(Rational{1, n});
+    }
+  }
+  // Type 3: (s_{n+1}^n, t_{n+1}^n) — macro rate 1.
+  inst.flows.push_back(FlowSpec{n + 1, n, n + 1, n});
+  inst.labels.emplace_back("type3");
+  inst.macro_rates.emplace_back(1);
+  return inst;
+}
+
+AdversarialInstance theorem_4_3_instance(int n) {
+  CF_CHECK_MSG(n >= 3, "Theorem 4.3 instance needs n >= 3");
+  AdversarialInstance inst;
+  inst.n = n;
+  MiddleAssignment witness;
+  std::vector<Rational> witness_rates;
+
+  // Type 1: n+1 copies of (s_i^j, t_i^j), i in [n], j in [2, n]; macro rate
+  // 1/(n+1). Witness: all copies of (i, j) ride M_{((i+j-2) mod n) + 1}.
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 2; j <= n; ++j) {
+      const int middle = (i + j - 2) % n + 1;
+      for (int copy = 0; copy < n + 1; ++copy) {
+        inst.flows.push_back(FlowSpec{i, j, i, j});
+        inst.labels.emplace_back("type1");
+        inst.macro_rates.emplace_back(Rational{1, n + 1});
+        witness.push_back(middle);
+        witness_rates.emplace_back(Rational{1, n + 1});
+      }
+    }
+  }
+  // Type 2.a: (s_i^1, t_i^1) rides M_i; macro and witness rate 1/n.
+  for (int i = 1; i <= n; ++i) {
+    inst.flows.push_back(FlowSpec{i, 1, i, 1});
+    inst.labels.emplace_back("type2a");
+    inst.macro_rates.emplace_back(Rational{1, n});
+    witness.push_back(i);
+    witness_rates.emplace_back(Rational{1, n});
+  }
+  // Type 2.b: (s_i^1, t_{n+1}^j) rides M_i; macro and witness rate 1/n.
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= n - 1; ++j) {
+      inst.flows.push_back(FlowSpec{i, 1, n + 1, j});
+      inst.labels.emplace_back("type2b");
+      inst.macro_rates.emplace_back(Rational{1, n});
+      witness.push_back(i);
+      witness_rates.emplace_back(Rational{1, n});
+    }
+  }
+  // Type 3: rides M_n; macro rate 1 but witness rate only 1/n — the
+  // starvation Theorem 4.3 proves unavoidable under lex-max-min fairness.
+  inst.flows.push_back(FlowSpec{n + 1, n, n + 1, n});
+  inst.labels.emplace_back("type3");
+  inst.macro_rates.emplace_back(1);
+  witness.push_back(n);
+  witness_rates.emplace_back(Rational{1, n});
+
+  inst.witness = std::move(witness);
+  inst.witness_rates = std::move(witness_rates);
+  return inst;
+}
+
+AdversarialInstance theorem_5_4_instance(int n, int k) {
+  CF_CHECK_MSG(n >= 3 && n % 2 == 1, "Theorem 5.4 instance needs odd n >= 3");
+  CF_CHECK_MSG(k >= 1, "Theorem 5.4 instance needs k >= 1");
+  AdversarialInstance inst;
+  inst.n = n;
+
+  // Type 1: (s_1^j, t_1^j), j in [n-1]; macro rate 1/(k+1).
+  for (int j = 1; j <= n - 1; ++j) {
+    inst.flows.push_back(FlowSpec{1, j, 1, j});
+    inst.labels.emplace_back("type1");
+    inst.macro_rates.emplace_back(Rational{1, k + 1});
+  }
+  // Type 2: k copies of (s_1^j, t_1^{j-1}) for even j; macro rate 1/(k+1).
+  for (int j = 2; j <= n - 1; j += 2) {
+    for (int copy = 0; copy < k; ++copy) {
+      inst.flows.push_back(FlowSpec{1, j, 1, j - 1});
+      inst.labels.emplace_back("type2");
+      inst.macro_rates.emplace_back(Rational{1, k + 1});
+    }
+  }
+  return inst;
+}
+
+}  // namespace closfair

@@ -1,0 +1,78 @@
+// The paper's adversarial flow collections, exactly as constructed in the
+// proofs and worked examples. Each generator returns the flow collection in
+// ToR/server coordinates (instantiable on both C_n and MS_n), per-flow type
+// labels, the predicted macro-switch max-min rates, and — where the paper
+// exhibits one — the witness Clos routing with its predicted rates.
+//
+// Flow ordering is deterministic and documented per generator so that witness
+// middle assignments line up by index.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+/// One adversarial instance: flows plus everything the paper predicts about
+/// them.
+struct AdversarialInstance {
+  int n = 1;  ///< Clos size parameter the instance was built for
+  FlowCollection flows;
+  std::vector<std::string> labels;  ///< per-flow type ("type1", "type2a", ...)
+
+  /// Predicted max-min fair rates in MS_n (unique; §2.2).
+  std::vector<Rational> macro_rates;
+
+  /// The paper's witness routing in C_n, when the construction names one.
+  std::optional<MiddleAssignment> witness;
+  /// Predicted max-min fair rates in C_n under `witness`.
+  std::optional<std::vector<Rational>> witness_rates;
+};
+
+/// Example 2.3 / Figure 1: six flows in C_2. `routing_a` assigns the type 1
+/// flow (s_1^2, t_2^1) to M_1 (sorted vector [1/3 ×3, 2/3 ×3]); `routing_b`
+/// re-assigns it to M_2 (sorted vector [1/3 ×4, 2/3, 1]). The instance's
+/// witness is routing A (the lexicographically better of the two).
+struct Example23 {
+  AdversarialInstance instance;
+  MiddleAssignment routing_a;
+  std::vector<Rational> rates_a;
+  MiddleAssignment routing_b;
+  std::vector<Rational> rates_b;
+};
+[[nodiscard]] Example23 example_2_3();
+
+/// Theorem 3.4 / Example 3.3 / Figure 2: the price-of-fairness family on
+/// MS_n. Two type 1 flows plus k parallel type 2 flows; T^MT = 2 while
+/// T^MmF = 1 + 1/(k+1). Flow order: type1 (s_1^1,t_1^1), type1 (s_2^1,t_2^1),
+/// then the k type 2 flows (s_2^1, t_1^1). Example 3.3 is k = 1.
+[[nodiscard]] AdversarialInstance theorem_3_4_instance(int n, int k);
+
+/// Theorem 4.2 / Example 4.1 / Figure 3: the replication-infeasibility
+/// instance in C_n (n >= 3). Flow order: type 1 (i in [n] outer, j in [2,n]
+/// inner), type 2.a (i in [n]), type 2.b (i in [n] outer, j in [n-1] inner),
+/// type 3. No witness: the point is that *no* routing replicates the macro
+/// rates.
+[[nodiscard]] AdversarialInstance theorem_4_2_instance(int n);
+
+/// Theorem 4.3 / Lemmas 4.4-4.6: the starvation instance in C_n (n >= 3);
+/// same as Theorem 4.2 but with n+1 copies of each type 1 flow. Flow order:
+/// type 1 (i outer, j middle, copy inner), type 2.a, type 2.b, type 3. The
+/// witness is the Lemma 4.6 routing, under which the type 3 flow gets rate
+/// 1/n against its macro-switch rate 1.
+[[nodiscard]] AdversarialInstance theorem_4_3_instance(int n);
+
+/// Theorem 5.4 / Example 5.3 / Figure 4: the throughput-doubling instance in
+/// C_n (odd n >= 3): (n-1)/2 stacked Example 3.3 gadgets on ToR 1, k type 2
+/// flows each. Flow order: type 1 (s_1^j, t_1^j) for j in [n-1], then type 2
+/// gadgets (j = 2, 4, ..., n-1; k copies each of (s_1^j, t_1^{j-1})).
+/// No witness routing is fixed — the Doom-Switch algorithm builds one.
+/// Example 5.3 is (n, k) = (7, 1).
+[[nodiscard]] AdversarialInstance theorem_5_4_instance(int n, int k);
+
+}  // namespace closfair

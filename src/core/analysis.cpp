@@ -1,0 +1,80 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+#include "fairness/waterfill.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "routing/doom_switch.hpp"
+
+namespace closfair {
+
+MacroAnalysis analyze_macro(const MacroSwitch& ms, const FlowSet& flows) {
+  MacroAnalysis a;
+  a.maxmin = max_min_fair<Rational>(ms, flows);
+  a.t_maxmin = a.maxmin.throughput();
+
+  const BipartiteMultigraph g_ms = server_flow_graph(ms, flows);
+  const std::vector<std::size_t> matching = maximum_matching(g_ms);
+  a.max_matching.assign(matching.begin(), matching.end());
+  std::sort(a.max_matching.begin(), a.max_matching.end());
+  a.t_max_throughput = Rational{static_cast<std::int64_t>(matching.size())};
+  a.price_of_fairness = a.t_max_throughput.is_zero()
+                            ? Rational{1}
+                            : a.t_maxmin / a.t_max_throughput;
+  return a;
+}
+
+ClosAnalysis analyze_clos(const ClosNetwork& net, const FlowSet& flows,
+                          const MiddleAssignment& middles) {
+  ClosAnalysis a;
+  a.maxmin = max_min_fair<Rational>(net, flows, middles);
+  a.throughput = a.maxmin.throughput();
+  return a;
+}
+
+MaxThroughputRouting max_throughput_routing(const ClosNetwork& net, const FlowSet& flows) {
+  // The Doom-Switch routing's first two steps are exactly Lemma 5.2's
+  // construction: a maximum matching placed link-disjointly via König
+  // coloring; where the unmatched flows go is irrelevant for T^T-MT.
+  const DoomSwitchResult doom = doom_switch(net, flows);
+  MaxThroughputRouting r;
+  r.matched = doom.matched;
+  r.middles = doom.middles;
+  r.alloc = Allocation<Rational>(flows.size());
+  for (FlowIndex f : r.matched) r.alloc.set_rate(f, Rational{1});
+  r.throughput = r.alloc.throughput();
+  return r;
+}
+
+Comparison compare(const ClosNetwork& net, const MacroSwitch& ms,
+                   const FlowCollection& specs, const MiddleAssignment& middles) {
+  CF_CHECK_MSG(net.num_tors() == ms.num_tors() &&
+                   net.servers_per_tor() == ms.servers_per_tor(),
+               "Clos network and macro-switch have mismatched dimensions");
+  const FlowSet clos_flows = instantiate(net, specs);
+  const FlowSet macro_flows = instantiate(ms, specs);
+
+  Comparison c;
+  c.macro = analyze_macro(ms, macro_flows);
+  c.clos = analyze_clos(net, clos_flows, middles);
+
+  c.throughput_ratio = c.macro.t_maxmin.is_zero()
+                           ? Rational{1}
+                           : c.clos.throughput / c.macro.t_maxmin;
+
+  bool any_ratio = false;
+  for (FlowIndex f = 0; f < specs.size(); ++f) {
+    const Rational& macro_rate = c.macro.maxmin.rate(f);
+    if (macro_rate.is_zero()) continue;
+    const Rational ratio = c.clos.maxmin.rate(f) / macro_rate;
+    if (!any_ratio || ratio < c.min_rate_ratio) {
+      c.min_rate_ratio = ratio;
+      any_ratio = true;
+    }
+  }
+  c.lex_vs_macro = lex_compare_sorted(c.clos.maxmin, c.macro.maxmin);
+  return c;
+}
+
+}  // namespace closfair

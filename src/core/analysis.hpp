@@ -1,0 +1,73 @@
+// The analysis toolkit: the quantities the paper's theorems are about,
+// computed exactly for concrete instances.
+//
+//  * analyze_macro      — a^MmF, T^MmF, F', T^MT and the price of fairness
+//                         in a macro-switch (§3).
+//  * analyze_clos       — the max-min fair allocation and throughput for a
+//                         Clos routing (§2.2).
+//  * max_throughput_routing — a link-disjoint routing carrying a maximum
+//                         matching at rate 1 (Lemma 5.2): T^T-MT = T^MT.
+//  * compare            — full Clos-vs-macro gap report for one collection
+//                         and one routing (the object Theorems 4.3 and 5.4
+//                         quantify).
+#pragma once
+
+#include <compare>
+#include <vector>
+
+#include "flow/allocation.hpp"
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+#include "net/macroswitch.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+/// Macro-switch quantities for one flow collection.
+struct MacroAnalysis {
+  Allocation<Rational> maxmin;           ///< a^MmF (unique)
+  Rational t_maxmin{0};                  ///< T^MmF
+  std::vector<FlowIndex> max_matching;   ///< F' (maximum matching in G^MS)
+  Rational t_max_throughput{0};          ///< T^MT = |F'| (Lemma 3.2)
+  Rational price_of_fairness{1};         ///< T^MmF / T^MT (1 when T^MT = 0)
+};
+[[nodiscard]] MacroAnalysis analyze_macro(const MacroSwitch& ms, const FlowSet& flows);
+
+/// Clos quantities for one flow collection under one routing.
+struct ClosAnalysis {
+  Allocation<Rational> maxmin;  ///< a_r^MmF
+  Rational throughput{0};       ///< t(a_r^MmF)
+};
+[[nodiscard]] ClosAnalysis analyze_clos(const ClosNetwork& net, const FlowSet& flows,
+                                        const MiddleAssignment& middles);
+
+/// A maximum-throughput routing per Lemma 5.2: matched flows at rate 1 on
+/// link-disjoint paths (via König coloring), all others at rate 0.
+struct MaxThroughputRouting {
+  std::vector<FlowIndex> matched;  ///< F'
+  MiddleAssignment middles;        ///< link-disjoint for F'; rest arbitrary
+  Allocation<Rational> alloc;      ///< 1 on matched, 0 elsewhere
+  Rational throughput{0};          ///< T^T-MT = |F'|
+};
+[[nodiscard]] MaxThroughputRouting max_throughput_routing(const ClosNetwork& net,
+                                                          const FlowSet& flows);
+
+/// Side-by-side Clos vs macro-switch comparison for one coordinate-level
+/// collection. Both topologies must have compatible ToR/server counts.
+struct Comparison {
+  MacroAnalysis macro;
+  ClosAnalysis clos;
+  /// t(a_r^MmF) / T^MmF — the R3 throughput gain (1 when T^MmF = 0).
+  Rational throughput_ratio{1};
+  /// min over flows of clos_rate/macro_rate (flows with macro rate 0
+  /// skipped) — the R2 starvation factor. 1 when no flow qualifies.
+  Rational min_rate_ratio{1};
+  /// sorted(a_r^MmF) vs sorted(a^MmF); never `greater` (§2.3).
+  std::strong_ordering lex_vs_macro = std::strong_ordering::equal;
+};
+[[nodiscard]] Comparison compare(const ClosNetwork& net, const MacroSwitch& ms,
+                                 const FlowCollection& specs,
+                                 const MiddleAssignment& middles);
+
+}  // namespace closfair

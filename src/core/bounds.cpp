@@ -1,0 +1,79 @@
+#include "core/bounds.hpp"
+
+#include <sstream>
+
+#include "core/analysis.hpp"
+#include "fairness/bottleneck.hpp"
+#include "fairness/waterfill.hpp"
+#include "util/table.hpp"
+
+namespace closfair {
+namespace {
+
+BoundCheck make_check(std::string name, bool holds, std::string detail) {
+  return BoundCheck{std::move(name), holds, std::move(detail)};
+}
+
+}  // namespace
+
+BoundReport check_paper_bounds(const ClosNetwork& net, const MacroSwitch& ms,
+                               const FlowCollection& specs,
+                               const MiddleAssignment& middles) {
+  BoundReport report;
+
+  const MacroAnalysis macro = analyze_macro(ms, instantiate(ms, specs));
+  const FlowSet flows = instantiate(net, specs);
+  const Routing routing = expand_routing(net, flows, middles);
+  const Allocation<Rational> clos = max_min_fair<Rational>(net.topology(), flows, routing);
+  const Rational clos_t = clos.throughput();
+
+  {
+    std::ostringstream os;
+    os << macro.t_maxmin << " >= " << macro.t_max_throughput << "/2";
+    report.checks.push_back(make_check(
+        "B1: T^MmF >= 1/2 T^MT (Thm 3.4)",
+        macro.t_maxmin * Rational{2} >= macro.t_max_throughput, os.str()));
+  }
+  {
+    std::ostringstream os;
+    os << macro.t_maxmin << " <= " << macro.t_max_throughput;
+    report.checks.push_back(make_check("B2: T^MmF <= T^MT",
+                                       macro.t_maxmin <= macro.t_max_throughput, os.str()));
+  }
+  {
+    const auto order = lex_compare_sorted(clos, macro.maxmin);
+    report.checks.push_back(make_check(
+        "B3: sorted(a_r^MmF) <=lex sorted(a^MmF) (par. 2.3)",
+        order != std::strong_ordering::greater,
+        order == std::strong_ordering::equal ? "equal" : "clos below macro"));
+  }
+  {
+    std::ostringstream os;
+    os << clos_t << " <= 2 * " << macro.t_maxmin;
+    report.checks.push_back(make_check("B4: t(a_r^MmF) <= 2 T^MmF (Thm 5.4)",
+                                       clos_t <= Rational{2} * macro.t_maxmin, os.str()));
+  }
+  {
+    const MaxThroughputRouting mt = max_throughput_routing(net, flows);
+    std::ostringstream os;
+    os << mt.throughput << " == " << macro.t_max_throughput;
+    report.checks.push_back(make_check("B5: T^T-MT == T^MT (Lemma 5.2)",
+                                       mt.throughput == macro.t_max_throughput, os.str()));
+  }
+  {
+    report.checks.push_back(make_check(
+        "B6: a_r^MmF has the bottleneck property (Lemma 2.2)",
+        is_max_min_fair(net.topology(), routing, clos), "certified by checker"));
+  }
+  return report;
+}
+
+std::string render_bound_report(const BoundReport& report) {
+  TextTable table({"bound", "holds", "instantiated"});
+  for (const BoundCheck& c : report.checks) {
+    table.add_row({c.name, c.holds ? "yes" : "VIOLATED", c.detail});
+  }
+  return table.render();
+}
+
+}  // namespace closfair

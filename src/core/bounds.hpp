@@ -1,0 +1,53 @@
+// Certified paper-bound checking for arbitrary instances.
+//
+// Given any flow collection and Clos routing, verify every quantitative
+// bound the paper proves (they are theorems, so a failure means a bug in
+// this library, not in the instance):
+//
+//   B1  T^MmF >= 1/2 T^MT                     (Theorem 3.4, macro-switch)
+//   B2  T^MmF <= T^MT                         (definition of maximum)
+//   B3  sorted(a_r^MmF) <=lex sorted(a^MmF)   (§2.3, macro dominance)
+//   B4  t(a_r^MmF) <= 2 T^MmF                 (Theorem 5.4 upper bound)
+//   B5  T^T-MT == T^MT                        (Lemma 5.2, via König routing)
+//   B6  a_r^MmF satisfies the bottleneck property (Lemma 2.2)
+//
+// The CLI exposes this as --verify; the test suite sweeps it over random
+// instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+#include "net/macroswitch.hpp"
+
+namespace closfair {
+
+struct BoundCheck {
+  std::string name;        ///< e.g. "B1: T^MmF >= 1/2 T^MT"
+  bool holds = false;
+  std::string detail;      ///< the instantiated inequality, for reporting
+};
+
+struct BoundReport {
+  std::vector<BoundCheck> checks;
+  [[nodiscard]] bool all_hold() const {
+    for (const auto& c : checks) {
+      if (!c.holds) return false;
+    }
+    return true;
+  }
+};
+
+/// Run every bound check for one (collection, routing) pair on C/MS with the
+/// given dimensions.
+[[nodiscard]] BoundReport check_paper_bounds(const ClosNetwork& net, const MacroSwitch& ms,
+                                             const FlowCollection& specs,
+                                             const MiddleAssignment& middles);
+
+/// Render a report as an aligned table.
+[[nodiscard]] std::string render_bound_report(const BoundReport& report);
+
+}  // namespace closfair

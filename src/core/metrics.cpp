@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace closfair {
+
+double jain_index(const std::vector<double>& rates) {
+  if (rates.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double r : rates) {
+    CF_CHECK_MSG(r >= 0.0, "Jain index requires non-negative rates");
+    sum += r;
+    sum_sq += r * r;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+double jain_index(const Allocation<Rational>& alloc) { return jain_index(as_doubles(alloc)); }
+
+double min_rate(const std::vector<double>& rates) {
+  if (rates.empty()) return 0.0;
+  return *std::min_element(rates.begin(), rates.end());
+}
+
+double mean_rate(const std::vector<double>& rates) {
+  if (rates.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : rates) sum += r;
+  return sum / static_cast<double>(rates.size());
+}
+
+double alpha_fair_welfare(const std::vector<double>& rates, double alpha) {
+  CF_CHECK_MSG(alpha >= 0.0, "alpha-fair welfare requires alpha >= 0");
+  double welfare = 0.0;
+  for (double r : rates) {
+    CF_CHECK_MSG(r >= 0.0, "alpha-fair welfare requires non-negative rates");
+    if (r == 0.0 && alpha >= 1.0) return -std::numeric_limits<double>::infinity();
+    if (alpha == 1.0) {
+      welfare += std::log(r);
+    } else {
+      welfare += std::pow(r, 1.0 - alpha) / (1.0 - alpha);
+    }
+  }
+  return welfare;
+}
+
+std::vector<double> as_doubles(const Allocation<Rational>& alloc) {
+  std::vector<double> rates;
+  rates.reserve(alloc.size());
+  for (const Rational& r : alloc.rates()) rates.push_back(r.to_double());
+  return rates;
+}
+
+}  // namespace closfair

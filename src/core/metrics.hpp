@@ -1,0 +1,41 @@
+// Fairness and efficiency metrics over allocations.
+//
+// The paper measures allocations by throughput and lexicographic order; the
+// networking literature it engages (Hedera, pFabric, the price-of-fairness
+// work) reports scalar fairness metrics. This module provides the standard
+// ones so benches and downstream users can score routings on familiar axes:
+//
+//  * Jain's fairness index      (Σx)² / (n·Σx²), in (0, 1], 1 = equal
+//  * min-rate / mean-rate       the worst-off flow and the average
+//  * α-fair welfare             Σ x^(1-α)/(1-α), α=1 → Σ log x
+//    (α → ∞ recovers max-min; α = 1 is proportional fairness)
+#pragma once
+
+#include <vector>
+
+#include "flow/allocation.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+/// Jain's fairness index of a non-negative rate vector; 1.0 for the empty
+/// or all-zero vector (vacuously fair).
+[[nodiscard]] double jain_index(const std::vector<double>& rates);
+[[nodiscard]] double jain_index(const Allocation<Rational>& alloc);
+
+/// Smallest rate (0 for empty).
+[[nodiscard]] double min_rate(const std::vector<double>& rates);
+
+/// Mean rate (0 for empty).
+[[nodiscard]] double mean_rate(const std::vector<double>& rates);
+
+/// α-fair welfare Σ_f u_α(x_f) with u_1 = log, u_α = x^(1-α)/(1-α) for
+/// α != 1. Zero rates contribute -infinity for α >= 1 (they are infinitely
+/// unfair under proportional fairness), consistent with the literature.
+/// Requires alpha >= 0.
+[[nodiscard]] double alpha_fair_welfare(const std::vector<double>& rates, double alpha);
+
+/// Convenience: extract doubles from an exact allocation.
+[[nodiscard]] std::vector<double> as_doubles(const Allocation<Rational>& alloc);
+
+}  // namespace closfair

@@ -1,0 +1,69 @@
+#include "core/proofs.hpp"
+
+#include "fairness/waterfill.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace closfair {
+
+Theorem34Replay replay_theorem_3_4(const MacroSwitch& ms, const FlowSet& flows) {
+  Theorem34Replay replay;
+
+  // The max-min fair allocation and the per-endpoint totals τ.
+  const Allocation<Rational> maxmin = max_min_fair<Rational>(ms, flows);
+  replay.t_maxmin = maxmin.throughput();
+
+  const auto matching = maximum_matching(server_flow_graph(ms, flows));
+  replay.matching.assign(matching.begin(), matching.end());
+
+  auto tau_of = [&](NodeId endpoint, bool source) {
+    Rational total{0};
+    for (FlowIndex g = 0; g < flows.size(); ++g) {
+      if ((source ? flows[g].src : flows[g].dst) == endpoint) total += maxmin.rate(g);
+    }
+    return total;
+  };
+
+  replay.bottleneck_step_holds = true;
+  for (FlowIndex f : replay.matching) {
+    const Rational ts = tau_of(flows[f].src, /*source=*/true);
+    const Rational tt = tau_of(flows[f].dst, /*source=*/false);
+    replay.tau_source.push_back(ts);
+    replay.tau_dest.push_back(tt);
+    replay.sum_tau_source += ts;
+    replay.sum_tau_dest += tt;
+    // Lemma 2.2 gives f a bottleneck on s_f's or t_f's edge link; in either
+    // case the saturated link's full unit capacity is counted by τ, hence
+    // τ_{s_f} + τ_{t_f} >= 1.
+    if (ts + tt < Rational{1}) replay.bottleneck_step_holds = false;
+  }
+
+  const Rational matched{static_cast<std::int64_t>(replay.matching.size())};
+  const Rational larger = max(replay.sum_tau_source, replay.sum_tau_dest);
+  // T^MmF counts every flow's rate; the matched flows' sources (dests) are
+  // distinct, so Σ_{f in F'} τ_{s_f} (τ_{t_f}) never double-counts a flow.
+  replay.max_step_holds = replay.t_maxmin >= larger;
+  replay.half_step_holds =
+      larger >= (replay.sum_tau_source + replay.sum_tau_dest) / Rational{2} &&
+      (replay.sum_tau_source + replay.sum_tau_dest) >= matched;
+  replay.conclusion_holds = replay.t_maxmin * Rational{2} >= matched;
+  return replay;
+}
+
+std::vector<Claim45Solution> replay_claim_4_5(int n) {
+  CF_CHECK(n >= 1);
+  std::vector<Claim45Solution> solutions;
+  for (int x = 0; x <= n + 1; ++x) {
+    for (int y = 0; y <= n; ++y) {
+      // x/(n+1) + y/n == 1  <=>  x*n + y*(n+1) == n*(n+1).
+      const std::int64_t lhs = static_cast<std::int64_t>(x) * n +
+                               static_cast<std::int64_t>(y) * (n + 1);
+      if (lhs == static_cast<std::int64_t>(n) * (n + 1)) {
+        solutions.push_back(Claim45Solution{x, y});
+      }
+    }
+  }
+  return solutions;
+}
+
+}  // namespace closfair

@@ -1,0 +1,51 @@
+// Proof replay: execute the inequality chains of the paper's proofs on
+// concrete instances.
+//
+// A theory reproduction can do more than check final numbers — it can walk
+// the *argument*. replay_theorem_3_4 recomputes every intermediate quantity
+// of the Theorem 3.4 proof (the per-endpoint totals τ, the bottleneck
+// inequality τ_{s_f} + τ_{t_f} >= 1 for matched flows, the max/half/matching
+// chain) and reports whether each step held. replay_claim_4_5 enumerates the
+// integer solutions of the proof's Equation 1. The test suite runs these on
+// randomized instances, so a bug in *either* the allocator or the proof's
+// transcription would surface as a broken step.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "net/macroswitch.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+/// Every intermediate quantity of the Theorem 3.4 proof on one instance.
+struct Theorem34Replay {
+  std::vector<FlowIndex> matching;      ///< F' (maximum matching in G^MS)
+  std::vector<Rational> tau_source;     ///< τ_{s_f} for each f in F' (same order)
+  std::vector<Rational> tau_dest;       ///< τ_{t_f} for each f in F'
+  Rational sum_tau_source{0};           ///< Σ_{f in F'} τ_{s_f}
+  Rational sum_tau_dest{0};             ///< Σ_{f in F'} τ_{t_f}
+  Rational t_maxmin{0};                 ///< T^MmF
+  bool bottleneck_step_holds = false;   ///< τ_{s_f} + τ_{t_f} >= 1 for all f in F'
+  bool max_step_holds = false;          ///< T^MmF >= max(Σ τ_s, Σ τ_t)
+  bool half_step_holds = false;         ///< max(...) >= |F'| / 2
+  bool conclusion_holds = false;        ///< T^MmF >= T^MT / 2
+};
+
+/// Replay the Theorem 3.4 proof on a concrete macro-switch instance.
+[[nodiscard]] Theorem34Replay replay_theorem_3_4(const MacroSwitch& ms, const FlowSet& flows);
+
+/// One candidate solution of Claim 4.5's Equation 1:
+///   x/(n+1) + y/n = 1  with x in [0, n+1], y in [0, n].
+struct Claim45Solution {
+  int x = 0;  ///< type 1 flows on the (input switch, middle) pair
+  int y = 0;  ///< type 2 flows on the pair
+};
+
+/// Enumerate all integer solutions of Equation 1 for a given n. The claim
+/// asserts exactly {(0, n), (n+1, 0)}; the test suite verifies this for a
+/// range of n.
+[[nodiscard]] std::vector<Claim45Solution> replay_claim_4_5(int n);
+
+}  // namespace closfair

@@ -1,0 +1,76 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace closfair {
+
+std::vector<LabelSummary> summarize_by_label(const std::vector<std::string>& labels,
+                                             const Allocation<Rational>& alloc) {
+  CF_CHECK_MSG(labels.size() == alloc.size(),
+               "labels cover " << labels.size() << " flows, allocation has " << alloc.size());
+  std::vector<LabelSummary> summaries;
+  for (FlowIndex f = 0; f < alloc.size(); ++f) {
+    LabelSummary* entry = nullptr;
+    for (auto& s : summaries) {
+      if (s.label == labels[f]) {
+        entry = &s;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      summaries.push_back(LabelSummary{labels[f], 0, alloc.rate(f), alloc.rate(f)});
+      entry = &summaries.back();
+    }
+    ++entry->count;
+    if (alloc.rate(f) < entry->min_rate) entry->min_rate = alloc.rate(f);
+    if (entry->max_rate < alloc.rate(f)) entry->max_rate = alloc.rate(f);
+  }
+  return summaries;
+}
+
+std::string render_label_table(const std::vector<std::string>& labels,
+                               const Allocation<Rational>& left, const std::string& left_name,
+                               const Allocation<Rational>* right,
+                               const std::string& right_name) {
+  const auto left_summary = summarize_by_label(labels, left);
+  std::vector<std::string> header = {"flow type", "count", left_name + " rate"};
+  if (right != nullptr) header.push_back(right_name + " rate");
+  TextTable table(header);
+
+  const auto right_summary =
+      right != nullptr ? summarize_by_label(labels, *right) : std::vector<LabelSummary>{};
+
+  auto render_range = [](const LabelSummary& s) {
+    if (s.min_rate == s.max_rate) return s.min_rate.to_string();
+    return s.min_rate.to_string() + " .. " + s.max_rate.to_string();
+  };
+
+  for (std::size_t i = 0; i < left_summary.size(); ++i) {
+    std::vector<std::string> row = {left_summary[i].label,
+                                    std::to_string(left_summary[i].count),
+                                    render_range(left_summary[i])};
+    if (right != nullptr) row.push_back(render_range(right_summary[i]));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string render_comparison(const Comparison& c) {
+  std::ostringstream os;
+  os << "macro-switch: T^MmF = " << c.macro.t_maxmin
+     << ", T^MT = " << c.macro.t_max_throughput
+     << ", price of fairness = " << c.macro.price_of_fairness << '\n';
+  os << "clos routing: t(a_r^MmF) = " << c.clos.throughput
+     << ", throughput ratio vs macro = " << c.throughput_ratio
+     << ", min per-flow rate ratio = " << c.min_rate_ratio << '\n';
+  os << "sorted(a_r^MmF) vs sorted(a^MmF): "
+     << (c.lex_vs_macro == std::strong_ordering::less
+             ? "less"
+             : (c.lex_vs_macro == std::strong_ordering::equal ? "equal" : "greater"))
+     << '\n';
+  return os.str();
+}
+
+}  // namespace closfair

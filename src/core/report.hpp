@@ -1,0 +1,36 @@
+// Human-readable reports over allocations and comparisons, shared by the
+// bench harnesses and example programs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "flow/allocation.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+/// Per-label rate summary of an allocation (count, min, max rate per label,
+/// in first-appearance order).
+struct LabelSummary {
+  std::string label;
+  std::size_t count = 0;
+  Rational min_rate{0};
+  Rational max_rate{0};
+};
+[[nodiscard]] std::vector<LabelSummary> summarize_by_label(
+    const std::vector<std::string>& labels, const Allocation<Rational>& alloc);
+
+/// Render label summaries of one or two allocations side by side (pass an
+/// empty `right` to print just the left). Column names are caller-chosen.
+[[nodiscard]] std::string render_label_table(const std::vector<std::string>& labels,
+                                             const Allocation<Rational>& left,
+                                             const std::string& left_name,
+                                             const Allocation<Rational>* right = nullptr,
+                                             const std::string& right_name = "");
+
+/// Render a full Clos-vs-macro Comparison.
+[[nodiscard]] std::string render_comparison(const Comparison& comparison);
+
+}  // namespace closfair

@@ -1,0 +1,48 @@
+#include "core/theorems.hpp"
+
+#include "util/check.hpp"
+
+namespace closfair {
+
+Theorem34Prediction predict_theorem_3_4(int k) {
+  CF_CHECK(k >= 1);
+  Theorem34Prediction p;
+  p.t_max_throughput = Rational{2};
+  p.t_maxmin = Rational{1} + Rational{1, k + 1};
+  p.fairness_ratio = p.t_maxmin / p.t_max_throughput;
+  // T^MmF = (1 + eps)/2 * T^MT with eps = 1/(k+1).
+  p.epsilon = Rational{1, k + 1};
+  return p;
+}
+
+Theorem43Prediction predict_theorem_4_3(int n) {
+  CF_CHECK(n >= 3);
+  Theorem43Prediction p;
+  p.type1_rate = Rational{1, n + 1};
+  p.type2_rate = Rational{1, n};
+  p.type3_macro_rate = Rational{1};
+  p.type3_clos_rate = Rational{1, n};
+  p.starvation_factor = p.type3_clos_rate / p.type3_macro_rate;
+  return p;
+}
+
+Theorem54Prediction predict_theorem_5_4(int n, int k) {
+  CF_CHECK(n >= 3 && n % 2 == 1);
+  CF_CHECK(k >= 1);
+  Theorem54Prediction p;
+  const Rational gadgets{(n - 1) / 2};
+  p.t_maxmin_macro = gadgets * (Rational{1} + Rational{1, k + 1});
+  p.t_doom_lower_bound = Rational{n - 2};
+  p.type1_rate = Rational{1} - Rational{2, n - 1};
+  p.type2_rate = Rational{2, static_cast<std::int64_t>(k) * (n - 1)};
+  // Exact Doom-Switch throughput: (n-1) type 1 flows + (n-1)k/2 type 2 flows.
+  const Rational num_type2 = gadgets * Rational{k};
+  p.doom_throughput = Rational{n - 1} * p.type1_rate + num_type2 * p.type2_rate;
+  p.gain = p.doom_throughput / p.t_maxmin_macro;
+  // gain = 2 (1 - eps)  =>  eps = 1 - gain/2; the paper gives
+  // eps = (k+n) / ((n-1)(k+2)) -> 1/(n-1).
+  p.epsilon = Rational{1} - p.gain / Rational{2};
+  return p;
+}
+
+}  // namespace closfair

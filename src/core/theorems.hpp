@@ -1,0 +1,52 @@
+// Closed-form predictions of the paper's three theorems, used by the bench
+// harnesses to print "paper" columns next to measured values and by the test
+// suite as exact expectations.
+#pragma once
+
+#include "util/rational.hpp"
+
+namespace closfair {
+
+/// Theorem 3.4 (R1): for the adversarial family with k type 2 flows,
+/// T^MT = 2 and T^MmF = 1 + 1/(k+1), so T^MmF / T^MT -> 1/2 as k grows.
+struct Theorem34Prediction {
+  Rational t_max_throughput;  ///< T^MT
+  Rational t_maxmin;          ///< T^MmF
+  Rational fairness_ratio;    ///< T^MmF / T^MT
+  Rational epsilon;           ///< T^MmF = (1+eps)/2 * T^MT
+};
+[[nodiscard]] Theorem34Prediction predict_theorem_3_4(int k);
+
+/// Theorem 4.3 (R2): per-type rates of the starvation instance. The type 3
+/// flow drops from macro rate 1 to lex-max-min rate 1/n.
+struct Theorem43Prediction {
+  Rational type1_rate;        ///< 1/(n+1) in both MS_n and C_n
+  Rational type2_rate;        ///< 1/n in both
+  Rational type3_macro_rate;  ///< 1 in MS_n
+  Rational type3_clos_rate;   ///< 1/n under lex-max-min fairness in C_n
+  Rational starvation_factor; ///< type3_clos / type3_macro = 1/n
+};
+[[nodiscard]] Theorem43Prediction predict_theorem_4_3(int n);
+
+/// Theorem 5.4 (R3): for the stacked-gadget family (odd n, k type 2 flows
+/// per gadget), T^MmF(MS) = (n-1)/2 * (1 + 1/(k+1)) while the Doom-Switch
+/// routing achieves T >= n-2; the gain approaches 2 as n and k grow.
+///
+/// The per-flow fields (type1_rate, type2_rate, doom_throughput) describe
+/// the Doom-Switch allocation exactly for n >= 5. At n = 3 there is a single
+/// gadget, the type 2 flows' bottleneck stays on their edge links, and the
+/// measured Doom-Switch throughput equals T^MmF(MS) (the 2(1-eps) bound is
+/// trivial there since eps -> 1/2); `gain` and `epsilon` remain valid as the
+/// paper's *lower-bound* quantities for every odd n >= 3.
+struct Theorem54Prediction {
+  Rational t_maxmin_macro;      ///< T^MmF in MS_n
+  Rational t_doom_lower_bound;  ///< n - 2
+  Rational type1_rate;          ///< 1 - 2/(n-1) under Doom-Switch
+  Rational type2_rate;          ///< 2 / (k (n-1)) under Doom-Switch
+  Rational doom_throughput;     ///< exact Doom-Switch throughput
+  Rational gain;                ///< doom_throughput / t_maxmin_macro
+  Rational epsilon;             ///< gain = 2 (1 - eps); eps -> 1/(n-1)
+};
+[[nodiscard]] Theorem54Prediction predict_theorem_5_4(int n, int k);
+
+}  // namespace closfair

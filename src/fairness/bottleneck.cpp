@@ -1,0 +1,15 @@
+#include "fairness/bottleneck.hpp"
+
+namespace closfair {
+
+// Explicit instantiations for the supported rate domains.
+template std::vector<std::optional<LinkId>> bottleneck_links<Rational>(
+    const Topology&, const Routing&, const Allocation<Rational>&, Rational);
+template std::vector<std::optional<LinkId>> bottleneck_links<double>(
+    const Topology&, const Routing&, const Allocation<double>&, double);
+template bool is_max_min_fair<Rational>(const Topology&, const Routing&,
+                                        const Allocation<Rational>&, Rational);
+template bool is_max_min_fair<double>(const Topology&, const Routing&,
+                                      const Allocation<double>&, double);
+
+}  // namespace closfair

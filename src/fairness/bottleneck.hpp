@@ -1,0 +1,70 @@
+// The bottleneck property (Lemma 2.2): a feasible allocation is max-min fair
+// iff every flow has a bottleneck link — a saturated link on which the flow's
+// rate is maximal.
+//
+// This is an *independent* certifier for allocations produced by water-filling
+// (fairness/waterfill.hpp) or by the LP path (lp/maxmin_lp.hpp): it inspects
+// only the allocation, never the algorithm that made it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/allocation.hpp"
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/topology.hpp"
+
+namespace closfair {
+
+/// For each flow, some bottleneck link under (routing, alloc), or nullopt if
+/// the flow has none. A link (u,v) is a bottleneck for flow f when its total
+/// rate equals its capacity (within `tolerance`) and f's rate is maximal
+/// (within `tolerance`) among flows traversing it.
+template <typename R>
+[[nodiscard]] std::vector<std::optional<LinkId>> bottleneck_links(
+    const Topology& topo, const Routing& routing, const Allocation<R>& alloc,
+    R tolerance = R{0}) {
+  CF_CHECK(routing.size() == alloc.size());
+  const std::vector<R> load = link_loads(topo, routing, alloc);
+  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
+
+  // Precompute per-link saturation and max flow rate.
+  std::vector<bool> saturated(topo.num_links(), false);
+  std::vector<R> max_rate(topo.num_links(), R{0});
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (link.unbounded) continue;  // an unbounded link can never saturate
+    saturated[l] = load[l] + tolerance >= capacity_as<R>(link);
+    for (FlowIndex f : on_link[l]) {
+      if (alloc.rate(f) > max_rate[l]) max_rate[l] = alloc.rate(f);
+    }
+  }
+
+  std::vector<std::optional<LinkId>> result(alloc.size());
+  for (FlowIndex f = 0; f < alloc.size(); ++f) {
+    for (LinkId l : routing.path(f)) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (topo.link(l).unbounded) continue;
+      if (saturated[idx] && alloc.rate(f) + tolerance >= max_rate[idx]) {
+        result[f] = l;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+/// Certify max-min fairness via Lemma 2.2: feasible and every flow has a
+/// bottleneck link.
+template <typename R>
+[[nodiscard]] bool is_max_min_fair(const Topology& topo, const Routing& routing,
+                                   const Allocation<R>& alloc, R tolerance = R{0}) {
+  if (!is_feasible(topo, routing, alloc, tolerance)) return false;
+  for (const auto& bn : bottleneck_links(topo, routing, alloc, tolerance)) {
+    if (!bn.has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace closfair

@@ -1,0 +1,12 @@
+#include "fairness/waterfill.hpp"
+
+namespace closfair {
+
+// Explicit instantiations for the two supported rate domains, keeping the
+// template out of every includer's object file.
+template Allocation<Rational> max_min_fair<Rational>(const Topology&, const FlowSet&,
+                                                     const Routing&);
+template Allocation<double> max_min_fair<double>(const Topology&, const FlowSet&,
+                                                 const Routing&);
+
+}  // namespace closfair

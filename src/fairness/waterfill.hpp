@@ -1,0 +1,132 @@
+// Max-min fair allocation by progressive filling (Definition 2.1; the
+// "water-filling algorithm" of Bertsekas & Gallager cited by the paper).
+//
+// Given a fixed routing, all flows' rates rise together from zero; whenever a
+// link saturates, the flows crossing it freeze at the current water level,
+// and the rest keep rising. The result is the unique max-min fair allocation
+// for that routing, characterized by the bottleneck property (Lemma 2.2,
+// checked independently in fairness/bottleneck.hpp).
+//
+// Templated on the rate domain: with R = Rational the result is exact, which
+// the lexicographic-order theorems require; R = double serves the simulator.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "flow/allocation.hpp"
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/topology.hpp"
+
+namespace closfair {
+namespace detail {
+
+/// Flow-count as a rate value, in either numeric domain.
+template <typename R>
+[[nodiscard]] R count_as_rate(std::size_t k) {
+  if constexpr (std::is_same_v<R, Rational>) {
+    return Rational{static_cast<std::int64_t>(k)};
+  } else {
+    return static_cast<R>(k);
+  }
+}
+
+}  // namespace detail
+
+/// Max-min fair allocation for a fixed routing.
+///
+/// Preconditions: the routing is valid for `flows`, and every flow traverses
+/// at least one capacity-bounded link (otherwise its max-min rate would be
+/// unbounded; in Clos networks and macro-switches the server links always
+/// bound it). Throws ContractViolation if violated.
+template <typename R>
+[[nodiscard]] Allocation<R> max_min_fair(const Topology& topo, const FlowSet& flows,
+                                         const Routing& routing) {
+  CF_CHECK(routing.size() == flows.size());
+  const std::size_t num_flows = flows.size();
+  const std::size_t num_links = topo.num_links();
+
+  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
+
+  // Per-link state: residual capacity after frozen flows, and the number of
+  // still-active (unfrozen) flows crossing the link. Unbounded links never
+  // constrain and are skipped throughout.
+  std::vector<R> residual(num_links, R{0});
+  std::vector<std::size_t> active_count(num_links, 0);
+  for (std::size_t l = 0; l < num_links; ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (link.unbounded) continue;
+    residual[l] = capacity_as<R>(link);
+    active_count[l] = on_link[l].size();
+  }
+
+  Allocation<R> alloc(num_flows);
+  std::vector<bool> frozen(num_flows, false);
+  std::size_t num_frozen = 0;
+
+  while (num_frozen < num_flows) {
+    // The next saturation level: the smallest fair share (residual / active)
+    // over bounded links that still carry active flows. All active flows
+    // currently sit at the previous level, already subtracted from residual.
+    std::optional<R> level;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_count[l] == 0 || topo.link(static_cast<LinkId>(l)).unbounded) continue;
+      R share = residual[l] / detail::count_as_rate<R>(active_count[l]);
+      if (!level || share < *level) level = std::move(share);
+    }
+    CF_CHECK_MSG(level.has_value(),
+                 "flow with no bounded link: max-min rate would be unbounded");
+
+    // Freeze every active flow crossing a link that saturates at this level.
+    std::vector<FlowIndex> to_freeze;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_count[l] == 0 || topo.link(static_cast<LinkId>(l)).unbounded) continue;
+      const R share = residual[l] / detail::count_as_rate<R>(active_count[l]);
+      if (share == *level) {
+        for (FlowIndex f : on_link[l]) {
+          if (!frozen[f]) to_freeze.push_back(f);
+        }
+      }
+    }
+    CF_CHECK(!to_freeze.empty());
+
+    // The increment applies to *all* active flows; links keep carrying the
+    // unfrozen ones, so charge every bounded link for its active flows first,
+    // then retire the frozen flows from the active sets.
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_count[l] == 0 || topo.link(static_cast<LinkId>(l)).unbounded) continue;
+      residual[l] -= *level * detail::count_as_rate<R>(active_count[l]);
+    }
+    for (FlowIndex f = 0; f < num_flows; ++f) {
+      if (!frozen[f]) alloc.set_rate(f, alloc.rate(f) + *level);
+    }
+    for (FlowIndex f : to_freeze) {
+      if (frozen[f]) continue;
+      frozen[f] = true;
+      ++num_frozen;
+      for (LinkId l : routing.path(f)) {
+        if (topo.link(l).unbounded) continue;
+        --active_count[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+  return alloc;
+}
+
+/// Convenience: max-min fair allocation in a Clos network for a compact
+/// middle assignment.
+template <typename R>
+[[nodiscard]] Allocation<R> max_min_fair(const ClosNetwork& net, const FlowSet& flows,
+                                         const MiddleAssignment& middles) {
+  return max_min_fair<R>(net.topology(), flows, expand_routing(net, flows, middles));
+}
+
+/// Convenience: the (unique) max-min fair allocation in a macro-switch.
+template <typename R>
+[[nodiscard]] Allocation<R> max_min_fair(const MacroSwitch& ms, const FlowSet& flows) {
+  return max_min_fair<R>(ms.topology(), flows, macro_routing(ms, flows));
+}
+
+}  // namespace closfair

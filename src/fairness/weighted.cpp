@@ -1,0 +1,131 @@
+#include "fairness/weighted.hpp"
+
+#include <optional>
+
+namespace closfair {
+
+template <typename R>
+Allocation<R> weighted_max_min_fair(const Topology& topo, const FlowSet& flows,
+                                    const Routing& routing, const std::vector<R>& weights) {
+  CF_CHECK(routing.size() == flows.size());
+  CF_CHECK_MSG(weights.size() == flows.size(),
+               "weights cover " << weights.size() << " flows, expected " << flows.size());
+  for (const R& w : weights) {
+    CF_CHECK_MSG(R{0} < w, "weighted max-min requires strictly positive weights");
+  }
+  const std::size_t num_flows = flows.size();
+  const std::size_t num_links = topo.num_links();
+  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
+
+  // residual[l] = capacity - consumption of frozen flows - (active weight on
+  // l) * current level. active_weight[l] = total weight of unfrozen flows.
+  std::vector<R> residual(num_links, R{0});
+  std::vector<R> active_weight(num_links, R{0});
+  std::vector<bool> bounded(num_links, false);
+  for (std::size_t l = 0; l < num_links; ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (link.unbounded) continue;
+    bounded[l] = true;
+    residual[l] = capacity_as<R>(link);
+    for (FlowIndex f : on_link[l]) active_weight[l] += weights[f];
+  }
+
+  Allocation<R> alloc(num_flows);
+  std::vector<bool> frozen(num_flows, false);
+  std::size_t num_frozen = 0;
+
+  while (num_frozen < num_flows) {
+    // Next level increment: the smallest residual / active-weight over
+    // bounded links still carrying active flows.
+    std::optional<R> level;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (!bounded[l] || active_weight[l] == R{0}) continue;
+      R share = residual[l] / active_weight[l];
+      if (!level || share < *level) level = std::move(share);
+    }
+    CF_CHECK_MSG(level.has_value(),
+                 "flow with no bounded link: weighted max-min rate would be unbounded");
+
+    std::vector<FlowIndex> to_freeze;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (!bounded[l] || active_weight[l] == R{0}) continue;
+      if (residual[l] / active_weight[l] == *level) {
+        for (FlowIndex f : on_link[l]) {
+          if (!frozen[f]) to_freeze.push_back(f);
+        }
+      }
+    }
+    CF_CHECK(!to_freeze.empty());
+
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (!bounded[l] || active_weight[l] == R{0}) continue;
+      residual[l] -= *level * active_weight[l];
+    }
+    for (FlowIndex f = 0; f < num_flows; ++f) {
+      if (!frozen[f]) alloc.set_rate(f, alloc.rate(f) + *level * weights[f]);
+    }
+    for (FlowIndex f : to_freeze) {
+      if (frozen[f]) continue;
+      frozen[f] = true;
+      ++num_frozen;
+      for (LinkId l : routing.path(f)) {
+        const auto idx = static_cast<std::size_t>(l);
+        if (bounded[idx]) active_weight[idx] -= weights[f];
+      }
+    }
+  }
+  return alloc;
+}
+
+template <typename R>
+bool is_weighted_max_min_fair(const Topology& topo, const Routing& routing,
+                              const Allocation<R>& alloc, const std::vector<R>& weights,
+                              R tolerance) {
+  CF_CHECK(weights.size() == alloc.size());
+  if (!is_feasible(topo, routing, alloc, tolerance)) return false;
+
+  const std::vector<R> load = link_loads(topo, routing, alloc);
+  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
+
+  std::vector<bool> saturated(topo.num_links(), false);
+  std::vector<R> max_normalized(topo.num_links(), R{0});
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (link.unbounded) continue;
+    saturated[l] = load[l] + tolerance >= capacity_as<R>(link);
+    for (FlowIndex f : on_link[l]) {
+      const R normalized = alloc.rate(f) / weights[f];
+      if (normalized > max_normalized[l]) max_normalized[l] = normalized;
+    }
+  }
+
+  for (FlowIndex f = 0; f < alloc.size(); ++f) {
+    bool has_bottleneck = false;
+    for (LinkId l : routing.path(f)) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (topo.link(l).unbounded) continue;
+      if (saturated[idx] &&
+          alloc.rate(f) / weights[f] + tolerance >= max_normalized[idx]) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    if (!has_bottleneck) return false;
+  }
+  return true;
+}
+
+template Allocation<Rational> weighted_max_min_fair<Rational>(const Topology&,
+                                                              const FlowSet&, const Routing&,
+                                                              const std::vector<Rational>&);
+template Allocation<double> weighted_max_min_fair<double>(const Topology&, const FlowSet&,
+                                                          const Routing&,
+                                                          const std::vector<double>&);
+template bool is_weighted_max_min_fair<Rational>(const Topology&, const Routing&,
+                                                 const Allocation<Rational>&,
+                                                 const std::vector<Rational>&, Rational);
+template bool is_weighted_max_min_fair<double>(const Topology&, const Routing&,
+                                               const Allocation<double>&,
+                                               const std::vector<double>&, double);
+
+}  // namespace closfair

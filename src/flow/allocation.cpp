@@ -1,0 +1,25 @@
+#include "flow/allocation.hpp"
+
+#include <sstream>
+
+namespace closfair {
+namespace {
+
+std::string bracketed(const std::vector<Rational>& v) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << v[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_sorted(const Allocation<Rational>& alloc) { return bracketed(alloc.sorted()); }
+
+std::string format_rates(const Allocation<Rational>& alloc) { return bracketed(alloc.rates()); }
+
+}  // namespace closfair

@@ -1,0 +1,59 @@
+#include "flow/flow.hpp"
+
+namespace closfair {
+
+FlowSet instantiate(const ClosNetwork& net, const FlowCollection& specs) {
+  FlowSet flows;
+  flows.reserve(specs.size());
+  for (const FlowSpec& sp : specs) {
+    flows.push_back(Flow{net.source(sp.src_tor, sp.src_server),
+                         net.destination(sp.dst_tor, sp.dst_server)});
+  }
+  return flows;
+}
+
+FlowSet instantiate(const MacroSwitch& ms, const FlowCollection& specs) {
+  FlowSet flows;
+  flows.reserve(specs.size());
+  for (const FlowSpec& sp : specs) {
+    flows.push_back(Flow{ms.source(sp.src_tor, sp.src_server),
+                         ms.destination(sp.dst_tor, sp.dst_server)});
+  }
+  return flows;
+}
+
+FlowSet instantiate(const FatTree& ft, const FlowCollection& specs) {
+  const int half = ft.k() / 2;
+  FlowSet flows;
+  flows.reserve(specs.size());
+  for (const FlowSpec& sp : specs) {
+    const int src_pod = (sp.src_tor - 1) / half + 1;
+    const int src_edge = (sp.src_tor - 1) % half + 1;
+    const int dst_pod = (sp.dst_tor - 1) / half + 1;
+    const int dst_edge = (sp.dst_tor - 1) % half + 1;
+    flows.push_back(Flow{ft.source(src_pod, src_edge, sp.src_server),
+                         ft.destination(dst_pod, dst_edge, sp.dst_server)});
+  }
+  return flows;
+}
+
+FlowSpec spec_of(const FatTree& ft, const Flow& flow) {
+  const auto s = ft.source_coord(flow.src);
+  const auto t = ft.dest_coord(flow.dst);
+  return FlowSpec{ft.edge_index(s.pod, s.edge), s.server, ft.edge_index(t.pod, t.edge),
+                  t.server};
+}
+
+FlowSpec spec_of(const ClosNetwork& net, const Flow& flow) {
+  const auto s = net.source_coord(flow.src);
+  const auto t = net.dest_coord(flow.dst);
+  return FlowSpec{s.tor, s.server, t.tor, t.server};
+}
+
+FlowSpec spec_of(const MacroSwitch& ms, const Flow& flow) {
+  const auto s = ms.source_coord(flow.src);
+  const auto t = ms.dest_coord(flow.dst);
+  return FlowSpec{s.tor, s.server, t.tor, t.server};
+}
+
+}  // namespace closfair

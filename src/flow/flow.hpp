@@ -1,0 +1,58 @@
+// Flows and flow collections (§2.2).
+//
+// A flow maps to a (source server, destination server) pair; multiple flows
+// may map to the same pair. To evaluate the same collection on both a Clos
+// network and its macro-switch, collections are specified in ToR/server
+// coordinates (FlowSpec) and instantiated against a concrete topology.
+#pragma once
+
+#include <vector>
+
+#include "net/clos.hpp"
+#include "net/fattree.hpp"
+#include "net/macroswitch.hpp"
+#include "net/topology.hpp"
+
+namespace closfair {
+
+/// A flow between two server nodes of a concrete topology.
+struct Flow {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+/// Flows are identified by their index in a FlowSet.
+using FlowIndex = std::size_t;
+using FlowSet = std::vector<Flow>;
+
+/// Topology-independent flow description: (s_i^j, t_k^l) in 1-based paper
+/// coordinates.
+struct FlowSpec {
+  int src_tor = 1;
+  int src_server = 1;
+  int dst_tor = 1;
+  int dst_server = 1;
+
+  friend bool operator==(const FlowSpec&, const FlowSpec&) = default;
+};
+
+using FlowCollection = std::vector<FlowSpec>;
+
+/// Instantiate a collection against a Clos network / macro-switch.
+[[nodiscard]] FlowSet instantiate(const ClosNetwork& net, const FlowCollection& specs);
+[[nodiscard]] FlowSet instantiate(const MacroSwitch& ms, const FlowCollection& specs);
+
+/// Instantiate against a fat-tree, reading the ToR coordinate as the global
+/// (pod-major) edge-switch index — so a collection generated for a fabric of
+/// `num_edge_switches` ToRs with k/2 servers each maps onto FatTree(k) and
+/// onto the equivalent MacroSwitch interchangeably.
+[[nodiscard]] FlowSet instantiate(const FatTree& ft, const FlowCollection& specs);
+
+/// Recover the coordinate form of a concrete flow.
+[[nodiscard]] FlowSpec spec_of(const ClosNetwork& net, const Flow& flow);
+[[nodiscard]] FlowSpec spec_of(const MacroSwitch& ms, const Flow& flow);
+[[nodiscard]] FlowSpec spec_of(const FatTree& ft, const Flow& flow);
+
+}  // namespace closfair

@@ -1,0 +1,55 @@
+#include "flow/routing.hpp"
+
+namespace closfair {
+
+const Path& Routing::path(FlowIndex f) const {
+  CF_CHECK_MSG(f < paths_.size(), "flow index " << f << " out of range");
+  return paths_[f];
+}
+
+void Routing::set_path(FlowIndex f, Path path) {
+  CF_CHECK_MSG(f < paths_.size(), "flow index " << f << " out of range");
+  paths_[f] = std::move(path);
+}
+
+void Routing::validate(const Topology& topo, const FlowSet& flows) const {
+  CF_CHECK_MSG(paths_.size() == flows.size(),
+               "routing covers " << paths_.size() << " flows, expected " << flows.size());
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    CF_CHECK_MSG(topo.is_path(paths_[f], flows[f].src, flows[f].dst),
+                 "flow " << f << " path is not a valid src->dst walk");
+  }
+}
+
+Routing expand_routing(const ClosNetwork& net, const FlowSet& flows,
+                       const MiddleAssignment& middles) {
+  CF_CHECK_MSG(middles.size() == flows.size(),
+               "middle assignment covers " << middles.size() << " flows, expected "
+                                           << flows.size());
+  std::vector<Path> paths;
+  paths.reserve(flows.size());
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    paths.push_back(net.path(flows[f].src, flows[f].dst, middles[f]));
+  }
+  return Routing{std::move(paths)};
+}
+
+Routing macro_routing(const MacroSwitch& ms, const FlowSet& flows) {
+  std::vector<Path> paths;
+  paths.reserve(flows.size());
+  for (const Flow& flow : flows) paths.push_back(ms.path(flow.src, flow.dst));
+  return Routing{std::move(paths)};
+}
+
+std::vector<std::vector<FlowIndex>> flows_per_link(const Topology& topo,
+                                                   const Routing& routing) {
+  std::vector<std::vector<FlowIndex>> on_link(topo.num_links());
+  for (FlowIndex f = 0; f < routing.size(); ++f) {
+    for (LinkId l : routing.path(f)) {
+      on_link[static_cast<std::size_t>(l)].push_back(f);
+    }
+  }
+  return on_link;
+}
+
+}  // namespace closfair

@@ -1,0 +1,52 @@
+// Routings: the assignment of each flow to a single source-destination path
+// (§2.2). Flows are unsplittable, so a routing is exactly one path per flow.
+//
+// In a Clos network a path is determined by the middle-switch choice, so Clos
+// routings are usually manipulated as a MiddleAssignment (one 1-based middle
+// index per flow) and expanded to link paths on demand.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "net/clos.hpp"
+#include "net/macroswitch.hpp"
+#include "net/topology.hpp"
+
+namespace closfair {
+
+/// One path per flow. Index-aligned with the FlowSet it routes.
+class Routing {
+ public:
+  Routing() = default;
+  explicit Routing(std::vector<Path> paths) : paths_(std::move(paths)) {}
+
+  [[nodiscard]] std::size_t size() const { return paths_.size(); }
+  [[nodiscard]] const Path& path(FlowIndex f) const;
+  void set_path(FlowIndex f, Path path);
+  void append(Path path) { paths_.push_back(std::move(path)); }
+
+  /// Throws ContractViolation unless every path is a contiguous src->dst walk
+  /// for its flow.
+  void validate(const Topology& topo, const FlowSet& flows) const;
+
+ private:
+  std::vector<Path> paths_;
+};
+
+/// Clos routing in compact form: middles[f] is the 1-based middle switch of
+/// flow f.
+using MiddleAssignment = std::vector<int>;
+
+/// Expand a middle assignment to a link-path routing on a Clos network.
+[[nodiscard]] Routing expand_routing(const ClosNetwork& net, const FlowSet& flows,
+                                     const MiddleAssignment& middles);
+
+/// The unique routing in a macro-switch.
+[[nodiscard]] Routing macro_routing(const MacroSwitch& ms, const FlowSet& flows);
+
+/// Inverse index: for each link, the flows whose path traverses it.
+[[nodiscard]] std::vector<std::vector<FlowIndex>> flows_per_link(const Topology& topo,
+                                                                 const Routing& routing);
+
+}  // namespace closfair

@@ -1,0 +1,63 @@
+#include "io/json_export.hpp"
+
+namespace closfair {
+
+Json to_json(const Allocation<Rational>& alloc) {
+  Json rates = Json::array();
+  Json approx = Json::array();
+  for (const Rational& r : alloc.rates()) {
+    rates.push_back(Json::string(r.to_string()));
+    approx.push_back(Json::number(r.to_double()));
+  }
+  Json j = Json::object();
+  j.set("rates", std::move(rates));
+  j.set("rates_approx", std::move(approx));
+  const Rational t = alloc.throughput();
+  j.set("throughput", Json::string(t.to_string()));
+  j.set("throughput_approx", Json::number(t.to_double()));
+  return j;
+}
+
+Json to_json(const MacroAnalysis& analysis) {
+  Json j = Json::object();
+  j.set("maxmin", to_json(analysis.maxmin));
+  j.set("t_maxmin", Json::string(analysis.t_maxmin.to_string()));
+  j.set("t_max_throughput", Json::string(analysis.t_max_throughput.to_string()));
+  j.set("price_of_fairness", Json::number(analysis.price_of_fairness.to_double()));
+  Json matching = Json::array();
+  for (FlowIndex f : analysis.max_matching) {
+    matching.push_back(Json::number(static_cast<std::int64_t>(f)));
+  }
+  j.set("max_matching", std::move(matching));
+  return j;
+}
+
+Json to_json(const Comparison& comparison) {
+  Json j = Json::object();
+  j.set("macro", to_json(comparison.macro));
+  Json clos = Json::object();
+  clos.set("maxmin", to_json(comparison.clos.maxmin));
+  clos.set("throughput", Json::string(comparison.clos.throughput.to_string()));
+  j.set("clos", std::move(clos));
+  j.set("throughput_ratio", Json::number(comparison.throughput_ratio.to_double()));
+  j.set("min_rate_ratio", Json::number(comparison.min_rate_ratio.to_double()));
+  const char* lex = comparison.lex_vs_macro == std::strong_ordering::less      ? "less"
+                    : comparison.lex_vs_macro == std::strong_ordering::greater ? "greater"
+                                                                               : "equal";
+  j.set("lex_vs_macro", Json::string(lex));
+  return j;
+}
+
+Json to_json(const SimStats& stats) {
+  Json j = Json::object();
+  j.set("completed", Json::number(static_cast<std::int64_t>(stats.completed)));
+  j.set("mean_fct", Json::number(stats.mean_fct));
+  j.set("p50_fct", Json::number(stats.p50_fct));
+  j.set("p99_fct", Json::number(stats.p99_fct));
+  j.set("max_fct", Json::number(stats.max_fct));
+  j.set("mean_slowdown", Json::number(stats.mean_slowdown));
+  j.set("finish_time", Json::number(stats.finish_time));
+  return j;
+}
+
+}  // namespace closfair

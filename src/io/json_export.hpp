@@ -1,0 +1,25 @@
+// JSON export of analysis results, for plotting pipelines and external
+// tooling. Rates are exported both exactly ("1/3") and as doubles.
+#pragma once
+
+#include "core/analysis.hpp"
+#include "sim/event_sim.hpp"
+#include "util/json.hpp"
+
+namespace closfair {
+
+/// One allocation: {"rates": ["1/3", ...], "rates_approx": [...],
+/// "throughput": "...", "throughput_approx": ...}.
+[[nodiscard]] Json to_json(const Allocation<Rational>& alloc);
+
+/// Macro-switch analysis: max-min allocation, matching size, price of
+/// fairness.
+[[nodiscard]] Json to_json(const MacroAnalysis& analysis);
+
+/// Full Clos-vs-macro comparison.
+[[nodiscard]] Json to_json(const Comparison& comparison);
+
+/// Simulator statistics.
+[[nodiscard]] Json to_json(const SimStats& stats);
+
+}  // namespace closfair

@@ -1,0 +1,229 @@
+#include "io/text_format.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace closfair {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  throw ParseError(os.str());
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+int parse_int(const std::string& token, std::size_t line, const char* what) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail(line, std::string{"expected integer for "} + what + ", got '" + token + "'");
+  }
+  return value;
+}
+
+Rational parse_rational(const std::string& token, std::size_t line, const char* what) {
+  const auto slash = token.find('/');
+  if (slash == std::string::npos) {
+    return Rational{parse_int(token, line, what)};
+  }
+  const int num = parse_int(token.substr(0, slash), line, what);
+  const int den = parse_int(token.substr(slash + 1), line, what);
+  if (den == 0) fail(line, std::string{what} + ": zero denominator");
+  return Rational{num, den};
+}
+
+// key=value option on the `clos` line.
+std::pair<std::string, std::string> split_option(const std::string& token, std::size_t line) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+    fail(line, "expected key=value, got '" + token + "'");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+void parse_clos_line(const std::vector<std::string>& tokens, std::size_t line,
+                     InstanceSpec& spec, bool& have_clos) {
+  if (have_clos) fail(line, "duplicate 'clos' line");
+  have_clos = true;
+
+  bool paper_form = false;
+  ClosNetwork::Params params;
+  bool saw_middles = false;
+  bool saw_tors = false;
+  bool saw_servers = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto [key, value] = split_option(tokens[i], line);
+    if (key == "n") {
+      const int n = parse_int(value, line, "n");
+      if (n < 1) fail(line, "n must be >= 1");
+      params = ClosNetwork::Params{n, 2 * n, n, Rational{1}};
+      paper_form = true;
+    } else if (key == "middles") {
+      params.num_middles = parse_int(value, line, "middles");
+      saw_middles = true;
+    } else if (key == "tors") {
+      params.num_tors = parse_int(value, line, "tors");
+      saw_tors = true;
+    } else if (key == "servers") {
+      params.servers_per_tor = parse_int(value, line, "servers");
+      saw_servers = true;
+    } else if (key == "capacity") {
+      params.link_capacity = parse_rational(value, line, "capacity");
+    } else {
+      fail(line, "unknown clos option '" + key + "'");
+    }
+  }
+  if (paper_form && (saw_middles || saw_tors || saw_servers)) {
+    fail(line, "use either n=... or middles=/tors=/servers=, not both");
+  }
+  if (!paper_form && !(saw_middles && saw_tors && saw_servers)) {
+    fail(line, "clos needs n=... or all of middles=, tors=, servers=");
+  }
+  spec.params = params;
+}
+
+void parse_flow_line(const std::vector<std::string>& tokens, std::size_t line,
+                     InstanceSpec& spec) {
+  // flow A B -> C D [xK] [@R]
+  if (tokens.size() < 6 || tokens[3] != "->") {
+    fail(line,
+         "expected: flow <src_tor> <src_server> -> <dst_tor> <dst_server> [xK] [@rate]");
+  }
+  FlowSpec flow;
+  flow.src_tor = parse_int(tokens[1], line, "src_tor");
+  flow.src_server = parse_int(tokens[2], line, "src_server");
+  flow.dst_tor = parse_int(tokens[4], line, "dst_tor");
+  flow.dst_server = parse_int(tokens[5], line, "dst_server");
+
+  int multiplicity = 1;
+  std::optional<Rational> rate;
+  for (std::size_t i = 6; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t.size() >= 2 && t[0] == 'x') {
+      multiplicity = parse_int(t.substr(1), line, "multiplicity");
+      if (multiplicity < 1) fail(line, "multiplicity must be >= 1");
+    } else if (t.size() >= 2 && t[0] == '@') {
+      rate = parse_rational(t.substr(1), line, "rate");
+      if (rate->is_negative()) fail(line, "target rate must be non-negative");
+    } else {
+      fail(line, "unexpected token '" + t + "' after flow (want xK or @rate)");
+    }
+  }
+  for (int c = 0; c < multiplicity; ++c) {
+    spec.flows.push_back(flow);
+    spec.rates.push_back(rate);
+  }
+}
+
+}  // namespace
+
+InstanceSpec parse_instance(const std::string& text) {
+  std::istringstream is(text);
+  return parse_instance_stream(is);
+}
+
+InstanceSpec parse_instance_stream(std::istream& in) {
+  InstanceSpec spec;
+  bool have_clos = false;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "clos") {
+      parse_clos_line(tokens, line_number, spec, have_clos);
+    } else if (tokens[0] == "flow") {
+      if (!have_clos) fail(line_number, "'flow' before 'clos'");
+      parse_flow_line(tokens, line_number, spec);
+    } else {
+      fail(line_number, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!have_clos) throw ParseError("missing 'clos' line");
+
+  // Validate coordinates against the declared dimensions.
+  for (const FlowSpec& f : spec.flows) {
+    CF_CHECK_MSG(f.src_tor >= 1 && f.src_tor <= spec.params.num_tors &&
+                     f.dst_tor >= 1 && f.dst_tor <= spec.params.num_tors &&
+                     f.src_server >= 1 && f.src_server <= spec.params.servers_per_tor &&
+                     f.dst_server >= 1 && f.dst_server <= spec.params.servers_per_tor,
+                 "flow coordinates out of range for declared clos dimensions");
+  }
+  return spec;
+}
+
+std::string format_instance(const InstanceSpec& spec) {
+  std::ostringstream os;
+  const auto& p = spec.params;
+  if (p.num_tors == 2 * p.num_middles && p.servers_per_tor == p.num_middles &&
+      p.link_capacity == Rational{1}) {
+    os << "clos n=" << p.num_middles << '\n';
+  } else {
+    os << "clos middles=" << p.num_middles << " tors=" << p.num_tors
+       << " servers=" << p.servers_per_tor;
+    if (!(p.link_capacity == Rational{1})) os << " capacity=" << p.link_capacity;
+    os << '\n';
+  }
+  // Coalesce consecutive identical flows (same endpoints and target rate)
+  // into multiplicities.
+  const bool with_rates = spec.rates.size() == spec.flows.size();
+  for (std::size_t i = 0; i < spec.flows.size();) {
+    std::size_t j = i;
+    while (j < spec.flows.size() && spec.flows[j] == spec.flows[i] &&
+           (!with_rates || spec.rates[j] == spec.rates[i])) {
+      ++j;
+    }
+    const FlowSpec& f = spec.flows[i];
+    os << "flow " << f.src_tor << ' ' << f.src_server << " -> " << f.dst_tor << ' '
+       << f.dst_server;
+    if (j - i > 1) os << " x" << (j - i);
+    if (with_rates && spec.rates[i].has_value()) os << " @" << *spec.rates[i];
+    os << '\n';
+    i = j;
+  }
+  return os.str();
+}
+
+void write_rates_csv(std::ostream& out, const FlowCollection& flows,
+                     const std::vector<std::string>& labels,
+                     const std::vector<NamedAllocation>& allocations) {
+  CF_CHECK(labels.empty() || labels.size() == flows.size());
+  for (const NamedAllocation& named : allocations) {
+    CF_CHECK(named.alloc != nullptr);
+    CF_CHECK_MSG(named.alloc->size() == flows.size(),
+                 "allocation '" << named.name << "' covers " << named.alloc->size()
+                                << " flows, expected " << flows.size());
+  }
+  out << "flow,src_tor,src_server,dst_tor,dst_server";
+  if (!labels.empty()) out << ",label";
+  for (const NamedAllocation& named : allocations) {
+    out << ',' << named.name << ',' << named.name << "_approx";
+  }
+  out << '\n';
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    out << f << ',' << flows[f].src_tor << ',' << flows[f].src_server << ','
+        << flows[f].dst_tor << ',' << flows[f].dst_server;
+    if (!labels.empty()) out << ',' << labels[f];
+    for (const NamedAllocation& named : allocations) {
+      const Rational& r = named.alloc->rate(f);
+      out << ',' << r << ',' << r.to_double();
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace closfair

@@ -1,0 +1,116 @@
+#include "lp/concurrent_flow.hpp"
+
+#include "lp/simplex.hpp"
+
+namespace closfair {
+
+ConcurrentFlowResult max_concurrent_flow(const ClosNetwork& net, const FlowSet& flows,
+                                         const std::vector<Rational>& demands) {
+  CF_CHECK_MSG(demands.size() == flows.size(),
+               "demands cover " << demands.size() << " flows, expected " << flows.size());
+  bool any_positive = false;
+  for (const Rational& d : demands) {
+    CF_CHECK_MSG(!d.is_negative(), "negative demand");
+    if (!d.is_zero()) any_positive = true;
+  }
+  CF_CHECK_MSG(any_positive, "all-zero demands make lambda unbounded");
+
+  const int n = net.num_middles();
+  const std::size_t num_flows = flows.size();
+  // Variables: x_{f,m} for f, m, then lambda (last).
+  const auto var = [n](FlowIndex f, int m) {
+    return f * static_cast<std::size_t>(n) + static_cast<std::size_t>(m - 1);
+  };
+  const std::size_t lambda_var = num_flows * static_cast<std::size_t>(n);
+  const std::size_t num_vars = lambda_var + 1;
+
+  GeneralLp<Rational> lp;
+  lp.c.assign(num_vars, Rational{0});
+  lp.c[lambda_var] = Rational{1};
+
+  // Conservation: sum_m x_{f,m} - lambda d_f = 0.
+  for (FlowIndex f = 0; f < num_flows; ++f) {
+    std::vector<Rational> row(num_vars, Rational{0});
+    for (int m = 1; m <= n; ++m) row[var(f, m)] = Rational{1};
+    row[lambda_var] = -demands[f];
+    lp.A_eq.push_back(std::move(row));
+    lp.b_eq.push_back(Rational{0});
+  }
+
+  // Edge links: sum over flows at a server of lambda d_f <= cap, i.e.
+  // (sum of d_f) * lambda <= cap per server link; expressed via x so the
+  // witness decomposition stays consistent: edge loads equal the summed
+  // shares of the flows at that server.
+  // Source/destination edge links.
+  for (int i = 1; i <= net.num_tors(); ++i) {
+    for (int j = 1; j <= net.servers_per_tor(); ++j) {
+      std::vector<Rational> src_row(num_vars, Rational{0});
+      std::vector<Rational> dst_row(num_vars, Rational{0});
+      bool src_used = false;
+      bool dst_used = false;
+      for (FlowIndex f = 0; f < num_flows; ++f) {
+        if (flows[f].src == net.source(i, j)) {
+          for (int m = 1; m <= n; ++m) src_row[var(f, m)] = Rational{1};
+          src_used = true;
+        }
+        if (flows[f].dst == net.destination(i, j)) {
+          for (int m = 1; m <= n; ++m) dst_row[var(f, m)] = Rational{1};
+          dst_used = true;
+        }
+      }
+      if (src_used) {
+        lp.A_ub.push_back(std::move(src_row));
+        lp.b_ub.push_back(net.topology().link(net.source_link(i, j)).capacity);
+      }
+      if (dst_used) {
+        lp.A_ub.push_back(std::move(dst_row));
+        lp.b_ub.push_back(net.topology().link(net.dest_link(i, j)).capacity);
+      }
+    }
+  }
+  // Inside links.
+  for (int i = 1; i <= net.num_tors(); ++i) {
+    for (int m = 1; m <= n; ++m) {
+      std::vector<Rational> up(num_vars, Rational{0});
+      std::vector<Rational> down(num_vars, Rational{0});
+      bool up_used = false;
+      bool down_used = false;
+      for (FlowIndex f = 0; f < num_flows; ++f) {
+        if (net.source_coord(flows[f].src).tor == i) {
+          up[var(f, m)] = Rational{1};
+          up_used = true;
+        }
+        if (net.dest_coord(flows[f].dst).tor == i) {
+          down[var(f, m)] = Rational{1};
+          down_used = true;
+        }
+      }
+      if (up_used) {
+        lp.A_ub.push_back(std::move(up));
+        lp.b_ub.push_back(net.topology().link(net.uplink(i, m)).capacity);
+      }
+      if (down_used) {
+        lp.A_ub.push_back(std::move(down));
+        lp.b_ub.push_back(net.topology().link(net.downlink(m, i)).capacity);
+      }
+    }
+  }
+
+  const GeneralLpResult<Rational> solved = solve_lp_general(lp);
+  CF_CHECK_MSG(solved.status == GeneralLpStatus::kOptimal,
+               "concurrent flow LP not optimal (status "
+                   << (solved.status == GeneralLpStatus::kInfeasible ? "infeasible"
+                                                                     : "unbounded")
+                   << ")");
+  ConcurrentFlowResult result;
+  result.lambda = solved.objective;
+  result.shares.assign(num_flows, std::vector<Rational>(static_cast<std::size_t>(n)));
+  for (FlowIndex f = 0; f < num_flows; ++f) {
+    for (int m = 1; m <= n; ++m) {
+      result.shares[f][static_cast<std::size_t>(m - 1)] = solved.x[var(f, m)];
+    }
+  }
+  return result;
+}
+
+}  // namespace closfair

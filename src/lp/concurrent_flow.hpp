@@ -1,0 +1,35 @@
+// Maximum concurrent flow: the "throughput of a topology" metric of Jyothi
+// et al., the paper's citation [20].
+//
+// Given per-flow demands d_f, find the largest uniform scale factor λ such
+// that rates λ·d_f can be routed *splittably* inside the Clos network:
+//
+//   maximize λ  s.t.  Σ_m x_{f,m} = λ d_f,   link loads within capacity.
+//
+// λ >= 1 means the demand matrix fits (the fluid regime of §1's demand
+// satisfaction); λ < 1 measures structural oversubscription. Comparing λ·Σd
+// against the unsplittable max-min throughput isolates, once more, what the
+// single-path restriction costs.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "net/clos.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+struct ConcurrentFlowResult {
+  Rational lambda{0};  ///< max uniform demand scale factor
+  /// shares[f][m-1] = flow f's rate via middle m at scale lambda.
+  std::vector<std::vector<Rational>> shares;
+};
+
+/// Solve the maximum concurrent flow LP exactly. Demands must be
+/// non-negative with at least one positive entry.
+[[nodiscard]] ConcurrentFlowResult max_concurrent_flow(const ClosNetwork& net,
+                                                       const FlowSet& flows,
+                                                       const std::vector<Rational>& demands);
+
+}  // namespace closfair

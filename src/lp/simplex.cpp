@@ -1,0 +1,312 @@
+#include "lp/simplex.hpp"
+
+namespace closfair {
+namespace {
+
+// Tableau layout: m constraint rows + 1 objective row; n structural columns,
+// m slack columns, 1 rhs column. basis[i] is the column currently basic in
+// row i (initially the slacks).
+template <typename R>
+class Tableau {
+ public:
+  Tableau(const std::vector<std::vector<R>>& A, const std::vector<R>& b,
+          const std::vector<R>& c)
+      : m_(A.size()), n_(c.size()), cols_(n_ + m_ + 1) {
+    CF_CHECK_MSG(b.size() == m_, "b has " << b.size() << " rows, A has " << m_);
+    rows_.assign(m_ + 1, std::vector<R>(cols_, R{0}));
+    basis_.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      CF_CHECK_MSG(A[i].size() == n_, "A row " << i << " has " << A[i].size()
+                                               << " cols, expected " << n_);
+      CF_CHECK_MSG(!(b[i] < R{0}), "solve_lp requires b >= 0 (row " << i << ")");
+      for (std::size_t j = 0; j < n_; ++j) rows_[i][j] = A[i][j];
+      rows_[i][n_ + i] = R{1};  // slack
+      rows_[i][cols_ - 1] = b[i];
+      basis_[i] = n_ + i;
+    }
+    // Objective row stores -c so that optimality == no negative entries.
+    for (std::size_t j = 0; j < n_; ++j) rows_[m_][j] = R{0} - c[j];
+  }
+
+  LpResult<R> run() {
+    while (true) {
+      const std::size_t enter = entering_column();
+      if (enter == kNoCol) break;  // optimal
+      const std::size_t leave = leaving_row(enter);
+      if (leave == kNoRow) {
+        return LpResult<R>{LpStatus::kUnbounded, R{0}, {}};
+      }
+      pivot(leave, enter);
+    }
+    LpResult<R> result;
+    result.status = LpStatus::kOptimal;
+    result.objective = rows_[m_][cols_ - 1];
+    result.x.assign(n_, R{0});
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) result.x[basis_[i]] = rows_[i][cols_ - 1];
+    }
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t kNoCol = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+  // Bland's rule: the lowest-index column with a negative reduced cost.
+  [[nodiscard]] std::size_t entering_column() const {
+    for (std::size_t j = 0; j + 1 < cols_; ++j) {
+      if (rows_[m_][j] < R{0}) return j;
+    }
+    return kNoCol;
+  }
+
+  // Minimum-ratio test; ties broken by the smallest basic variable index
+  // (the second half of Bland's rule).
+  [[nodiscard]] std::size_t leaving_row(std::size_t enter) const {
+    std::size_t best = kNoRow;
+    R best_ratio{0};
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (!(rows_[i][enter] > R{0})) continue;
+      const R ratio = rows_[i][cols_ - 1] / rows_[i][enter];
+      if (best == kNoRow || ratio < best_ratio ||
+          (ratio == best_ratio && basis_[i] < basis_[best])) {
+        best = i;
+        best_ratio = ratio;
+      }
+    }
+    return best;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const R pivot_value = rows_[row][col];
+    CF_CHECK(!(pivot_value == R{0}));
+    for (auto& cell : rows_[row]) cell /= pivot_value;
+    for (std::size_t i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const R factor = rows_[i][col];
+      if (factor == R{0}) continue;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        rows_[i][j] -= factor * rows_[row][j];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t cols_;
+  std::vector<std::vector<R>> rows_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+namespace {
+
+// Two-phase simplex for the general form (arbitrary-sign b, equalities).
+// Rows are normalized to equalities with non-negative rhs; phase 1 drives
+// the artificial variables out, phase 2 optimizes the real objective with
+// artificial columns barred from entering. Bland's rule throughout.
+template <typename R>
+class TwoPhaseTableau {
+ public:
+  explicit TwoPhaseTableau(const GeneralLp<R>& lp) : n_(lp.c.size()) {
+    CF_CHECK(lp.A_ub.size() == lp.b_ub.size());
+    CF_CHECK(lp.A_eq.size() == lp.b_eq.size());
+    const std::size_t m = lp.A_ub.size() + lp.A_eq.size();
+
+    // Column layout: n structural | up to m slack/surplus | up to m artificial.
+    // We materialize exactly one slack/surplus per inequality row and one
+    // artificial per row that needs one.
+    struct RowSpec {
+      std::vector<R> coeffs;
+      R rhs{0};
+      bool inequality = false;
+    };
+    std::vector<RowSpec> specs;
+    specs.reserve(m);
+    for (std::size_t i = 0; i < lp.A_ub.size(); ++i) {
+      CF_CHECK_MSG(lp.A_ub[i].size() == n_, "A_ub row width mismatch");
+      specs.push_back(RowSpec{lp.A_ub[i], lp.b_ub[i], true});
+    }
+    for (std::size_t i = 0; i < lp.A_eq.size(); ++i) {
+      CF_CHECK_MSG(lp.A_eq[i].size() == n_, "A_eq row width mismatch");
+      specs.push_back(RowSpec{lp.A_eq[i], lp.b_eq[i], false});
+    }
+
+    // First pass: count auxiliary columns.
+    std::size_t num_slack = 0;
+    for (const RowSpec& spec : specs) {
+      if (spec.inequality) ++num_slack;
+    }
+    slack_base_ = n_;
+    art_base_ = n_ + num_slack;
+    // Artificials: inequality rows with negative rhs, plus all equality rows.
+    std::size_t num_art = 0;
+    for (const RowSpec& spec : specs) {
+      if (!spec.inequality || spec.rhs < R{0}) ++num_art;
+    }
+    cols_ = art_base_ + num_art + 1;  // +1 rhs
+
+    rows_.assign(specs.size(), std::vector<R>(cols_, R{0}));
+    basis_.assign(specs.size(), 0);
+    std::size_t slack_at = slack_base_;
+    std::size_t art_at = art_base_;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const bool negate = specs[i].rhs < R{0};
+      for (std::size_t j = 0; j < n_; ++j) {
+        rows_[i][j] = negate ? R{0} - specs[i].coeffs[j] : specs[i].coeffs[j];
+      }
+      rows_[i][cols_ - 1] = negate ? R{0} - specs[i].rhs : specs[i].rhs;
+      if (specs[i].inequality) {
+        rows_[i][slack_at] = negate ? R{-1} : R{1};
+        if (!negate) basis_[i] = slack_at;
+        ++slack_at;
+      }
+      if (!specs[i].inequality || negate) {
+        rows_[i][art_at] = R{1};
+        basis_[i] = art_at;
+        ++art_at;
+      }
+    }
+    c_full_.assign(cols_ - 1, R{0});
+    for (std::size_t j = 0; j < n_; ++j) c_full_[j] = lp.c[j];
+  }
+
+  GeneralLpResult<R> run() {
+    // Phase 1: maximize -(sum of artificials).
+    std::vector<R> phase1(cols_ - 1, R{0});
+    for (std::size_t j = art_base_; j + 1 < cols_; ++j) phase1[j] = R{-1};
+    build_objective(phase1);
+    if (!optimize(/*allow_artificials=*/true)) {
+      // Phase 1 objective is bounded (<= 0), so unboundedness is impossible.
+      throw ContractViolation("phase-1 LP reported unbounded");
+    }
+    if (z_[cols_ - 1] < R{0}) {
+      return GeneralLpResult<R>{GeneralLpStatus::kInfeasible, R{0}, {}};
+    }
+    pivot_out_artificials();
+
+    // Phase 2: the real objective, artificials barred.
+    build_objective(c_full_);
+    if (!optimize(/*allow_artificials=*/false)) {
+      return GeneralLpResult<R>{GeneralLpStatus::kUnbounded, R{0}, {}};
+    }
+    GeneralLpResult<R> result;
+    result.status = GeneralLpStatus::kOptimal;
+    result.objective = z_[cols_ - 1];
+    result.x.assign(n_, R{0});
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] < n_) result.x[basis_[i]] = rows_[i][cols_ - 1];
+    }
+    return result;
+  }
+
+ private:
+  // Rebuild the reduced-cost row for objective `c` over the current basis.
+  void build_objective(const std::vector<R>& c) {
+    z_.assign(cols_, R{0});
+    for (std::size_t j = 0; j + 1 < cols_; ++j) z_[j] = R{0} - c[j];
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const R& cb = c[basis_[i]];
+      if (cb == R{0}) continue;
+      for (std::size_t j = 0; j < cols_; ++j) z_[j] += cb * rows_[i][j];
+    }
+  }
+
+  // Bland pivoting until optimal; false if unbounded.
+  bool optimize(bool allow_artificials) {
+    const std::size_t limit = allow_artificials ? cols_ - 1 : art_base_;
+    while (true) {
+      std::size_t enter = cols_;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (z_[j] < R{0}) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == cols_) return true;
+
+      std::size_t leave = rows_.size();
+      R best_ratio{0};
+      for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (!(rows_[i][enter] > R{0})) continue;
+        const R ratio = rows_[i][cols_ - 1] / rows_[i][enter];
+        if (leave == rows_.size() || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[i] < basis_[leave])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == rows_.size()) return false;
+      pivot(leave, enter);
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const R pivot_value = rows_[row][col];
+    CF_CHECK(!(pivot_value == R{0}));
+    for (auto& cell : rows_[row]) cell /= pivot_value;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i == row) continue;
+      const R factor = rows_[i][col];
+      if (factor == R{0}) continue;
+      for (std::size_t j = 0; j < cols_; ++j) rows_[i][j] -= factor * rows_[row][j];
+    }
+    const R zfactor = z_[col];
+    if (!(zfactor == R{0})) {
+      for (std::size_t j = 0; j < cols_; ++j) z_[j] -= zfactor * rows_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  // After phase 1, pivot basic artificials (value 0) out where a real column
+  // has a nonzero coefficient; all-zero rows are inert and stay.
+  void pivot_out_artificials() {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] < art_base_) continue;
+      for (std::size_t j = 0; j < art_base_; ++j) {
+        if (!(rows_[i][j] == R{0})) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::size_t n_;
+  std::size_t slack_base_ = 0;
+  std::size_t art_base_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::vector<R>> rows_;
+  std::vector<R> z_;
+  std::vector<std::size_t> basis_;
+  std::vector<R> c_full_;
+};
+
+}  // namespace
+
+template <typename R>
+LpResult<R> solve_lp(const std::vector<std::vector<R>>& A, const std::vector<R>& b,
+                     const std::vector<R>& c) {
+  Tableau<R> tableau(A, b, c);
+  return tableau.run();
+}
+
+template <typename R>
+GeneralLpResult<R> solve_lp_general(const GeneralLp<R>& lp) {
+  TwoPhaseTableau<R> tableau(lp);
+  return tableau.run();
+}
+
+template GeneralLpResult<Rational> solve_lp_general<Rational>(const GeneralLp<Rational>&);
+template GeneralLpResult<double> solve_lp_general<double>(const GeneralLp<double>&);
+
+template LpResult<Rational> solve_lp<Rational>(const std::vector<std::vector<Rational>>&,
+                                               const std::vector<Rational>&,
+                                               const std::vector<Rational>&);
+template LpResult<double> solve_lp<double>(const std::vector<std::vector<double>>&,
+                                           const std::vector<double>&,
+                                           const std::vector<double>&);
+
+}  // namespace closfair

@@ -1,0 +1,72 @@
+// Dense simplex solver for linear programs in the inequality form
+//
+//   maximize c^T x   subject to   A x <= b,  x >= 0,   with  b >= 0.
+//
+// The b >= 0 restriction means the all-slack basis is feasible, so no phase-1
+// is needed; every LP closfair poses (link-capacity constraints, fairness
+// level constraints after shifting) satisfies it.
+//
+// Instantiated with R = Rational the solver is *exact*: pivots never divide
+// by anything but nonzero rationals and Bland's anti-cycling rule guarantees
+// termination, making it a trustworthy independent oracle against the
+// combinatorial algorithms (water-filling, matching). R = double gives the
+// usual numeric solver for larger instances.
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+enum class LpStatus {
+  kOptimal,
+  kUnbounded,
+};
+
+template <typename R>
+struct LpResult {
+  LpStatus status = LpStatus::kOptimal;
+  R objective{0};
+  std::vector<R> x;  ///< optimal primal point (empty when unbounded)
+};
+
+/// Solve max c^T x s.t. Ax <= b, x >= 0, b >= 0.
+///
+/// `A` is row-major with m rows of n entries; `b` has m entries (each >= 0);
+/// `c` has n entries. Throws ContractViolation on shape mismatch or b < 0.
+template <typename R>
+[[nodiscard]] LpResult<R> solve_lp(const std::vector<std::vector<R>>& A,
+                                   const std::vector<R>& b, const std::vector<R>& c);
+
+/// A general-form LP:
+///   maximize c^T x  s.t.  A_ub x <= b_ub,  A_eq x = b_eq,  x >= 0,
+/// with b of any sign. Solved by two-phase simplex (phase 1 drives the
+/// artificial variables to zero); detects infeasibility.
+template <typename R>
+struct GeneralLp {
+  std::vector<std::vector<R>> A_ub;
+  std::vector<R> b_ub;
+  std::vector<std::vector<R>> A_eq;
+  std::vector<R> b_eq;
+  std::vector<R> c;
+};
+
+enum class GeneralLpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+template <typename R>
+struct GeneralLpResult {
+  GeneralLpStatus status = GeneralLpStatus::kOptimal;
+  R objective{0};
+  std::vector<R> x;
+};
+
+template <typename R>
+[[nodiscard]] GeneralLpResult<R> solve_lp_general(const GeneralLp<R>& lp);
+
+}  // namespace closfair

@@ -1,0 +1,46 @@
+// Splittable flows: the classic network-flow regime the paper contrasts
+// against (§1, "Demand satisfaction").
+//
+// When a flow may be divided across its n middle-switch paths, any rates
+// that satisfy the edge links can be routed inside a Clos network — so the
+// splittable max-min fair allocation in C_n *equals* the macro-switch
+// max-min allocation. This module witnesses that folklore computationally:
+// given a collection, it returns the macro-switch rates together with a
+// fractional routing (per-flow middle shares) found by the general-form
+// exact LP, certified feasible. The unsplittable machinery elsewhere then
+// quantifies exactly how much the single-path restriction costs — which is
+// the whole subject of the paper.
+#pragma once
+
+#include <vector>
+
+#include "flow/allocation.hpp"
+#include "flow/flow.hpp"
+#include "net/clos.hpp"
+#include "net/macroswitch.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+struct SplittableMaxMin {
+  /// Per-flow rates (equal to the macro-switch max-min rates).
+  Allocation<Rational> rates;
+  /// shares[f][m-1] = rate of flow f sent via middle m; rows sum to rates.
+  std::vector<std::vector<Rational>> shares;
+};
+
+/// The splittable max-min fair allocation in `net`, with a witness
+/// fractional routing. The companion macro-switch must have matching
+/// dimensions. Throws ContractViolation if the witness LP is infeasible —
+/// which would falsify the demand-satisfaction folklore and therefore
+/// indicates a library bug.
+[[nodiscard]] SplittableMaxMin splittable_max_min(const ClosNetwork& net,
+                                                  const MacroSwitch& ms,
+                                                  const FlowCollection& specs);
+
+/// Check that a fractional routing carries the given rates within all link
+/// capacities (exact).
+[[nodiscard]] bool fractional_routing_feasible(const ClosNetwork& net, const FlowSet& flows,
+                                               const std::vector<std::vector<Rational>>& shares);
+
+}  // namespace closfair

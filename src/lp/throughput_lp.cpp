@@ -1,0 +1,39 @@
+#include "lp/throughput_lp.hpp"
+
+#include "lp/simplex.hpp"
+
+namespace closfair {
+
+template <typename R>
+MaxThroughputResult<R> max_throughput_lp(const Topology& topo, const FlowSet& flows,
+                                         const Routing& routing) {
+  CF_CHECK(routing.size() == flows.size());
+  const std::size_t num_flows = flows.size();
+  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
+
+  std::vector<std::vector<R>> A;
+  std::vector<R> b;
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (link.unbounded || on_link[l].empty()) continue;
+    std::vector<R> row(num_flows, R{0});
+    for (FlowIndex f : on_link[l]) row[f] += R{1};
+    A.push_back(std::move(row));
+    b.push_back(capacity_as<R>(link));
+  }
+  const std::vector<R> c(num_flows, R{1});
+
+  const LpResult<R> lp = solve_lp<R>(A, b, c);
+  CF_CHECK_MSG(lp.status == LpStatus::kOptimal,
+               "throughput LP unbounded: some flow crosses no bounded link");
+  return MaxThroughputResult<R>{lp.objective, Allocation<R>{lp.x}};
+}
+
+template MaxThroughputResult<Rational> max_throughput_lp<Rational>(const Topology&,
+                                                                   const FlowSet&,
+                                                                   const Routing&);
+template MaxThroughputResult<double> max_throughput_lp<double>(const Topology&,
+                                                               const FlowSet&,
+                                                               const Routing&);
+
+}  // namespace closfair

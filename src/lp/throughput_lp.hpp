@@ -1,0 +1,28 @@
+// Maximum throughput allocation for a fixed routing, as an LP (Definition
+// 3.1): maximize the total rate subject to link capacities.
+//
+// In a macro-switch with unit edge capacities the optimum equals the maximum
+// matching size of G^MS (Lemma 3.2); the test suite checks the LP value
+// against Hopcroft–Karp, tying the two folklore characterizations together.
+#pragma once
+
+#include "flow/allocation.hpp"
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/topology.hpp"
+
+namespace closfair {
+
+template <typename R>
+struct MaxThroughputResult {
+  R throughput{0};
+  Allocation<R> alloc;
+};
+
+/// Maximize total rate subject to link capacities for a fixed routing.
+template <typename R>
+[[nodiscard]] MaxThroughputResult<R> max_throughput_lp(const Topology& topo,
+                                                       const FlowSet& flows,
+                                                       const Routing& routing);
+
+}  // namespace closfair

@@ -1,0 +1,42 @@
+#include "matching/bipartite.hpp"
+
+#include <algorithm>
+
+namespace closfair {
+
+BipartiteMultigraph::BipartiteMultigraph(std::size_t num_left, std::size_t num_right)
+    : left_adj_(num_left), right_adj_(num_right) {}
+
+std::size_t BipartiteMultigraph::add_edge(std::size_t left, std::size_t right) {
+  CF_CHECK_MSG(left < left_adj_.size(), "left vertex " << left << " out of range");
+  CF_CHECK_MSG(right < right_adj_.size(), "right vertex " << right << " out of range");
+  edges_.push_back(Edge{left, right});
+  const std::size_t e = edges_.size() - 1;
+  left_adj_[left].push_back(e);
+  right_adj_[right].push_back(e);
+  return e;
+}
+
+const BipartiteMultigraph::Edge& BipartiteMultigraph::edge(std::size_t e) const {
+  CF_CHECK_MSG(e < edges_.size(), "edge index " << e << " out of range");
+  return edges_[e];
+}
+
+const std::vector<std::size_t>& BipartiteMultigraph::left_edges(std::size_t l) const {
+  CF_CHECK(l < left_adj_.size());
+  return left_adj_[l];
+}
+
+const std::vector<std::size_t>& BipartiteMultigraph::right_edges(std::size_t r) const {
+  CF_CHECK(r < right_adj_.size());
+  return right_adj_[r];
+}
+
+std::size_t BipartiteMultigraph::max_degree() const {
+  std::size_t deg = 0;
+  for (const auto& adj : left_adj_) deg = std::max(deg, adj.size());
+  for (const auto& adj : right_adj_) deg = std::max(deg, adj.size());
+  return deg;
+}
+
+}  // namespace closfair

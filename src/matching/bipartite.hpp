@@ -1,0 +1,51 @@
+// Bipartite multigraphs.
+//
+// Two of the paper's folklore lemmas live on bipartite multigraphs derived
+// from a flow collection: Lemma 3.2 (maximum throughput = maximum matching in
+// G^MS) and Lemma 5.2 / Algorithm 1 (König n-edge-coloring of G^C gives a
+// link-disjoint Clos routing). Parallel edges are essential — multiple flows
+// may share a source-destination or switch pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace closfair {
+
+/// A bipartite multigraph over left vertices [0, num_left) and right vertices
+/// [0, num_right). Edge indices are stable in insertion order; the flow-graph
+/// builders (matching/flow_graphs.hpp) make edge index == flow index.
+class BipartiteMultigraph {
+ public:
+  struct Edge {
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
+  BipartiteMultigraph(std::size_t num_left, std::size_t num_right);
+
+  std::size_t add_edge(std::size_t left, std::size_t right);
+
+  [[nodiscard]] std::size_t num_left() const { return left_adj_.size(); }
+  [[nodiscard]] std::size_t num_right() const { return right_adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(std::size_t e) const;
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge indices incident to a left / right vertex.
+  [[nodiscard]] const std::vector<std::size_t>& left_edges(std::size_t l) const;
+  [[nodiscard]] const std::vector<std::size_t>& right_edges(std::size_t r) const;
+
+  /// Maximum vertex degree Δ over both sides (0 for an edgeless graph).
+  [[nodiscard]] std::size_t max_degree() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> left_adj_;
+  std::vector<std::vector<std::size_t>> right_adj_;
+};
+
+}  // namespace closfair

@@ -1,0 +1,120 @@
+#include "matching/edge_coloring.hpp"
+
+namespace closfair {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Color tables: slot[vertex][color] = the edge colored `color` at that
+// vertex, or kNone. A proper coloring keeps at most one edge per slot.
+struct ColorState {
+  std::vector<std::vector<std::size_t>> slot_left;
+  std::vector<std::vector<std::size_t>> slot_right;
+
+  ColorState(std::size_t num_left, std::size_t num_right, int num_colors)
+      : slot_left(num_left, std::vector<std::size_t>(static_cast<std::size_t>(num_colors), kNone)),
+        slot_right(num_right,
+                   std::vector<std::size_t>(static_cast<std::size_t>(num_colors), kNone)) {}
+
+  [[nodiscard]] std::size_t& slot(bool right, std::size_t v, int c) {
+    auto& side = right ? slot_right : slot_left;
+    return side[v][static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] int free_color(bool right, std::size_t v) const {
+    const auto& side = right ? slot_right : slot_left;
+    for (std::size_t c = 0; c < side[v].size(); ++c) {
+      if (side[v][c] == kNone) return static_cast<int>(c);
+    }
+    return -1;
+  }
+};
+
+}  // namespace
+
+std::vector<int> edge_coloring(const BipartiteMultigraph& g, int num_colors) {
+  CF_CHECK_MSG(static_cast<std::size_t>(num_colors) >= g.max_degree(),
+               "edge coloring needs at least Δ = " << g.max_degree() << " colors, got "
+                                                   << num_colors);
+  std::vector<int> color(g.num_edges(), -1);
+  ColorState st(g.num_left(), g.num_right(), num_colors);
+
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    const int a = st.free_color(/*right=*/false, edge.left);
+    const int b = st.free_color(/*right=*/true, edge.right);
+    // Free colors exist: only edges before e are colored, so both endpoints
+    // have current degree < Δ <= num_colors in the colored subgraph.
+    CF_CHECK(a >= 0 && b >= 0);
+
+    if (a != b) {
+      // Color a is free at the left endpoint but used at the right one.
+      // Collect the maximal alternating a/b chain starting from the right
+      // endpoint's a-edge, then flip every edge on it a <-> b. Each vertex
+      // has at most one a-edge and one b-edge, so the chain is a simple
+      // path; in a bipartite graph it cannot terminate back at edge.left
+      // through an a-edge (parity), so flipping frees color a at edge.right
+      // without disturbing its freeness at edge.left.
+      std::vector<std::size_t> chain;
+      bool right = true;
+      std::size_t at = edge.right;
+      int want = a;
+      while (true) {
+        const std::size_t next = st.slot(right, at, want);
+        if (next == kNone) break;
+        chain.push_back(next);
+        const auto& ce = g.edge(next);
+        at = right ? ce.left : ce.right;
+        right = !right;
+        want = (want == a) ? b : a;
+      }
+      // Flip: clear all old slots first, then install the new colors, so
+      // intermediate states never collide.
+      for (std::size_t ce_idx : chain) {
+        const auto& ce = g.edge(ce_idx);
+        st.slot(false, ce.left, color[ce_idx]) = kNone;
+        st.slot(true, ce.right, color[ce_idx]) = kNone;
+      }
+      for (std::size_t ce_idx : chain) {
+        const int flipped = (color[ce_idx] == a) ? b : a;
+        color[ce_idx] = flipped;
+        st.slot(false, g.edge(ce_idx).left, flipped) = ce_idx;
+        st.slot(true, g.edge(ce_idx).right, flipped) = ce_idx;
+      }
+      CF_CHECK_MSG(st.slot(false, edge.left, a) == kNone &&
+                       st.slot(true, edge.right, a) == kNone,
+                   "alternating chain failed to free a common color");
+    }
+    color[e] = a;
+    st.slot(false, edge.left, a) = e;
+    st.slot(true, edge.right, a) = e;
+  }
+  return color;
+}
+
+std::vector<int> edge_coloring(const BipartiteMultigraph& g) {
+  return edge_coloring(g, static_cast<int>(g.max_degree()));
+}
+
+bool is_proper_coloring(const BipartiteMultigraph& g, const std::vector<int>& colors,
+                        int num_colors) {
+  if (colors.size() != g.num_edges()) return false;
+  for (int c : colors) {
+    if (c < 0 || c >= num_colors) return false;
+  }
+  auto side_ok = [&](std::size_t count, auto edges_of) {
+    for (std::size_t v = 0; v < count; ++v) {
+      std::vector<bool> used(static_cast<std::size_t>(num_colors), false);
+      for (std::size_t e : edges_of(v)) {
+        const auto c = static_cast<std::size_t>(colors[e]);
+        if (used[c]) return false;
+        used[c] = true;
+      }
+    }
+    return true;
+  };
+  return side_ok(g.num_left(), [&](std::size_t v) { return g.left_edges(v); }) &&
+         side_ok(g.num_right(), [&](std::size_t v) { return g.right_edges(v); });
+}
+
+}  // namespace closfair

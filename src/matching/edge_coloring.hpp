@@ -1,0 +1,34 @@
+// König edge coloring of bipartite multigraphs.
+//
+// König's theorem: a bipartite multigraph with maximum degree Δ has a proper
+// Δ-edge-coloring. In the paper's footnote 5, an n-edge-coloring of the flow
+// multigraph G^C corresponds to a link-disjoint routing in C_n (color m ↦
+// middle switch M_m) — this is the machinery behind Lemma 5.2 and step 2 of
+// the Doom-Switch algorithm.
+//
+// We implement the constructive proof directly: insert edges one at a time;
+// if the endpoints have no common free color, swap colors along the
+// alternating (Kempe) chain, which in a bipartite graph can never loop back
+// to the starting edge. O(E·(V+Δ)) overall.
+#pragma once
+
+#include <vector>
+
+#include "matching/bipartite.hpp"
+
+namespace closfair {
+
+/// A proper edge coloring of g using colors {0, ..., num_colors-1} with
+/// num_colors >= max_degree. Result[e] is the color of edge e.
+/// Throws ContractViolation if num_colors < max_degree(g).
+[[nodiscard]] std::vector<int> edge_coloring(const BipartiteMultigraph& g, int num_colors);
+
+/// A proper edge coloring with exactly Δ colors (König's bound).
+[[nodiscard]] std::vector<int> edge_coloring(const BipartiteMultigraph& g);
+
+/// True if `colors` is a proper edge coloring of g (no two edges sharing a
+/// vertex have the same color, all colors in [0, num_colors)).
+[[nodiscard]] bool is_proper_coloring(const BipartiteMultigraph& g,
+                                      const std::vector<int>& colors, int num_colors);
+
+}  // namespace closfair

@@ -1,0 +1,50 @@
+#include "matching/flow_graphs.hpp"
+
+namespace closfair {
+namespace {
+
+std::size_t server_vertex(int tor, int server, int servers_per_tor) {
+  return static_cast<std::size_t>(tor - 1) * static_cast<std::size_t>(servers_per_tor) +
+         static_cast<std::size_t>(server - 1);
+}
+
+}  // namespace
+
+BipartiteMultigraph server_flow_graph(int num_tors, int servers_per_tor,
+                                      const FlowCollection& specs) {
+  const auto num_servers =
+      static_cast<std::size_t>(num_tors) * static_cast<std::size_t>(servers_per_tor);
+  BipartiteMultigraph g(num_servers, num_servers);
+  for (const FlowSpec& sp : specs) {
+    g.add_edge(server_vertex(sp.src_tor, sp.src_server, servers_per_tor),
+               server_vertex(sp.dst_tor, sp.dst_server, servers_per_tor));
+  }
+  return g;
+}
+
+BipartiteMultigraph server_flow_graph(const MacroSwitch& ms, const FlowSet& flows) {
+  FlowCollection specs;
+  specs.reserve(flows.size());
+  for (const Flow& f : flows) specs.push_back(spec_of(ms, f));
+  return server_flow_graph(ms.num_tors(), ms.servers_per_tor(), specs);
+}
+
+BipartiteMultigraph server_flow_graph(const ClosNetwork& net, const FlowSet& flows) {
+  FlowCollection specs;
+  specs.reserve(flows.size());
+  for (const Flow& f : flows) specs.push_back(spec_of(net, f));
+  return server_flow_graph(net.num_tors(), net.servers_per_tor(), specs);
+}
+
+BipartiteMultigraph switch_flow_graph(const ClosNetwork& net, const FlowSet& flows) {
+  BipartiteMultigraph g(static_cast<std::size_t>(net.num_tors()),
+                        static_cast<std::size_t>(net.num_tors()));
+  for (const Flow& f : flows) {
+    const auto s = net.source_coord(f.src);
+    const auto t = net.dest_coord(f.dst);
+    g.add_edge(static_cast<std::size_t>(s.tor - 1), static_cast<std::size_t>(t.tor - 1));
+  }
+  return g;
+}
+
+}  // namespace closfair

@@ -1,0 +1,33 @@
+// Builders for the paper's two flow multigraphs.
+//
+// G^MS (§3): left vertices = source servers, right vertices = destination
+// servers, one edge per flow. Its maximum matching gives the maximum
+// throughput allocation (Lemma 3.2).
+//
+// G^C (§5): left vertices = input switches, right vertices = output switches,
+// one edge per flow (identified by its switch pair). An n-edge-coloring of
+// G^C is a link-disjoint routing of the flows in C_n (footnote 5, Lemma 5.2).
+//
+// In both graphs, edge index == flow index in the originating FlowSet.
+#pragma once
+
+#include "flow/flow.hpp"
+#include "matching/bipartite.hpp"
+#include "net/clos.hpp"
+#include "net/macroswitch.hpp"
+
+namespace closfair {
+
+/// G^MS over server coordinates (usable for flows on either topology).
+[[nodiscard]] BipartiteMultigraph server_flow_graph(int num_tors, int servers_per_tor,
+                                                    const FlowCollection& specs);
+[[nodiscard]] BipartiteMultigraph server_flow_graph(const MacroSwitch& ms,
+                                                    const FlowSet& flows);
+[[nodiscard]] BipartiteMultigraph server_flow_graph(const ClosNetwork& net,
+                                                    const FlowSet& flows);
+
+/// G^C over ToR switch pairs.
+[[nodiscard]] BipartiteMultigraph switch_flow_graph(const ClosNetwork& net,
+                                                    const FlowSet& flows);
+
+}  // namespace closfair

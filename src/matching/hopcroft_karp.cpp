@@ -1,0 +1,106 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace closfair {
+namespace {
+
+constexpr std::size_t kFree = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+// Working state for one Hopcroft–Karp run. Matches are stored per vertex as
+// the *edge index* used, so parallel edges round-trip correctly.
+struct HkState {
+  const BipartiteMultigraph& g;
+  std::vector<std::size_t> match_left;   // left vertex -> edge index or kFree
+  std::vector<std::size_t> match_right;  // right vertex -> edge index or kFree
+  std::vector<std::size_t> dist;
+
+  explicit HkState(const BipartiteMultigraph& graph)
+      : g(graph),
+        match_left(graph.num_left(), kFree),
+        match_right(graph.num_right(), kFree),
+        dist(graph.num_left(), kInf) {}
+
+  [[nodiscard]] std::size_t partner_of_right(std::size_t r) const {
+    return g.edge(match_right[r]).left;
+  }
+
+  // BFS layering from free left vertices; true if an augmenting path exists.
+  bool bfs() {
+    std::queue<std::size_t> q;
+    for (std::size_t l = 0; l < g.num_left(); ++l) {
+      if (match_left[l] == kFree) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool reachable_free_right = false;
+    while (!q.empty()) {
+      const std::size_t l = q.front();
+      q.pop();
+      for (std::size_t e : g.left_edges(l)) {
+        const std::size_t r = g.edge(e).right;
+        if (match_right[r] == kFree) {
+          reachable_free_right = true;
+        } else {
+          const std::size_t next = partner_of_right(r);
+          if (dist[next] == kInf) {
+            dist[next] = dist[l] + 1;
+            q.push(next);
+          }
+        }
+      }
+    }
+    return reachable_free_right;
+  }
+
+  // DFS along the BFS layering; augments and returns true on success.
+  bool dfs(std::size_t l) {
+    for (std::size_t e : g.left_edges(l)) {
+      const std::size_t r = g.edge(e).right;
+      if (match_right[r] == kFree ||
+          (dist[partner_of_right(r)] == dist[l] + 1 && dfs(partner_of_right(r)))) {
+        match_left[l] = e;
+        match_right[r] = e;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> maximum_matching(const BipartiteMultigraph& g) {
+  HkState st(g);
+  while (st.bfs()) {
+    for (std::size_t l = 0; l < g.num_left(); ++l) {
+      if (st.match_left[l] == kFree) st.dfs(l);
+    }
+  }
+  std::vector<std::size_t> result;
+  for (std::size_t l = 0; l < g.num_left(); ++l) {
+    if (st.match_left[l] != kFree) result.push_back(st.match_left[l]);
+  }
+  return result;
+}
+
+bool is_matching(const BipartiteMultigraph& g, const std::vector<std::size_t>& edges) {
+  std::vector<bool> left_used(g.num_left(), false);
+  std::vector<bool> right_used(g.num_right(), false);
+  for (std::size_t e : edges) {
+    if (e >= g.num_edges()) return false;
+    const auto& edge = g.edge(e);
+    if (left_used[edge.left] || right_used[edge.right]) return false;
+    left_used[edge.left] = true;
+    right_used[edge.right] = true;
+  }
+  return true;
+}
+
+}  // namespace closfair

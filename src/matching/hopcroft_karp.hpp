@@ -1,0 +1,22 @@
+// Hopcroft–Karp maximum bipartite matching, O(E·√V).
+//
+// The maximum matching F' of the flow multigraph G^MS is the paper's maximum
+// throughput allocation (Lemma 3.2): flows in F' transmit at rate 1, the
+// rest at rate 0, so T^MT = |F'|.
+#pragma once
+
+#include <vector>
+
+#include "matching/bipartite.hpp"
+
+namespace closfair {
+
+/// A maximum matching as a set of edge indices (at most one per left vertex
+/// and one per right vertex). Deterministic for a given graph.
+[[nodiscard]] std::vector<std::size_t> maximum_matching(const BipartiteMultigraph& g);
+
+/// True if `edges` is a matching in g (no shared endpoints, valid indices).
+[[nodiscard]] bool is_matching(const BipartiteMultigraph& g,
+                               const std::vector<std::size_t>& edges);
+
+}  // namespace closfair

@@ -1,0 +1,112 @@
+#include "matching/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace closfair {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::vector<std::size_t> max_weight_matching(const std::vector<std::vector<double>>& weight) {
+  const std::size_t rows = weight.size();
+  std::size_t cols = 0;
+  for (const auto& row : weight) cols = std::max(cols, row.size());
+  for (const auto& row : weight) {
+    CF_CHECK_MSG(row.size() == cols || cols == 0, "ragged weight matrix");
+    for (double w : row) CF_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+  }
+  if (rows == 0 || cols == 0) return std::vector<std::size_t>(rows, kUnassigned);
+
+  // Square, padded cost matrix for the minimization form: cost = W - w,
+  // where W exceeds every weight; padding cells cost exactly W (equivalent
+  // to leaving the row/column unmatched).
+  const std::size_t n = std::max(rows, cols);
+  double max_w = 0.0;
+  for (const auto& row : weight) {
+    for (double w : row) max_w = std::max(max_w, w);
+  }
+  const double big = max_w + 1.0;
+  auto cost = [&](std::size_t r, std::size_t c) -> double {
+    if (r < rows && c < cols && weight[r][c] > 0.0) return big - weight[r][c];
+    return big;
+  };
+
+  // Jonker–Volgenant with row/column potentials; 1-based internal arrays.
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<std::size_t> match_col(n + 1, 0);  // column -> row (1-based; 0 = free)
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t r = 1; r <= n; ++r) {
+    match_col[0] = r;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match_col[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match_col[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match_col[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match_col[j0] = match_col[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::size_t> assignment(rows, kUnassigned);
+  for (std::size_t j = 1; j <= n; ++j) {
+    const std::size_t r = match_col[j];
+    if (r == 0) continue;
+    const std::size_t row = r - 1;
+    const std::size_t col = j - 1;
+    if (row < rows && col < cols && weight[row][col] > 0.0) {
+      assignment[row] = col;
+    }
+  }
+  return assignment;
+}
+
+double matching_weight(const std::vector<std::vector<double>>& weight,
+                       const std::vector<std::size_t>& assignment) {
+  CF_CHECK(assignment.size() == weight.size());
+  std::vector<bool> col_used;
+  double total = 0.0;
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    if (assignment[r] == kUnassigned) continue;
+    CF_CHECK_MSG(assignment[r] < weight[r].size(), "assignment column out of range");
+    if (assignment[r] >= col_used.size()) col_used.resize(assignment[r] + 1, false);
+    CF_CHECK_MSG(!col_used[assignment[r]], "column matched twice");
+    col_used[assignment[r]] = true;
+    total += weight[r][assignment[r]];
+  }
+  return total;
+}
+
+}  // namespace closfair

@@ -1,0 +1,29 @@
+// Maximum-weight bipartite matching (Jonker–Volgenant style shortest
+// augmenting paths with potentials, O(n^3)).
+//
+// Powers the SRPT-flavored scheduler (sim/scheduler.hpp): where the plain
+// matching schedule maximizes how many flows transmit, the weighted variant
+// also chooses *which* — e.g. favoring short remaining flows to cut mean
+// FCT, the Sincronia-adjacent policy the paper's R1 discussion gestures at.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace closfair {
+
+/// For a dense non-negative weight matrix (rows x cols), return an
+/// assignment row -> column (or kUnassigned) maximizing the total weight.
+/// Zero-weight pairs are treated as "no edge": they are never matched.
+inline constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+[[nodiscard]] std::vector<std::size_t> max_weight_matching(
+    const std::vector<std::vector<double>>& weight);
+
+/// Total weight of an assignment (validating shape and uniqueness).
+[[nodiscard]] double matching_weight(const std::vector<std::vector<double>>& weight,
+                                     const std::vector<std::size_t>& assignment);
+
+}  // namespace closfair

@@ -1,0 +1,87 @@
+#include "net/dot.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace closfair {
+namespace {
+
+const char* shape_for(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSource:
+    case NodeKind::kDestination:
+      return "ellipse";
+    case NodeKind::kInputSwitch:
+    case NodeKind::kMiddleSwitch:
+    case NodeKind::kOutputSwitch:
+      return "box";
+    case NodeKind::kOther:
+      return "plaintext";
+  }
+  return "plaintext";
+}
+
+constexpr std::array<const char*, 8> kPalette = {
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#000000",
+};
+
+void emit_header(std::ostringstream& os, const DotOptions& options) {
+  os << "digraph closfair {\n";
+  if (options.rankdir_lr) os << "  rankdir=LR;\n";
+  os << "  node [fontsize=10];\n  edge [fontsize=9];\n";
+}
+
+void emit_nodes(std::ostringstream& os, const Topology& topo) {
+  for (std::size_t v = 0; v < topo.num_nodes(); ++v) {
+    const Node& node = topo.node(static_cast<NodeId>(v));
+    os << "  n" << v << " [label=\"" << node.name << "\", shape=" << shape_for(node.kind)
+       << "];\n";
+  }
+}
+
+void emit_links(std::ostringstream& os, const Topology& topo, const DotOptions& options) {
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    os << "  n" << link.from << " -> n" << link.to << " [color=gray";
+    if (options.show_capacities) {
+      os << ", label=\"" << (link.unbounded ? std::string{"inf"} : link.capacity.to_string())
+         << "\"";
+    }
+    os << "];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topo, const DotOptions& options) {
+  std::ostringstream os;
+  emit_header(os, options);
+  emit_nodes(os, topo);
+  emit_links(os, topo, options);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Topology& topo, const FlowSet& flows, const Routing& routing,
+                   const DotOptions& options) {
+  CF_CHECK(routing.size() == flows.size());
+  std::ostringstream os;
+  emit_header(os, options);
+  emit_nodes(os, topo);
+  emit_links(os, topo, options);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    const char* color = kPalette[f % kPalette.size()];
+    for (std::size_t i = 0; i < routing.path(f).size(); ++i) {
+      const Link& link = topo.link(routing.path(f)[i]);
+      os << "  n" << link.from << " -> n" << link.to << " [color=\"" << color
+         << "\", penwidth=1.6";
+      if (i == 0) os << ", label=\"f" << f << "\"";
+      os << "];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace closfair

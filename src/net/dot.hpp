@@ -1,0 +1,27 @@
+// Graphviz (DOT) export of topologies, optionally overlaying a routing so
+// each flow's path is drawn in a distinct color. Useful for documentation
+// and for eyeballing small adversarial instances.
+#pragma once
+
+#include <string>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/topology.hpp"
+
+namespace closfair {
+
+struct DotOptions {
+  bool rankdir_lr = true;          ///< left-to-right layout
+  bool show_capacities = true;     ///< label links with capacities
+};
+
+/// Topology only.
+[[nodiscard]] std::string to_dot(const Topology& topo, const DotOptions& options = {});
+
+/// Topology plus flow paths: each flow is drawn over its routed links with a
+/// per-flow color (cycled from a small palette) and labeled f<i>.
+[[nodiscard]] std::string to_dot(const Topology& topo, const FlowSet& flows,
+                                 const Routing& routing, const DotOptions& options = {});
+
+}  // namespace closfair

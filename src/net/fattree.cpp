@@ -1,0 +1,198 @@
+#include "net/fattree.hpp"
+
+#include <string>
+
+namespace closfair {
+namespace {
+
+std::string triple_name(const char* stem, int a, int b, int c) {
+  return std::string{stem} + std::to_string(a) + "." + std::to_string(b) + "." +
+         std::to_string(c);
+}
+
+}  // namespace
+
+FatTree::FatTree(int k, Rational link_capacity) : k_(k) {
+  CF_CHECK_MSG(k >= 2 && k % 2 == 0, "fat-tree arity k must be even and >= 2");
+  const int half = k / 2;
+
+  // Switches.
+  edges_.reserve(static_cast<std::size_t>(k) * half);
+  aggs_.reserve(edges_.capacity());
+  for (int p = 1; p <= k; ++p) {
+    for (int e = 1; e <= half; ++e) {
+      edges_.push_back(topo_.add_node("E" + std::to_string(p) + "." + std::to_string(e),
+                                      NodeKind::kInputSwitch));
+    }
+    for (int a = 1; a <= half; ++a) {
+      aggs_.push_back(topo_.add_node("A" + std::to_string(p) + "." + std::to_string(a),
+                                     NodeKind::kMiddleSwitch));
+    }
+  }
+  cores_.reserve(static_cast<std::size_t>(half) * half);
+  for (int a = 1; a <= half; ++a) {
+    for (int c = 1; c <= half; ++c) {
+      cores_.push_back(topo_.add_node("C" + std::to_string(a) + "." + std::to_string(c),
+                                      NodeKind::kMiddleSwitch));
+    }
+  }
+
+  // Servers (each physical server = one source node + one destination node).
+  const auto num_srv = static_cast<std::size_t>(num_servers());
+  sources_.resize(num_srv);
+  dests_.resize(num_srv);
+  src_up_.resize(num_srv);
+  dst_down_.resize(num_srv);
+  for (int p = 1; p <= k; ++p) {
+    for (int e = 1; e <= half; ++e) {
+      for (int j = 1; j <= half; ++j) {
+        const NodeId s = topo_.add_node(triple_name("s", p, e, j), NodeKind::kSource);
+        const NodeId t = topo_.add_node(triple_name("t", p, e, j), NodeKind::kDestination);
+        if (first_source_ == kInvalidNode) first_source_ = s;
+        if (first_dest_ == kInvalidNode) first_dest_ = t;
+        const std::size_t idx = server_index(p, e, j);
+        sources_[idx] = s;
+        dests_[idx] = t;
+        src_up_[idx] = topo_.add_link(s, edge_switch(p, e), link_capacity);
+        dst_down_[idx] = topo_.add_link(edge_switch(p, e), t, link_capacity);
+      }
+    }
+  }
+
+  // Pod fabric: every edge switch to every aggregation switch in its pod.
+  edge_up_.resize(static_cast<std::size_t>(k) * half * half);
+  agg_down_.resize(edge_up_.size());
+  for (int p = 1; p <= k; ++p) {
+    for (int e = 1; e <= half; ++e) {
+      for (int a = 1; a <= half; ++a) {
+        edge_up_[pod_link_index(p, e, a)] =
+            topo_.add_link(edge_switch(p, e), agg_switch(p, a), link_capacity);
+        agg_down_[pod_link_index(p, e, a)] =
+            topo_.add_link(agg_switch(p, a), edge_switch(p, e), link_capacity);
+      }
+    }
+  }
+
+  // Core fabric: aggregation position a of every pod connects to cores
+  // (a, 1..k/2).
+  agg_up_.resize(static_cast<std::size_t>(k) * half * half);
+  core_down_.resize(agg_up_.size());
+  for (int p = 1; p <= k; ++p) {
+    for (int a = 1; a <= half; ++a) {
+      for (int c = 1; c <= half; ++c) {
+        agg_up_[core_link_index(p, a, c)] =
+            topo_.add_link(agg_switch(p, a), core_switch(a, c), link_capacity);
+        core_down_[core_link_index(p, a, c)] =
+            topo_.add_link(core_switch(a, c), agg_switch(p, a), link_capacity);
+      }
+    }
+  }
+}
+
+std::size_t FatTree::server_index(int pod, int edge, int server) const {
+  const int half = k_ / 2;
+  CF_CHECK_MSG(pod >= 1 && pod <= k_, "pod " << pod << " out of [1, " << k_ << "]");
+  CF_CHECK_MSG(edge >= 1 && edge <= half, "edge " << edge << " out of [1, " << half << "]");
+  CF_CHECK_MSG(server >= 1 && server <= half,
+               "server " << server << " out of [1, " << half << "]");
+  return (static_cast<std::size_t>(pod - 1) * half + (edge - 1)) * half + (server - 1);
+}
+
+std::size_t FatTree::pod_link_index(int pod, int edge, int agg) const {
+  const int half = k_ / 2;
+  return (static_cast<std::size_t>(pod - 1) * half + (edge - 1)) * half + (agg - 1);
+}
+
+std::size_t FatTree::core_link_index(int pod, int agg, int core) const {
+  const int half = k_ / 2;
+  return (static_cast<std::size_t>(pod - 1) * half + (agg - 1)) * half + (core - 1);
+}
+
+NodeId FatTree::source(int pod, int edge, int server) const {
+  return sources_[server_index(pod, edge, server)];
+}
+
+NodeId FatTree::destination(int pod, int edge, int server) const {
+  return dests_[server_index(pod, edge, server)];
+}
+
+NodeId FatTree::edge_switch(int pod, int edge) const {
+  const int half = k_ / 2;
+  CF_CHECK(pod >= 1 && pod <= k_ && edge >= 1 && edge <= half);
+  return edges_[static_cast<std::size_t>(pod - 1) * half + (edge - 1)];
+}
+
+NodeId FatTree::agg_switch(int pod, int agg) const {
+  const int half = k_ / 2;
+  CF_CHECK(pod >= 1 && pod <= k_ && agg >= 1 && agg <= half);
+  return aggs_[static_cast<std::size_t>(pod - 1) * half + (agg - 1)];
+}
+
+NodeId FatTree::core_switch(int agg_pos, int core) const {
+  const int half = k_ / 2;
+  CF_CHECK(agg_pos >= 1 && agg_pos <= half && core >= 1 && core <= half);
+  return cores_[static_cast<std::size_t>(agg_pos - 1) * half + (core - 1)];
+}
+
+int FatTree::edge_index(int pod, int edge) const {
+  CF_CHECK(pod >= 1 && pod <= k_ && edge >= 1 && edge <= k_ / 2);
+  return (pod - 1) * (k_ / 2) + edge;
+}
+
+FatTree::ServerCoord FatTree::source_coord(NodeId src) const {
+  CF_CHECK_MSG(topo_.node(src).kind == NodeKind::kSource, "node is not a source server");
+  const auto offset = static_cast<std::size_t>(src - first_source_) / 2;
+  const int half = k_ / 2;
+  const int server = static_cast<int>(offset) % half + 1;
+  const int edge = (static_cast<int>(offset) / half) % half + 1;
+  const int pod = static_cast<int>(offset) / (half * half) + 1;
+  return ServerCoord{pod, edge, server};
+}
+
+FatTree::ServerCoord FatTree::dest_coord(NodeId dst) const {
+  CF_CHECK_MSG(topo_.node(dst).kind == NodeKind::kDestination,
+               "node is not a destination server");
+  const auto offset = static_cast<std::size_t>(dst - first_dest_) / 2;
+  const int half = k_ / 2;
+  const int server = static_cast<int>(offset) % half + 1;
+  const int edge = (static_cast<int>(offset) / half) % half + 1;
+  const int pod = static_cast<int>(offset) / (half * half) + 1;
+  return ServerCoord{pod, edge, server};
+}
+
+std::vector<Path> FatTree::paths(NodeId src, NodeId dst) const {
+  const ServerCoord s = source_coord(src);
+  const ServerCoord t = dest_coord(dst);
+  const int half = k_ / 2;
+  const LinkId up0 = src_up_[server_index(s.pod, s.edge, s.server)];
+  const LinkId down0 = dst_down_[server_index(t.pod, t.edge, t.server)];
+
+  std::vector<Path> result;
+  if (s.pod == t.pod && s.edge == t.edge) {
+    // Same edge switch: the one two-hop path.
+    result.push_back(Path{up0, down0});
+    return result;
+  }
+  if (s.pod == t.pod) {
+    // Same pod: via each aggregation switch.
+    result.reserve(static_cast<std::size_t>(half));
+    for (int a = 1; a <= half; ++a) {
+      result.push_back(Path{up0, edge_up_[pod_link_index(s.pod, s.edge, a)],
+                            agg_down_[pod_link_index(t.pod, t.edge, a)], down0});
+    }
+    return result;
+  }
+  // Cross-pod: via each (aggregation position, core) pair.
+  result.reserve(static_cast<std::size_t>(half) * half);
+  for (int a = 1; a <= half; ++a) {
+    for (int c = 1; c <= half; ++c) {
+      result.push_back(Path{up0, edge_up_[pod_link_index(s.pod, s.edge, a)],
+                            agg_up_[core_link_index(s.pod, a, c)],
+                            core_down_[core_link_index(t.pod, a, c)],
+                            agg_down_[pod_link_index(t.pod, t.edge, a)], down0});
+    }
+  }
+  return result;
+}
+
+}  // namespace closfair

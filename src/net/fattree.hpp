@@ -1,0 +1,94 @@
+// k-ary fat-tree topology (Al-Fares et al., the paper's reference data-center
+// deployment [2]).
+//
+// A fat-tree is the folded, multi-stage form of a Clos network: k pods, each
+// with k/2 edge and k/2 aggregation switches; (k/2)^2 core switches; k/2
+// servers per edge switch. Like net/clos.hpp we model the directed
+// source->destination fabric: every physical server appears once as a source
+// and once as a destination, and links are laid out so that every
+// source-destination pair has the full set of equal-length upward/downward
+// paths (1 via the shared edge switch, k/2 via pod aggregation, (k/2)^2 via
+// core).
+//
+// The fairness machinery (water-filling, bottleneck certification,
+// allocations) is topology-generic, so everything in fairness/ and flow/
+// works on fat-trees unchanged; routing/generic.hpp provides path-set based
+// ECMP/greedy. The macro-switch abstraction of a fat-tree is MacroSwitch
+// with one "ToR" per edge switch.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace closfair {
+
+/// Builder + index map for a k-ary fat-tree. k must be even and >= 2.
+/// Servers are addressed (pod, edge, server), all 1-based: pod in [k],
+/// edge in [k/2], server in [k/2].
+class FatTree {
+ public:
+  explicit FatTree(int k, Rational link_capacity = Rational{1});
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int num_pods() const { return k_; }
+  [[nodiscard]] int edges_per_pod() const { return k_ / 2; }
+  [[nodiscard]] int aggs_per_pod() const { return k_ / 2; }
+  [[nodiscard]] int servers_per_edge() const { return k_ / 2; }
+  [[nodiscard]] int num_cores() const { return (k_ / 2) * (k_ / 2); }
+  [[nodiscard]] int num_servers() const {
+    return num_pods() * edges_per_pod() * servers_per_edge();
+  }
+  /// Edge switches fabric-wide (the "ToR" count of the macro abstraction).
+  [[nodiscard]] int num_edge_switches() const { return num_pods() * edges_per_pod(); }
+
+  /// Source server s in (pod p, edge e, slot j).
+  [[nodiscard]] NodeId source(int pod, int edge, int server) const;
+  [[nodiscard]] NodeId destination(int pod, int edge, int server) const;
+  [[nodiscard]] NodeId edge_switch(int pod, int edge) const;
+  [[nodiscard]] NodeId agg_switch(int pod, int agg) const;
+  /// Core switch (a, c): the c'th core attached to aggregation position a.
+  [[nodiscard]] NodeId core_switch(int agg_pos, int core) const;
+
+  /// Global 1-based edge-switch index (pod-major) — the macro-switch "ToR"
+  /// coordinate for this server.
+  [[nodiscard]] int edge_index(int pod, int edge) const;
+
+  struct ServerCoord {
+    int pod = 0;
+    int edge = 0;
+    int server = 0;
+  };
+  [[nodiscard]] ServerCoord source_coord(NodeId src) const;
+  [[nodiscard]] ServerCoord dest_coord(NodeId dst) const;
+
+  /// All equal-cost src->dst paths: one intra-edge path when the pair shares
+  /// an edge switch, k/2 intra-pod paths when it shares only a pod, and
+  /// (k/2)^2 core paths otherwise.
+  [[nodiscard]] std::vector<Path> paths(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+ private:
+  int k_;
+  Topology topo_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> dests_;
+  std::vector<NodeId> edges_;
+  std::vector<NodeId> aggs_;
+  std::vector<NodeId> cores_;
+  std::vector<LinkId> src_up_;     // server -> edge
+  std::vector<LinkId> dst_down_;   // edge -> server
+  std::vector<LinkId> edge_up_;    // edge -> agg (pod-local, per (pod, edge, agg))
+  std::vector<LinkId> agg_down_;   // agg -> edge
+  std::vector<LinkId> agg_up_;     // agg -> core (per (pod, agg, core))
+  std::vector<LinkId> core_down_;  // core -> agg
+  NodeId first_source_ = kInvalidNode;
+  NodeId first_dest_ = kInvalidNode;
+
+  [[nodiscard]] std::size_t server_index(int pod, int edge, int server) const;
+  [[nodiscard]] std::size_t pod_link_index(int pod, int edge, int agg) const;
+  [[nodiscard]] std::size_t core_link_index(int pod, int agg, int core) const;
+};
+
+}  // namespace closfair

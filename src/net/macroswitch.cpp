@@ -1,0 +1,108 @@
+#include "net/macroswitch.hpp"
+
+#include <string>
+
+namespace closfair {
+
+MacroSwitch MacroSwitch::paper(int n) {
+  CF_CHECK_MSG(n >= 1, "MS_n requires n >= 1");
+  return MacroSwitch(Params{2 * n, n, Rational{1}});
+}
+
+MacroSwitch::MacroSwitch(Params params) : params_(params) {
+  CF_CHECK(params_.num_tors >= 1);
+  CF_CHECK(params_.servers_per_tor >= 1);
+
+  const int tors = params_.num_tors;
+  const int servers = params_.servers_per_tor;
+
+  inputs_.reserve(static_cast<std::size_t>(tors));
+  outputs_.reserve(static_cast<std::size_t>(tors));
+  for (int i = 1; i <= tors; ++i) {
+    inputs_.push_back(topo_.add_node("I" + std::to_string(i), NodeKind::kInputSwitch));
+    outputs_.push_back(topo_.add_node("O" + std::to_string(i), NodeKind::kOutputSwitch));
+  }
+
+  sources_.resize(static_cast<std::size_t>(tors) * servers);
+  dests_.resize(sources_.size());
+  source_links_.resize(sources_.size());
+  dest_links_.resize(sources_.size());
+  for (int i = 1; i <= tors; ++i) {
+    for (int j = 1; j <= servers; ++j) {
+      const std::string suffix = std::to_string(i) + "^" + std::to_string(j);
+      const NodeId s = topo_.add_node("s" + suffix, NodeKind::kSource);
+      const NodeId t = topo_.add_node("t" + suffix, NodeKind::kDestination);
+      if (first_source_ == kInvalidNode) first_source_ = s;
+      if (first_dest_ == kInvalidNode) first_dest_ = t;
+      sources_[server_index(i, j)] = s;
+      dests_[server_index(i, j)] = t;
+      source_links_[server_index(i, j)] =
+          topo_.add_link(s, input_switch(i), params_.link_capacity);
+      dest_links_[server_index(i, j)] =
+          topo_.add_link(output_switch(i), t, params_.link_capacity);
+    }
+  }
+
+  inner_links_.resize(static_cast<std::size_t>(tors) * tors);
+  for (int i = 1; i <= tors; ++i) {
+    for (int k = 1; k <= tors; ++k) {
+      inner_links_[static_cast<std::size_t>(i - 1) * tors + (k - 1)] =
+          topo_.add_unbounded_link(input_switch(i), output_switch(k));
+    }
+  }
+}
+
+std::size_t MacroSwitch::server_index(int i, int j) const {
+  CF_CHECK_MSG(i >= 1 && i <= params_.num_tors, "ToR index " << i << " out of [1, "
+                                                              << params_.num_tors << "]");
+  CF_CHECK_MSG(j >= 1 && j <= params_.servers_per_tor,
+               "server index " << j << " out of [1, " << params_.servers_per_tor << "]");
+  return static_cast<std::size_t>(i - 1) * params_.servers_per_tor + (j - 1);
+}
+
+NodeId MacroSwitch::source(int i, int j) const { return sources_[server_index(i, j)]; }
+NodeId MacroSwitch::destination(int i, int j) const { return dests_[server_index(i, j)]; }
+
+NodeId MacroSwitch::input_switch(int i) const {
+  CF_CHECK(i >= 1 && i <= params_.num_tors);
+  return inputs_[static_cast<std::size_t>(i - 1)];
+}
+
+NodeId MacroSwitch::output_switch(int i) const {
+  CF_CHECK(i >= 1 && i <= params_.num_tors);
+  return outputs_[static_cast<std::size_t>(i - 1)];
+}
+
+LinkId MacroSwitch::source_link(int i, int j) const { return source_links_[server_index(i, j)]; }
+LinkId MacroSwitch::dest_link(int i, int j) const { return dest_links_[server_index(i, j)]; }
+
+LinkId MacroSwitch::inner_link(int i, int k) const {
+  CF_CHECK(i >= 1 && i <= params_.num_tors);
+  CF_CHECK(k >= 1 && k <= params_.num_tors);
+  return inner_links_[static_cast<std::size_t>(i - 1) * params_.num_tors + (k - 1)];
+}
+
+MacroSwitch::ServerCoord MacroSwitch::source_coord(NodeId src) const {
+  CF_CHECK_MSG(topo_.node(src).kind == NodeKind::kSource, "node is not a source server");
+  const auto offset = static_cast<std::size_t>(src - first_source_) / 2;
+  const int servers = params_.servers_per_tor;
+  return ServerCoord{static_cast<int>(offset) / servers + 1,
+                     static_cast<int>(offset) % servers + 1};
+}
+
+MacroSwitch::ServerCoord MacroSwitch::dest_coord(NodeId dst) const {
+  CF_CHECK_MSG(topo_.node(dst).kind == NodeKind::kDestination, "node is not a destination server");
+  const auto offset = static_cast<std::size_t>(dst - first_dest_) / 2;
+  const int servers = params_.servers_per_tor;
+  return ServerCoord{static_cast<int>(offset) / servers + 1,
+                     static_cast<int>(offset) % servers + 1};
+}
+
+Path MacroSwitch::path(NodeId src, NodeId dst) const {
+  const ServerCoord s = source_coord(src);
+  const ServerCoord t = dest_coord(dst);
+  return Path{source_link(s.tor, s.server), inner_link(s.tor, t.tor),
+              dest_link(t.tor, t.server)};
+}
+
+}  // namespace closfair

@@ -1,0 +1,78 @@
+// The macro-switch abstraction MS_n of the paper (§2.1).
+//
+// MS_n replaces a Clos network's middle stage with a complete bipartite graph
+// of unbounded-capacity links between input and output ToR switches, so only
+// the server <-> ToR links constrain rates. Every source-destination pair has
+// a single path, hence a unique routing and a unique max-min fair allocation
+// per flow collection.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace closfair {
+
+/// Builder + index map for a macro-switch topology. Indexing is 1-based and
+/// mirrors ClosNetwork so flow collections transfer verbatim between the two.
+class MacroSwitch {
+ public:
+  struct Params {
+    int num_tors = 2;
+    int servers_per_tor = 1;
+    Rational link_capacity{1};
+  };
+
+  /// The paper's MS_n: 2n ToRs per side, n servers per ToR.
+  static MacroSwitch paper(int n);
+
+  /// The macro-switch abstraction of an arbitrary Clos network (same ToR and
+  /// server counts, same edge link capacity).
+  explicit MacroSwitch(Params params);
+
+  [[nodiscard]] int num_tors() const { return params_.num_tors; }
+  [[nodiscard]] int servers_per_tor() const { return params_.servers_per_tor; }
+  [[nodiscard]] int num_sources() const { return params_.num_tors * params_.servers_per_tor; }
+  [[nodiscard]] int num_destinations() const { return num_sources(); }
+
+  [[nodiscard]] NodeId source(int i, int j) const;
+  [[nodiscard]] NodeId destination(int i, int j) const;
+  [[nodiscard]] NodeId input_switch(int i) const;
+  [[nodiscard]] NodeId output_switch(int i) const;
+
+  /// Link s_i^j -> I_i.
+  [[nodiscard]] LinkId source_link(int i, int j) const;
+  /// Unbounded inner link I_i -> O_k.
+  [[nodiscard]] LinkId inner_link(int i, int k) const;
+  /// Link O_i -> t_i^j.
+  [[nodiscard]] LinkId dest_link(int i, int j) const;
+
+  struct ServerCoord {
+    int tor = 0;
+    int server = 0;
+  };
+  [[nodiscard]] ServerCoord source_coord(NodeId src) const;
+  [[nodiscard]] ServerCoord dest_coord(NodeId dst) const;
+
+  /// The unique src-dst path (3 links: edge, inner, edge).
+  [[nodiscard]] Path path(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+ private:
+  Params params_;
+  Topology topo_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> dests_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<LinkId> source_links_;
+  std::vector<LinkId> dest_links_;
+  std::vector<LinkId> inner_links_;  // [in-tor-1][out-tor-1] flattened
+  NodeId first_source_ = kInvalidNode;
+  NodeId first_dest_ = kInvalidNode;
+
+  [[nodiscard]] std::size_t server_index(int i, int j) const;
+};
+
+}  // namespace closfair

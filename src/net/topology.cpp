@@ -1,0 +1,108 @@
+#include "net/topology.hpp"
+
+#include <sstream>
+
+namespace closfair {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSource: return "source";
+    case NodeKind::kInputSwitch: return "input-switch";
+    case NodeKind::kMiddleSwitch: return "middle-switch";
+    case NodeKind::kOutputSwitch: return "output-switch";
+    case NodeKind::kDestination: return "destination";
+    case NodeKind::kOther: return "other";
+  }
+  return "?";
+}
+
+NodeId Topology::add_node(std::string name, NodeKind kind) {
+  nodes_.push_back(Node{std::move(name), kind});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+LinkId Topology::add_link(NodeId from, NodeId to, Rational capacity) {
+  check_node(from);
+  check_node(to);
+  CF_CHECK_MSG(!capacity.is_negative(), "negative link capacity");
+  links_.push_back(Link{from, to, capacity, /*unbounded=*/false});
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  in_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_unbounded_link(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  links_.push_back(Link{from, to, Rational{0}, /*unbounded=*/true});
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  in_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+const Node& Topology::node(NodeId id) const {
+  check_node(id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Link& Topology::link(LinkId id) const {
+  check_link(id);
+  return links_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LinkId>& Topology::out_links(NodeId id) const {
+  check_node(id);
+  return out_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LinkId>& Topology::in_links(NodeId id) const {
+  check_node(id);
+  return in_[static_cast<std::size_t>(id)];
+}
+
+std::optional<LinkId> Topology::find_link(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  for (LinkId id : out_[static_cast<std::size_t>(from)]) {
+    if (links_[static_cast<std::size_t>(id)].to == to) return id;
+  }
+  return std::nullopt;
+}
+
+bool Topology::is_path(const Path& path, NodeId src, NodeId dst) const {
+  if (path.empty()) return src == dst;
+  NodeId at = src;
+  for (LinkId id : path) {
+    if (id < 0 || static_cast<std::size_t>(id) >= links_.size()) return false;
+    const Link& l = links_[static_cast<std::size_t>(id)];
+    if (l.from != at) return false;
+    at = l.to;
+  }
+  return at == dst;
+}
+
+std::string Topology::describe_path(const Path& path) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Link& l = link(path[i]);
+    if (i == 0) os << node(l.from).name;
+    os << " -> " << node(l.to).name;
+  }
+  return os.str();
+}
+
+void Topology::check_node(NodeId id) const {
+  CF_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+               "node id " << id << " out of range [0, " << nodes_.size() << ")");
+}
+
+void Topology::check_link(LinkId id) const {
+  CF_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < links_.size(),
+               "link id " << id << " out of range [0, " << links_.size() << ")");
+}
+
+}  // namespace closfair

@@ -1,0 +1,109 @@
+// Directed capacitated graph substrate.
+//
+// A Topology is the ground structure every other module works over: Clos
+// networks (net/clos.hpp) and macro-switches (net/macroswitch.hpp) are built
+// as Topology instances; routings assign flows to link paths; allocations are
+// checked feasible against link capacities.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Role of a node in a data-center topology; Other for ad-hoc graphs.
+enum class NodeKind : std::uint8_t {
+  kSource,
+  kInputSwitch,
+  kMiddleSwitch,
+  kOutputSwitch,
+  kDestination,
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::kOther;
+};
+
+/// A directed link. `unbounded` models the infinite-capacity inner links of a
+/// macro-switch; for unbounded links `capacity` is ignored.
+struct Link {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Rational capacity{1};
+  bool unbounded = false;
+};
+
+/// A path is a sequence of link ids; consecutive links must share endpoints.
+using Path = std::vector<LinkId>;
+
+/// Directed multigraph with named nodes and capacitated links.
+class Topology {
+ public:
+  Topology() = default;
+
+  NodeId add_node(std::string name, NodeKind kind = NodeKind::kOther);
+
+  /// Adds a directed link of the given finite capacity; capacity must be >= 0.
+  LinkId add_link(NodeId from, NodeId to, Rational capacity = Rational{1});
+
+  /// Adds a directed link of unbounded capacity (macro-switch inner links).
+  LinkId add_unbounded_link(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId id) const;
+  [[nodiscard]] const std::vector<LinkId>& in_links(NodeId id) const;
+
+  /// First link from `from` to `to`, if any (topologies here are simple in
+  /// practice, but multigraphs are permitted).
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId from, NodeId to) const;
+
+  /// True if `path` is a contiguous directed walk from `src` to `dst`.
+  [[nodiscard]] bool is_path(const Path& path, NodeId src, NodeId dst) const;
+
+  /// Human-readable "A -> B -> C" rendering of a path.
+  [[nodiscard]] std::string describe_path(const Path& path) const;
+
+ private:
+  void check_node(NodeId id) const;
+  void check_link(LinkId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::vector<std::vector<LinkId>> in_;
+};
+
+/// Capacity of a link in the numeric domain R (Rational: exact; double:
+/// nearest). Unbounded links have no representable capacity; callers must
+/// branch on `link.unbounded` first.
+template <typename R>
+[[nodiscard]] R capacity_as(const Link& link) {
+  CF_CHECK_MSG(!link.unbounded, "capacity_as on unbounded link");
+  if constexpr (std::is_same_v<R, Rational>) {
+    return link.capacity;
+  } else {
+    return static_cast<R>(link.capacity.to_double());
+  }
+}
+
+}  // namespace closfair

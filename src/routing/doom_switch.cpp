@@ -1,0 +1,63 @@
+#include "routing/doom_switch.hpp"
+
+#include <algorithm>
+
+#include "matching/edge_coloring.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace closfair {
+
+DoomSwitchResult doom_switch(const ClosNetwork& net, const FlowSet& flows) {
+  const int n = net.num_middles();
+
+  // Step 1: maximum matching F' in G^MS (edge index == flow index).
+  const BipartiteMultigraph g_ms = server_flow_graph(net, flows);
+  const std::vector<std::size_t> matched_edges = maximum_matching(g_ms);
+
+  // Step 2: n-color G^C restricted to F'. Build the restricted switch graph,
+  // remembering which flow each restricted edge came from.
+  BipartiteMultigraph g_c(static_cast<std::size_t>(net.num_tors()),
+                          static_cast<std::size_t>(net.num_tors()));
+  std::vector<FlowIndex> edge_to_flow;
+  edge_to_flow.reserve(matched_edges.size());
+  for (std::size_t e : matched_edges) {
+    const Flow& f = flows[e];
+    const auto s = net.source_coord(f.src);
+    const auto t = net.dest_coord(f.dst);
+    g_c.add_edge(static_cast<std::size_t>(s.tor - 1), static_cast<std::size_t>(t.tor - 1));
+    edge_to_flow.push_back(e);
+  }
+  CF_CHECK_MSG(g_c.max_degree() <= static_cast<std::size_t>(n),
+               "matched flows per ToR (" << g_c.max_degree()
+                                         << ") exceed middle count " << n
+                                         << "; Doom-Switch needs servers_per_tor <= n");
+  const std::vector<int> colors = edge_coloring(g_c, n);
+
+  DoomSwitchResult result;
+  result.middles.assign(flows.size(), 0);
+  result.matched.assign(matched_edges.begin(), matched_edges.end());
+  std::sort(result.matched.begin(), result.matched.end());
+
+  std::vector<std::size_t> per_color(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < edge_to_flow.size(); ++i) {
+    result.middles[edge_to_flow[i]] = colors[i] + 1;
+    ++per_color[static_cast<std::size_t>(colors[i])];
+  }
+
+  // Step 3: the doomed middle is the color with the fewest matched flows.
+  int doomed = 1;
+  for (int m = 2; m <= n; ++m) {
+    if (per_color[static_cast<std::size_t>(m - 1)] <
+        per_color[static_cast<std::size_t>(doomed - 1)]) {
+      doomed = m;
+    }
+  }
+  result.doomed_middle = doomed;
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    if (result.middles[f] == 0) result.middles[f] = doomed;
+  }
+  return result;
+}
+
+}  // namespace closfair

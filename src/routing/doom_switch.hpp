@@ -1,0 +1,33 @@
+// The Doom-Switch algorithm (Algorithm 1, §5).
+//
+// Approximates a throughput-max-min fair allocation:
+//   1. Compute a maximum matching F' of the server flow multigraph G^MS
+//      (these flows can all carry rate 1 simultaneously — Lemma 3.2).
+//   2. König-color the switch multigraph G^C restricted to F' with n colors
+//      and assign color m to middle switch M_m, giving F' a link-disjoint
+//      routing (Lemma 5.2).
+//   3. Dump every remaining flow onto the middle switch carrying the fewest
+//      matched flows — the eponymous doomed switch — where congestion
+//      control crushes their rates in favor of the matched flows.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+
+namespace closfair {
+
+struct DoomSwitchResult {
+  MiddleAssignment middles;            ///< 1-based middle per flow
+  std::vector<FlowIndex> matched;      ///< the maximum matching F' (flow indices)
+  int doomed_middle = 1;               ///< middle switch receiving F \ F'
+};
+
+/// Run Algorithm 1. Requires that the matching F' can be n-colored in G^C,
+/// which holds whenever servers_per_tor <= num_middles (always true for the
+/// paper's C_n); throws ContractViolation otherwise.
+[[nodiscard]] DoomSwitchResult doom_switch(const ClosNetwork& net, const FlowSet& flows);
+
+}  // namespace closfair

@@ -1,0 +1,13 @@
+#include "routing/ecmp.hpp"
+
+namespace closfair {
+
+MiddleAssignment ecmp_routing(const ClosNetwork& net, const FlowSet& flows, Rng& rng) {
+  MiddleAssignment middles(flows.size());
+  for (auto& m : middles) {
+    m = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(net.num_middles()))) + 1;
+  }
+  return middles;
+}
+
+}  // namespace closfair

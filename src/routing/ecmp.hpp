@@ -1,0 +1,18 @@
+// ECMP-style randomized routing (§6): each flow is assigned to a
+// source-destination path chosen uniformly at random — in a Clos network, a
+// uniformly random middle switch. This is the long-standing data-center
+// default the paper's related-work section measures against.
+#pragma once
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+#include "util/rng.hpp"
+
+namespace closfair {
+
+/// A uniformly random middle assignment (1-based middles).
+[[nodiscard]] MiddleAssignment ecmp_routing(const ClosNetwork& net, const FlowSet& flows,
+                                            Rng& rng);
+
+}  // namespace closfair

@@ -1,0 +1,214 @@
+#include "routing/exhaustive.hpp"
+
+#include <atomic>
+#include <thread>
+#include <algorithm>
+#include <utility>
+
+#include "fairness/waterfill.hpp"
+
+namespace closfair {
+namespace {
+
+// Odometer-style enumeration of middle assignments, invoking `visit` for
+// each. Returns the number of assignments visited; `visit` returning false
+// stops the enumeration. When pin_last > 0 the last flow's middle is fixed
+// to that value (used by the parallel partitioning) and excluded from the
+// odometer.
+template <typename Visit>
+std::uint64_t enumerate(const ClosNetwork& net, std::size_t num_flows,
+                        const ExhaustiveOptions& options, Visit visit, int pin_last = 0) {
+  const int n = net.num_middles();
+  const std::size_t fixed_prefix = (options.fix_first_flow && num_flows > 0) ? 1 : 0;
+  const std::size_t free_end = (pin_last > 0 && num_flows > 0) ? num_flows - 1 : num_flows;
+
+  // Guard the search-space size before starting.
+  std::uint64_t space = 1;
+  for (std::size_t f = fixed_prefix; f < free_end; ++f) {
+    CF_CHECK_MSG(space <= options.max_routings / static_cast<std::uint64_t>(n),
+                 "routing space " << n << "^" << (free_end - fixed_prefix)
+                                  << " exceeds max_routings " << options.max_routings);
+    space *= static_cast<std::uint64_t>(n);
+  }
+
+  MiddleAssignment middles(num_flows, 1);
+  if (pin_last > 0 && num_flows > 0) middles[num_flows - 1] = pin_last;
+  std::uint64_t visited = 0;
+  while (true) {
+    ++visited;
+    if (!visit(middles)) return visited;
+    // Increment the odometer over positions [fixed_prefix, free_end).
+    std::size_t pos = fixed_prefix;
+    while (pos < free_end) {
+      if (middles[pos] < n) {
+        ++middles[pos];
+        break;
+      }
+      middles[pos] = 1;
+      ++pos;
+    }
+    if (pos >= free_end) return visited;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Serial lex search over one pinned-last-slice of the space (pin_last = 0
+// means the whole space). `stop` lets parallel siblings cancel each other
+// once stop_at_sorted is reached.
+struct LexLocal {
+  bool have = false;
+  ExactRoutingResult result;
+  std::vector<Rational> sorted;
+};
+
+void lex_search_slice(const ClosNetwork& net, const FlowSet& flows,
+                      const ExhaustiveOptions& options, int pin_last, LexLocal& local,
+                      std::atomic<bool>& stop) {
+  local.result.routings_evaluated +=
+      enumerate(
+          net, flows.size(), options,
+          [&](const MiddleAssignment& middles) {
+            if (stop.load(std::memory_order_relaxed)) return false;
+            Allocation<Rational> alloc = max_min_fair<Rational>(net, flows, middles);
+            std::vector<Rational> sorted = alloc.sorted();
+            if (!local.have ||
+                lex_compare(sorted, local.sorted) == std::strong_ordering::greater) {
+              local.have = true;
+              local.result.middles = middles;
+              local.result.alloc = std::move(alloc);
+              local.sorted = std::move(sorted);
+              if (options.stop_at_sorted &&
+                  lex_compare(local.sorted, *options.stop_at_sorted) !=
+                      std::strong_ordering::less) {
+                stop.store(true, std::memory_order_relaxed);
+                return false;  // provably optimal
+              }
+            }
+            return true;
+          },
+          pin_last);
+}
+
+}  // namespace
+
+ExactRoutingResult lex_max_min_exhaustive(const ClosNetwork& net, const FlowSet& flows,
+                                          const ExhaustiveOptions& options) {
+  std::atomic<bool> stop{false};
+  const unsigned threads =
+      flows.size() >= 2 ? std::max(1u, options.num_threads) : 1u;
+
+  if (threads == 1) {
+    LexLocal local;
+    lex_search_slice(net, flows, options, /*pin_last=*/0, local, stop);
+    CF_CHECK_MSG(local.have, "empty flow collection has no lex-max-min routing");
+    return std::move(local.result);
+  }
+
+  // Partition by the last flow's middle; workers take values round-robin.
+  std::vector<LexLocal> locals(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      for (int v = 1 + static_cast<int>(w); v <= net.num_middles();
+           v += static_cast<int>(threads)) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        lex_search_slice(net, flows, options, v, locals[w], stop);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  LexLocal merged;
+  for (LexLocal& local : locals) {
+    merged.result.routings_evaluated += local.result.routings_evaluated;
+    if (local.have &&
+        (!merged.have ||
+         lex_compare(local.sorted, merged.sorted) == std::strong_ordering::greater)) {
+      merged.have = true;
+      merged.result.middles = std::move(local.result.middles);
+      merged.result.alloc = std::move(local.result.alloc);
+      merged.sorted = std::move(local.sorted);
+    }
+  }
+  CF_CHECK_MSG(merged.have, "empty flow collection has no lex-max-min routing");
+  return std::move(merged.result);
+}
+
+ExactRoutingResult throughput_max_min_exhaustive(const ClosNetwork& net,
+                                                 const FlowSet& flows,
+                                                 const ExhaustiveOptions& options) {
+  ExactRoutingResult best;
+  bool have_best = false;
+  Rational best_throughput{0};
+  std::vector<Rational> best_sorted;
+
+  best.routings_evaluated =
+      enumerate(net, flows.size(), options, [&](const MiddleAssignment& middles) {
+        Allocation<Rational> alloc = max_min_fair<Rational>(net, flows, middles);
+        const Rational throughput = alloc.throughput();
+        bool take = !have_best || best_throughput < throughput;
+        if (have_best && throughput == best_throughput) {
+          take = lex_compare(alloc.sorted(), best_sorted) == std::strong_ordering::greater;
+        }
+        if (take) {
+          have_best = true;
+          best.middles = middles;
+          best_sorted = alloc.sorted();
+          best.alloc = std::move(alloc);
+          best_throughput = throughput;
+        }
+        return true;
+      });
+  CF_CHECK_MSG(have_best, "empty flow collection has no throughput-max-min routing");
+  return best;
+}
+
+std::vector<ParetoPoint> throughput_fairness_frontier(const ClosNetwork& net,
+                                                      const FlowSet& flows,
+                                                      const ExhaustiveOptions& options) {
+  // Collect candidate (throughput, min rate) points, then prune dominated
+  // ones. Deduplicate on the fly by keeping, per throughput value seen, only
+  // the best min rate (the candidate map stays small).
+  std::vector<ParetoPoint> candidates;
+  enumerate(net, flows.size(), options, [&](const MiddleAssignment& middles) {
+    const Allocation<Rational> alloc = max_min_fair<Rational>(net, flows, middles);
+    ParetoPoint point;
+    point.throughput = alloc.throughput();
+    point.min_rate = flows.empty() ? Rational{0} : alloc.sorted().front();
+    for (ParetoPoint& existing : candidates) {
+      if (existing.throughput == point.throughput) {
+        if (existing.min_rate < point.min_rate) {
+          existing.min_rate = point.min_rate;
+          existing.middles = middles;
+        }
+        return true;
+      }
+    }
+    point.middles = middles;
+    candidates.push_back(std::move(point));
+    return true;
+  });
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.throughput < b.throughput;
+            });
+  // Sweep from the high-throughput end: keep points whose min rate strictly
+  // exceeds everything to their right.
+  std::vector<ParetoPoint> frontier;
+  Rational best_min{-1};
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    if (best_min < it->min_rate) {
+      best_min = it->min_rate;
+      frontier.push_back(std::move(*it));
+    }
+  }
+  std::reverse(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+}  // namespace closfair

@@ -1,0 +1,81 @@
+// Exact routing-objective optimizers by exhaustive enumeration.
+//
+// A Clos routing is a middle assignment in [n]^|F|, so for small instances we
+// can find true lex-max-min fair (Definition 2.4) and throughput-max-min fair
+// (Definition 2.5) allocations by enumerating every routing and water-filling
+// each one. This is how the test suite verifies the paper's optimality claims
+// (Lemma 4.6 step 2, Example 2.3) *by search* rather than by trusting the
+// constructions.
+//
+// Middle switches are interchangeable (any permutation of middles is a
+// topology automorphism), so the first flow can be pinned to M_1, cutting the
+// space by a factor n; enable via `fix_first_flow`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flow/allocation.hpp"
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+
+namespace closfair {
+
+struct ExhaustiveOptions {
+  /// Abort (throw ContractViolation) if the enumeration would exceed this
+  /// many routings. Guards against accidentally launching an n^|F| blow-up.
+  std::uint64_t max_routings = 50'000'000;
+
+  /// Pin flow 0 to middle 1 (sound by middle-switch symmetry).
+  bool fix_first_flow = true;
+
+  /// Worker threads for lex_max_min_exhaustive (1 = serial). The space is
+  /// partitioned by the last flow's middle; each worker keeps a local best
+  /// and the results merge lexicographically, so the answer is identical to
+  /// the serial one. stop_at_sorted early exit is honored via an atomic
+  /// flag (workers may overshoot slightly; routings_evaluated counts all
+  /// visits across workers).
+  unsigned num_threads = 1;
+
+  /// Stop early if this sorted vector is reached: no feasible Clos allocation
+  /// can lexicographically exceed the macro-switch max-min sorted vector
+  /// (§2.3), so reaching it proves optimality. Applies to lex search only.
+  std::optional<std::vector<Rational>> stop_at_sorted;
+};
+
+struct ExactRoutingResult {
+  MiddleAssignment middles;
+  Allocation<Rational> alloc;           ///< max-min fair allocation for `middles`
+  std::uint64_t routings_evaluated = 0;
+};
+
+/// True lex-max-min fair allocation by enumeration (exact, exponential).
+[[nodiscard]] ExactRoutingResult lex_max_min_exhaustive(const ClosNetwork& net,
+                                                        const FlowSet& flows,
+                                                        const ExhaustiveOptions& options = {});
+
+/// True throughput-max-min fair allocation by enumeration (exact,
+/// exponential). Lexicographic tie-break among equal-throughput routings.
+[[nodiscard]] ExactRoutingResult throughput_max_min_exhaustive(
+    const ClosNetwork& net, const FlowSet& flows, const ExhaustiveOptions& options = {});
+
+/// One Pareto-optimal point of the routing space under the paper's two
+/// competing objectives (Q3): total throughput vs the worst-off flow's rate.
+struct ParetoPoint {
+  Rational throughput{0};
+  Rational min_rate{0};
+  MiddleAssignment middles;  ///< a witness routing achieving this point
+};
+
+/// The exact throughput-vs-min-rate Pareto frontier over ALL routings
+/// (exponential; guarded by options.max_routings). Points are returned
+/// sorted by increasing throughput (hence non-increasing min rate), each
+/// non-dominated: no routing is at least as good on both axes and better on
+/// one. The frontier's two endpoints relate to the paper's objectives: the
+/// max-min-rate end contains the lex-max-min routing's point, the
+/// max-throughput end the throughput-max-min routing's.
+[[nodiscard]] std::vector<ParetoPoint> throughput_fairness_frontier(
+    const ClosNetwork& net, const FlowSet& flows, const ExhaustiveOptions& options = {});
+
+}  // namespace closfair

@@ -1,0 +1,71 @@
+#include "routing/games.hpp"
+
+#include "fairness/waterfill.hpp"
+
+namespace closfair {
+namespace {
+
+// The rate flow f would get if it alone moved to `middle`.
+Rational rate_after_move(const ClosNetwork& net, const FlowSet& flows,
+                         MiddleAssignment& middles, FlowIndex f, int middle) {
+  const int old_middle = middles[f];
+  middles[f] = middle;
+  const Rational rate = max_min_fair<Rational>(net, flows, middles).rate(f);
+  middles[f] = old_middle;
+  return rate;
+}
+
+}  // namespace
+
+BestResponseResult best_response_dynamics(const ClosNetwork& net, const FlowSet& flows,
+                                          MiddleAssignment start,
+                                          const BestResponseOptions& options) {
+  CF_CHECK(start.size() == flows.size());
+  BestResponseResult result;
+  result.middles = std::move(start);
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool any_move = false;
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      const Rational current =
+          max_min_fair<Rational>(net, flows, result.middles).rate(f);
+      int best_middle = result.middles[f];
+      Rational best_rate = current;
+      for (int m = 1; m <= net.num_middles(); ++m) {
+        if (m == result.middles[f]) continue;
+        const Rational candidate = rate_after_move(net, flows, result.middles, f, m);
+        if (best_rate < candidate) {
+          best_rate = candidate;
+          best_middle = m;
+        }
+      }
+      if (best_middle != result.middles[f]) {
+        result.middles[f] = best_middle;
+        ++result.moves;
+        any_move = true;
+      }
+    }
+    if (!any_move) {
+      result.reached_nash = true;
+      break;
+    }
+  }
+  result.alloc = max_min_fair<Rational>(net, flows, result.middles);
+  return result;
+}
+
+bool is_nash_routing(const ClosNetwork& net, const FlowSet& flows,
+                     const MiddleAssignment& middles) {
+  CF_CHECK(middles.size() == flows.size());
+  MiddleAssignment working = middles;
+  const Allocation<Rational> base = max_min_fair<Rational>(net, flows, working);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    for (int m = 1; m <= net.num_middles(); ++m) {
+      if (m == working[f]) continue;
+      if (base.rate(f) < rate_after_move(net, flows, working, f, m)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace closfair

@@ -1,0 +1,47 @@
+// Routing games with progressive filling (Harks et al., the paper's
+// citation [17]).
+//
+// Each flow is a selfish player choosing its middle switch; given a joint
+// routing, payoffs are the max-min fair rates congestion control would
+// impose (progressive filling). Best-response dynamics: players take turns
+// moving to the middle maximizing their own rate (strictly). This module
+// runs the dynamics, detects Nash equilibria (no player can strictly
+// improve), and reports the price of anarchy against the throughput- and
+// lex-optimal routings — connecting the paper's model to its game-theoretic
+// neighbor.
+#pragma once
+
+#include <cstddef>
+
+#include "flow/allocation.hpp"
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+
+namespace closfair {
+
+struct BestResponseResult {
+  MiddleAssignment middles;       ///< final joint routing
+  Allocation<Rational> alloc;     ///< max-min allocation of the final routing
+  std::size_t moves = 0;          ///< accepted strict best-response moves
+  bool reached_nash = false;      ///< a full pass with no strict improvement
+};
+
+struct BestResponseOptions {
+  /// Passes over all players before declaring a cycle; the dynamics are not
+  /// guaranteed to converge in general games, so this bounds the run.
+  std::size_t max_passes = 200;
+};
+
+/// Run round-robin strict best-response dynamics from `start`. Each player
+/// deviates to the middle that strictly maximizes its own max-min rate,
+/// ties keeping the current choice.
+[[nodiscard]] BestResponseResult best_response_dynamics(
+    const ClosNetwork& net, const FlowSet& flows, MiddleAssignment start,
+    const BestResponseOptions& options = {});
+
+/// True if no player can strictly increase its own max-min rate by moving.
+[[nodiscard]] bool is_nash_routing(const ClosNetwork& net, const FlowSet& flows,
+                                   const MiddleAssignment& middles);
+
+}  // namespace closfair

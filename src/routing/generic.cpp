@@ -1,0 +1,135 @@
+#include "routing/generic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace closfair {
+namespace {
+
+void check_candidates(const PathCandidates& candidates) {
+  for (std::size_t f = 0; f < candidates.size(); ++f) {
+    CF_CHECK_MSG(!candidates[f].empty(), "flow " << f << " has no candidate paths");
+  }
+}
+
+double max_congestion_after(const Topology& topo, const std::vector<double>& load,
+                            const Path& path, double demand) {
+  double worst = 0.0;
+  for (LinkId l : path) {
+    const Link& link = topo.link(l);
+    if (link.unbounded) continue;
+    worst = std::max(worst,
+                     (load[static_cast<std::size_t>(l)] + demand) / link.capacity.to_double());
+  }
+  return worst;
+}
+
+void apply(std::vector<double>& load, const Path& path, double demand) {
+  for (LinkId l : path) load[static_cast<std::size_t>(l)] += demand;
+}
+
+void unapply(std::vector<double>& load, const Path& path, double demand) {
+  for (LinkId l : path) load[static_cast<std::size_t>(l)] -= demand;
+}
+
+struct Score {
+  double max_congestion = 0.0;
+  double sum_sq = 0.0;
+  friend bool operator<(const Score& a, const Score& b) {
+    if (a.max_congestion != b.max_congestion) return a.max_congestion < b.max_congestion;
+    return a.sum_sq < b.sum_sq;
+  }
+};
+
+Score score_loads(const Topology& topo, const std::vector<double>& load) {
+  Score s;
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (link.unbounded) continue;
+    s.max_congestion = std::max(s.max_congestion, load[l] / link.capacity.to_double());
+    s.sum_sq += load[l] * load[l];
+  }
+  return s;
+}
+
+}  // namespace
+
+Routing ecmp_paths(const PathCandidates& candidates, Rng& rng) {
+  check_candidates(candidates);
+  std::vector<Path> paths;
+  paths.reserve(candidates.size());
+  for (const auto& options : candidates) {
+    paths.push_back(options[rng.next_below(options.size())]);
+  }
+  return Routing{std::move(paths)};
+}
+
+Routing greedy_paths(const Topology& topo, const PathCandidates& candidates,
+                     const std::vector<double>& demands) {
+  check_candidates(candidates);
+  CF_CHECK_MSG(demands.size() == candidates.size(),
+               "demands cover " << demands.size() << " flows, expected "
+                                << candidates.size());
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return demands[a] > demands[b]; });
+
+  std::vector<double> load(topo.num_links(), 0.0);
+  std::vector<Path> chosen(candidates.size());
+  for (std::size_t f : order) {
+    std::size_t best = 0;
+    double best_congestion = 0.0;
+    bool first = true;
+    for (std::size_t i = 0; i < candidates[f].size(); ++i) {
+      const double c = max_congestion_after(topo, load, candidates[f][i], demands[f]);
+      if (first || c < best_congestion) {
+        first = false;
+        best_congestion = c;
+        best = i;
+      }
+    }
+    chosen[f] = candidates[f][best];
+    apply(load, chosen[f], demands[f]);
+  }
+  return Routing{std::move(chosen)};
+}
+
+Routing congestion_local_search_paths(const Topology& topo, const PathCandidates& candidates,
+                                      const std::vector<double>& demands, Routing start,
+                                      std::size_t max_moves) {
+  check_candidates(candidates);
+  CF_CHECK(demands.size() == candidates.size());
+  CF_CHECK(start.size() == candidates.size());
+
+  std::vector<double> load(topo.num_links(), 0.0);
+  for (FlowIndex f = 0; f < start.size(); ++f) apply(load, start.path(f), demands[f]);
+  Score current = score_loads(topo, load);
+
+  std::size_t moves = 0;
+  bool improved = true;
+  while (improved && moves < max_moves) {
+    improved = false;
+    for (FlowIndex f = 0; f < start.size() && moves < max_moves; ++f) {
+      const Path old_path = start.path(f);
+      for (const Path& candidate : candidates[f]) {
+        if (candidate == old_path) continue;
+        unapply(load, old_path, demands[f]);
+        apply(load, candidate, demands[f]);
+        const Score score = score_loads(topo, load);
+        if (score < current) {
+          current = score;
+          start.set_path(f, candidate);
+          ++moves;
+          improved = true;
+          break;
+        }
+        unapply(load, candidate, demands[f]);
+        apply(load, old_path, demands[f]);
+      }
+    }
+  }
+  return start;
+}
+
+}  // namespace closfair

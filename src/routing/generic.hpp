@@ -1,0 +1,40 @@
+// Topology-generic routing over explicit candidate path sets.
+//
+// The Clos-specific algorithms (routing/ecmp.hpp, routing/greedy.hpp) encode
+// "a path is a middle switch". Multi-stage fabrics like fat-trees
+// (net/fattree.hpp) have richer path sets; these variants take each flow's
+// candidate paths explicitly and return a plain Routing, after which all the
+// fairness machinery applies unchanged.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace closfair {
+
+/// Per-flow candidate path sets; candidates[f] must be non-empty and each
+/// path valid for flow f.
+using PathCandidates = std::vector<std::vector<Path>>;
+
+/// ECMP over explicit candidates: uniform random choice per flow.
+[[nodiscard]] Routing ecmp_paths(const PathCandidates& candidates, Rng& rng);
+
+/// Greedy least-congested over explicit candidates: place flows (largest
+/// demand first) on the candidate minimizing the resulting maximum link
+/// congestion. Ties prefer the earliest candidate.
+[[nodiscard]] Routing greedy_paths(const Topology& topo, const PathCandidates& candidates,
+                                   const std::vector<double>& demands);
+
+/// Local search over explicit candidates: single-flow moves that reduce
+/// (max congestion, sum of squared loads), starting from `start`.
+[[nodiscard]] Routing congestion_local_search_paths(const Topology& topo,
+                                                    const PathCandidates& candidates,
+                                                    const std::vector<double>& demands,
+                                                    Routing start,
+                                                    std::size_t max_moves = 10'000);
+
+}  // namespace closfair

@@ -1,0 +1,33 @@
+// Greedy congestion-aware routing (§6): state-of-the-art data-center routing
+// algorithms assume flows arrive with their macro-switch rates as demands and
+// greedily place each flow on the path minimizing the resulting maximum link
+// congestion (congestion = total demand on link / capacity). This models the
+// Hedera/CONGA family the paper's related-work section describes.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+
+namespace closfair {
+
+struct GreedyOptions {
+  /// Place large-demand flows first (first-fit decreasing). When false, flows
+  /// are placed in collection order.
+  bool sort_by_demand = true;
+};
+
+/// Greedily assign each flow to the middle switch minimizing the maximum
+/// congestion over its path links, given per-flow demands (typically the
+/// macro-switch max-min rates). Ties prefer the lowest middle index.
+[[nodiscard]] MiddleAssignment greedy_routing(const ClosNetwork& net, const FlowSet& flows,
+                                              const std::vector<double>& demands,
+                                              const GreedyOptions& options = {});
+
+/// Unit-demand variant: minimizes the maximum number of flows per link.
+[[nodiscard]] MiddleAssignment greedy_routing_unit(const ClosNetwork& net,
+                                                   const FlowSet& flows);
+
+}  // namespace closfair

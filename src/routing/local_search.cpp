@@ -1,0 +1,165 @@
+#include "routing/local_search.hpp"
+
+#include <algorithm>
+
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+
+namespace closfair {
+namespace {
+
+// Objective for congestion descent: (max link congestion, sum of squared
+// loads). The quadratic tie-breaker spreads load even when the max is fixed.
+struct CongestionScore {
+  double max_congestion = 0.0;
+  double sum_sq = 0.0;
+
+  friend bool operator<(const CongestionScore& a, const CongestionScore& b) {
+    if (a.max_congestion != b.max_congestion) return a.max_congestion < b.max_congestion;
+    return a.sum_sq < b.sum_sq;
+  }
+};
+
+CongestionScore score_loads(const Topology& topo, const std::vector<double>& load) {
+  CongestionScore s;
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (link.unbounded) continue;
+    const double c = load[l] / link.capacity.to_double();
+    s.max_congestion = std::max(s.max_congestion, c);
+    s.sum_sq += load[l] * load[l];
+  }
+  return s;
+}
+
+}  // namespace
+
+MiddleAssignment congestion_local_search(const ClosNetwork& net, const FlowSet& flows,
+                                         const std::vector<double>& demands,
+                                         MiddleAssignment start,
+                                         const LocalSearchOptions& options) {
+  CF_CHECK(demands.size() == flows.size());
+  CF_CHECK(start.size() == flows.size());
+  const auto& topo = net.topology();
+
+  std::vector<double> load(topo.num_links(), 0.0);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    for (LinkId l : net.path(flows[f].src, flows[f].dst, start[f])) {
+      load[static_cast<std::size_t>(l)] += demands[f];
+    }
+  }
+  CongestionScore current = score_loads(topo, load);
+
+  std::size_t moves = 0;
+  bool improved = true;
+  while (improved && moves < options.max_moves) {
+    improved = false;
+    for (FlowIndex f = 0; f < flows.size() && moves < options.max_moves; ++f) {
+      const int old_m = start[f];
+      for (int m = 1; m <= net.num_middles(); ++m) {
+        if (m == old_m) continue;
+        // Apply the move, score, keep or revert.
+        for (LinkId l : net.path(flows[f].src, flows[f].dst, old_m)) {
+          load[static_cast<std::size_t>(l)] -= demands[f];
+        }
+        for (LinkId l : net.path(flows[f].src, flows[f].dst, m)) {
+          load[static_cast<std::size_t>(l)] += demands[f];
+        }
+        const CongestionScore candidate = score_loads(topo, load);
+        if (candidate < current) {
+          current = candidate;
+          start[f] = m;
+          ++moves;
+          improved = true;
+          break;  // re-scan this flow's new neighborhood later
+        }
+        for (LinkId l : net.path(flows[f].src, flows[f].dst, m)) {
+          load[static_cast<std::size_t>(l)] -= demands[f];
+        }
+        for (LinkId l : net.path(flows[f].src, flows[f].dst, old_m)) {
+          load[static_cast<std::size_t>(l)] += demands[f];
+        }
+      }
+    }
+  }
+  return start;
+}
+
+namespace {
+
+// Shared skeleton for the two exact hill climbers: `better(candidate,
+// incumbent)` decides acceptance on (sorted rates, throughput).
+template <typename Better>
+LexSearchResult hill_climb(const ClosNetwork& net, const FlowSet& flows,
+                           MiddleAssignment start, const LocalSearchOptions& options,
+                           Better better) {
+  CF_CHECK(start.size() == flows.size());
+  Allocation<Rational> current = max_min_fair<Rational>(net, flows, start);
+  std::size_t moves = 0;
+
+  bool improved = true;
+  while (improved && moves < options.max_moves) {
+    improved = false;
+    for (FlowIndex f = 0; f < flows.size() && moves < options.max_moves; ++f) {
+      const int old_m = start[f];
+      for (int m = 1; m <= net.num_middles(); ++m) {
+        if (m == old_m) continue;
+        start[f] = m;
+        Allocation<Rational> candidate = max_min_fair<Rational>(net, flows, start);
+        if (better(candidate, current)) {
+          current = std::move(candidate);
+          ++moves;
+          improved = true;
+          break;
+        }
+        start[f] = old_m;
+      }
+    }
+  }
+  return LexSearchResult{std::move(start), std::move(current), moves};
+}
+
+}  // namespace
+
+LexSearchResult lex_max_min_local_search(const ClosNetwork& net, const FlowSet& flows,
+                                         MiddleAssignment start,
+                                         const LocalSearchOptions& options) {
+  return hill_climb(net, flows, std::move(start), options,
+                    [](const Allocation<Rational>& cand, const Allocation<Rational>& cur) {
+                      return lex_compare_sorted(cand, cur) == std::strong_ordering::greater;
+                    });
+}
+
+LexSearchResult lex_max_min_multistart(const ClosNetwork& net, const FlowSet& flows,
+                                       Rng& rng, std::size_t restarts,
+                                       const LocalSearchOptions& options) {
+  CF_CHECK(restarts >= 1);
+  LexSearchResult best;
+  bool have_best = false;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    MiddleAssignment start =
+        r == 0 ? MiddleAssignment(flows.size(), 1) : ecmp_routing(net, flows, rng);
+    LexSearchResult result = lex_max_min_local_search(net, flows, std::move(start), options);
+    if (!have_best ||
+        lex_compare_sorted(result.alloc, best.alloc) == std::strong_ordering::greater) {
+      best = std::move(result);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+LexSearchResult throughput_max_min_local_search(const ClosNetwork& net, const FlowSet& flows,
+                                                MiddleAssignment start,
+                                                const LocalSearchOptions& options) {
+  return hill_climb(net, flows, std::move(start), options,
+                    [](const Allocation<Rational>& cand, const Allocation<Rational>& cur) {
+                      const Rational ct = cand.throughput();
+                      const Rational it = cur.throughput();
+                      if (it < ct) return true;
+                      if (ct < it) return false;
+                      return lex_compare_sorted(cand, cur) == std::strong_ordering::greater;
+                    });
+}
+
+}  // namespace closfair

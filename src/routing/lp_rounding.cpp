@@ -1,0 +1,49 @@
+#include "routing/lp_rounding.hpp"
+
+#include "fairness/waterfill.hpp"
+
+namespace closfair {
+
+MiddleAssignment round_splittable(const SplittableMaxMin& splittable, Rng& rng) {
+  MiddleAssignment middles(splittable.shares.size(), 1);
+  for (std::size_t f = 0; f < splittable.shares.size(); ++f) {
+    const auto& shares = splittable.shares[f];
+    const Rational total = splittable.rates.rate(f);
+    if (total.is_zero()) continue;  // middle 1; the flow carries nothing anyway
+    // Inverse-CDF sampling over exact shares using one double draw: exact
+    // proportions, double granularity — fine for a randomized heuristic.
+    const double u = rng.next_double();
+    double acc = 0.0;
+    for (std::size_t m = 0; m < shares.size(); ++m) {
+      acc += (shares[m] / total).to_double();
+      if (u < acc) {
+        middles[f] = static_cast<int>(m) + 1;
+        break;
+      }
+      // Rounding slack: fall through to the last positive share.
+      if (m + 1 == shares.size()) middles[f] = static_cast<int>(m) + 1;
+    }
+  }
+  return middles;
+}
+
+RoundingResult round_splittable_best_of(const ClosNetwork& net, const FlowSet& flows,
+                                        const SplittableMaxMin& splittable, Rng& rng,
+                                        std::size_t attempts) {
+  CF_CHECK(attempts >= 1);
+  CF_CHECK(splittable.shares.size() == flows.size());
+  RoundingResult best;
+  for (std::size_t draw = 0; draw < attempts; ++draw) {
+    MiddleAssignment middles = round_splittable(splittable, rng);
+    Allocation<Rational> alloc = max_min_fair<Rational>(net, flows, middles);
+    if (draw == 0 ||
+        lex_compare_sorted(alloc, best.alloc) == std::strong_ordering::greater) {
+      best.middles = std::move(middles);
+      best.alloc = std::move(alloc);
+    }
+  }
+  best.draws = attempts;
+  return best;
+}
+
+}  // namespace closfair

@@ -1,0 +1,40 @@
+// Randomized rounding of the splittable optimum (Raghavan–Thompson style).
+//
+// The splittable max-min allocation (lp/splittable.hpp) carries each flow
+// fractionally over the middles. Rounding samples one middle per flow with
+// probability proportional to its fractional share, yielding an unsplittable
+// routing whose expected link loads equal the fractional ones — a principled
+// middle ground between ECMP (ignores structure) and exhaustive search
+// (exponential). `best_of` rounds repeatedly and keeps the draw whose
+// max-min allocation is lexicographically best.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "lp/splittable.hpp"
+#include "net/clos.hpp"
+#include "util/rng.hpp"
+
+namespace closfair {
+
+/// One rounded routing: sample middle m for flow f with probability
+/// shares[f][m-1] / rate_f (flows with zero rate go to middle 1).
+[[nodiscard]] MiddleAssignment round_splittable(const SplittableMaxMin& splittable,
+                                                Rng& rng);
+
+struct RoundingResult {
+  MiddleAssignment middles;
+  Allocation<Rational> alloc;  ///< max-min allocation of the kept draw
+  std::size_t draws = 0;
+};
+
+/// Round `attempts` times and keep the lexicographically best max-min
+/// outcome. attempts >= 1.
+[[nodiscard]] RoundingResult round_splittable_best_of(const ClosNetwork& net,
+                                                      const FlowSet& flows,
+                                                      const SplittableMaxMin& splittable,
+                                                      Rng& rng, std::size_t attempts = 8);
+
+}  // namespace closfair

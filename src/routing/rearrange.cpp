@@ -1,0 +1,93 @@
+#include "routing/rearrange.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace closfair {
+
+RearrangeResult first_fit_rearrange(const ClosNetwork& net, const FlowSet& flows,
+                                    const std::vector<Rational>& rates) {
+  CF_CHECK(rates.size() == flows.size());
+  for (const Rational& r : rates) CF_CHECK(!r.is_negative());
+
+  const int tors = net.num_tors();
+  const int middles = net.num_middles();
+  // Residual capacity per (ToR, middle) in both directions.
+  std::vector<Rational> up(static_cast<std::size_t>(tors) * middles);
+  std::vector<Rational> down(up.size());
+  for (int i = 1; i <= tors; ++i) {
+    for (int m = 1; m <= middles; ++m) {
+      up[static_cast<std::size_t>(i - 1) * middles + (m - 1)] =
+          net.topology().link(net.uplink(i, m)).capacity;
+      down[static_cast<std::size_t>(m - 1) * tors + (i - 1)] =
+          net.topology().link(net.downlink(m, i)).capacity;
+    }
+  }
+
+  std::vector<FlowIndex> order(flows.size());
+  std::iota(order.begin(), order.end(), FlowIndex{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](FlowIndex a, FlowIndex b) { return rates[b] < rates[a]; });
+
+  RearrangeResult result;
+  result.assignment.assign(flows.size(), 1);
+  for (FlowIndex f : order) {
+    const auto s = net.source_coord(flows[f].src);
+    const auto t = net.dest_coord(flows[f].dst);
+    bool placed = false;
+    for (int m = 1; m <= middles; ++m) {
+      Rational& u = up[static_cast<std::size_t>(s.tor - 1) * middles + (m - 1)];
+      Rational& d = down[static_cast<std::size_t>(m - 1) * tors + (t.tor - 1)];
+      if (u < rates[f] || d < rates[f]) continue;
+      u -= rates[f];
+      d -= rates[f];
+      result.assignment[f] = m;
+      result.middles_used = std::max(result.middles_used, m);
+      placed = true;
+      break;
+    }
+    CF_CHECK_MSG(placed, "first-fit ran out of middle switches ("
+                             << middles << " available); give the network more middles");
+  }
+  return result;
+}
+
+std::optional<int> min_middles_exact(const ClosNetwork& net, const FlowSet& flows,
+                                     const std::vector<Rational>& rates,
+                                     const ReplicationOptions& options) {
+  const int lower = middle_count_lower_bound(net, flows, rates);
+  for (int m = std::max(lower, 1); m <= net.num_middles(); ++m) {
+    ReplicationOptions restricted = options;
+    restricted.restrict_middles = m;
+    const ReplicationResult r = find_feasible_routing(net, flows, rates, restricted);
+    if (r.feasible) return m;
+  }
+  return std::nullopt;
+}
+
+int middle_count_lower_bound(const ClosNetwork& net, const FlowSet& flows,
+                             const std::vector<Rational>& rates) {
+  CF_CHECK(rates.size() == flows.size());
+  // Per-ToR totals in each direction; feasibility needs ceil(total/capacity)
+  // middles (uplinks of one ToR all have the same capacity by construction).
+  Rational worst{0};
+  const int tors = net.num_tors();
+  std::vector<Rational> out_total(static_cast<std::size_t>(tors), Rational{0});
+  std::vector<Rational> in_total(static_cast<std::size_t>(tors), Rational{0});
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    out_total[static_cast<std::size_t>(net.source_coord(flows[f].src).tor - 1)] += rates[f];
+    in_total[static_cast<std::size_t>(net.dest_coord(flows[f].dst).tor - 1)] += rates[f];
+  }
+  for (int i = 1; i <= tors; ++i) {
+    const Rational cap = net.topology().link(net.uplink(i, 1)).capacity;
+    if (cap.is_zero()) continue;
+    worst = max(worst, out_total[static_cast<std::size_t>(i - 1)] / cap);
+    worst = max(worst, in_total[static_cast<std::size_t>(i - 1)] / cap);
+  }
+  // ceil(worst)
+  const std::int64_t whole = worst.num() / worst.den();
+  const bool exact = worst.num() % worst.den() == 0;
+  return static_cast<int>(whole + (exact ? 0 : 1));
+}
+
+}  // namespace closfair

@@ -1,0 +1,59 @@
+// Multirate rearrangeability (§6, related work): route a feasible
+// macro-switch allocation in a Clos network while minimizing the number of
+// middle switches used.
+//
+// The classic setting (Chung & Ross; Melen & Turner; Ngo & Vu; Khan & Singh)
+// fixes the ToR count and servers-per-ToR n and asks how many middles m make
+// *every* feasible macro allocation routable; the conjecture is m = 2n-1,
+// with the best known bounds 5n/4 (lower) and 20n/9 (upper). This module
+// provides:
+//
+//  * first_fit_rearrange — the first-fit-decreasing heuristic the literature
+//    builds on: place flows by decreasing rate on the lowest-index middle
+//    with room on both the uplink and the downlink.
+//  * min_middles_exact — exact minimum middle count by incremental search
+//    over the backtracking replication solver (small instances only).
+//
+// The ext_rearrange bench probes how both compare to n and the 2n-1
+// conjecture on random feasible allocations.
+#pragma once
+
+#include <optional>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+#include "routing/replication.hpp"
+#include "util/rational.hpp"
+
+namespace closfair {
+
+struct RearrangeResult {
+  int middles_used = 0;
+  MiddleAssignment assignment;  ///< 1-based; uses middles 1..middles_used
+};
+
+/// First-fit decreasing over middle switches. `net` must have at least as
+/// many middles as the heuristic ends up using; throws ContractViolation if
+/// it runs out (feasible allocations never need more than num_middles when
+/// num_middles >= 2n-1 per the conjectured bound — pass a generous network).
+/// Rates must be non-negative and respect edge-link capacities.
+[[nodiscard]] RearrangeResult first_fit_rearrange(const ClosNetwork& net, const FlowSet& flows,
+                                                  const std::vector<Rational>& rates);
+
+/// Exact minimum number of middles that admits a feasible routing, found by
+/// trying m = lower-bound, lower-bound+1, ... with the exhaustive
+/// replication searcher. Returns nullopt if even all of net's middles do not
+/// suffice. Exponential: small instances only.
+[[nodiscard]] std::optional<int> min_middles_exact(const ClosNetwork& net,
+                                                   const FlowSet& flows,
+                                                   const std::vector<Rational>& rates,
+                                                   const ReplicationOptions& options = {});
+
+/// A simple volume lower bound on the middle count: the max over ToRs of the
+/// total rate leaving (entering) that ToR, divided by link capacity, rounded
+/// up. Any feasible routing needs at least this many middles.
+[[nodiscard]] int middle_count_lower_bound(const ClosNetwork& net, const FlowSet& flows,
+                                           const std::vector<Rational>& rates);
+
+}  // namespace closfair

@@ -1,0 +1,127 @@
+#include "routing/replication.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace closfair {
+namespace {
+
+// Backtracking state over flows sorted by decreasing rate (first-fit
+// decreasing order keeps the search shallow: big rates fail fast).
+class Search {
+ public:
+  Search(const ClosNetwork& net, const FlowSet& flows, const std::vector<Rational>& rates,
+         const ReplicationOptions& options)
+      : net_(net), flows_(flows), rates_(rates), options_(options) {
+    const int n = net.num_middles();
+    const int tors = net.num_tors();
+    up_residual_.assign(static_cast<std::size_t>(tors) * n, Rational{1});
+    down_residual_.assign(static_cast<std::size_t>(tors) * n, Rational{1});
+    for (int i = 1; i <= tors; ++i) {
+      for (int m = 1; m <= n; ++m) {
+        up_residual_[up_index(i, m)] = net.topology().link(net.uplink(i, m)).capacity;
+        down_residual_[down_index(m, i)] = net.topology().link(net.downlink(m, i)).capacity;
+      }
+    }
+    order_.resize(flows.size());
+    std::iota(order_.begin(), order_.end(), FlowIndex{0});
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](FlowIndex a, FlowIndex b) { return rates[b] < rates[a]; });
+    assignment_.assign(flows.size(), 1);
+  }
+
+  ReplicationResult run() {
+    ReplicationResult result;
+    // Server (edge) links are routing-independent: if any is oversubscribed,
+    // no routing helps.
+    if (!edge_links_feasible()) {
+      result.nodes_explored = nodes_;
+      return result;
+    }
+    result.feasible = place(0, 1);
+    result.nodes_explored = nodes_;
+    if (result.feasible) result.routing = assignment_;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] std::size_t up_index(int tor, int m) const {
+    return static_cast<std::size_t>(tor - 1) * net_.num_middles() + (m - 1);
+  }
+  [[nodiscard]] std::size_t down_index(int m, int tor) const {
+    return static_cast<std::size_t>(m - 1) * net_.num_tors() + (tor - 1);
+  }
+
+  [[nodiscard]] bool edge_links_feasible() const {
+    std::vector<Rational> src_load(net_.topology().num_links(), Rational{0});
+    for (FlowIndex f = 0; f < flows_.size(); ++f) {
+      const auto s = net_.source_coord(flows_[f].src);
+      const auto t = net_.dest_coord(flows_[f].dst);
+      src_load[static_cast<std::size_t>(net_.source_link(s.tor, s.server))] += rates_[f];
+      src_load[static_cast<std::size_t>(net_.dest_link(t.tor, t.server))] += rates_[f];
+    }
+    for (std::size_t l = 0; l < src_load.size(); ++l) {
+      const Link& link = net_.topology().link(static_cast<LinkId>(l));
+      if (link.unbounded) continue;
+      if (link.capacity < src_load[l]) return false;
+    }
+    return true;
+  }
+
+  // Place flows order_[depth..]; `next_fresh` is the lowest middle index not
+  // yet used by any placed flow (symmetry canon: middles open in order).
+  bool place(std::size_t depth, int next_fresh) {
+    if (depth == order_.size()) return true;
+    if (++nodes_ > options_.max_nodes) {
+      throw ContractViolation("replication search exceeded max_nodes");
+    }
+    const FlowIndex f = order_[depth];
+    const Rational& rate = rates_[f];
+    const auto s = net_.source_coord(flows_[f].src);
+    const auto t = net_.dest_coord(flows_[f].dst);
+
+    const int middles = options_.restrict_middles > 0
+                            ? std::min(options_.restrict_middles, net_.num_middles())
+                            : net_.num_middles();
+    const int limit = options_.break_symmetry ? std::min(next_fresh, middles) : middles;
+    for (int m = 1; m <= limit; ++m) {
+      Rational& up = up_residual_[up_index(s.tor, m)];
+      Rational& down = down_residual_[down_index(m, t.tor)];
+      if (up < rate || down < rate) continue;
+      up -= rate;
+      down -= rate;
+      assignment_[f] = m;
+      const int fresh = options_.break_symmetry ? std::max(next_fresh, m + 1) : next_fresh;
+      if (place(depth + 1, fresh)) return true;
+      up += rate;
+      down += rate;
+    }
+    return false;
+  }
+
+  const ClosNetwork& net_;
+  const FlowSet& flows_;
+  const std::vector<Rational>& rates_;
+  const ReplicationOptions& options_;
+  std::vector<Rational> up_residual_;
+  std::vector<Rational> down_residual_;
+  std::vector<FlowIndex> order_;
+  MiddleAssignment assignment_;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+ReplicationResult find_feasible_routing(const ClosNetwork& net, const FlowSet& flows,
+                                        const std::vector<Rational>& rates,
+                                        const ReplicationOptions& options) {
+  CF_CHECK_MSG(rates.size() == flows.size(),
+               "rates cover " << rates.size() << " flows, expected " << flows.size());
+  for (const Rational& r : rates) {
+    CF_CHECK_MSG(!r.is_negative(), "negative target rate");
+  }
+  Search search(net, flows, rates, options);
+  return search.run();
+}
+
+}  // namespace closfair

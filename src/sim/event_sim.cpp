@@ -1,0 +1,234 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fairness/waterfill.hpp"
+#include "flow/allocation.hpp"
+#include "flow/routing.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace closfair {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One in-flight flow.
+struct ActiveFlow {
+  std::size_t trace_index = 0;
+  Flow flow;
+  Path path;
+  double remaining = 0.0;
+  double arrival = 0.0;
+};
+
+// Core event loop shared by all simulators. `choose_path` maps an arrival to
+// its (fixed) path; `on_complete` lets the routing policy release per-path
+// accounting; `compute_rates(active) -> rates` is the congestion-control /
+// scheduling policy (max-min water-fill by default, matching rounds for the
+// scheduled variant).
+template <typename ChoosePath, typename OnComplete, typename ComputeRates>
+std::pair<std::vector<double>, double> run(const Trace& trace,
+                                           ChoosePath choose_path, OnComplete on_complete,
+                                           ComputeRates compute_rates) {
+  std::vector<double> fcts(trace.size(), 0.0);
+  std::vector<ActiveFlow> active;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  double finish = 0.0;
+
+  // Rates for the current active set (recomputed after each event).
+  std::vector<double> rates;
+  auto recompute_rates = [&]() {
+    if (active.empty()) {
+      rates.clear();
+      return;
+    }
+    rates = compute_rates(active);
+  };
+
+  recompute_rates();
+  while (!active.empty() || next_arrival < trace.size()) {
+    // Earliest completion among active flows at current rates.
+    double completion_dt = kInf;
+    std::size_t completing = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (rates[i] <= 0.0) continue;
+      const double dt = active[i].remaining / rates[i];
+      if (dt < completion_dt) {
+        completion_dt = dt;
+        completing = i;
+      }
+    }
+    const double arrival_dt =
+        next_arrival < trace.size() ? trace[next_arrival].time - now : kInf;
+    CF_CHECK_MSG(completion_dt < kInf || arrival_dt < kInf,
+                 "simulator stalled: active flows with zero rate and no arrivals");
+
+    if (arrival_dt <= completion_dt) {
+      // Advance to the arrival.
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        active[i].remaining -= rates[i] * arrival_dt;
+      }
+      now += arrival_dt;
+      const FlowArrival& arr = trace[next_arrival];
+      ActiveFlow a;
+      a.trace_index = next_arrival;
+      a.arrival = now;
+      a.remaining = arr.size;
+      std::tie(a.flow, a.path) = choose_path(arr.spec);
+      active.push_back(std::move(a));
+      ++next_arrival;
+    } else {
+      // Advance to the completion.
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        active[i].remaining -= rates[i] * completion_dt;
+      }
+      now += completion_dt;
+      fcts[active[completing].trace_index] = now - active[completing].arrival;
+      finish = now;
+      on_complete(active[completing].path);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(completing));
+    }
+    recompute_rates();
+  }
+  return {std::move(fcts), finish};
+}
+
+// Max-min water-fill as the rate policy (the model's default congestion
+// control).
+std::vector<double> waterfill_rates(const Topology& topo,
+                                    const std::vector<ActiveFlow>& active) {
+  FlowSet flows;
+  std::vector<Path> paths;
+  flows.reserve(active.size());
+  paths.reserve(active.size());
+  for (const ActiveFlow& a : active) {
+    flows.push_back(a.flow);
+    paths.push_back(a.path);
+  }
+  return max_min_fair<double>(topo, flows, Routing{std::move(paths)}).rates();
+}
+
+}  // namespace
+
+SimStats summarize_fcts(std::vector<double> fcts, const std::vector<double>& sizes,
+                        double finish_time) {
+  CF_CHECK(fcts.size() == sizes.size());
+  SimStats stats;
+  stats.completed = fcts.size();
+  stats.finish_time = finish_time;
+  stats.fcts = fcts;
+  if (fcts.empty()) return stats;
+
+  double sum = 0.0;
+  double slowdown_sum = 0.0;
+  for (std::size_t i = 0; i < fcts.size(); ++i) {
+    sum += fcts[i];
+    slowdown_sum += sizes[i] > 0.0 ? fcts[i] / sizes[i] : 1.0;
+  }
+  stats.mean_fct = sum / static_cast<double>(fcts.size());
+  stats.mean_slowdown = slowdown_sum / static_cast<double>(fcts.size());
+
+  std::vector<double> sorted = fcts;
+  std::sort(sorted.begin(), sorted.end());
+  auto percentile = [&](double p) {
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - std::floor(pos);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  stats.p50_fct = percentile(0.50);
+  stats.p99_fct = percentile(0.99);
+  stats.max_fct = sorted.back();
+  return stats;
+}
+
+SimStats simulate_clos(const ClosNetwork& net, const Trace& trace, SimPolicy policy,
+                       Rng& rng) {
+  const Topology& topo = net.topology();
+
+  // Current loads per link, maintained only for the least-loaded policy (a
+  // per-arrival snapshot computed from flow counts would be stale anyway;
+  // using active-flow counts matches what a switch can observe cheaply).
+  std::vector<std::size_t> flows_on_link(topo.num_links(), 0);
+
+  auto choose = [&](const FlowSpec& spec) -> std::pair<Flow, Path> {
+    const Flow flow{net.source(spec.src_tor, spec.src_server),
+                    net.destination(spec.dst_tor, spec.dst_server)};
+    int middle = 1;
+    if (policy == SimPolicy::kEcmp) {
+      middle =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(net.num_middles()))) +
+          1;
+    } else {
+      std::size_t best_load = std::numeric_limits<std::size_t>::max();
+      for (int m = 1; m <= net.num_middles(); ++m) {
+        const auto up = static_cast<std::size_t>(net.uplink(spec.src_tor, m));
+        const auto down = static_cast<std::size_t>(net.downlink(m, spec.dst_tor));
+        const std::size_t load = std::max(flows_on_link[up], flows_on_link[down]);
+        if (load < best_load) {
+          best_load = load;
+          middle = m;
+        }
+      }
+    }
+    const Path path = net.path(flow.src, flow.dst, middle);
+    for (LinkId l : path) ++flows_on_link[static_cast<std::size_t>(l)];
+    return {flow, path};
+  };
+
+  auto release = [&](const Path& path) {
+    for (LinkId l : path) --flows_on_link[static_cast<std::size_t>(l)];
+  };
+  auto [fcts, finish] =
+      run(trace, choose, release,
+          [&](const std::vector<ActiveFlow>& active) { return waterfill_rates(topo, active); });
+  std::vector<double> sizes;
+  sizes.reserve(trace.size());
+  for (const FlowArrival& a : trace) sizes.push_back(a.size);
+  return summarize_fcts(std::move(fcts), sizes, finish);
+}
+
+SimStats simulate_macro(const MacroSwitch& ms, const Trace& trace) {
+  auto choose = [&](const FlowSpec& spec) -> std::pair<Flow, Path> {
+    const Flow flow{ms.source(spec.src_tor, spec.src_server),
+                    ms.destination(spec.dst_tor, spec.dst_server)};
+    return {flow, ms.path(flow.src, flow.dst)};
+  };
+  const Topology& topo = ms.topology();
+  auto [fcts, finish] =
+      run(trace, choose, [](const Path&) {},
+          [&](const std::vector<ActiveFlow>& active) { return waterfill_rates(topo, active); });
+  std::vector<double> sizes;
+  sizes.reserve(trace.size());
+  for (const FlowArrival& a : trace) sizes.push_back(a.size);
+  return summarize_fcts(std::move(fcts), sizes, finish);
+}
+
+SimStats simulate_macro_scheduled(const MacroSwitch& ms, const Trace& trace) {
+  auto choose = [&](const FlowSpec& spec) -> std::pair<Flow, Path> {
+    const Flow flow{ms.source(spec.src_tor, spec.src_server),
+                    ms.destination(spec.dst_tor, spec.dst_server)};
+    return {flow, ms.path(flow.src, flow.dst)};
+  };
+  auto schedule = [&](const std::vector<ActiveFlow>& active) {
+    FlowSet flows;
+    flows.reserve(active.size());
+    for (const ActiveFlow& a : active) flows.push_back(a.flow);
+    const auto matched = maximum_matching(server_flow_graph(ms, flows));
+    std::vector<double> rates(active.size(), 0.0);
+    for (std::size_t e : matched) rates[e] = 1.0;  // edge index == flow index
+    return rates;
+  };
+  auto [fcts, finish] = run(trace, choose, [](const Path&) {}, schedule);
+  std::vector<double> sizes;
+  sizes.reserve(trace.size());
+  for (const FlowArrival& a : trace) sizes.push_back(a.size);
+  return summarize_fcts(std::move(fcts), sizes, finish);
+}
+
+}  // namespace closfair

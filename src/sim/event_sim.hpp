@@ -1,0 +1,61 @@
+// Flow-level event-driven simulator.
+//
+// Models the congestion-control regime of the paper dynamically: flows
+// arrive per a trace, each is pinned to a single path on arrival
+// (unsplittable), and after every arrival/completion the rates of all active
+// flows snap to the max-min fair allocation for the current routing — the
+// steady-state abstraction of TCP-like congestion control the paper assumes.
+// Flow completion times (FCTs) come out the other end.
+//
+// Running the same trace against the Clos network (with a routing policy)
+// and against its macro-switch quantifies, in FCT terms, the rate gaps that
+// Theorems 4.3 and 5.4 prove in allocation terms.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "net/clos.hpp"
+#include "net/macroswitch.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace closfair {
+
+/// How a Clos arrival picks its middle switch.
+enum class SimPolicy {
+  kEcmp,         ///< uniformly random middle
+  kLeastLoaded,  ///< middle minimizing current max(uplink, downlink) load
+};
+
+/// Aggregate FCT statistics; `slowdown` is FCT / (size / 1.0), i.e. relative
+/// to transmitting alone at full link rate.
+struct SimStats {
+  std::size_t completed = 0;
+  double mean_fct = 0.0;
+  double p50_fct = 0.0;
+  double p99_fct = 0.0;
+  double max_fct = 0.0;
+  double mean_slowdown = 0.0;
+  double finish_time = 0.0;  ///< when the last flow completed
+  std::vector<double> fcts;  ///< in arrival order
+};
+
+/// Simulate a trace on a Clos network under the given routing policy.
+[[nodiscard]] SimStats simulate_clos(const ClosNetwork& net, const Trace& trace,
+                                     SimPolicy policy, Rng& rng);
+
+/// Simulate the same trace on a macro-switch (the ideal reference).
+[[nodiscard]] SimStats simulate_macro(const MacroSwitch& ms, const Trace& trace);
+
+/// Online matching scheduler on a macro-switch (§7, R1 discussion, dynamic
+/// form): after every arrival/completion a maximum matching of the active
+/// flows transmits at full link rate while the rest wait — admission control
+/// rediscovered per event. Contrast with simulate_macro's max-min sharing.
+[[nodiscard]] SimStats simulate_macro_scheduled(const MacroSwitch& ms, const Trace& trace);
+
+/// Summarize a vector of FCTs (and matching sizes, for slowdowns).
+[[nodiscard]] SimStats summarize_fcts(std::vector<double> fcts,
+                                      const std::vector<double>& sizes, double finish_time);
+
+}  // namespace closfair

@@ -1,0 +1,163 @@
+#include "sim/packet_sim.hpp"
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+namespace closfair {
+namespace {
+
+// Per-link state: per-flow queued packet counts and a round-robin list of
+// flows with at least one queued packet. Packets of one flow at one link are
+// interchangeable, so only counts are stored.
+struct LinkState {
+  double capacity = 0.0;
+  bool busy = false;
+  std::vector<std::size_t> queued;   // per flow-slot (dense, see below)
+  std::deque<std::size_t> rr;        // flow-slots with queued > 0
+  std::uint64_t served = 0;          // packets served within the measure window
+};
+
+// A service completion: (time, link, flow-slot).
+struct Event {
+  double time;
+  LinkId link;
+  std::size_t slot;
+  friend bool operator>(const Event& a, const Event& b) { return a.time > b.time; }
+};
+
+}  // namespace
+
+PacketSimResult packet_fair_queueing(const Topology& topo, const FlowSet& flows,
+                                     const Routing& routing,
+                                     const PacketSimParams& params) {
+  CF_CHECK(routing.size() == flows.size());
+  CF_CHECK(params.packet_size > 0.0);
+  CF_CHECK(params.window >= 1);
+  CF_CHECK(params.warmup >= 0.0 && params.measure > 0.0);
+
+  const std::size_t num_flows = flows.size();
+
+  // Bounded-hop sequences: unbounded links forward instantly and are elided.
+  std::vector<std::vector<LinkId>> hops(num_flows);
+  for (FlowIndex f = 0; f < num_flows; ++f) {
+    for (LinkId l : routing.path(f)) {
+      if (!topo.link(l).unbounded) hops[f].push_back(l);
+    }
+    CF_CHECK_MSG(!hops[f].empty(),
+                 "flow " << f << " crosses no bounded link: throughput unbounded");
+  }
+
+  // Dense per-link flow-slot mapping (only links actually traversed).
+  std::vector<LinkState> links(topo.num_links());
+  std::vector<std::vector<std::size_t>> slot_of(topo.num_links());  // flow -> slot
+  std::vector<std::vector<FlowIndex>> flow_of(topo.num_links());    // slot -> flow
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    slot_of[l].assign(num_flows, static_cast<std::size_t>(-1));
+  }
+  for (FlowIndex f = 0; f < num_flows; ++f) {
+    for (LinkId l : hops[f]) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (slot_of[idx][f] == static_cast<std::size_t>(-1)) {
+        slot_of[idx][f] = flow_of[idx].size();
+        flow_of[idx].push_back(f);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    if (flow_of[l].empty()) continue;
+    links[l].capacity = topo.link(static_cast<LinkId>(l)).capacity.to_double();
+    links[l].queued.assign(flow_of[l].size(), 0);
+  }
+
+  // A packet in flight is (flow, hop index currently being served); the
+  // event queue holds service completions.
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+
+  // Hop position of each flow's packets is tracked implicitly: a flow's
+  // packets move strictly in order, and all its packets at link l wait in
+  // one queue. We track, per flow, a FIFO of hop indices for its in-flight
+  // packets at each link -- but since service is per-link FIFO within a
+  // flow and every packet of flow f entering link hops[f][i] continues to
+  // hops[f][i+1], it suffices to know the hop index of each queued packet.
+  // Per (link, flow) all queued packets share the same *set* of remaining
+  // hops but possibly entered at different times; since the hop sequence is
+  // a function of (flow, link), the next hop after serving at link l is
+  // simply the successor of l in hops[f].
+  std::vector<std::vector<std::size_t>> next_hop_index(num_flows);
+  for (FlowIndex f = 0; f < num_flows; ++f) {
+    next_hop_index[f].assign(topo.num_links(), 0);
+    for (std::size_t i = 0; i < hops[f].size(); ++i) {
+      next_hop_index[f][static_cast<std::size_t>(hops[f][i])] = i + 1;
+    }
+  }
+
+  std::vector<std::uint64_t> delivered(num_flows, 0);
+  const double t_measure_start = params.warmup;
+  const double t_end = params.warmup + params.measure;
+  std::uint64_t processed = 0;
+
+  // Start serving the head-of-line flow if the link is idle.
+  auto kick = [&](LinkId link, double now) {
+    auto& st = links[static_cast<std::size_t>(link)];
+    if (st.busy || st.rr.empty()) return;
+    const std::size_t slot = st.rr.front();
+    st.rr.pop_front();
+    st.busy = true;
+    events.push(Event{now + params.packet_size / st.capacity, link, slot});
+  };
+
+  auto enqueue = [&](FlowIndex f, LinkId link, double now) {
+    auto& st = links[static_cast<std::size_t>(link)];
+    const std::size_t slot = slot_of[static_cast<std::size_t>(link)][f];
+    if (st.queued[slot]++ == 0) st.rr.push_back(slot);
+    kick(link, now);
+  };
+
+  // Inject the initial windows at t = 0.
+  for (FlowIndex f = 0; f < num_flows; ++f) {
+    for (int w = 0; w < params.window; ++w) enqueue(f, hops[f][0], 0.0);
+  }
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    if (ev.time > t_end) break;
+    ++processed;
+
+    auto& st = links[static_cast<std::size_t>(ev.link)];
+    const FlowIndex f = flow_of[static_cast<std::size_t>(ev.link)][ev.slot];
+    // The served packet leaves this link's queue.
+    CF_CHECK(st.queued[ev.slot] > 0);
+    if (--st.queued[ev.slot] > 0) st.rr.push_back(ev.slot);  // round-robin re-arm
+    if (ev.time >= t_measure_start) ++st.served;
+    st.busy = false;
+    kick(ev.link, ev.time);
+
+    const std::size_t next = next_hop_index[f][static_cast<std::size_t>(ev.link)];
+    if (next < hops[f].size()) {
+      enqueue(f, hops[f][next], ev.time);
+    } else {
+      // Delivered: instantaneous ack, window slot refills at the source.
+      if (ev.time >= t_measure_start) ++delivered[f];
+      enqueue(f, hops[f][0], ev.time);
+    }
+  }
+
+  PacketSimResult result;
+  std::vector<double> rates(num_flows);
+  for (FlowIndex f = 0; f < num_flows; ++f) {
+    rates[f] = static_cast<double>(delivered[f]) * params.packet_size / params.measure;
+  }
+  result.rates = Allocation<double>(std::move(rates));
+  result.link_utilization.assign(topo.num_links(), 0.0);
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    if (flow_of[l].empty() || links[l].capacity <= 0.0) continue;
+    result.link_utilization[l] = static_cast<double>(links[l].served) *
+                                 params.packet_size / params.measure / links[l].capacity;
+  }
+  result.events = processed;
+  return result;
+}
+
+}  // namespace closfair

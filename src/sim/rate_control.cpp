@@ -1,0 +1,120 @@
+#include "sim/rate_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace closfair {
+namespace {
+
+// The advertised fair share of a link given the flows' last-round rates
+// (sorted ascending): max over i of (c - prefix_i) / (m - i) — the classic
+// "treat smaller flows as capped at their current rate, split the rest
+// evenly" estimate (Charny-style). For an underloaded link this exceeds
+// every current rate, letting flows grow; for a bottleneck it converges to
+// the link's max-min level.
+double advertised_share(double capacity, std::vector<double> rates) {
+  std::sort(rates.begin(), rates.end());
+  double best = capacity / static_cast<double>(rates.size());
+  double prefix = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double candidate =
+        (capacity - prefix) / static_cast<double>(rates.size() - i);
+    best = std::max(best, candidate);
+    prefix += rates[i];
+  }
+  // The "everyone else capped" view for the largest flow.
+  best = std::max(best, capacity - (prefix - rates.back()));
+  return best;
+}
+
+}  // namespace
+
+RateControlResult rcp_rate_control(const Topology& topo, const FlowSet& flows,
+                                   const Routing& routing, const RcpParams& params) {
+  CF_CHECK(routing.size() == flows.size());
+  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
+
+  RateControlResult result;
+  result.rates = Allocation<double>(flows.size());
+  std::vector<double> rate(flows.size(), 0.0);
+
+  for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    // Each bounded link advertises a share from last round's rates.
+    std::vector<double> share(topo.num_links(),
+                              std::numeric_limits<double>::infinity());
+    for (std::size_t l = 0; l < topo.num_links(); ++l) {
+      const Link& link = topo.link(static_cast<LinkId>(l));
+      if (link.unbounded || on_link[l].empty()) continue;
+      std::vector<double> local;
+      local.reserve(on_link[l].size());
+      for (FlowIndex f : on_link[l]) local.push_back(rate[f]);
+      share[l] = advertised_share(link.capacity.to_double(), std::move(local));
+    }
+
+    // Each flow takes the minimum advertised share along its path.
+    double max_change = 0.0;
+    std::vector<double> next(flows.size(), 0.0);
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      double allowed = std::numeric_limits<double>::infinity();
+      for (LinkId l : routing.path(f)) {
+        allowed = std::min(allowed, share[static_cast<std::size_t>(l)]);
+      }
+      CF_CHECK_MSG(std::isfinite(allowed),
+                   "flow with no bounded link: rate control cannot converge");
+      next[f] = allowed;
+      max_change = std::max(max_change, std::abs(next[f] - rate[f]));
+    }
+    rate = std::move(next);
+    result.iterations = round + 1;
+    if (max_change <= params.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.rates = Allocation<double>(rate);
+  return result;
+}
+
+RateControlResult aimd_rate_control(const Topology& topo, const FlowSet& flows,
+                                    const Routing& routing, const AimdParams& params) {
+  CF_CHECK(routing.size() == flows.size());
+  CF_CHECK(params.average_window >= 1 && params.average_window <= params.rounds);
+  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
+
+  std::vector<double> rate(flows.size(), 0.0);
+  std::vector<double> sum(flows.size(), 0.0);
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    for (double& r : rate) r += params.additive_increase;
+
+    // Congestion detection: any over-capacity link cuts all its flows.
+    std::vector<bool> cut(flows.size(), false);
+    for (std::size_t l = 0; l < topo.num_links(); ++l) {
+      const Link& link = topo.link(static_cast<LinkId>(l));
+      if (link.unbounded || on_link[l].empty()) continue;
+      double load = 0.0;
+      for (FlowIndex f : on_link[l]) load += rate[f];
+      if (load > link.capacity.to_double()) {
+        for (FlowIndex f : on_link[l]) cut[f] = true;
+      }
+    }
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      if (cut[f]) rate[f] *= params.multiplicative_decrease;
+    }
+    if (round + params.average_window >= params.rounds) {
+      for (FlowIndex f = 0; f < flows.size(); ++f) sum[f] += rate[f];
+    }
+  }
+
+  RateControlResult result;
+  std::vector<double> averaged(flows.size());
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    averaged[f] = sum[f] / static_cast<double>(params.average_window);
+  }
+  result.rates = Allocation<double>(std::move(averaged));
+  result.iterations = params.rounds;
+  result.converged = false;  // AIMD oscillates by design
+  return result;
+}
+
+}  // namespace closfair

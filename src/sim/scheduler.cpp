@@ -1,0 +1,190 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "fairness/waterfill.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/hungarian.hpp"
+
+namespace closfair {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+BatchFct finalize(std::vector<double> fct, const std::vector<double>& sizes) {
+  BatchFct result;
+  result.fct = std::move(fct);
+  if (result.fct.empty()) return result;
+  result.mean_fct = std::accumulate(result.fct.begin(), result.fct.end(), 0.0) /
+                    static_cast<double>(result.fct.size());
+  result.max_fct = *std::max_element(result.fct.begin(), result.fct.end());
+  const double total = std::accumulate(sizes.begin(), sizes.end(), 0.0);
+  result.throughput_time_avg = result.max_fct > 0.0 ? total / result.max_fct : 0.0;
+  return result;
+}
+
+}  // namespace
+
+BatchFct batch_congestion_control(const Topology& topo, const FlowSet& flows,
+                                  const Routing& routing,
+                                  const std::vector<double>& sizes) {
+  CF_CHECK(sizes.size() == flows.size());
+  std::vector<double> remaining = sizes;
+  std::vector<double> fct(flows.size(), 0.0);
+  std::vector<bool> done(flows.size(), false);
+  std::size_t num_done = 0;
+  double now = 0.0;
+
+  while (num_done < flows.size()) {
+    // Rates for the unfinished sub-batch.
+    FlowSet live;
+    std::vector<Path> live_paths;
+    std::vector<FlowIndex> live_index;
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      if (done[f]) continue;
+      live.push_back(flows[f]);
+      live_paths.push_back(routing.path(f));
+      live_index.push_back(f);
+    }
+    const Allocation<double> alloc =
+        max_min_fair<double>(topo, live, Routing{std::move(live_paths)});
+
+    double dt = kInf;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (alloc.rate(i) <= 0.0) continue;
+      dt = std::min(dt, remaining[live_index[i]] / alloc.rate(i));
+    }
+    CF_CHECK_MSG(dt < kInf, "congestion-control batch stalled (all rates zero)");
+
+    now += dt;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const FlowIndex f = live_index[i];
+      remaining[f] -= alloc.rate(i) * dt;
+      if (remaining[f] <= 1e-12 && !done[f]) {
+        done[f] = true;
+        ++num_done;
+        fct[f] = now;
+        remaining[f] = 0.0;
+      }
+    }
+  }
+  return finalize(std::move(fct), sizes);
+}
+
+BatchFct batch_matching_schedule(const MacroSwitch& ms, const FlowSet& flows,
+                                 const std::vector<double>& sizes) {
+  CF_CHECK(sizes.size() == flows.size());
+  std::vector<double> remaining = sizes;
+  std::vector<double> fct(flows.size(), 0.0);
+  std::vector<bool> done(flows.size(), false);
+  std::size_t num_done = 0;
+  double now = 0.0;
+
+  while (num_done < flows.size()) {
+    // Maximum matching among unfinished flows.
+    FlowSet live;
+    std::vector<FlowIndex> live_index;
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      if (done[f]) continue;
+      live.push_back(flows[f]);
+      live_index.push_back(f);
+    }
+    const BipartiteMultigraph g = server_flow_graph(ms, live);
+    const std::vector<std::size_t> matched = maximum_matching(g);
+    CF_CHECK_MSG(!matched.empty(), "matching schedule stalled");
+
+    // Matched flows run at rate 1 (server link capacity) until the first of
+    // them finishes.
+    double dt = kInf;
+    for (std::size_t e : matched) dt = std::min(dt, remaining[live_index[e]]);
+    now += dt;
+    for (std::size_t e : matched) {
+      const FlowIndex f = live_index[e];
+      remaining[f] -= dt;
+      if (remaining[f] <= 1e-12 && !done[f]) {
+        done[f] = true;
+        ++num_done;
+        fct[f] = now;
+        remaining[f] = 0.0;
+      }
+    }
+  }
+  return finalize(std::move(fct), sizes);
+}
+
+BatchFct batch_srpt_schedule(const MacroSwitch& ms, const FlowSet& flows,
+                             const std::vector<double>& sizes) {
+  CF_CHECK(sizes.size() == flows.size());
+  std::vector<double> remaining = sizes;
+  std::vector<double> fct(flows.size(), 0.0);
+  std::vector<bool> done(flows.size(), false);
+  std::size_t num_done = 0;
+  double now = 0.0;
+
+  const auto servers = static_cast<std::size_t>(ms.num_sources());
+  auto server_of = [&](NodeId node, bool source) -> std::size_t {
+    const auto coord = source ? ms.source_coord(node) : ms.dest_coord(node);
+    return static_cast<std::size_t>(coord.tor - 1) *
+               static_cast<std::size_t>(ms.servers_per_tor()) +
+           static_cast<std::size_t>(coord.server - 1);
+  };
+
+  while (num_done < flows.size()) {
+    // Per (source, destination) pair, the shortest unfinished flow competes.
+    std::vector<std::vector<std::size_t>> candidate(
+        servers, std::vector<std::size_t>(servers, kUnassigned));
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      if (done[f]) continue;
+      const std::size_t s = server_of(flows[f].src, true);
+      const std::size_t t = server_of(flows[f].dst, false);
+      std::size_t& cur = candidate[s][t];
+      if (cur == kUnassigned || remaining[f] < remaining[cur]) cur = f;
+    }
+
+    // Weights: 1 for any runnable pair (cardinality dominates) plus a
+    // sub-1/(2 pairs) bonus favoring short remaining sizes.
+    std::size_t num_pairs = 0;
+    for (const auto& row : candidate) {
+      for (std::size_t f : row) {
+        if (f != kUnassigned) ++num_pairs;
+      }
+    }
+    CF_CHECK_MSG(num_pairs > 0, "SRPT schedule stalled");
+    const double bonus_scale = 1.0 / (2.0 * static_cast<double>(num_pairs));
+    std::vector<std::vector<double>> weight(servers, std::vector<double>(servers, 0.0));
+    for (std::size_t s = 0; s < servers; ++s) {
+      for (std::size_t t = 0; t < servers; ++t) {
+        const std::size_t f = candidate[s][t];
+        if (f == kUnassigned) continue;
+        weight[s][t] = 1.0 + bonus_scale / (remaining[f] + 1.0);
+      }
+    }
+    const std::vector<std::size_t> assignment = max_weight_matching(weight);
+
+    // Matched candidates run at rate 1 until the first finishes.
+    std::vector<FlowIndex> running;
+    for (std::size_t s = 0; s < servers; ++s) {
+      if (assignment[s] == kUnassigned) continue;
+      running.push_back(candidate[s][assignment[s]]);
+    }
+    CF_CHECK(!running.empty());
+    double dt = std::numeric_limits<double>::infinity();
+    for (FlowIndex f : running) dt = std::min(dt, remaining[f]);
+    now += dt;
+    for (FlowIndex f : running) {
+      remaining[f] -= dt;
+      if (remaining[f] <= 1e-12 && !done[f]) {
+        done[f] = true;
+        ++num_done;
+        fct[f] = now;
+        remaining[f] = 0.0;
+      }
+    }
+  }
+  return finalize(std::move(fct), sizes);
+}
+
+}  // namespace closfair

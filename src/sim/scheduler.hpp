@@ -1,0 +1,53 @@
+// Scheduling vs congestion control (§7, discussion of R1).
+//
+// The paper observes that max-min fair congestion control can forfeit up to
+// half the throughput (Theorem 3.4), and suggests *scheduling* as the
+// circumvention: delay some flows so the rest transmit at full link
+// capacity, as admission control did in telephone networks. This module
+// makes that comparison concrete for a static batch of flows:
+//
+//  * batch_congestion_control — all flows start together; rates follow the
+//    max-min fair allocation, recomputed at every completion.
+//  * batch_matching_schedule  — rounds of maximum matchings: matched flows
+//    transmit at rate 1, everyone else waits (the scheduling analogue of
+//    Lemma 3.2's admission control).
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+#include "net/macroswitch.hpp"
+#include "net/topology.hpp"
+
+namespace closfair {
+
+/// FCT outcomes for a batch that all started at time 0.
+struct BatchFct {
+  std::vector<double> fct;  ///< per flow, batch order
+  double mean_fct = 0.0;
+  double max_fct = 0.0;  ///< makespan
+  double throughput_time_avg = 0.0;  ///< total bytes / makespan
+};
+
+/// Max-min congestion control on an arbitrary (topology, routing).
+[[nodiscard]] BatchFct batch_congestion_control(const Topology& topo, const FlowSet& flows,
+                                                const Routing& routing,
+                                                const std::vector<double>& sizes);
+
+/// Matching-round scheduling on a macro-switch: repeatedly compute a maximum
+/// matching among unfinished flows in G^MS and run the matched flows at rate
+/// 1 until one finishes.
+[[nodiscard]] BatchFct batch_matching_schedule(const MacroSwitch& ms, const FlowSet& flows,
+                                               const std::vector<double>& sizes);
+
+/// Shortest-remaining-first matching schedule: each round runs a
+/// maximum-WEIGHT matching (matching/hungarian.hpp) where every
+/// source-destination pair offers its shortest unfinished flow, weighted to
+/// keep near-maximum cardinality while preferring short flows — the
+/// SRPT-flavored refinement of batch_matching_schedule that further cuts
+/// mean FCT on skewed sizes.
+[[nodiscard]] BatchFct batch_srpt_schedule(const MacroSwitch& ms, const FlowSet& flows,
+                                           const std::vector<double>& sizes);
+
+}  // namespace closfair

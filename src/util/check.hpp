@@ -1,0 +1,51 @@
+// Lightweight contract checking for closfair.
+//
+// Following the C++ Core Guidelines (I.6, E.2), precondition violations and
+// internal invariant failures throw exceptions carrying the failing
+// expression and location, rather than aborting. All checks stay enabled in
+// release builds: this library's purpose is verifying theorems, so silent
+// corruption is far worse than the cost of a comparison.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace closfair {
+
+/// Thrown when a CF_CHECK precondition or invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace closfair
+
+/// Check a precondition / invariant; throws ContractViolation on failure.
+#define CF_CHECK(expr)                                                        \
+  do {                                                                        \
+    if (!(expr)) ::closfair::detail::contract_fail(#expr, __FILE__, __LINE__, \
+                                                   std::string{});            \
+  } while (0)
+
+/// Check with an explanatory message (streamed into the exception).
+#define CF_CHECK_MSG(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream cf_check_os_;                                        \
+      cf_check_os_ << msg;                                                    \
+      ::closfair::detail::contract_fail(#expr, __FILE__, __LINE__,            \
+                                        cf_check_os_.str());                  \
+    }                                                                         \
+  } while (0)

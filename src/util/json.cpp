@@ -1,0 +1,177 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace closfair {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  CF_CHECK_MSG(std::isfinite(v), "JSON numbers must be finite");
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::number(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+void Json::push_back(Json v) {
+  CF_CHECK_MSG(kind_ == Kind::kArray, "push_back on a non-array JSON value");
+  array_.push_back(std::move(v));
+}
+
+void Json::set(const std::string& key, Json v) {
+  CF_CHECK_MSG(kind_ == Kind::kObject, "set on a non-object JSON value");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray: return array_.size();
+    case Kind::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                                       static_cast<std::size_t>(depth + 1),
+                                                   ' ')
+                                     : std::string{};
+  const std::string close_pad =
+      indent > 0
+          ? std::string(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+                        ' ')
+          : std::string{};
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.12g", number_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += pad;
+        array_[i].write(out, indent, depth + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += json_escape(object_[i].first);
+        out += '"';
+        out += kv_sep;
+        object_[i].second.write(out, indent, depth + 1);
+        if (i + 1 < object_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace closfair

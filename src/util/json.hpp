@@ -1,0 +1,64 @@
+// Minimal JSON value builder + writer.
+//
+// Bench harnesses and the CLI export machine-readable results for plotting
+// pipelines without dragging in an external dependency. Build values with
+// the static constructors, serialize with dump(). Output is deterministic
+// (object keys keep insertion order) so exports diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace closfair {
+
+/// An immutable-ish JSON value (null, bool, number, string, array, object).
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json number(std::int64_t v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  /// Array append (this must be an array).
+  void push_back(Json v);
+
+  /// Object insert/overwrite by key (this must be an object). Keys keep
+  /// first-insertion order.
+  void set(const std::string& key, Json v);
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInt, kString, kArray, kObject };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// JSON string escaping (quotes, control characters, backslash).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace closfair

@@ -1,0 +1,140 @@
+#include "util/rational.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace closfair {
+namespace {
+
+using Int128 = __int128;
+
+constexpr std::int64_t kMin64 = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax64 = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t narrow(Int128 v, const char* op) {
+  if (v < Int128{kMin64} || v > Int128{kMax64}) {
+    throw RationalOverflow(std::string{"Rational overflow in "} + op);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Int128 gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  if (den == 0) throw std::domain_error("Rational: zero denominator");
+  // Normalize via 128-bit so that num == INT64_MIN does not overflow on negate.
+  Int128 n = num;
+  Int128 d = den;
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  num_ = narrow(n, "construction");
+  den_ = narrow(d, "construction");
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // a/b + c/d = (ad + cb) / bd, reduced. 128-bit intermediates cannot
+  // overflow since each factor fits in 64 bits.
+  Int128 n = Int128{num_} * rhs.den_ + Int128{rhs.num_} * den_;
+  Int128 d = Int128{den_} * rhs.den_;
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  num_ = narrow(n, "addition");
+  den_ = narrow(d, "addition");
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  Int128 n = Int128{num_} * rhs.den_ - Int128{rhs.num_} * den_;
+  Int128 d = Int128{den_} * rhs.den_;
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  num_ = narrow(n, "subtraction");
+  den_ = narrow(d, "subtraction");
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  Int128 n = Int128{num_} * rhs.num_;
+  Int128 d = Int128{den_} * rhs.den_;
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  num_ = narrow(n, "multiplication");
+  den_ = narrow(d, "multiplication");
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_ == 0) throw std::domain_error("Rational: division by zero");
+  Int128 n = Int128{num_} * rhs.den_;
+  Int128 d = Int128{den_} * rhs.num_;
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  num_ = narrow(n, "division");
+  den_ = narrow(d, "division");
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Cross-multiply in 128 bits: denominators are positive, so the sign of
+  // a.num*b.den - b.num*a.den is the sign of a - b.
+  Int128 lhs = Int128{a.num_} * b.den_;
+  Int128 rhs = Int128{b.num_} * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace closfair

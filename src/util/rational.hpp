@@ -1,0 +1,100 @@
+// Exact rational arithmetic over 64-bit integers.
+//
+// Every theory-path computation in closfair (water-filling, lexicographic
+// comparison of sorted allocation vectors, exact simplex) runs on Rational so
+// that reproductions of lexicographic-order theorems cannot be corrupted by
+// floating-point ties. Overflow is detected (via 128-bit intermediates) and
+// reported by exception rather than wrapped silently.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace closfair {
+
+/// Thrown when a Rational operation would overflow its 64-bit representation.
+class RationalOverflow : public std::overflow_error {
+ public:
+  explicit RationalOverflow(const std::string& what) : std::overflow_error(what) {}
+};
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+///
+/// Arithmetic is checked: results whose normalized numerator or denominator
+/// exceed int64 range throw RationalOverflow. The class is a regular value
+/// type (EqualityComparable, LessThanComparable, hashable) and is ordered by
+/// numeric value.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// From an integer.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// From numerator/denominator; normalizes sign and reduces to lowest terms.
+  /// Throws std::domain_error if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] constexpr bool is_integer() const { return den_ == 1; }
+
+  /// Nearest double approximation (for reporting only).
+  [[nodiscard]] double to_double() const;
+
+  /// "p/q" or just "p" when integral.
+  [[nodiscard]] std::string to_string() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws std::domain_error on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+  friend Rational operator-(const Rational& r) { return Rational{-r.num_, r.den_}; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// min/max by numeric value.
+[[nodiscard]] inline const Rational& min(const Rational& a, const Rational& b) {
+  return b < a ? b : a;
+}
+[[nodiscard]] inline const Rational& max(const Rational& a, const Rational& b) {
+  return a < b ? b : a;
+}
+
+/// |r|.
+[[nodiscard]] inline Rational abs(const Rational& r) { return r.is_negative() ? -r : r; }
+
+}  // namespace closfair
+
+template <>
+struct std::hash<closfair::Rational> {
+  std::size_t operator()(const closfair::Rational& r) const noexcept {
+    std::size_t h = std::hash<std::int64_t>{}(r.num());
+    h ^= std::hash<std::int64_t>{}(r.den()) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// We ship our own small generator (xoshiro256**, seeded via splitmix64) so
+// that workloads are bit-reproducible across standard libraries — std::mt19937
+// is portable but std::uniform_int_distribution is not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace closfair {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) via Lemire rejection; bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  /// Exponential with the given rate (mean 1/rate); rate > 0.
+  double next_exponential(double rate);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} by inverse-CDF table; heavier weight on
+/// lower ranks. s == 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+  /// Draw one rank.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace closfair

@@ -1,0 +1,37 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces a paper figure/bound as a table of
+// "paper-predicted vs measured" rows; this helper keeps their output aligned
+// and uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace closfair {
+
+/// Column-aligned text table. Add a header, then rows; render() pads cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with column padding, a header underline, and two-space gutters.
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (fixed notation).
+[[nodiscard]] std::string fmt_double(double v, int precision = 4);
+
+}  // namespace closfair

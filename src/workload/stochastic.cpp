@@ -1,0 +1,121 @@
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+// Global 0-based server index -> 1-based (tor, server) coordinates.
+struct Coord {
+  int tor;
+  int server;
+};
+
+Coord coord_of(const Fabric& fabric, std::size_t global) {
+  return Coord{static_cast<int>(global) / fabric.servers_per_tor + 1,
+               static_cast<int>(global) % fabric.servers_per_tor + 1};
+}
+
+std::size_t random_server(const Fabric& fabric, Rng& rng) {
+  return rng.next_below(static_cast<std::uint64_t>(fabric.num_servers()));
+}
+
+}  // namespace
+
+FlowCollection uniform_random(const Fabric& fabric, std::size_t count, Rng& rng) {
+  FlowCollection flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Coord s = coord_of(fabric, random_server(fabric, rng));
+    const Coord t = coord_of(fabric, random_server(fabric, rng));
+    flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
+  }
+  return flows;
+}
+
+FlowCollection random_permutation(const Fabric& fabric, Rng& rng) {
+  const auto perm = rng.permutation(static_cast<std::size_t>(fabric.num_servers()));
+  FlowCollection flows;
+  flows.reserve(perm.size());
+  for (std::size_t src = 0; src < perm.size(); ++src) {
+    const Coord s = coord_of(fabric, src);
+    const Coord t = coord_of(fabric, perm[src]);
+    flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
+  }
+  return flows;
+}
+
+FlowCollection zipf_destinations(const Fabric& fabric, std::size_t count, double skew,
+                                 Rng& rng) {
+  const ZipfSampler sampler(static_cast<std::size_t>(fabric.num_servers()), skew);
+  FlowCollection flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Coord s = coord_of(fabric, random_server(fabric, rng));
+    const Coord t = coord_of(fabric, sampler.sample(rng));
+    flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
+  }
+  return flows;
+}
+
+FlowCollection incast(const Fabric& fabric, std::size_t senders, int dst_tor, int dst_server,
+                      Rng& rng) {
+  CF_CHECK(dst_tor >= 1 && dst_tor <= fabric.num_tors);
+  CF_CHECK(dst_server >= 1 && dst_server <= fabric.servers_per_tor);
+  FlowCollection flows;
+  flows.reserve(senders);
+  for (std::size_t i = 0; i < senders; ++i) {
+    const Coord s = coord_of(fabric, random_server(fabric, rng));
+    flows.push_back(FlowSpec{s.tor, s.server, dst_tor, dst_server});
+  }
+  return flows;
+}
+
+FlowCollection hotspot(const Fabric& fabric, std::size_t count, int hot_tor,
+                       double hot_fraction, Rng& rng) {
+  CF_CHECK(hot_tor >= 1 && hot_tor <= fabric.num_tors);
+  CF_CHECK(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  FlowCollection flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Coord s = coord_of(fabric, random_server(fabric, rng));
+    Coord t;
+    if (rng.next_bool(hot_fraction)) {
+      t = Coord{hot_tor,
+                static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(fabric.servers_per_tor))) +
+                    1};
+    } else {
+      t = coord_of(fabric, random_server(fabric, rng));
+    }
+    flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
+  }
+  return flows;
+}
+
+FlowCollection stride(const Fabric& fabric, int stride_amount) {
+  const int servers = fabric.num_servers();
+  CF_CHECK(servers > 0);
+  FlowCollection flows;
+  flows.reserve(static_cast<std::size_t>(servers));
+  for (int g = 0; g < servers; ++g) {
+    const Coord s = coord_of(fabric, static_cast<std::size_t>(g));
+    const int dst = ((g + stride_amount) % servers + servers) % servers;
+    const Coord t = coord_of(fabric, static_cast<std::size_t>(dst));
+    flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
+  }
+  return flows;
+}
+
+FlowCollection tor_all_to_all(const Fabric& fabric) {
+  FlowCollection flows;
+  for (int i = 1; i <= fabric.num_tors; ++i) {
+    int j = 1;
+    for (int k = 1; k <= fabric.num_tors; ++k) {
+      if (k == i) continue;
+      flows.push_back(FlowSpec{i, j, k, j});
+      j = j % fabric.servers_per_tor + 1;
+    }
+  }
+  return flows;
+}
+
+}  // namespace closfair

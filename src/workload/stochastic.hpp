@@ -1,0 +1,60 @@
+// Stochastic workload generators for the extended-version style evaluation
+// (§6): the paper reports that on *stochastic* inputs, congestion-aware
+// routing approximates macro-switch rates well, in contrast to the
+// adversarial worst cases of §§3-5. These generators produce the standard
+// data-center traffic patterns used for such studies.
+//
+// All generators emit coordinate-level FlowCollections for a fabric with
+// `num_tors` ToRs and `servers_per_tor` servers per ToR (both sides), so the
+// same collection instantiates on C_n and MS_n.
+#pragma once
+
+#include <cstddef>
+
+#include "flow/flow.hpp"
+#include "util/rng.hpp"
+
+namespace closfair {
+
+/// Fabric dimensions for workload generation.
+struct Fabric {
+  int num_tors = 2;
+  int servers_per_tor = 1;
+
+  [[nodiscard]] int num_servers() const { return num_tors * servers_per_tor; }
+};
+
+/// `count` flows with source and destination chosen uniformly at random.
+[[nodiscard]] FlowCollection uniform_random(const Fabric& fabric, std::size_t count,
+                                            Rng& rng);
+
+/// One flow per source, destinations forming a uniformly random permutation
+/// (classic permutation traffic; at most one flow per source and per
+/// destination — the admission-control regime of §1).
+[[nodiscard]] FlowCollection random_permutation(const Fabric& fabric, Rng& rng);
+
+/// `count` flows with uniform sources and Zipf(s)-skewed destinations (rank 1
+/// = hottest server). s = 0 degenerates to uniform.
+[[nodiscard]] FlowCollection zipf_destinations(const Fabric& fabric, std::size_t count,
+                                               double skew, Rng& rng);
+
+/// Incast: `senders` flows from uniformly random sources into one
+/// destination (1-based coordinates).
+[[nodiscard]] FlowCollection incast(const Fabric& fabric, std::size_t senders, int dst_tor,
+                                    int dst_server, Rng& rng);
+
+/// Hotspot: `count` flows; with probability `hot_fraction` the destination
+/// lies on `hot_tor`, otherwise uniform.
+[[nodiscard]] FlowCollection hotspot(const Fabric& fabric, std::size_t count, int hot_tor,
+                                     double hot_fraction, Rng& rng);
+
+/// Stride: one flow per source; server g (global 0-based index) sends to
+/// server (g + stride) mod num_servers.
+[[nodiscard]] FlowCollection stride(const Fabric& fabric, int stride_amount);
+
+/// ToR-level all-to-all: one flow from each ToR's server j to the matching
+/// server of every other ToR (j cycles over servers). Size grows as
+/// num_tors^2, so use small fabrics.
+[[nodiscard]] FlowCollection tor_all_to_all(const Fabric& fabric);
+
+}  // namespace closfair

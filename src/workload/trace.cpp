@@ -1,0 +1,58 @@
+#include "workload/trace.hpp"
+
+namespace closfair {
+
+Trace poisson_trace(const TraceParams& params, Rng& rng) {
+  CF_CHECK(params.arrival_rate > 0);
+  CF_CHECK(params.mean_size > 0);
+
+  const ZipfSampler zipf(static_cast<std::size_t>(params.fabric.num_servers()), 1.1);
+
+  auto draw_spec = [&]() -> FlowSpec {
+    auto coord_of = [&](std::size_t global) {
+      return std::pair<int, int>{
+          static_cast<int>(global) / params.fabric.servers_per_tor + 1,
+          static_cast<int>(global) % params.fabric.servers_per_tor + 1};
+    };
+    const auto servers = static_cast<std::uint64_t>(params.fabric.num_servers());
+    const auto [si, sj] = coord_of(rng.next_below(servers));
+    switch (params.endpoints) {
+      case EndpointPattern::kUniform: {
+        const auto [ti, tj] = coord_of(rng.next_below(servers));
+        return FlowSpec{si, sj, ti, tj};
+      }
+      case EndpointPattern::kZipfDst: {
+        const auto [ti, tj] = coord_of(zipf.sample(rng));
+        return FlowSpec{si, sj, ti, tj};
+      }
+      case EndpointPattern::kIncast:
+        return FlowSpec{si, sj, 1, 1};
+    }
+    return FlowSpec{};
+  };
+
+  auto draw_size = [&]() -> double {
+    switch (params.sizes) {
+      case SizeDistribution::kFixed:
+        return params.mean_size;
+      case SizeDistribution::kExponential:
+        return rng.next_exponential(1.0 / params.mean_size);
+      case SizeDistribution::kBimodal:
+        // 90% mice, 10% elephants; mean preserved:
+        // 0.9*(m/10) + 0.1*(9.1 m) = m.
+        return rng.next_bool(0.9) ? params.mean_size / 10.0 : params.mean_size * 9.1;
+    }
+    return params.mean_size;
+  };
+
+  Trace trace;
+  trace.reserve(params.num_flows);
+  double t = 0.0;
+  for (std::size_t i = 0; i < params.num_flows; ++i) {
+    t += rng.next_exponential(params.arrival_rate);
+    trace.push_back(FlowArrival{t, draw_spec(), draw_size()});
+  }
+  return trace;
+}
+
+}  // namespace closfair

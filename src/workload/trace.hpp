@@ -1,0 +1,50 @@
+// Dynamic flow arrival traces for the flow-level simulator (sim/event_sim.hpp).
+//
+// Poisson arrivals with configurable size distributions model the open-loop
+// traffic of the extended-version evaluation and of the R1 discussion
+// (scheduling vs congestion control, §7).
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+
+/// One flow arrival: when, between which servers, how many capacity-seconds
+/// of data (a size of 1.0 takes one second at full link rate).
+struct FlowArrival {
+  double time = 0.0;
+  FlowSpec spec;
+  double size = 1.0;
+};
+
+using Trace = std::vector<FlowArrival>;
+
+enum class SizeDistribution {
+  kFixed,        ///< every flow has mean_size
+  kExponential,  ///< exponential with the given mean
+  kBimodal,      ///< 90% mice at mean/10, 10% elephants at ~2x mean
+};
+
+enum class EndpointPattern {
+  kUniform,   ///< uniform src and dst
+  kZipfDst,   ///< uniform src, Zipf(1.1) dst
+  kIncast,    ///< uniform src, fixed dst (ToR 1, server 1)
+};
+
+struct TraceParams {
+  Fabric fabric;
+  double arrival_rate = 1.0;  ///< flows per unit time (Poisson)
+  std::size_t num_flows = 100;
+  double mean_size = 1.0;
+  SizeDistribution sizes = SizeDistribution::kExponential;
+  EndpointPattern endpoints = EndpointPattern::kUniform;
+};
+
+/// Generate a trace of `num_flows` arrivals (sorted by time).
+[[nodiscard]] Trace poisson_trace(const TraceParams& params, Rng& rng);
+
+}  // namespace closfair

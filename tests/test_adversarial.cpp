@@ -1,0 +1,188 @@
+#include "core/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/theorems.hpp"
+#include "fairness/bottleneck.hpp"
+#include "fairness/waterfill.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Example23, MacroRatesMatchPaper) {
+  const Example23 ex = example_2_3();
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, ex.instance.flows));
+  EXPECT_EQ(macro.rates(), ex.instance.macro_rates);
+}
+
+TEST(Example23, BothRoutingsMatchPaperRates) {
+  const Example23 ex = example_2_3();
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, ex.instance.flows);
+  EXPECT_EQ(max_min_fair<Rational>(net, flows, ex.routing_a).rates(), ex.rates_a);
+  EXPECT_EQ(max_min_fair<Rational>(net, flows, ex.routing_b).rates(), ex.rates_b);
+}
+
+TEST(Example23, RoutingALexBeatsRoutingB) {
+  const Example23 ex = example_2_3();
+  EXPECT_EQ(lex_compare_sorted(Allocation<Rational>{ex.rates_a},
+                               Allocation<Rational>{ex.rates_b}),
+            std::strong_ordering::greater);
+}
+
+// Theorem 3.4 family: measured T^MmF and T^MT match the closed forms, and
+// the ratio approaches 1/2 from above as k grows.
+class Theorem34Family : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem34Family, MeasuredMatchesPrediction) {
+  const int k = GetParam();
+  const AdversarialInstance inst = theorem_3_4_instance(1, k);
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, inst.flows);
+
+  const auto maxmin = max_min_fair<Rational>(ms, flows);
+  EXPECT_EQ(maxmin.rates(), inst.macro_rates);
+
+  const Theorem34Prediction pred = predict_theorem_3_4(k);
+  EXPECT_EQ(maxmin.throughput(), pred.t_maxmin);
+
+  const auto matching = maximum_matching(server_flow_graph(ms, flows));
+  EXPECT_EQ(Rational(static_cast<std::int64_t>(matching.size())), pred.t_max_throughput);
+
+  // The R1 bound: T^MmF >= 1/2 T^MT, tight as k grows.
+  EXPECT_GE(maxmin.throughput() * Rational{2}, pred.t_max_throughput);
+  EXPECT_EQ(maxmin.throughput(), (Rational{1} + pred.epsilon) / Rational{2} *
+                                     pred.t_max_throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, Theorem34Family, ::testing::Values(1, 2, 3, 7, 100));
+
+TEST(Theorem34, InstanceWorksOnWiderMacroSwitch) {
+  // The family only uses two ToRs; embedding in MS_3 changes nothing.
+  const AdversarialInstance inst = theorem_3_4_instance(3, 4);
+  const MacroSwitch ms = MacroSwitch::paper(3);
+  const auto maxmin = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+  EXPECT_EQ(maxmin.rates(), inst.macro_rates);
+}
+
+// Theorem 4.2 / 4.3 instance shapes.
+TEST(Theorem42, InstanceShape) {
+  const int n = 3;
+  const AdversarialInstance inst = theorem_4_2_instance(n);
+  // n(n-1) type 1 + n type 2a + n(n-1) type 2b + 1 type 3.
+  EXPECT_EQ(inst.flows.size(), static_cast<std::size_t>(n * (n - 1) + n + n * (n - 1) + 1));
+  EXPECT_EQ(inst.labels.size(), inst.flows.size());
+  EXPECT_EQ(inst.macro_rates.size(), inst.flows.size());
+  EXPECT_FALSE(inst.witness.has_value());
+  EXPECT_THROW(theorem_4_2_instance(2), ContractViolation);
+}
+
+TEST(Theorem42, MacroRatesAreMaxMin) {
+  for (int n : {3, 4, 5}) {
+    const AdversarialInstance inst = theorem_4_2_instance(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+    EXPECT_EQ(macro.rates(), inst.macro_rates) << "n=" << n;
+  }
+}
+
+TEST(Theorem43, MacroRatesMatchLemma44) {
+  for (int n : {3, 4, 5}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+    EXPECT_EQ(macro.rates(), inst.macro_rates) << "n=" << n;
+
+    const Theorem43Prediction pred = predict_theorem_4_3(n);
+    for (FlowIndex f = 0; f < inst.flows.size(); ++f) {
+      if (inst.labels[f] == "type1") {
+        EXPECT_EQ(inst.macro_rates[f], pred.type1_rate);
+      } else if (inst.labels[f] == "type3") {
+        EXPECT_EQ(inst.macro_rates[f], pred.type3_macro_rate);
+      } else {
+        EXPECT_EQ(inst.macro_rates[f], pred.type2_rate);
+      }
+    }
+  }
+}
+
+TEST(Theorem43, WitnessRoutingMatchesLemma46) {
+  // Step 1 of Lemma 4.6: the posited routing's max-min allocation assigns
+  // 1/(n+1) to type 1, 1/n to type 2, and 1/n to the type 3 flow.
+  for (int n : {3, 4, 5, 6}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    ASSERT_TRUE(inst.witness.has_value());
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const auto alloc = max_min_fair<Rational>(net, flows, *inst.witness);
+    EXPECT_EQ(alloc.rates(), *inst.witness_rates) << "n=" << n;
+
+    // The allocation is max-min fair for that routing (bottleneck property).
+    const Routing routing = expand_routing(net, flows, *inst.witness);
+    EXPECT_TRUE(is_max_min_fair(net.topology(), routing, alloc));
+  }
+}
+
+TEST(Theorem43, StarvationFactorIsOneOverN) {
+  for (int n : {3, 5, 8}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const auto alloc = max_min_fair<Rational>(net, flows, *inst.witness);
+    const FlowIndex type3 = flows.size() - 1;
+    EXPECT_EQ(inst.labels[type3], "type3");
+    EXPECT_EQ(alloc.rate(type3) / inst.macro_rates[type3],
+              predict_theorem_4_3(n).starvation_factor);
+  }
+}
+
+TEST(Theorem54, InstanceShape) {
+  const AdversarialInstance inst = theorem_5_4_instance(7, 1);
+  // n-1 type 1 flows + (n-1)/2 * k type 2 flows.
+  EXPECT_EQ(inst.flows.size(), static_cast<std::size_t>(6 + 3));
+  EXPECT_THROW(theorem_5_4_instance(4, 1), ContractViolation);  // even n
+  EXPECT_THROW(theorem_5_4_instance(7, 0), ContractViolation);
+}
+
+TEST(Theorem54, MacroRatesMatchPrediction) {
+  for (int n : {3, 5, 7}) {
+    for (int k : {1, 3}) {
+      const AdversarialInstance inst = theorem_5_4_instance(n, k);
+      const MacroSwitch ms = MacroSwitch::paper(n);
+      const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
+      EXPECT_EQ(macro.rates(), inst.macro_rates) << "n=" << n << " k=" << k;
+      EXPECT_EQ(macro.throughput(), predict_theorem_5_4(n, k).t_maxmin_macro);
+    }
+  }
+}
+
+TEST(Predictions, Theorem34ClosedForms) {
+  const auto p1 = predict_theorem_3_4(1);
+  EXPECT_EQ(p1.t_maxmin, Rational(3, 2));
+  EXPECT_EQ(p1.t_max_throughput, Rational(2));
+  EXPECT_EQ(p1.fairness_ratio, Rational(3, 4));  // Example 3.3's 3/4 factor
+
+  const auto p100 = predict_theorem_3_4(100);
+  EXPECT_LT(p100.fairness_ratio, Rational(51, 100));
+  EXPECT_GT(p100.fairness_ratio, Rational(1, 2));
+}
+
+TEST(Predictions, Theorem54EpsilonMatchesPaperFormula) {
+  // eps = (k+n) / ((n-1)(k+2)).
+  for (int n : {3, 5, 9}) {
+    for (int k : {1, 2, 10}) {
+      const auto p = predict_theorem_5_4(n, k);
+      const Rational paper_eps{k + n, static_cast<std::int64_t>(n - 1) * (k + 2)};
+      EXPECT_EQ(p.epsilon, paper_eps) << "n=" << n << " k=" << k;
+      EXPECT_EQ(p.gain, Rational{2} * (Rational{1} - paper_eps));
+      // Doom throughput achieves exactly the n-2 bound for this family.
+      EXPECT_EQ(p.doom_throughput, p.t_doom_lower_bound);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace closfair

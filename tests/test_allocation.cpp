@@ -1,0 +1,119 @@
+#include "flow/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+TEST(Allocation, ZeroInitialized) {
+  Allocation<Rational> a(3);
+  EXPECT_EQ(a.size(), 3u);
+  for (FlowIndex f = 0; f < 3; ++f) EXPECT_EQ(a.rate(f), Rational(0));
+}
+
+TEST(Allocation, SetAndGet) {
+  Allocation<Rational> a(2);
+  a.set_rate(0, Rational{1, 3});
+  a.set_rate(1, Rational{2, 3});
+  EXPECT_EQ(a.rate(0), Rational(1, 3));
+  EXPECT_EQ(a.rate(1), Rational(2, 3));
+  EXPECT_THROW(a.rate(2), ContractViolation);
+  EXPECT_THROW(a.set_rate(2, Rational{1}), ContractViolation);
+}
+
+TEST(Allocation, Throughput) {
+  Allocation<Rational> a({Rational{1, 3}, Rational{1, 3}, Rational{2, 3}, Rational{1}});
+  EXPECT_EQ(a.throughput(), Rational(7, 3));
+  EXPECT_EQ(Allocation<Rational>(0).throughput(), Rational(0));
+}
+
+TEST(Allocation, SortedAscending) {
+  Allocation<Rational> a({Rational{1}, Rational{1, 3}, Rational{2, 3}});
+  const auto s = a.sorted();
+  EXPECT_EQ(s, (std::vector<Rational>{Rational{1, 3}, Rational{2, 3}, Rational{1}}));
+}
+
+TEST(LexCompare, OrdersByFirstDifference) {
+  const std::vector<Rational> a = {Rational{1, 3}, Rational{1, 2}};
+  const std::vector<Rational> b = {Rational{1, 3}, Rational{2, 3}};
+  EXPECT_EQ(lex_compare(a, b), std::strong_ordering::less);
+  EXPECT_EQ(lex_compare(b, a), std::strong_ordering::greater);
+  EXPECT_EQ(lex_compare(a, a), std::strong_ordering::equal);
+}
+
+TEST(LexCompare, LengthMismatchThrows) {
+  const std::vector<Rational> a = {Rational{1}};
+  const std::vector<Rational> b = {Rational{1}, Rational{2}};
+  EXPECT_THROW(lex_compare(a, b), ContractViolation);
+}
+
+TEST(LexCompareSorted, UsesSortedVectors) {
+  // Same multiset in different orders compares equal.
+  Allocation<Rational> a({Rational{1}, Rational{1, 2}});
+  Allocation<Rational> b({Rational{1, 2}, Rational{1}});
+  EXPECT_EQ(lex_compare_sorted(a, b), std::strong_ordering::equal);
+
+  // The paper's Example 2.3 comparison: [1/3 x3, 2/3 x3] > [1/3 x4, 2/3, 1].
+  Allocation<Rational> routing_a({Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                  Rational{2, 3}, Rational{2, 3}, Rational{2, 3}});
+  Allocation<Rational> routing_b({Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                  Rational{1, 3}, Rational{2, 3}, Rational{1}});
+  EXPECT_EQ(lex_compare_sorted(routing_a, routing_b), std::strong_ordering::greater);
+}
+
+TEST(LinkLoads, SumsRatesPerLink) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows =
+      instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 1}});
+  const Routing r = expand_routing(net, flows, {1, 1});
+  Allocation<Rational> alloc({Rational{1, 2}, Rational{1, 4}});
+  const auto loads = link_loads(net.topology(), r, alloc);
+  EXPECT_EQ(loads[static_cast<std::size_t>(net.uplink(1, 1))], Rational(3, 4));
+  EXPECT_EQ(loads[static_cast<std::size_t>(net.downlink(1, 3))], Rational(3, 4));
+  EXPECT_EQ(loads[static_cast<std::size_t>(net.source_link(1, 1))], Rational(1, 2));
+  // Both flows enter the same destination server.
+  EXPECT_EQ(loads[static_cast<std::size_t>(net.dest_link(3, 1))], Rational(3, 4));
+}
+
+TEST(IsFeasible, DetectsViolations) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows =
+      instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 1}});
+  const Routing r = expand_routing(net, flows, {1, 1});
+
+  EXPECT_TRUE(is_feasible(net.topology(), r,
+                          Allocation<Rational>({Rational{1, 2}, Rational{1, 2}})));
+  // dest_link(3,1) carries both flows: 1/2 + 3/4 > 1.
+  EXPECT_FALSE(is_feasible(net.topology(), r,
+                           Allocation<Rational>({Rational{1, 2}, Rational{3, 4}})));
+  // Negative rates are infeasible regardless of loads.
+  EXPECT_FALSE(is_feasible(net.topology(), r,
+                           Allocation<Rational>({Rational{-1, 4}, Rational{1, 4}})));
+}
+
+TEST(IsFeasible, UnboundedLinksNeverConstrain) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  // Two ToR pairs; send everything through one inner link.
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const Routing r = macro_routing(ms, flows);
+  EXPECT_TRUE(is_feasible(ms.topology(), r, Allocation<Rational>({Rational{1}})));
+  EXPECT_FALSE(is_feasible(ms.topology(), r, Allocation<Rational>({Rational{2}})));
+}
+
+TEST(IsFeasible, DoubleToleranceAbsorbsRoundoff) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const Routing r = macro_routing(ms, flows);
+  Allocation<double> slightly_over(std::vector<double>{1.0 + 1e-12});
+  EXPECT_FALSE(is_feasible(ms.topology(), r, slightly_over));
+  EXPECT_TRUE(is_feasible(ms.topology(), r, slightly_over, 1e-9));
+}
+
+TEST(Format, SortedAndRateStrings) {
+  Allocation<Rational> a({Rational{1}, Rational{1, 3}});
+  EXPECT_EQ(format_sorted(a), "[1/3, 1]");
+  EXPECT_EQ(format_rates(a), "[1, 1/3]");
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,133 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "core/report.hpp"
+#include "fairness/waterfill.hpp"
+#include "flow/allocation.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(AnalyzeMacro, Example33) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const AdversarialInstance inst = theorem_3_4_instance(1, 1);
+  const auto a = analyze_macro(ms, instantiate(ms, inst.flows));
+  EXPECT_EQ(a.t_maxmin, Rational(3, 2));
+  EXPECT_EQ(a.t_max_throughput, Rational(2));
+  EXPECT_EQ(a.price_of_fairness, Rational(3, 4));
+  EXPECT_EQ(a.max_matching.size(), 2u);
+}
+
+TEST(AnalyzeMacro, EmptyCollection) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const auto a = analyze_macro(ms, FlowSet{});
+  EXPECT_EQ(a.t_maxmin, Rational(0));
+  EXPECT_EQ(a.t_max_throughput, Rational(0));
+  EXPECT_EQ(a.price_of_fairness, Rational(1));
+}
+
+TEST(AnalyzeClos, MatchesWaterfill) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const Example23 ex = example_2_3();
+  const FlowSet flows = instantiate(net, ex.instance.flows);
+  const auto a = analyze_clos(net, flows, ex.routing_a);
+  EXPECT_EQ(a.maxmin.rates(), ex.rates_a);
+  EXPECT_EQ(a.throughput, Rational(3));
+}
+
+TEST(MaxThroughputRouting, AchievesMatchingThroughput) {
+  // Lemma 5.2: T^T-MT == T^MT, witnessed by a link-disjoint routing.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Rng rng(3);
+  const FlowCollection specs =
+      uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 12, rng);
+  const FlowSet flows = instantiate(net, specs);
+
+  const auto r = max_throughput_routing(net, flows);
+  const auto macro = analyze_macro(ms, instantiate(ms, specs));
+  EXPECT_EQ(r.throughput, macro.t_max_throughput);
+
+  // The rate-1-on-matched allocation is feasible in the Clos network.
+  const Routing routing = expand_routing(net, flows, r.middles);
+  EXPECT_TRUE(is_feasible(net.topology(), routing, r.alloc));
+}
+
+TEST(Compare, Example23RoutingA) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Example23 ex = example_2_3();
+  const Comparison c = compare(net, ms, ex.instance.flows, ex.routing_a);
+
+  EXPECT_EQ(c.macro.t_maxmin, Rational(10, 3));
+  EXPECT_EQ(c.clos.throughput, Rational(3));
+  EXPECT_EQ(c.throughput_ratio, Rational(9, 10));
+  // The type 3 flow drops from 1 to 2/3.
+  EXPECT_EQ(c.min_rate_ratio, Rational(2, 3));
+  EXPECT_EQ(c.lex_vs_macro, std::strong_ordering::less);
+}
+
+TEST(Compare, PerfectReplicationIsEqual) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  // Flows on disjoint middle-friendly pairs: one flow per (src,dst) ToR pair.
+  const FlowCollection specs = {FlowSpec{1, 1, 3, 1}, FlowSpec{2, 1, 4, 1}};
+  const Comparison c = compare(net, ms, specs, MiddleAssignment{1, 2});
+  EXPECT_EQ(c.throughput_ratio, Rational(1));
+  EXPECT_EQ(c.min_rate_ratio, Rational(1));
+  EXPECT_EQ(c.lex_vs_macro, std::strong_ordering::equal);
+}
+
+TEST(Compare, DimensionMismatchThrows) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(3);
+  EXPECT_THROW(compare(net, ms, {}, {}), ContractViolation);
+}
+
+TEST(Report, SummarizeByLabelGroups) {
+  const Allocation<Rational> alloc(
+      {Rational{1, 3}, Rational{1, 3}, Rational{2, 3}, Rational{1}});
+  const std::vector<std::string> labels = {"a", "a", "b", "c"};
+  const auto summary = summarize_by_label(labels, alloc);
+  ASSERT_EQ(summary.size(), 3u);
+  EXPECT_EQ(summary[0].label, "a");
+  EXPECT_EQ(summary[0].count, 2u);
+  EXPECT_EQ(summary[0].min_rate, Rational(1, 3));
+  EXPECT_EQ(summary[0].max_rate, Rational(1, 3));
+  EXPECT_EQ(summary[2].label, "c");
+  EXPECT_EQ(summary[2].max_rate, Rational(1));
+}
+
+TEST(Report, SummarizeSizeMismatchThrows) {
+  const Allocation<Rational> alloc({Rational{1}});
+  EXPECT_THROW(summarize_by_label({"a", "b"}, alloc), ContractViolation);
+}
+
+TEST(Report, LabelTableRendersBothColumns) {
+  const Allocation<Rational> left({Rational{1, 3}, Rational{1}});
+  const Allocation<Rational> right({Rational{1, 6}, Rational{1, 2}});
+  const std::vector<std::string> labels = {"x", "y"};
+  const std::string out = render_label_table(labels, left, "macro", &right, "clos");
+  EXPECT_NE(out.find("macro rate"), std::string::npos);
+  EXPECT_NE(out.find("clos rate"), std::string::npos);
+  EXPECT_NE(out.find("1/3"), std::string::npos);
+  EXPECT_NE(out.find("1/6"), std::string::npos);
+}
+
+TEST(Report, RenderComparisonMentionsKeyNumbers) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Example23 ex = example_2_3();
+  const Comparison c = compare(net, ms, ex.instance.flows, ex.routing_a);
+  const std::string out = render_comparison(c);
+  EXPECT_NE(out.find("10/3"), std::string::npos);
+  EXPECT_NE(out.find("2/3"), std::string::npos);
+  EXPECT_NE(out.find("less"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,115 @@
+#include "fairness/bottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fairness/waterfill.hpp"
+
+namespace closfair {
+namespace {
+
+// Fixture: the Example 2.3 macro-switch instance whose max-min allocation we
+// know exactly.
+struct Example23Fixture {
+  MacroSwitch ms = MacroSwitch::paper(2);
+  FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+           FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+  Routing routing = macro_routing(ms, flows);
+};
+
+TEST(Bottleneck, CertifiesTrueMaxMinAllocation) {
+  Example23Fixture fx;
+  const Allocation<Rational> alloc({Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                    Rational{2, 3}, Rational{2, 3}, Rational{1}});
+  EXPECT_TRUE(is_max_min_fair(fx.ms.topology(), fx.routing, alloc));
+}
+
+TEST(Bottleneck, RejectsFeasibleButUnfairAllocation) {
+  Example23Fixture fx;
+  // Halving the type 3 flow keeps feasibility but destroys its bottleneck.
+  const Allocation<Rational> alloc({Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                    Rational{2, 3}, Rational{2, 3}, Rational{1, 2}});
+  EXPECT_TRUE(is_feasible(fx.ms.topology(), fx.routing, alloc));
+  EXPECT_FALSE(is_max_min_fair(fx.ms.topology(), fx.routing, alloc));
+}
+
+TEST(Bottleneck, RejectsInfeasibleAllocation) {
+  Example23Fixture fx;
+  const Allocation<Rational> alloc({Rational{1, 2}, Rational{1, 2}, Rational{1, 2},
+                                    Rational{2, 3}, Rational{2, 3}, Rational{1}});
+  EXPECT_FALSE(is_feasible(fx.ms.topology(), fx.routing, alloc));
+  EXPECT_FALSE(is_max_min_fair(fx.ms.topology(), fx.routing, alloc));
+}
+
+TEST(Bottleneck, RejectsUniformlyScaledDownAllocation) {
+  Example23Fixture fx;
+  const Allocation<Rational> alloc({Rational{1, 6}, Rational{1, 6}, Rational{1, 6},
+                                    Rational{1, 3}, Rational{1, 3}, Rational{1, 2}});
+  EXPECT_FALSE(is_max_min_fair(fx.ms.topology(), fx.routing, alloc));
+}
+
+TEST(Bottleneck, LinksIdentifyPaperBottlenecks) {
+  Example23Fixture fx;
+  const Allocation<Rational> alloc({Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                    Rational{2, 3}, Rational{2, 3}, Rational{1}});
+  const auto bn = bottleneck_links(fx.ms.topology(), fx.routing, alloc);
+  ASSERT_EQ(bn.size(), 6u);
+  // Type 1 flows bottleneck on their shared source link s_1^2 I_1.
+  for (FlowIndex f : {FlowIndex{0}, FlowIndex{1}, FlowIndex{2}}) {
+    ASSERT_TRUE(bn[f].has_value());
+    EXPECT_EQ(*bn[f], fx.ms.source_link(1, 2));
+  }
+  // Type 2 flows bottleneck on their destination links.
+  ASSERT_TRUE(bn[3].has_value());
+  EXPECT_EQ(*bn[3], fx.ms.dest_link(2, 1));
+  ASSERT_TRUE(bn[4].has_value());
+  EXPECT_EQ(*bn[4], fx.ms.dest_link(2, 2));
+  // Type 3 flow bottlenecks on an edge link (source checked first).
+  ASSERT_TRUE(bn[5].has_value());
+  EXPECT_EQ(*bn[5], fx.ms.source_link(1, 1));
+}
+
+TEST(Bottleneck, UnboundedLinksAreNeverBottlenecks) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const Allocation<Rational> alloc({Rational{1}});
+  const auto bn = bottleneck_links(ms.topology(), routing, alloc);
+  ASSERT_TRUE(bn[0].has_value());
+  EXPECT_FALSE(ms.topology().link(*bn[0]).unbounded);
+}
+
+TEST(Bottleneck, ZeroRatesOnSaturatedZeroLink) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  topo.add_link(a, b, Rational{0});
+  const FlowSet flows = {Flow{a, b}};
+  const Routing r{std::vector<Path>{{0}}};
+  const Allocation<Rational> alloc({Rational{0}});
+  // A zero-capacity link is saturated by a zero rate: valid bottleneck.
+  EXPECT_TRUE(is_max_min_fair(topo, r, alloc));
+}
+
+TEST(Bottleneck, DoubleToleranceVariant) {
+  Example23Fixture fx;
+  Allocation<double> alloc({1.0 / 3, 1.0 / 3, 1.0 / 3, 2.0 / 3, 2.0 / 3, 1.0});
+  EXPECT_TRUE(is_max_min_fair(fx.ms.topology(), fx.routing, alloc, 1e-9));
+}
+
+TEST(Bottleneck, AgreesWithWaterfillOnClosRoutings) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = instantiate(
+      net, {FlowSpec{1, 1, 4, 1}, FlowSpec{1, 2, 4, 1}, FlowSpec{2, 1, 4, 2},
+            FlowSpec{3, 3, 5, 1}, FlowSpec{1, 1, 6, 2}});
+  for (const MiddleAssignment& middles :
+       {MiddleAssignment{1, 1, 1, 1, 1}, MiddleAssignment{1, 2, 3, 1, 2},
+        MiddleAssignment{3, 3, 2, 1, 1}}) {
+    const Routing routing = expand_routing(net, flows, middles);
+    const auto alloc = max_min_fair<Rational>(net.topology(), flows, routing);
+    EXPECT_TRUE(is_max_min_fair(net.topology(), routing, alloc));
+  }
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,81 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "routing/doom_switch.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Bounds, Example23RoutingAAllHold) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Example23 ex = example_2_3();
+  const BoundReport report = check_paper_bounds(net, ms, ex.instance.flows, ex.routing_a);
+  EXPECT_TRUE(report.all_hold());
+  EXPECT_EQ(report.checks.size(), 6u);
+}
+
+TEST(Bounds, AdversarialInstancesAllHold) {
+  // The constructions are designed to make the bounds tight, not to break
+  // them — they must all still hold.
+  {
+    const int n = 3;
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    const BoundReport report = check_paper_bounds(net, ms, inst.flows, *inst.witness);
+    EXPECT_TRUE(report.all_hold()) << render_bound_report(report);
+  }
+  {
+    const int n = 7;
+    const AdversarialInstance inst = theorem_5_4_instance(n, 4);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const BoundReport report =
+        check_paper_bounds(net, ms, inst.flows, doom_switch(net, flows).middles);
+    EXPECT_TRUE(report.all_hold()) << render_bound_report(report);
+  }
+}
+
+TEST(Bounds, RenderMentionsEveryCheck) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Example23 ex = example_2_3();
+  const BoundReport report = check_paper_bounds(net, ms, ex.instance.flows, ex.routing_a);
+  const std::string out = render_bound_report(report);
+  for (const char* tag : {"B1", "B2", "B3", "B4", "B5", "B6"}) {
+    EXPECT_NE(out.find(tag), std::string::npos) << tag;
+  }
+  EXPECT_EQ(out.find("VIOLATED"), std::string::npos);
+}
+
+class BoundsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsProperty, HoldOnRandomInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 811 + 7);
+  const int n = 2 + static_cast<int>(rng.next_below(3));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const Fabric fabric{2 * n, n};
+  FlowCollection specs;
+  switch (rng.next_below(3)) {
+    case 0: specs = uniform_random(fabric, 1 + rng.next_below(25), rng); break;
+    case 1: specs = random_permutation(fabric, rng); break;
+    default: specs = incast(fabric, 1 + rng.next_below(12), 1, 1, rng); break;
+  }
+  const FlowSet flows = instantiate(net, specs);
+  const MiddleAssignment middles = ecmp_routing(net, flows, rng);
+  const BoundReport report = check_paper_bounds(net, ms, specs, middles);
+  EXPECT_TRUE(report.all_hold()) << render_bound_report(report);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BoundsProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,144 @@
+#include "net/clos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+TEST(Clos, PaperDimensions) {
+  // C_n: n middles, 2n ToRs per side, n servers per ToR, all unit capacity.
+  for (int n : {1, 2, 3, 5}) {
+    const ClosNetwork net = ClosNetwork::paper(n);
+    EXPECT_EQ(net.num_middles(), n);
+    EXPECT_EQ(net.num_tors(), 2 * n);
+    EXPECT_EQ(net.servers_per_tor(), n);
+    EXPECT_EQ(net.num_sources(), 2 * n * n);
+    EXPECT_EQ(net.num_destinations(), 2 * n * n);
+    // Nodes: 2n inputs + 2n outputs + n middles + 2*2n^2 servers.
+    EXPECT_EQ(net.topology().num_nodes(),
+              static_cast<std::size_t>(4 * n + n + 4 * n * n));
+    // Links: 2*2n^2 edge links + 2*(2n*n) switch links.
+    EXPECT_EQ(net.topology().num_links(), static_cast<std::size_t>(4 * n * n + 4 * n * n));
+  }
+}
+
+TEST(Clos, NodeNamesAndKinds) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const Topology& topo = net.topology();
+  EXPECT_EQ(topo.node(net.source(1, 2)).name, "s1^2");
+  EXPECT_EQ(topo.node(net.source(1, 2)).kind, NodeKind::kSource);
+  EXPECT_EQ(topo.node(net.destination(4, 1)).name, "t4^1");
+  EXPECT_EQ(topo.node(net.destination(4, 1)).kind, NodeKind::kDestination);
+  EXPECT_EQ(topo.node(net.input_switch(3)).name, "I3");
+  EXPECT_EQ(topo.node(net.middle(2)).name, "M2");
+  EXPECT_EQ(topo.node(net.output_switch(1)).name, "O1");
+}
+
+TEST(Clos, LinkEndpoints) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const Topology& topo = net.topology();
+  {
+    const Link& l = topo.link(net.source_link(2, 1));
+    EXPECT_EQ(l.from, net.source(2, 1));
+    EXPECT_EQ(l.to, net.input_switch(2));
+    EXPECT_EQ(l.capacity, Rational(1));
+  }
+  {
+    const Link& l = topo.link(net.uplink(3, 2));
+    EXPECT_EQ(l.from, net.input_switch(3));
+    EXPECT_EQ(l.to, net.middle(2));
+  }
+  {
+    const Link& l = topo.link(net.downlink(1, 4));
+    EXPECT_EQ(l.from, net.middle(1));
+    EXPECT_EQ(l.to, net.output_switch(4));
+  }
+  {
+    const Link& l = topo.link(net.dest_link(4, 2));
+    EXPECT_EQ(l.from, net.output_switch(4));
+    EXPECT_EQ(l.to, net.destination(4, 2));
+  }
+}
+
+TEST(Clos, CoordRoundTrip) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  for (int i = 1; i <= net.num_tors(); ++i) {
+    for (int j = 1; j <= net.servers_per_tor(); ++j) {
+      const auto s = net.source_coord(net.source(i, j));
+      EXPECT_EQ(s.tor, i);
+      EXPECT_EQ(s.server, j);
+      const auto t = net.dest_coord(net.destination(i, j));
+      EXPECT_EQ(t.tor, i);
+      EXPECT_EQ(t.server, j);
+    }
+  }
+}
+
+TEST(Clos, CoordOnWrongKindThrows) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  EXPECT_THROW(net.source_coord(net.destination(1, 1)), ContractViolation);
+  EXPECT_THROW(net.dest_coord(net.input_switch(1)), ContractViolation);
+}
+
+TEST(Clos, PathTraversesChosenMiddle) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const NodeId src = net.source(2, 3);
+  const NodeId dst = net.destination(5, 1);
+  for (int m = 1; m <= 3; ++m) {
+    const Path p = net.path(src, dst, m);
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_TRUE(net.topology().is_path(p, src, dst));
+    EXPECT_EQ(p[1], net.uplink(2, m));
+    EXPECT_EQ(p[2], net.downlink(m, 5));
+  }
+}
+
+TEST(Clos, NPathsPerPair) {
+  // There are exactly n link-disjoint paths between any source-destination
+  // pair (one per middle), sharing only edge links.
+  const int n = 4;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const NodeId src = net.source(1, 1);
+  const NodeId dst = net.destination(8, 4);
+  for (int m1 = 1; m1 <= n; ++m1) {
+    for (int m2 = m1 + 1; m2 <= n; ++m2) {
+      const Path a = net.path(src, dst, m1);
+      const Path b = net.path(src, dst, m2);
+      EXPECT_EQ(a[0], b[0]);  // same source link
+      EXPECT_EQ(a[3], b[3]);  // same destination link
+      EXPECT_NE(a[1], b[1]);  // disjoint uplinks
+      EXPECT_NE(a[2], b[2]);  // disjoint downlinks
+    }
+  }
+}
+
+TEST(Clos, IndexBoundsChecked) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  EXPECT_THROW(net.source(0, 1), ContractViolation);
+  EXPECT_THROW(net.source(5, 1), ContractViolation);
+  EXPECT_THROW(net.source(1, 3), ContractViolation);
+  EXPECT_THROW(net.middle(0), ContractViolation);
+  EXPECT_THROW(net.middle(3), ContractViolation);
+  EXPECT_THROW(net.uplink(1, 3), ContractViolation);
+  EXPECT_THROW(net.downlink(3, 1), ContractViolation);
+}
+
+TEST(Clos, GeneralizedParams) {
+  // 4 middles, 3 ToRs, 2 servers per ToR, capacity 1/2.
+  const ClosNetwork net(ClosNetwork::Params{4, 3, 2, Rational{1, 2}});
+  EXPECT_EQ(net.num_middles(), 4);
+  EXPECT_EQ(net.num_tors(), 3);
+  EXPECT_EQ(net.servers_per_tor(), 2);
+  EXPECT_EQ(net.topology().link(net.uplink(1, 4)).capacity, Rational(1, 2));
+  EXPECT_EQ(net.topology().link(net.source_link(3, 2)).capacity, Rational(1, 2));
+}
+
+TEST(Clos, InvalidParamsThrow) {
+  EXPECT_THROW(ClosNetwork::paper(0), ContractViolation);
+  EXPECT_THROW(ClosNetwork(ClosNetwork::Params{0, 2, 1, Rational{1}}), ContractViolation);
+  EXPECT_THROW(ClosNetwork(ClosNetwork::Params{1, 0, 1, Rational{1}}), ContractViolation);
+  EXPECT_THROW(ClosNetwork(ClosNetwork::Params{1, 2, 0, Rational{1}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

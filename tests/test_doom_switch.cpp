@@ -1,0 +1,145 @@
+#include "routing/doom_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "core/theorems.hpp"
+#include "fairness/waterfill.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(DoomSwitch, MatchedFlowsAreLinkDisjoint) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  Rng rng(3);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 20, rng));
+  const DoomSwitchResult result = doom_switch(net, flows);
+
+  // Matched flows must not share any uplink or downlink: per (ToR, middle)
+  // pair at most one matched flow in each direction.
+  std::vector<int> up(net.topology().num_links(), 0);
+  for (FlowIndex f : result.matched) {
+    const auto s = net.source_coord(flows[f].src);
+    const auto t = net.dest_coord(flows[f].dst);
+    const int m = result.middles[f];
+    ++up[static_cast<std::size_t>(net.uplink(s.tor, m))];
+    ++up[static_cast<std::size_t>(net.downlink(m, t.tor))];
+  }
+  for (int count : up) EXPECT_LE(count, 1);
+}
+
+TEST(DoomSwitch, MatchingIsMaximum) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(5);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 15, rng));
+  const DoomSwitchResult result = doom_switch(net, flows);
+  const auto reference = maximum_matching(server_flow_graph(net, flows));
+  EXPECT_EQ(result.matched.size(), reference.size());
+}
+
+TEST(DoomSwitch, UnmatchedFlowsShareDoomedMiddle) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  Rng rng(7);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 25, rng));
+  const DoomSwitchResult result = doom_switch(net, flows);
+
+  std::vector<bool> matched(flows.size(), false);
+  for (FlowIndex f : result.matched) matched[f] = true;
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    if (!matched[f]) {
+      EXPECT_EQ(result.middles[f], result.doomed_middle);
+    }
+  }
+  EXPECT_GE(result.doomed_middle, 1);
+  EXPECT_LE(result.doomed_middle, net.num_middles());
+}
+
+TEST(DoomSwitch, DoomedMiddleCarriesFewestMatchedFlows) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  Rng rng(9);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 18, rng));
+  const DoomSwitchResult result = doom_switch(net, flows);
+
+  std::vector<std::size_t> per_middle(static_cast<std::size_t>(net.num_middles()) + 1, 0);
+  for (FlowIndex f : result.matched) {
+    ++per_middle[static_cast<std::size_t>(result.middles[f])];
+  }
+  for (int m = 1; m <= net.num_middles(); ++m) {
+    EXPECT_LE(per_middle[static_cast<std::size_t>(result.doomed_middle)],
+              per_middle[static_cast<std::size_t>(m)]);
+  }
+}
+
+TEST(DoomSwitch, PaperExample53) {
+  // Figure 4: in C_7 with one type 2 flow per gadget, the Doom-Switch routing
+  // lifts throughput from 9/2 (macro max-min) to 5.
+  const ClosNetwork net = ClosNetwork::paper(7);
+  const AdversarialInstance inst = theorem_5_4_instance(7, 1);
+  const FlowSet flows = instantiate(net, inst.flows);
+  const DoomSwitchResult doom = doom_switch(net, flows);
+  const auto alloc = max_min_fair<Rational>(net, flows, doom.middles);
+  EXPECT_EQ(alloc.throughput(), Rational(5));
+
+  // All six type 1 flows are matched and rise to 2/3; type 2 flows fall to
+  // 1/3 on the doomed middle.
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    if (inst.labels[f] == "type1") {
+      EXPECT_EQ(alloc.rate(f), Rational(2, 3));
+    } else {
+      EXPECT_EQ(alloc.rate(f), Rational(1, 3));
+    }
+  }
+}
+
+TEST(DoomSwitch, Theorem54RatesForLargerK) {
+  // The general prediction: type 1 at 1 - 2/(n-1), type 2 at 2/(k(n-1)).
+  for (int n : {5, 7}) {
+    for (int k : {2, 4}) {
+      const ClosNetwork net = ClosNetwork::paper(n);
+      const AdversarialInstance inst = theorem_5_4_instance(n, k);
+      const FlowSet flows = instantiate(net, inst.flows);
+      const DoomSwitchResult doom = doom_switch(net, flows);
+      const auto alloc = max_min_fair<Rational>(net, flows, doom.middles);
+      const Theorem54Prediction pred = predict_theorem_5_4(n, k);
+      EXPECT_EQ(alloc.throughput(), pred.doom_throughput) << "n=" << n << " k=" << k;
+      for (FlowIndex f = 0; f < flows.size(); ++f) {
+        if (inst.labels[f] == "type1") {
+          EXPECT_EQ(alloc.rate(f), pred.type1_rate);
+        } else {
+          EXPECT_EQ(alloc.rate(f), pred.type2_rate);
+        }
+      }
+    }
+  }
+}
+
+TEST(DoomSwitch, EmptyFlowSet) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const DoomSwitchResult result = doom_switch(net, FlowSet{});
+  EXPECT_TRUE(result.middles.empty());
+  EXPECT_TRUE(result.matched.empty());
+}
+
+TEST(DoomSwitch, AllFlowsMatchedWhenPermutation) {
+  // Permutation traffic: everything matched, nothing doomed.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(13);
+  const FlowSet flows = instantiate(
+      net, random_permutation(Fabric{net.num_tors(), net.servers_per_tor()}, rng));
+  const DoomSwitchResult result = doom_switch(net, flows);
+  EXPECT_EQ(result.matched.size(), flows.size());
+  // And the max-min allocation for this routing gives every flow rate 1.
+  const auto alloc = max_min_fair<Rational>(net, flows, result.middles);
+  for (FlowIndex f = 0; f < flows.size(); ++f) EXPECT_EQ(alloc.rate(f), Rational(1));
+}
+
+}  // namespace
+}  // namespace closfair

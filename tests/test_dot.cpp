@@ -1,0 +1,62 @@
+#include "net/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Dot, TopologyExportContainsAllNodesAndLinks) {
+  const ClosNetwork net = ClosNetwork::paper(1);
+  const std::string dot = to_dot(net.topology());
+  EXPECT_NE(dot.find("digraph closfair {"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  // Every node name appears.
+  for (const char* name : {"s1^1", "t2^1", "I1", "I2", "M1", "O1", "O2"}) {
+    EXPECT_NE(dot.find(std::string{"\""} + name + "\""), std::string::npos) << name;
+  }
+  // One gray edge per link.
+  EXPECT_EQ(count_occurrences(dot, "color=gray"), net.topology().num_links());
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, CapacityLabelsToggle) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  DotOptions with;
+  const std::string labeled = to_dot(ms.topology(), with);
+  EXPECT_NE(labeled.find("label=\"inf\""), std::string::npos);  // unbounded inner links
+  EXPECT_NE(labeled.find("label=\"1\""), std::string::npos);    // unit edge links
+
+  DotOptions without;
+  without.show_capacities = false;
+  const std::string plain = to_dot(ms.topology(), without);
+  EXPECT_EQ(plain.find("label=\"inf\""), std::string::npos);
+}
+
+TEST(Dot, RoutingOverlayDrawsEachFlow) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{2, 2, 4, 1}});
+  const Routing routing = expand_routing(net, flows, {1, 2});
+  const std::string dot = to_dot(net.topology(), flows, routing);
+  // Each flow path contributes 4 colored segments; flow labels appear once.
+  EXPECT_NE(dot.find("label=\"f0\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"f1\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "penwidth=1.6"), 8u);
+}
+
+TEST(Dot, OverlaySizeMismatchThrows) {
+  const ClosNetwork net = ClosNetwork::paper(1);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}});
+  EXPECT_THROW(to_dot(net.topology(), flows, Routing{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,116 @@
+// Edge cases and cross-module interactions that don't belong to any single
+// module's suite: generalized (non-paper) dimensions, parallel links,
+// degenerate instances, fuzzed format round-trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include "fairness/waterfill.hpp"
+#include "io/text_format.hpp"
+#include "net/dot.hpp"
+#include "net/fattree.hpp"
+#include "routing/exhaustive.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(EdgeCases, GeneralizedMacroSwitchDimensions) {
+  // 3 ToRs x 2 servers with capacity 2/3 — nothing paper-shaped about it.
+  const MacroSwitch ms(MacroSwitch::Params{3, 2, Rational{2, 3}});
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 2}, FlowSpec{1, 1, 2, 1}});
+  const auto alloc = max_min_fair<Rational>(ms, flows);
+  // Both flows share the 2/3-capacity source link.
+  EXPECT_EQ(alloc.rate(0), Rational(1, 3));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 3));
+}
+
+TEST(EdgeCases, OversubscribedClos) {
+  // servers_per_tor > num_middles: a deliberately oversubscribed fabric.
+  // 4 servers per ToR, 2 middles: ToR-to-ToR traffic caps at 2 units.
+  const ClosNetwork net(ClosNetwork::Params{2, 2, 4, Rational{1}});
+  FlowCollection specs;
+  for (int j = 1; j <= 4; ++j) specs.push_back(FlowSpec{1, j, 2, j});
+  const FlowSet flows = instantiate(net, specs);
+  // All flows forced across the 2 uplinks: max-min gives 1/2 each.
+  const auto alloc = max_min_fair<Rational>(net, flows, MiddleAssignment{1, 1, 2, 2});
+  for (FlowIndex f = 0; f < flows.size(); ++f) EXPECT_EQ(alloc.rate(f), Rational(1, 2));
+}
+
+TEST(EdgeCases, WaterfillOnParallelLinks) {
+  // A hand-built multigraph: two parallel links between a and b with
+  // different capacities; two flows, one pinned to each link.
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kSource);
+  const NodeId b = topo.add_node("b", NodeKind::kDestination);
+  const LinkId fat = topo.add_link(a, b, Rational{1});
+  const LinkId thin = topo.add_link(a, b, Rational{1, 4});
+  const FlowSet flows = {Flow{a, b}, Flow{a, b}};
+  const Routing routing{std::vector<Path>{{fat}, {thin}}};
+  const auto alloc = max_min_fair<Rational>(topo, flows, routing);
+  EXPECT_EQ(alloc.rate(0), Rational(1));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 4));
+}
+
+TEST(EdgeCases, ExhaustiveOnSingleMiddleClos) {
+  // C_1 has exactly one routing; both optimizers must agree instantly.
+  const ClosNetwork net = ClosNetwork::paper(1);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}, FlowSpec{2, 1, 1, 1}});
+  const auto lex = lex_max_min_exhaustive(net, flows);
+  const auto tput = throughput_max_min_exhaustive(net, flows);
+  EXPECT_EQ(lex.routings_evaluated, 1u);
+  EXPECT_EQ(lex.alloc.rates(), tput.alloc.rates());
+}
+
+TEST(EdgeCases, DotExportOfFatTreeIsWellFormed) {
+  const FatTree ft(4);
+  const std::string dot = to_dot(ft.topology());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // Spot-check a core switch and a server by name.
+  EXPECT_NE(dot.find("\"C2.1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"s4.2.1\""), std::string::npos);
+  // Balanced braces (single digraph block).
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'), 1);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+}
+
+TEST(EdgeCases, SelfPairFlowsWithinOneTor) {
+  // A flow from a ToR's source to the *same* ToR's destination still crosses
+  // the middle stage in this model (directed three-stage Clos).
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 1, 1}});
+  const Routing routing = expand_routing(net, flows, {2});
+  routing.validate(net.topology(), flows);
+  EXPECT_EQ(routing.path(0).size(), 4u);
+  const auto alloc = max_min_fair<Rational>(net.topology(), flows, routing);
+  EXPECT_EQ(alloc.rate(0), Rational(1));
+}
+
+// Fuzz: random instances survive format -> parse round-trips bit-exactly.
+class FormatFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatFuzz, RoundTripIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1723 + 13);
+  InstanceSpec spec;
+  const int n = 1 + static_cast<int>(rng.next_below(4));
+  spec.params = ClosNetwork::Params{n, 2 * n, n, Rational{1}};
+  const std::size_t count = 1 + rng.next_below(12);
+  const FlowCollection flows = uniform_random(Fabric{2 * n, n}, count, rng);
+  for (const FlowSpec& f : flows) {
+    spec.flows.push_back(f);
+    spec.rates.push_back(rng.next_bool(0.5)
+                             ? std::optional<Rational>{Rational{1, rng.next_int(1, 5)}}
+                             : std::nullopt);
+  }
+  const std::string text = format_instance(spec);
+  const InstanceSpec reparsed = parse_instance(text);
+  EXPECT_EQ(reparsed.flows, spec.flows);
+  EXPECT_EQ(reparsed.rates, spec.rates);
+  EXPECT_EQ(format_instance(reparsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FormatFuzz, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace closfair

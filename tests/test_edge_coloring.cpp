@@ -1,0 +1,125 @@
+#include "matching/edge_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(EdgeColoring, EmptyGraph) {
+  BipartiteMultigraph g(2, 2);
+  EXPECT_TRUE(edge_coloring(g).empty());
+}
+
+TEST(EdgeColoring, SingleEdgeOneColor) {
+  BipartiteMultigraph g(1, 1);
+  g.add_edge(0, 0);
+  const auto colors = edge_coloring(g);
+  ASSERT_EQ(colors.size(), 1u);
+  EXPECT_EQ(colors[0], 0);
+  EXPECT_TRUE(is_proper_coloring(g, colors, 1));
+}
+
+TEST(EdgeColoring, ParallelEdgesNeedDistinctColors) {
+  BipartiteMultigraph g(1, 1);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  const auto colors = edge_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, colors, 3));
+}
+
+TEST(EdgeColoring, CompleteBipartiteK33) {
+  // K_{3,3} is 3-regular: exactly 3 colors, each color a perfect matching.
+  BipartiteMultigraph g(3, 3);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t r = 0; r < 3; ++r) g.add_edge(l, r);
+  }
+  const auto colors = edge_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, colors, 3));
+  // Each color class has exactly 3 edges (a perfect matching of K_{3,3}).
+  std::vector<int> count(3, 0);
+  for (int c : colors) ++count[static_cast<std::size_t>(c)];
+  for (int k : count) EXPECT_EQ(k, 3);
+}
+
+TEST(EdgeColoring, ForcesAlternatingChainFlip) {
+  // Path u0-v0-u1-v1 colored greedily forces a Kempe-chain swap when the
+  // closing edge arrives.
+  BipartiteMultigraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  g.add_edge(0, 1);  // closes the 4-cycle
+  const auto colors = edge_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, colors, 2));
+}
+
+TEST(EdgeColoring, ExtraColorsAllowed) {
+  BipartiteMultigraph g(1, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  const auto colors = edge_coloring(g, 5);
+  EXPECT_TRUE(is_proper_coloring(g, colors, 5));
+}
+
+TEST(EdgeColoring, TooFewColorsThrows) {
+  BipartiteMultigraph g(1, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  EXPECT_THROW(edge_coloring(g, 1), ContractViolation);
+}
+
+TEST(IsProperColoring, RejectsBadColorings) {
+  BipartiteMultigraph g(1, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_proper_coloring(g, {0, 0}, 2));   // clash at left 0
+  EXPECT_FALSE(is_proper_coloring(g, {0, 2}, 2));   // color out of range
+  EXPECT_FALSE(is_proper_coloring(g, {0}, 2));      // wrong size
+  EXPECT_FALSE(is_proper_coloring(g, {-1, 0}, 2));  // negative color
+  EXPECT_TRUE(is_proper_coloring(g, {1, 0}, 2));
+}
+
+// König's theorem, constructively: every bipartite multigraph gets a proper
+// Δ-coloring, over a randomized family.
+class KonigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KonigProperty, DeltaColorsSuffice) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 61 + 3);
+  const std::size_t nl = 1 + rng.next_below(8);
+  const std::size_t nr = 1 + rng.next_below(8);
+  const std::size_t m = rng.next_below(40);
+  BipartiteMultigraph g(nl, nr);
+  for (std::size_t e = 0; e < m; ++e) {
+    g.add_edge(rng.next_below(nl), rng.next_below(nr));
+  }
+  const int delta = static_cast<int>(g.max_degree());
+  const auto colors = edge_coloring(g);
+  ASSERT_EQ(colors.size(), g.num_edges());
+  EXPECT_TRUE(is_proper_coloring(g, colors, std::max(delta, 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, KonigProperty, ::testing::Range(0, 60));
+
+// The paper's footnote 5: in C_n, an n-coloring of G^C == a link-disjoint
+// routing. Regular instance: each left/right vertex with degree exactly n.
+TEST(EdgeColoring, RegularMultigraphUsesExactlyDelta) {
+  Rng rng(1234);
+  const std::size_t sides = 4;
+  const int n = 3;
+  // Build an n-regular bipartite multigraph as a union of n random perfect
+  // matchings.
+  BipartiteMultigraph g(sides, sides);
+  for (int round = 0; round < n; ++round) {
+    const auto perm = rng.permutation(sides);
+    for (std::size_t l = 0; l < sides; ++l) g.add_edge(l, perm[l]);
+  }
+  EXPECT_EQ(g.max_degree(), static_cast<std::size_t>(n));
+  const auto colors = edge_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, colors, n));
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,234 @@
+#include "routing/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/local_search.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Exhaustive, SingleFlowTrivial) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}});
+  const auto result = lex_max_min_exhaustive(net, flows);
+  EXPECT_EQ(result.alloc.rate(0), Rational(1));
+  EXPECT_EQ(result.routings_evaluated, 1u);  // first flow pinned to M_1
+}
+
+TEST(Exhaustive, Example23LexOptimum) {
+  // The paper's routing A is lex-max-min for Example 2.3: sorted vector
+  // [1/3, 1/3, 1/3, 2/3, 2/3, 2/3]; verified here by full enumeration.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const Example23 ex = example_2_3();
+  const FlowSet flows = instantiate(net, ex.instance.flows);
+  const auto result = lex_max_min_exhaustive(net, flows);
+  EXPECT_EQ(result.alloc.sorted(),
+            (std::vector<Rational>{Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                   Rational{2, 3}, Rational{2, 3}, Rational{2, 3}}));
+  // And the macro-switch sorted vector strictly dominates it (Theorem 4.2
+  // flavor in miniature).
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, ex.instance.flows));
+  EXPECT_EQ(lex_compare(macro.sorted(), result.alloc.sorted()),
+            std::strong_ordering::greater);
+}
+
+TEST(Exhaustive, Example23ThroughputOptimum) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const Example23 ex = example_2_3();
+  const FlowSet flows = instantiate(net, ex.instance.flows);
+  const auto result = throughput_max_min_exhaustive(net, flows);
+  // Routing A already achieves throughput 3 = 3*(1/3) + 3*(2/3); exhaustive
+  // search can do no better than 10/3 here.
+  EXPECT_GE(result.alloc.throughput(), Rational(3));
+  // Upper bound from §5: T^T-MmF <= T^MT; the maximum matching has size 4
+  // (sources s_1^2, s_2^1, s_2^2, s_1^1 to distinct destinations).
+  EXPECT_LE(result.alloc.throughput(), Rational(4));
+}
+
+TEST(Exhaustive, StopAtSortedShortCircuits) {
+  // When the macro-switch vector is achievable, early exit triggers.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  // A single permutation: all flows replicable at rate 1.
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 2},
+                                          FlowSpec{2, 1, 4, 1}, FlowSpec{2, 2, 4, 2}});
+  ExhaustiveOptions options;
+  options.stop_at_sorted = std::vector<Rational>(4, Rational{1});
+  const auto result = lex_max_min_exhaustive(net, flows, options);
+  EXPECT_EQ(result.alloc.sorted(), *options.stop_at_sorted);
+  EXPECT_LT(result.routings_evaluated, 8u);  // stopped before the full 2^3
+}
+
+TEST(Exhaustive, MaxRoutingsGuardThrows) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(1);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 30, rng));
+  ExhaustiveOptions options;
+  options.max_routings = 1000;
+  EXPECT_THROW(lex_max_min_exhaustive(net, flows, options), ContractViolation);
+}
+
+TEST(Exhaustive, SymmetryPinMatchesUnpinned) {
+  // Pinning flow 0 to M_1 must not change the optimal sorted vector.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(17);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 7, rng));
+  ExhaustiveOptions pinned;
+  ExhaustiveOptions unpinned;
+  unpinned.fix_first_flow = false;
+  const auto a = lex_max_min_exhaustive(net, flows, pinned);
+  const auto b = lex_max_min_exhaustive(net, flows, unpinned);
+  EXPECT_EQ(a.alloc.sorted(), b.alloc.sorted());
+  EXPECT_EQ(b.routings_evaluated, 2 * a.routings_evaluated);
+}
+
+TEST(Exhaustive, ParallelMatchesSerial) {
+  // The threaded search must return exactly the serial sorted vector (the
+  // witness routing may differ across equal-vector optima).
+  const ClosNetwork net = ClosNetwork::paper(3);
+  Rng rng(404);
+  for (int trial = 0; trial < 5; ++trial) {
+    const FlowSet flows = instantiate(
+        net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()},
+                            2 + rng.next_below(7), rng));
+    ExhaustiveOptions serial;
+    ExhaustiveOptions parallel;
+    parallel.num_threads = 4;
+    const auto a = lex_max_min_exhaustive(net, flows, serial);
+    const auto b = lex_max_min_exhaustive(net, flows, parallel);
+    EXPECT_EQ(a.alloc.sorted(), b.alloc.sorted()) << "trial " << trial;
+    // The parallel witness is itself a routing achieving that vector.
+    EXPECT_EQ(max_min_fair<Rational>(net, flows, b.middles).sorted(), b.alloc.sorted());
+  }
+}
+
+TEST(Exhaustive, ParallelEarlyExitStillOptimal) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 2},
+                                          FlowSpec{2, 1, 4, 1}, FlowSpec{2, 2, 4, 2}});
+  ExhaustiveOptions options;
+  options.num_threads = 2;
+  options.stop_at_sorted = std::vector<Rational>(4, Rational{1});
+  const auto result = lex_max_min_exhaustive(net, flows, options);
+  EXPECT_EQ(result.alloc.sorted(), *options.stop_at_sorted);
+}
+
+TEST(Frontier, SingleFlowHasOnePoint) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}});
+  const auto frontier = throughput_fairness_frontier(net, flows);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].throughput, Rational(1));
+  EXPECT_EQ(frontier[0].min_rate, Rational(1));
+}
+
+TEST(Frontier, EndpointsMatchTheTwoOptima) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const Example23 ex = example_2_3();
+  const FlowSet flows = instantiate(net, ex.instance.flows);
+  const auto frontier = throughput_fairness_frontier(net, flows);
+  ASSERT_FALSE(frontier.empty());
+
+  // Low-throughput end carries the best min rate = lex-max-min's min rate;
+  // high-throughput end carries the throughput optimum.
+  const auto lex = lex_max_min_exhaustive(net, flows);
+  const auto tput = throughput_max_min_exhaustive(net, flows);
+  EXPECT_EQ(frontier.front().min_rate, lex.alloc.sorted().front());
+  EXPECT_EQ(frontier.back().throughput, tput.alloc.throughput());
+
+  // Pareto structure: throughput strictly increases, min rate strictly
+  // decreases along the frontier.
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i - 1].throughput, frontier[i].throughput);
+    EXPECT_GT(frontier[i - 1].min_rate, frontier[i].min_rate);
+  }
+  // Witness middles actually achieve their points.
+  for (const ParetoPoint& p : frontier) {
+    const auto alloc = max_min_fair<Rational>(net, flows, p.middles);
+    EXPECT_EQ(alloc.throughput(), p.throughput);
+    EXPECT_EQ(alloc.sorted().front(), p.min_rate);
+  }
+}
+
+TEST(Frontier, SingleGadgetHasNoTradeOff) {
+  // One Example 3.3 gadget cannot be crushed (every routing yields the same
+  // uniform allocation): the frontier collapses to a single point.
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const AdversarialInstance inst = theorem_5_4_instance(3, 2);
+  const auto frontier =
+      throughput_fairness_frontier(net, instantiate(net, inst.flows));
+  EXPECT_EQ(frontier.size(), 1u);
+}
+
+TEST(Frontier, StackedGadgetsStretchTheFrontier) {
+  // Two stacked gadgets (n=5, k=2): the lex end keeps everyone at 1/3
+  // (throughput 8/3) while sacrificing routings push throughput to >= 3 —
+  // a genuine multi-point trade-off curve.
+  const ClosNetwork net = ClosNetwork::paper(5);
+  const AdversarialInstance inst = theorem_5_4_instance(5, 2);
+  const auto frontier =
+      throughput_fairness_frontier(net, instantiate(net, inst.flows));
+  ASSERT_GE(frontier.size(), 2u);
+  EXPECT_EQ(frontier.front().min_rate, Rational(1, 3));
+  EXPECT_GE(frontier.back().throughput, Rational(3));
+  EXPECT_LT(frontier.back().min_rate, Rational(1, 3));
+}
+
+// Property: the local-search heuristic never beats the exhaustive optimum,
+// and the exhaustive optimum never beats the macro-switch vector (§2.3).
+class ExhaustiveSandwich : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveSandwich, HeuristicLeOptimumLeMacro) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 29);
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const std::size_t count = 2 + rng.next_below(7);
+  const FlowCollection specs =
+      uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, count, rng);
+  const FlowSet flows = instantiate(net, specs);
+
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+  const auto exact = lex_max_min_exhaustive(net, flows);
+  Rng rng2(GetParam());
+  const auto heuristic = lex_max_min_multistart(net, flows, rng2, 3);
+
+  EXPECT_NE(lex_compare(exact.alloc.sorted(), heuristic.alloc.sorted()),
+            std::strong_ordering::less);
+  EXPECT_NE(lex_compare(macro.sorted(), exact.alloc.sorted()),
+            std::strong_ordering::less);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ExhaustiveSandwich, ::testing::Range(0, 15));
+
+// Property: throughput-max-min >= lex-max-min in throughput, and the
+// throughput optimum is bounded by twice the macro max-min (Theorem 5.4).
+class ThroughputSandwich : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThroughputSandwich, BoundsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 137 + 31);
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const std::size_t count = 2 + rng.next_below(7);
+  const FlowCollection specs =
+      uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, count, rng);
+  const FlowSet flows = instantiate(net, specs);
+
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+  const auto lex = lex_max_min_exhaustive(net, flows);
+  const auto tput = throughput_max_min_exhaustive(net, flows);
+
+  EXPECT_GE(tput.alloc.throughput(), lex.alloc.throughput());
+  // Theorem 5.4 upper bound: T^T-MmF <= 2 T^MmF.
+  EXPECT_LE(tput.alloc.throughput(), Rational{2} * macro.throughput());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ThroughputSandwich, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace closfair

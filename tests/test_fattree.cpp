@@ -1,0 +1,138 @@
+#include "net/fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fairness/waterfill.hpp"
+#include "flow/routing.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(FatTree, K4Dimensions) {
+  const FatTree ft(4);
+  EXPECT_EQ(ft.num_pods(), 4);
+  EXPECT_EQ(ft.edges_per_pod(), 2);
+  EXPECT_EQ(ft.servers_per_edge(), 2);
+  EXPECT_EQ(ft.num_cores(), 4);
+  EXPECT_EQ(ft.num_servers(), 16);
+  EXPECT_EQ(ft.num_edge_switches(), 8);
+  // Nodes: 8 edge + 8 agg + 4 core + 2*16 servers.
+  EXPECT_EQ(ft.topology().num_nodes(), 8u + 8u + 4u + 32u);
+  // Links: 2*16 server links + 2*(4 pods * 2 * 2) pod links + 2*(4*2*2) core.
+  EXPECT_EQ(ft.topology().num_links(), 32u + 32u + 32u);
+}
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  EXPECT_THROW(FatTree(3), ContractViolation);
+  EXPECT_THROW(FatTree(0), ContractViolation);
+  EXPECT_NO_THROW(FatTree(2));
+}
+
+TEST(FatTree, CoordRoundTrip) {
+  const FatTree ft(4);
+  for (int p = 1; p <= 4; ++p) {
+    for (int e = 1; e <= 2; ++e) {
+      for (int j = 1; j <= 2; ++j) {
+        const auto s = ft.source_coord(ft.source(p, e, j));
+        EXPECT_EQ(s.pod, p);
+        EXPECT_EQ(s.edge, e);
+        EXPECT_EQ(s.server, j);
+        const auto t = ft.dest_coord(ft.destination(p, e, j));
+        EXPECT_EQ(t.pod, p);
+        EXPECT_EQ(t.edge, e);
+        EXPECT_EQ(t.server, j);
+      }
+    }
+  }
+  EXPECT_THROW(ft.source(5, 1, 1), ContractViolation);
+  EXPECT_THROW(ft.source(1, 3, 1), ContractViolation);
+  EXPECT_THROW(ft.source_coord(ft.destination(1, 1, 1)), ContractViolation);
+}
+
+TEST(FatTree, EdgeIndexIsPodMajor) {
+  const FatTree ft(4);
+  EXPECT_EQ(ft.edge_index(1, 1), 1);
+  EXPECT_EQ(ft.edge_index(1, 2), 2);
+  EXPECT_EQ(ft.edge_index(2, 1), 3);
+  EXPECT_EQ(ft.edge_index(4, 2), 8);
+}
+
+TEST(FatTree, PathCountsByLocality) {
+  const FatTree ft(4);
+  // Same edge switch: 1 path of 2 links.
+  {
+    const auto paths = ft.paths(ft.source(1, 1, 1), ft.destination(1, 1, 2));
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].size(), 2u);
+  }
+  // Same pod, different edge: k/2 = 2 paths of 4 links.
+  {
+    const auto paths = ft.paths(ft.source(1, 1, 1), ft.destination(1, 2, 1));
+    ASSERT_EQ(paths.size(), 2u);
+    for (const auto& p : paths) EXPECT_EQ(p.size(), 4u);
+  }
+  // Cross-pod: (k/2)^2 = 4 paths of 6 links.
+  {
+    const auto paths = ft.paths(ft.source(1, 1, 1), ft.destination(3, 2, 2));
+    ASSERT_EQ(paths.size(), 4u);
+    for (const auto& p : paths) EXPECT_EQ(p.size(), 6u);
+  }
+}
+
+TEST(FatTree, AllPathsAreValidWalks) {
+  const FatTree ft(4);
+  const NodeId src = ft.source(2, 1, 2);
+  for (const NodeId dst : {ft.destination(2, 1, 1), ft.destination(2, 2, 1),
+                           ft.destination(4, 1, 1)}) {
+    for (const Path& p : ft.paths(src, dst)) {
+      EXPECT_TRUE(ft.topology().is_path(p, src, dst))
+          << ft.topology().describe_path(p);
+    }
+  }
+}
+
+TEST(FatTree, CrossPodPathsAreCoreDisjoint) {
+  const FatTree ft(4);
+  const auto paths = ft.paths(ft.source(1, 1, 1), ft.destination(2, 1, 1));
+  // The 4 cross-pod paths traverse 4 distinct core switches.
+  std::set<LinkId> core_hops;
+  for (const Path& p : paths) core_hops.insert(p[2]);  // agg -> core link
+  EXPECT_EQ(core_hops.size(), paths.size());
+}
+
+TEST(FatTree, WaterfillWorksOnFatTreePaths) {
+  // Two flows sharing a source edge-switch uplink to different pods: the
+  // shared server link halves them; distinct paths keep the rest clean.
+  const FatTree ft(4);
+  const NodeId s1 = ft.source(1, 1, 1);
+  const NodeId s2 = ft.source(1, 1, 2);
+  const FlowSet flows = {Flow{s1, ft.destination(3, 1, 1)},
+                         Flow{s2, ft.destination(4, 1, 1)}};
+  const auto p1 = ft.paths(flows[0].src, flows[0].dst);
+  const auto p2 = ft.paths(flows[1].src, flows[1].dst);
+  // Same agg position but different cores: only the edge->agg uplink is
+  // shared, capacity 1 across two flows.
+  const Routing routing{std::vector<Path>{p1[0], p2[1]}};
+  routing.validate(ft.topology(), flows);
+  const auto alloc = max_min_fair<Rational>(ft.topology(), flows, routing);
+  EXPECT_EQ(alloc.rate(0), Rational(1, 2));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 2));
+
+  // Disjoint agg positions: full rate for both.
+  const Routing disjoint{std::vector<Path>{p1[0], p2[3]}};
+  const auto alloc2 = max_min_fair<Rational>(ft.topology(), flows, disjoint);
+  EXPECT_EQ(alloc2.rate(0), Rational(1));
+  EXPECT_EQ(alloc2.rate(1), Rational(1));
+}
+
+TEST(FatTree, FractionalCapacity) {
+  const FatTree ft(2, Rational{1, 2});
+  const auto paths = ft.paths(ft.source(1, 1, 1), ft.destination(2, 1, 1));
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(ft.topology().link(paths[0][0]).capacity, Rational(1, 2));
+}
+
+}  // namespace
+}  // namespace closfair

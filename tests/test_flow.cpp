@@ -1,0 +1,108 @@
+#include "flow/flow.hpp"
+#include "flow/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+TEST(Flow, InstantiateOnClos) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowCollection specs = {FlowSpec{1, 2, 3, 1}, FlowSpec{4, 2, 1, 1}};
+  const FlowSet flows = instantiate(net, specs);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].src, net.source(1, 2));
+  EXPECT_EQ(flows[0].dst, net.destination(3, 1));
+  EXPECT_EQ(flows[1].src, net.source(4, 2));
+  EXPECT_EQ(flows[1].dst, net.destination(1, 1));
+}
+
+TEST(Flow, InstantiateOnMacroSwitch) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowCollection specs = {FlowSpec{2, 1, 2, 2}};
+  const FlowSet flows = instantiate(ms, specs);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].src, ms.source(2, 1));
+  EXPECT_EQ(flows[0].dst, ms.destination(2, 2));
+}
+
+TEST(Flow, SpecRoundTrip) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const MacroSwitch ms = MacroSwitch::paper(3);
+  const FlowSpec spec{5, 2, 6, 3};
+  EXPECT_EQ(spec_of(net, instantiate(net, {spec})[0]), spec);
+  EXPECT_EQ(spec_of(ms, instantiate(ms, {spec})[0]), spec);
+}
+
+TEST(Flow, ParallelFlowsAllowed) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowCollection specs = {FlowSpec{1, 1, 2, 1}, FlowSpec{1, 1, 2, 1}};
+  const FlowSet flows = instantiate(net, specs);
+  EXPECT_EQ(flows[0], flows[1]);
+}
+
+TEST(Routing, ExpandMiddleAssignment) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 2}, FlowSpec{2, 2, 4, 1}});
+  const Routing r = expand_routing(net, flows, {2, 1});
+  r.validate(net.topology(), flows);
+  EXPECT_EQ(r.path(0)[1], net.uplink(1, 2));
+  EXPECT_EQ(r.path(1)[1], net.uplink(2, 1));
+}
+
+TEST(Routing, ExpandSizeMismatchThrows) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 2}});
+  EXPECT_THROW(expand_routing(net, flows, {1, 2}), ContractViolation);
+}
+
+TEST(Routing, MacroRoutingValid) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 2}, FlowSpec{2, 2, 4, 1}});
+  const Routing r = macro_routing(ms, flows);
+  r.validate(ms.topology(), flows);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Routing, ValidateRejectsBrokenPath) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 2}});
+  Routing r = expand_routing(net, flows, {1});
+  Path p = r.path(0);
+  std::swap(p[0], p[1]);  // break contiguity
+  r.set_path(0, p);
+  EXPECT_THROW(r.validate(net.topology(), flows), ContractViolation);
+}
+
+TEST(Routing, ValidateRejectsWrongCount) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 2}});
+  const Routing r;
+  EXPECT_THROW(r.validate(net.topology(), flows), ContractViolation);
+}
+
+TEST(Routing, FlowsPerLinkInverts) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(
+      net, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 2}, FlowSpec{2, 1, 4, 1}});
+  const Routing r = expand_routing(net, flows, {1, 1, 2});
+  const auto on_link = flows_per_link(net.topology(), r);
+
+  // Both flows from ToR 1 ride uplink(1,1).
+  const auto& up11 = on_link[static_cast<std::size_t>(net.uplink(1, 1))];
+  EXPECT_EQ(up11, (std::vector<FlowIndex>{0, 1}));
+  // Flow 2 rides uplink(2,2) alone.
+  const auto& up22 = on_link[static_cast<std::size_t>(net.uplink(2, 2))];
+  EXPECT_EQ(up22, (std::vector<FlowIndex>{2}));
+  // Unused uplink carries nothing.
+  EXPECT_TRUE(on_link[static_cast<std::size_t>(net.uplink(4, 1))].empty());
+}
+
+TEST(Routing, PathAccessorBoundsChecked) {
+  Routing r;
+  EXPECT_THROW(r.path(0), ContractViolation);
+  EXPECT_THROW(r.set_path(0, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

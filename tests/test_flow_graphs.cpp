@@ -1,0 +1,79 @@
+#include "matching/flow_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+TEST(ServerFlowGraph, EdgeIndexEqualsFlowIndex) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowCollection specs = {FlowSpec{1, 1, 3, 2}, FlowSpec{2, 2, 4, 1},
+                                FlowSpec{1, 1, 3, 2}};
+  const FlowSet flows = instantiate(ms, specs);
+  const BipartiteMultigraph g = server_flow_graph(ms, flows);
+
+  ASSERT_EQ(g.num_edges(), flows.size());
+  // Vertex layout: (tor-1)*servers_per_tor + (server-1).
+  EXPECT_EQ(g.edge(0).left, 0u * 2 + 0);   // s_1^1
+  EXPECT_EQ(g.edge(0).right, 2u * 2 + 1);  // t_3^2
+  EXPECT_EQ(g.edge(1).left, 1u * 2 + 1);   // s_2^2
+  EXPECT_EQ(g.edge(1).right, 3u * 2 + 0);  // t_4^1
+  // Parallel flows become parallel edges.
+  EXPECT_EQ(g.edge(2).left, g.edge(0).left);
+  EXPECT_EQ(g.edge(2).right, g.edge(0).right);
+}
+
+TEST(ServerFlowGraph, FromCoordinatesDirectly) {
+  const FlowCollection specs = {FlowSpec{1, 1, 2, 1}, FlowSpec{2, 1, 1, 1}};
+  const BipartiteMultigraph g = server_flow_graph(2, 1, specs);
+  EXPECT_EQ(g.num_left(), 2u);
+  EXPECT_EQ(g.num_right(), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(0).left, 0u);
+  EXPECT_EQ(g.edge(0).right, 1u);
+}
+
+TEST(ServerFlowGraph, ClosAndMacroAgree) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowCollection specs = {FlowSpec{1, 2, 4, 1}, FlowSpec{3, 1, 2, 2},
+                                FlowSpec{1, 2, 4, 1}};
+  const BipartiteMultigraph from_clos = server_flow_graph(net, instantiate(net, specs));
+  const BipartiteMultigraph from_ms = server_flow_graph(ms, instantiate(ms, specs));
+  ASSERT_EQ(from_clos.num_edges(), from_ms.num_edges());
+  for (std::size_t e = 0; e < from_clos.num_edges(); ++e) {
+    EXPECT_EQ(from_clos.edge(e).left, from_ms.edge(e).left);
+    EXPECT_EQ(from_clos.edge(e).right, from_ms.edge(e).right);
+  }
+}
+
+TEST(SwitchFlowGraph, CollapsesToTorPairs) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  // Two flows between different servers of the same ToR pair become
+  // parallel edges of G^C.
+  const FlowCollection specs = {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 2},
+                                FlowSpec{2, 1, 4, 2}};
+  const BipartiteMultigraph g = switch_flow_graph(net, instantiate(net, specs));
+  EXPECT_EQ(g.num_left(), 4u);
+  EXPECT_EQ(g.num_right(), 4u);
+  ASSERT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edge(0).left, 0u);
+  EXPECT_EQ(g.edge(0).right, 2u);
+  EXPECT_EQ(g.edge(1).left, 0u);
+  EXPECT_EQ(g.edge(1).right, 2u);
+  EXPECT_EQ(g.edge(2).left, 1u);
+  EXPECT_EQ(g.edge(2).right, 3u);
+}
+
+TEST(SwitchFlowGraph, MaxDegreeBoundsClosRoutability) {
+  // With servers_per_tor = n, at most n matched flows leave any ToR, so G^C
+  // of a matching has max degree <= n — the König precondition of Lemma 5.2.
+  const ClosNetwork net = ClosNetwork::paper(3);
+  FlowCollection specs;
+  for (int j = 1; j <= 3; ++j) specs.push_back(FlowSpec{1, j, 4, j});
+  const BipartiteMultigraph g = switch_flow_graph(net, instantiate(net, specs));
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+}  // namespace
+}  // namespace closfair

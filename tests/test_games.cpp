@@ -1,0 +1,100 @@
+#include "routing/games.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Games, SingleFlowIsTriviallyNash) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}});
+  EXPECT_TRUE(is_nash_routing(net, flows, {1}));
+  EXPECT_TRUE(is_nash_routing(net, flows, {2}));
+}
+
+TEST(Games, CollidingFlowsSeparate) {
+  // Two ToR-pair flows jammed on one middle: each strictly gains by moving
+  // off; dynamics must reach the disjoint (full-rate) Nash.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 2}});
+  EXPECT_FALSE(is_nash_routing(net, flows, {1, 1}));
+  const auto result = best_response_dynamics(net, flows, {1, 1});
+  EXPECT_TRUE(result.reached_nash);
+  EXPECT_NE(result.middles[0], result.middles[1]);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_EQ(result.alloc.rate(f), Rational(1));
+  }
+}
+
+TEST(Games, DynamicsTerminateAtDetectedNash) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  Rng rng(7);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 10, rng));
+  const auto result = best_response_dynamics(net, flows, MiddleAssignment(10, 1));
+  if (result.reached_nash) {
+    EXPECT_TRUE(is_nash_routing(net, flows, result.middles));
+  }
+}
+
+TEST(Games, EdgeBottleneckedFlowsAreIndifferent) {
+  // Flows sharing only their source link get 1/2 on every middle: any
+  // routing is Nash for them.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 4, 1}});
+  EXPECT_TRUE(is_nash_routing(net, flows, {1, 1}));
+  EXPECT_TRUE(is_nash_routing(net, flows, {1, 2}));
+  const auto result = best_response_dynamics(net, flows, {1, 1});
+  EXPECT_TRUE(result.reached_nash);
+  EXPECT_EQ(result.moves, 0u);
+}
+
+// Selfish routing does not protect the Theorem 4.3 victim either: at Nash,
+// the type 3 flow still sits at 1/n (it is indifferent — every middle gives
+// it 1/n — so selfishness cannot express its plight).
+TEST(Games, StarvationPersistsAtNash) {
+  const int n = 3;
+  const AdversarialInstance inst = theorem_4_3_instance(n);
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const FlowSet flows = instantiate(net, inst.flows);
+  const auto result = best_response_dynamics(net, flows, *inst.witness,
+                                             BestResponseOptions{20});
+  // The witness routing is already a Nash equilibrium: every type 1/2 flow
+  // holds its macro rate (cannot improve), and the type 3 flow gets 1/n on
+  // every middle by Claim 4.5's forced structure.
+  EXPECT_TRUE(result.reached_nash);
+  EXPECT_EQ(result.moves, 0u);
+  EXPECT_EQ(result.alloc.rate(flows.size() - 1), Rational(1, n));
+}
+
+// Property: on random instances the dynamics either reach a state the
+// independent checker certifies as Nash, or exhaust the pass budget (cycles
+// are possible in general games).
+class GamesProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GamesProperty, NashDetectionConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 929 + 1);
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const std::size_t count = 2 + rng.next_below(8);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, count, rng));
+  const MiddleAssignment start = ecmp_routing(net, flows, rng);
+  const auto result = best_response_dynamics(net, flows, start);
+  if (result.reached_nash) {
+    EXPECT_TRUE(is_nash_routing(net, flows, result.middles));
+  }
+  // Payoffs never degrade the joint allocation below the all-jammed floor:
+  // sanity that the dynamics produce a valid allocation.
+  EXPECT_EQ(result.alloc.size(), flows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GamesProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,126 @@
+#include "matching/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace closfair {
+namespace {
+
+// Exponential oracle: best assignment by trying every row->column mapping.
+double brute_force_best(const std::vector<std::vector<double>>& weight) {
+  const std::size_t rows = weight.size();
+  if (rows == 0) return 0.0;
+  const std::size_t cols = weight[0].size();
+  double best = 0.0;
+  // Iterate over all mappings row -> column-or-skip via mixed radix.
+  std::vector<std::size_t> choice(rows, 0);  // cols == skip
+  while (true) {
+    std::vector<bool> used(cols, false);
+    double total = 0.0;
+    bool valid = true;
+    for (std::size_t r = 0; r < rows && valid; ++r) {
+      if (choice[r] == cols) continue;
+      if (used[choice[r]] || weight[r][choice[r]] <= 0.0) {
+        valid = false;
+      } else {
+        used[choice[r]] = true;
+        total += weight[r][choice[r]];
+      }
+    }
+    if (valid) best = std::max(best, total);
+    std::size_t pos = 0;
+    while (pos < rows) {
+      if (choice[pos] < cols) {
+        ++choice[pos];
+        break;
+      }
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == rows) break;
+  }
+  return best;
+}
+
+TEST(Hungarian, EmptyAndTrivial) {
+  EXPECT_TRUE(max_weight_matching({}).empty());
+  const auto single = max_weight_matching({{5.0}});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 0u);
+}
+
+TEST(Hungarian, ZeroWeightMeansNoEdge) {
+  const auto a = max_weight_matching({{0.0}});
+  EXPECT_EQ(a[0], kUnassigned);
+}
+
+TEST(Hungarian, PrefersHeavyDiagonal) {
+  const std::vector<std::vector<double>> w = {{10.0, 1.0}, {1.0, 10.0}};
+  const auto a = max_weight_matching(w);
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_DOUBLE_EQ(matching_weight(w, a), 20.0);
+}
+
+TEST(Hungarian, TakesCrossWhenBetter) {
+  const std::vector<std::vector<double>> w = {{1.0, 10.0}, {10.0, 1.0}};
+  const auto a = max_weight_matching(w);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+}
+
+TEST(Hungarian, SacrificesLocalOptimum) {
+  // Greedy would take (0,0)=9 and strand row 1; optimal is 8 + 7.
+  const std::vector<std::vector<double>> w = {{9.0, 8.0}, {9.0, 0.0}};
+  const auto a = max_weight_matching(w);
+  EXPECT_DOUBLE_EQ(matching_weight(w, a), 17.0);
+}
+
+TEST(Hungarian, RectangularMatrices) {
+  // More rows than columns.
+  const std::vector<std::vector<double>> tall = {{3.0}, {5.0}, {4.0}};
+  const auto a = max_weight_matching(tall);
+  EXPECT_DOUBLE_EQ(matching_weight(tall, a), 5.0);
+  // More columns than rows.
+  const std::vector<std::vector<double>> wide = {{3.0, 5.0, 4.0}};
+  const auto b = max_weight_matching(wide);
+  EXPECT_EQ(b[0], 1u);
+}
+
+TEST(Hungarian, CardinalityBeyondWeightWhenPositive) {
+  // Matching both rows (1+1) beats the single heavy edge only if weights
+  // say so: here 5 > 1+1 and row 0's alternatives are 0 (no edge), so the
+  // optimum is the single heavy edge.
+  const std::vector<std::vector<double>> w = {{5.0, 0.0}, {5.0, 0.0}};
+  const auto a = max_weight_matching(w);
+  EXPECT_DOUBLE_EQ(matching_weight(w, a), 5.0);
+}
+
+TEST(Hungarian, RejectsBadInput) {
+  EXPECT_THROW(max_weight_matching({{1.0}, {1.0, 2.0}}), ContractViolation);
+  EXPECT_THROW(max_weight_matching({{-1.0}}), ContractViolation);
+  EXPECT_THROW(matching_weight({{1.0}}, {0, 0}), ContractViolation);
+}
+
+class HungarianOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianOracle, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 419 + 3);
+  const std::size_t rows = 1 + rng.next_below(5);
+  const std::size_t cols = 1 + rng.next_below(5);
+  std::vector<std::vector<double>> w(rows, std::vector<double>(cols, 0.0));
+  for (auto& row : w) {
+    for (double& cell : row) {
+      // ~40% no-edge, else integer weight 1..9 (exact doubles).
+      cell = rng.next_bool(0.4) ? 0.0 : static_cast<double>(rng.next_int(1, 9));
+    }
+  }
+  const auto a = max_weight_matching(w);
+  EXPECT_DOUBLE_EQ(matching_weight(w, a), brute_force_best(w));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, HungarianOracle, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace closfair

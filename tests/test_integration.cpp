@@ -1,0 +1,180 @@
+// End-to-end integration tests: each one walks a full paper result through
+// the public API — construction, macro analysis, routing search, Clos
+// analysis, comparison — the way the bench harnesses and a downstream user
+// would.
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "core/analysis.hpp"
+#include "core/theorems.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/doom_switch.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/greedy.hpp"
+#include "routing/local_search.hpp"
+#include "routing/replication.hpp"
+#include "sim/event_sim.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+// R1 end-to-end: price of fairness on the adversarial family approaches 1/2.
+TEST(Integration, R1PriceOfFairnessConvergesToHalf) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  Rational prev{1};
+  for (int k : {1, 4, 16, 64, 256}) {
+    const AdversarialInstance inst = theorem_3_4_instance(1, k);
+    const auto a = analyze_macro(ms, instantiate(ms, inst.flows));
+    EXPECT_EQ(a.price_of_fairness, predict_theorem_3_4(k).fairness_ratio);
+    EXPECT_LT(a.price_of_fairness, prev);  // monotone toward 1/2
+    EXPECT_GT(a.price_of_fairness, Rational(1, 2));
+    prev = a.price_of_fairness;
+  }
+  // At k=256 we are within 1% of the bound.
+  EXPECT_LT(prev, Rational(1, 2) + Rational(1, 100));
+}
+
+// R2 end-to-end at n=3: replication infeasible; the paper's witness routing
+// is lex-dominated by the macro vector; heuristic search can't fix the type
+// 3 flow either.
+TEST(Integration, R2StarvationStory) {
+  const int n = 3;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const AdversarialInstance inst = theorem_4_3_instance(n);
+  const FlowSet flows = instantiate(net, inst.flows);
+
+  // Macro rates are as Lemma 4.4 says.
+  const auto macro = analyze_macro(ms, instantiate(ms, inst.flows));
+  EXPECT_EQ(macro.maxmin.rates(), inst.macro_rates);
+
+  // These rates cannot be replicated by any routing.
+  const auto replication = find_feasible_routing(net, flows, inst.macro_rates);
+  EXPECT_FALSE(replication.feasible);
+
+  // The witness routing achieves the Lemma 4.6 allocation...
+  const Comparison c = compare(net, ms, inst.flows, *inst.witness);
+  EXPECT_EQ(c.lex_vs_macro, std::strong_ordering::less);
+  // ...whose worst per-flow degradation is exactly the 1/n factor.
+  EXPECT_EQ(c.min_rate_ratio, predict_theorem_4_3(n).starvation_factor);
+
+  // Hill climbing from the witness cannot improve it lexicographically
+  // (local optimality of the paper's construction).
+  const auto climbed = lex_max_min_local_search(net, flows, *inst.witness);
+  EXPECT_EQ(climbed.alloc.sorted(), c.clos.maxmin.sorted());
+}
+
+// R3 end-to-end: Doom-Switch throughput gain reaches 2(1-eps) while zeroing
+// in on the type 2 flows.
+TEST(Integration, R3DoomSwitchStory) {
+  for (int n : {5, 7, 9}) {
+    const int k = 3;
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    const AdversarialInstance inst = theorem_5_4_instance(n, k);
+    const FlowSet flows = instantiate(net, inst.flows);
+
+    const auto doom = doom_switch(net, flows);
+    const Comparison c = compare(net, ms, inst.flows, doom.middles);
+    const Theorem54Prediction pred = predict_theorem_5_4(n, k);
+
+    EXPECT_EQ(c.clos.throughput, pred.doom_throughput);
+    EXPECT_EQ(c.throughput_ratio, pred.gain);
+    EXPECT_LE(c.throughput_ratio, Rational(2));
+    // Gain strictly above 2(1 - eps') for any eps' > eps: check the exact eps.
+    EXPECT_EQ(Rational{1} - c.throughput_ratio / Rational{2}, pred.epsilon);
+    // The type 2 flows pay: their rate ratio vs macro collapses.
+    EXPECT_EQ(c.min_rate_ratio, pred.type2_rate / Rational(1, k + 1));
+  }
+}
+
+// Lex-max-min and throughput-max-min genuinely diverge: on the stacked
+// Theorem 5.4 instance (n=5, k=2), the macro rates (all 1/3) are replicable,
+// so the lex optimum is the uniform vector with throughput 8/3 — while
+// sacrificing the type 2 flows buys throughput 3 = n-2. Both optima verified
+// by full enumeration.
+TEST(Integration, ObjectivesDisagreeOnStackedGadgets) {
+  const int n = 5;
+  const int k = 2;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const AdversarialInstance inst = theorem_5_4_instance(n, k);
+  const FlowSet flows = instantiate(net, inst.flows);
+
+  ExhaustiveOptions lex_options;
+  lex_options.stop_at_sorted = std::vector<Rational>(flows.size(), Rational{1, k + 1});
+  const auto lex = lex_max_min_exhaustive(net, flows, lex_options);
+  EXPECT_EQ(lex.alloc.sorted(), (*lex_options.stop_at_sorted));
+  EXPECT_EQ(lex.alloc.throughput(), Rational(8, 3));
+
+  const auto tput = throughput_max_min_exhaustive(net, flows);
+  // Doom-Switch is a lower bound on the true optimum (Theorem 5.4 only
+  // bounds it from above by 2 T^MmF).
+  EXPECT_GE(tput.alloc.throughput(), predict_theorem_5_4(n, k).doom_throughput);
+  EXPECT_LE(tput.alloc.throughput(), Rational{2} * Rational(8, 3));
+  EXPECT_GT(tput.alloc.throughput(), lex.alloc.throughput());
+  EXPECT_EQ(lex_compare_sorted(lex.alloc, tput.alloc), std::strong_ordering::greater);
+}
+
+// Stochastic sanity: on permutation traffic every objective agrees — the
+// network is equivalent to its macro-switch (admission-control regime).
+TEST(Integration, PermutationTrafficIsIdeal) {
+  const int n = 3;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  Rng rng(17);
+  const FlowCollection specs = random_permutation(Fabric{2 * n, n}, rng);
+  const FlowSet flows = instantiate(net, specs);
+
+  const auto doom = doom_switch(net, flows);
+  const Comparison c = compare(net, ms, specs, doom.middles);
+  EXPECT_EQ(c.throughput_ratio, Rational(1));
+  EXPECT_EQ(c.min_rate_ratio, Rational(1));
+  EXPECT_EQ(c.lex_vs_macro, std::strong_ordering::equal);
+}
+
+// Greedy routing with macro demands approximates the macro rates well on
+// stochastic input (§6's observation), far better than the worst case 1/n.
+TEST(Integration, GreedyApproximatesMacroOnStochasticInput) {
+  const int n = 4;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  Rng rng(23);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const FlowCollection specs = uniform_random(Fabric{2 * n, n}, 40, rng);
+    const FlowSet flows = instantiate(net, specs);
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+    std::vector<double> demands;
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      demands.push_back(macro.rate(f).to_double());
+    }
+    const Comparison c = compare(net, ms, specs, greedy_routing(net, flows, demands));
+    worst_ratio = std::min(worst_ratio, c.min_rate_ratio.to_double());
+  }
+  // Not a theorem — an empirical observation the paper reports: stochastic
+  // inputs stay well above the adversarial 1/n = 0.25 floor.
+  EXPECT_GT(worst_ratio, 0.4);
+}
+
+// Full pipeline including the simulator: run a trace through ECMP on C_2 and
+// through MS_2, and confirm the macro reference is no slower on average.
+TEST(Integration, SimulatorMacroReference) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  TraceParams params;
+  params.fabric = Fabric{4, 2};
+  params.num_flows = 120;
+  params.arrival_rate = 4.0;
+  Rng rng(29);
+  const Trace trace = poisson_trace(params, rng);
+
+  Rng rng2(31);
+  const SimStats clos = simulate_clos(net, trace, SimPolicy::kEcmp, rng2);
+  const SimStats macro = simulate_macro(ms, trace);
+  EXPECT_EQ(clos.completed, macro.completed);
+  EXPECT_GE(clos.mean_fct, macro.mean_fct - 1e-6);
+}
+
+}  // namespace
+}  // namespace closfair

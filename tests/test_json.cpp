@@ -1,0 +1,90 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+#include <limits>
+
+#include "core/adversarial.hpp"
+#include "core/analysis.hpp"
+#include "io/json_export.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json::null().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::boolean(false).dump(), "false");
+  EXPECT_EQ(Json::number(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json::number(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json::number(0.5).dump(), "0.5");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumberThrows) {
+  EXPECT_THROW(Json::number(std::numeric_limits<double>::infinity()), ContractViolation);
+  EXPECT_THROW(Json::number(std::nan("")), ContractViolation);
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string{"ctrl\x01"}), "ctrl\\u0001");
+  EXPECT_EQ(Json::string("x\ny").dump(), "\"x\\ny\"");
+}
+
+TEST(Json, ArraysAndObjects) {
+  Json arr = Json::array();
+  arr.push_back(Json::number(std::int64_t{1}));
+  arr.push_back(Json::string("two"));
+  EXPECT_EQ(arr.dump(), "[1,\"two\"]");
+  EXPECT_EQ(arr.size(), 2u);
+
+  Json obj = Json::object();
+  obj.set("a", Json::number(std::int64_t{1}));
+  obj.set("b", std::move(arr));
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":[1,\"two\"]}");
+  // Overwrite keeps position.
+  obj.set("a", Json::number(std::int64_t{9}));
+  EXPECT_EQ(obj.dump(), "{\"a\":9,\"b\":[1,\"two\"]}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", Json::null()), ContractViolation);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(Json::null()), ContractViolation);
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj.set("x", Json::number(std::int64_t{1}));
+  EXPECT_EQ(obj.dump(2), "{\n  \"x\": 1\n}");
+}
+
+TEST(JsonExport, AllocationRoundTripFields) {
+  const Allocation<Rational> alloc({Rational{1, 3}, Rational{1}});
+  const std::string out = to_json(alloc).dump();
+  EXPECT_NE(out.find("\"rates\":[\"1/3\",\"1\"]"), std::string::npos);
+  EXPECT_NE(out.find("\"throughput\":\"4/3\""), std::string::npos);
+}
+
+TEST(JsonExport, ComparisonContainsHeadlineNumbers) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Example23 ex = example_2_3();
+  const Comparison c = compare(net, ms, ex.instance.flows, ex.routing_a);
+  const std::string out = to_json(c).dump();
+  EXPECT_NE(out.find("\"t_maxmin\":\"10/3\""), std::string::npos);
+  EXPECT_NE(out.find("\"lex_vs_macro\":\"less\""), std::string::npos);
+  EXPECT_NE(out.find("\"min_rate_ratio\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,103 @@
+#include "routing/lp_rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(LpRounding, DeterministicWhenSharesAreIntegral) {
+  // A permutation workload splits nothing: rounding must reproduce the
+  // integral optimum exactly, every draw.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Rng rng(3);
+  const FlowCollection specs =
+      random_permutation(Fabric{net.num_tors(), net.servers_per_tor()}, rng);
+  const auto splittable = splittable_max_min(net, ms, specs);
+  const FlowSet flows = instantiate(net, specs);
+
+  // Integral shares: each flow fully on one middle.
+  for (const auto& shares : splittable.shares) {
+    int used = 0;
+    for (const Rational& s : shares) {
+      if (!s.is_zero()) ++used;
+    }
+    EXPECT_LE(used, 1);
+  }
+  const MiddleAssignment middles = round_splittable(splittable, rng);
+  const auto alloc = max_min_fair<Rational>(net, flows, middles);
+  for (FlowIndex f = 0; f < flows.size(); ++f) EXPECT_EQ(alloc.rate(f), Rational(1));
+}
+
+TEST(LpRounding, MiddlesInRange) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const MacroSwitch ms = MacroSwitch::paper(3);
+  Rng rng(5);
+  const FlowCollection specs =
+      uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 20, rng);
+  const auto splittable = splittable_max_min(net, ms, specs);
+  for (int trial = 0; trial < 5; ++trial) {
+    const MiddleAssignment middles = round_splittable(splittable, rng);
+    ASSERT_EQ(middles.size(), specs.size());
+    for (int m : middles) {
+      EXPECT_GE(m, 1);
+      EXPECT_LE(m, 3);
+    }
+  }
+}
+
+TEST(LpRounding, OnlySamplesMiddlesWithPositiveShare) {
+  // Handcrafted shares: flow confined to middle 2.
+  SplittableMaxMin splittable;
+  splittable.rates = Allocation<Rational>({Rational{1, 2}});
+  splittable.shares = {{Rational{0}, Rational{1, 2}, Rational{0}}};
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_EQ(round_splittable(splittable, rng)[0], 2);
+  }
+}
+
+TEST(LpRounding, ZeroRateFlowsDefaultToMiddleOne) {
+  SplittableMaxMin splittable;
+  splittable.rates = Allocation<Rational>({Rational{0}});
+  splittable.shares = {{Rational{0}, Rational{0}}};
+  Rng rng(9);
+  EXPECT_EQ(round_splittable(splittable, rng)[0], 1);
+}
+
+TEST(LpRounding, BestOfImprovesOrTies) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Example23 ex = example_2_3();
+  const auto splittable = splittable_max_min(net, ms, ex.instance.flows);
+  const FlowSet flows = instantiate(net, ex.instance.flows);
+
+  Rng rng1(11);
+  const auto one = round_splittable_best_of(net, flows, splittable, rng1, 1);
+  Rng rng2(11);
+  const auto many = round_splittable_best_of(net, flows, splittable, rng2, 16);
+  EXPECT_NE(lex_compare_sorted(many.alloc, one.alloc), std::strong_ordering::less);
+  EXPECT_EQ(many.draws, 16u);
+  // No unsplittable routing beats the macro vector.
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, ex.instance.flows));
+  EXPECT_NE(lex_compare_sorted(many.alloc, macro), std::strong_ordering::greater);
+}
+
+TEST(LpRounding, RejectsBadArguments) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}});
+  SplittableMaxMin splittable;  // empty: size mismatch
+  Rng rng(13);
+  EXPECT_THROW(round_splittable_best_of(net, flows, splittable, rng), ContractViolation);
+  SplittableMaxMin ok;
+  ok.rates = Allocation<Rational>({Rational{1}});
+  ok.shares = {{Rational{1}, Rational{0}}};
+  EXPECT_THROW(round_splittable_best_of(net, flows, ok, rng, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

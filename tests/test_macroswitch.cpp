@@ -1,0 +1,89 @@
+#include "net/macroswitch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/clos.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(MacroSwitch, PaperDimensions) {
+  for (int n : {1, 2, 3}) {
+    const MacroSwitch ms = MacroSwitch::paper(n);
+    EXPECT_EQ(ms.num_tors(), 2 * n);
+    EXPECT_EQ(ms.servers_per_tor(), n);
+    EXPECT_EQ(ms.num_sources(), 2 * n * n);
+    // Nodes: 2n inputs + 2n outputs + 2*(2n^2) servers.
+    EXPECT_EQ(ms.topology().num_nodes(), static_cast<std::size_t>(4 * n + 4 * n * n));
+    // Links: 2*(2n^2) edge + (2n)^2 inner.
+    EXPECT_EQ(ms.topology().num_links(), static_cast<std::size_t>(4 * n * n + 4 * n * n));
+  }
+}
+
+TEST(MacroSwitch, InnerLinksUnbounded) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  for (int i = 1; i <= 4; ++i) {
+    for (int k = 1; k <= 4; ++k) {
+      const Link& l = ms.topology().link(ms.inner_link(i, k));
+      EXPECT_TRUE(l.unbounded);
+      EXPECT_EQ(l.from, ms.input_switch(i));
+      EXPECT_EQ(l.to, ms.output_switch(k));
+    }
+  }
+}
+
+TEST(MacroSwitch, EdgeLinksUnitCapacity) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Link& s = ms.topology().link(ms.source_link(1, 2));
+  EXPECT_FALSE(s.unbounded);
+  EXPECT_EQ(s.capacity, Rational(1));
+  const Link& t = ms.topology().link(ms.dest_link(4, 1));
+  EXPECT_FALSE(t.unbounded);
+  EXPECT_EQ(t.capacity, Rational(1));
+}
+
+TEST(MacroSwitch, UniquePathIsValid) {
+  const MacroSwitch ms = MacroSwitch::paper(3);
+  const NodeId src = ms.source(2, 3);
+  const NodeId dst = ms.destination(5, 1);
+  const Path p = ms.path(src, dst);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_TRUE(ms.topology().is_path(p, src, dst));
+  EXPECT_EQ(p[0], ms.source_link(2, 3));
+  EXPECT_EQ(p[1], ms.inner_link(2, 5));
+  EXPECT_EQ(p[2], ms.dest_link(5, 1));
+}
+
+TEST(MacroSwitch, CoordRoundTrip) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  for (int i = 1; i <= ms.num_tors(); ++i) {
+    for (int j = 1; j <= ms.servers_per_tor(); ++j) {
+      const auto s = ms.source_coord(ms.source(i, j));
+      EXPECT_EQ(s.tor, i);
+      EXPECT_EQ(s.server, j);
+      const auto t = ms.dest_coord(ms.destination(i, j));
+      EXPECT_EQ(t.tor, i);
+      EXPECT_EQ(t.server, j);
+    }
+  }
+}
+
+TEST(MacroSwitch, MatchesClosDimensions) {
+  // MS_n must accept exactly the flow coordinates of C_n.
+  const int n = 3;
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const ClosNetwork net = ClosNetwork::paper(n);
+  EXPECT_EQ(ms.num_tors(), net.num_tors());
+  EXPECT_EQ(ms.servers_per_tor(), net.servers_per_tor());
+}
+
+TEST(MacroSwitch, BoundsChecked) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  EXPECT_THROW(ms.source(3, 1), ContractViolation);
+  EXPECT_THROW(ms.inner_link(0, 1), ContractViolation);
+  EXPECT_THROW(ms.inner_link(1, 3), ContractViolation);
+  EXPECT_THROW(MacroSwitch::paper(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,132 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace closfair {
+namespace {
+
+// Exhaustive maximum matching size by bitmask DP over edges (exponential;
+// test-only oracle for small graphs).
+std::size_t brute_force_matching_size(const BipartiteMultigraph& g) {
+  std::size_t best = 0;
+  const std::size_t m = g.num_edges();
+  CF_CHECK(m <= 20);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    std::vector<std::size_t> edges;
+    for (std::size_t e = 0; e < m; ++e) {
+      if (mask & (std::size_t{1} << e)) edges.push_back(e);
+    }
+    if (is_matching(g, edges)) best = std::max(best, edges.size());
+  }
+  return best;
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteMultigraph g(3, 3);
+  EXPECT_TRUE(maximum_matching(g).empty());
+}
+
+TEST(HopcroftKarp, SingleEdge) {
+  BipartiteMultigraph g(1, 1);
+  g.add_edge(0, 0);
+  const auto m = maximum_matching(g);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], 0u);
+}
+
+TEST(HopcroftKarp, ParallelEdgesCountOnce) {
+  BipartiteMultigraph g(1, 1);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  EXPECT_EQ(maximum_matching(g).size(), 1u);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCycle) {
+  // 3x3 "cycle": i -> i and i -> (i+1) mod 3; perfect matching exists.
+  BipartiteMultigraph g(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.add_edge(i, i);
+    g.add_edge(i, (i + 1) % 3);
+  }
+  const auto m = maximum_matching(g);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(is_matching(g, m));
+}
+
+TEST(HopcroftKarp, AugmentingPathRequired) {
+  // Greedy left-to-right would match (0,0) and strand vertex 1; HK must
+  // find the augmenting path.
+  BipartiteMultigraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto m = maximum_matching(g);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(is_matching(g, m));
+}
+
+TEST(HopcroftKarp, StarGraph) {
+  BipartiteMultigraph g(1, 5);
+  for (std::size_t r = 0; r < 5; ++r) g.add_edge(0, r);
+  EXPECT_EQ(maximum_matching(g).size(), 1u);
+}
+
+TEST(HopcroftKarp, UnbalancedSides) {
+  BipartiteMultigraph g(4, 2);
+  for (std::size_t l = 0; l < 4; ++l) {
+    g.add_edge(l, 0);
+    g.add_edge(l, 1);
+  }
+  EXPECT_EQ(maximum_matching(g).size(), 2u);
+}
+
+TEST(IsMatching, RejectsSharedEndpoints) {
+  BipartiteMultigraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  EXPECT_TRUE(is_matching(g, {0, 2}));
+  EXPECT_FALSE(is_matching(g, {0, 1}));  // share left 0
+  EXPECT_FALSE(is_matching(g, {1, 2}));  // share right 1
+  EXPECT_FALSE(is_matching(g, {7}));     // bogus index
+}
+
+TEST(Bipartite, MaxDegreeCountsBothSides) {
+  BipartiteMultigraph g(2, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.max_degree(), 3u);  // left 0 has degree 3
+  EXPECT_EQ(g.left_edges(0).size(), 3u);
+  EXPECT_EQ(g.right_edges(2).size(), 2u);
+  EXPECT_THROW(g.add_edge(2, 0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 3), ContractViolation);
+  EXPECT_THROW(g.edge(99), ContractViolation);
+}
+
+// Property: Hopcroft–Karp matches the brute-force oracle on random small
+// multigraphs.
+class MatchingOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingOracle, AgreesWithBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const std::size_t nl = 1 + rng.next_below(5);
+  const std::size_t nr = 1 + rng.next_below(5);
+  const std::size_t m = rng.next_below(13);
+  BipartiteMultigraph g(nl, nr);
+  for (std::size_t e = 0; e < m; ++e) {
+    g.add_edge(rng.next_below(nl), rng.next_below(nr));
+  }
+  const auto hk = maximum_matching(g);
+  EXPECT_TRUE(is_matching(g, hk));
+  EXPECT_EQ(hk.size(), brute_force_matching_size(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MatchingOracle, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace closfair

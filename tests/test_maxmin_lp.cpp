@@ -1,0 +1,103 @@
+#include "lp/maxmin_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fairness/waterfill.hpp"
+#include "lp/throughput_lp.hpp"
+#include "matching/flow_graphs.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(MaxMinLp, MatchesWaterfillOnExample23Macro) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+           FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto lp = max_min_fair_lp<Rational>(ms.topology(), flows, routing);
+  const auto wf = max_min_fair<Rational>(ms.topology(), flows, routing);
+  EXPECT_EQ(lp.rates(), wf.rates());
+}
+
+TEST(MaxMinLp, MatchesWaterfillOnClosRouting) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(
+      net, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+            FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+  for (const MiddleAssignment& middles :
+       {MiddleAssignment{2, 1, 2, 1, 2, 1}, MiddleAssignment{2, 2, 2, 1, 2, 1},
+        MiddleAssignment{1, 1, 1, 1, 1, 1}}) {
+    const Routing routing = expand_routing(net, flows, middles);
+    const auto lp = max_min_fair_lp<Rational>(net.topology(), flows, routing);
+    const auto wf = max_min_fair<Rational>(net.topology(), flows, routing);
+    EXPECT_EQ(lp.rates(), wf.rates());
+  }
+}
+
+// The headline cross-validation: two independent implementations of
+// Definition 2.1 (combinatorial water-filling vs iterative exact LP) must
+// agree *exactly* on random instances.
+class CrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossValidation, WaterfillEqualsLp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 2 + static_cast<int>(rng.next_below(2));  // C_2, C_3
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const Fabric fabric{net.num_tors(), net.servers_per_tor()};
+  const std::size_t count = 1 + rng.next_below(10);
+  const FlowSet flows = instantiate(net, uniform_random(fabric, count, rng));
+  const Routing routing =
+      expand_routing(net, flows, ecmp_routing(net, flows, rng));
+
+  const auto wf = max_min_fair<Rational>(net.topology(), flows, routing);
+  const auto lp = max_min_fair_lp<Rational>(net.topology(), flows, routing);
+  EXPECT_EQ(wf.rates(), lp.rates());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CrossValidation, ::testing::Range(0, 25));
+
+TEST(ThroughputLp, SingleFlow) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const auto r = max_throughput_lp<Rational>(ms.topology(), flows, macro_routing(ms, flows));
+  EXPECT_EQ(r.throughput, Rational(1));
+  EXPECT_EQ(r.alloc.rate(0), Rational(1));
+}
+
+TEST(ThroughputLp, Example33GivesTwo) {
+  // Maximum throughput sacrifices the type 2 flow entirely (Lemma 3.2).
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 1, 1, 1}, FlowSpec{2, 1, 2, 1}, FlowSpec{2, 1, 1, 1}});
+  const auto r = max_throughput_lp<Rational>(ms.topology(), flows, macro_routing(ms, flows));
+  EXPECT_EQ(r.throughput, Rational(2));
+}
+
+// Lemma 3.2 cross-check: the throughput LP optimum equals the maximum
+// matching size of G^MS on random macro-switch instances.
+class ThroughputEqualsMatching : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThroughputEqualsMatching, LpEqualsHopcroftKarp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const int n = 1 + static_cast<int>(rng.next_below(3));
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const Fabric fabric{ms.num_tors(), ms.servers_per_tor()};
+  const std::size_t count = 1 + rng.next_below(12);
+  const FlowSet flows = instantiate(ms, uniform_random(fabric, count, rng));
+
+  const auto lp =
+      max_throughput_lp<Rational>(ms.topology(), flows, macro_routing(ms, flows));
+  const auto matching = maximum_matching(server_flow_graph(ms, flows));
+  EXPECT_EQ(lp.throughput, Rational(static_cast<std::int64_t>(matching.size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ThroughputEqualsMatching,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,73 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace closfair {
+namespace {
+
+TEST(Metrics, JainIndexEqualRatesIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0.5, 0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{2.0}), 1.0);
+}
+
+TEST(Metrics, JainIndexDegenerateCases) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0.0, 0.0}), 1.0);
+  EXPECT_THROW(jain_index(std::vector<double>{-1.0}), ContractViolation);
+}
+
+TEST(Metrics, JainIndexSkewedRates) {
+  // One flow hogging everything among n flows gives 1/n.
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{1.0, 0.0, 0.0, 0.0}), 0.25);
+  // Known value: (1+2+3)^2 / (3 * 14) = 36/42.
+  EXPECT_NEAR(jain_index(std::vector<double>{1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Metrics, JainIndexFromExactAllocation) {
+  const Allocation<Rational> alloc({Rational{1, 2}, Rational{1, 2}});
+  EXPECT_DOUBLE_EQ(jain_index(alloc), 1.0);
+}
+
+TEST(Metrics, MinAndMean) {
+  const std::vector<double> rates = {0.25, 0.75, 0.5};
+  EXPECT_DOUBLE_EQ(min_rate(rates), 0.25);
+  EXPECT_DOUBLE_EQ(mean_rate(rates), 0.5);
+  EXPECT_DOUBLE_EQ(min_rate({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_rate({}), 0.0);
+}
+
+TEST(Metrics, AlphaFairWelfare) {
+  // alpha = 0: plain throughput.
+  EXPECT_DOUBLE_EQ(alpha_fair_welfare({1.0, 2.0}, 0.0), 3.0);
+  // alpha = 1: sum of logs.
+  EXPECT_NEAR(alpha_fair_welfare({1.0, std::exp(1.0)}, 1.0), 1.0, 1e-12);
+  // alpha = 2: -sum(1/x).
+  EXPECT_DOUBLE_EQ(alpha_fair_welfare({0.5, 1.0}, 2.0), -3.0);
+  // Zero rate under proportional fairness: -inf.
+  EXPECT_EQ(alpha_fair_welfare({0.0, 1.0}, 1.0),
+            -std::numeric_limits<double>::infinity());
+  // But fine for alpha = 0.
+  EXPECT_DOUBLE_EQ(alpha_fair_welfare({0.0, 1.0}, 0.0), 1.0);
+  EXPECT_THROW(alpha_fair_welfare({1.0}, -1.0), ContractViolation);
+}
+
+TEST(Metrics, MaxMinImprovesJainOverThroughputOptimal) {
+  // The R1 tension in metric form: the max-min allocation of Example 3.3 has
+  // Jain index 1 (all equal), while the maximum-throughput allocation
+  // (1, 1, 0) scores 2/3.
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0.5, 0.5, 0.5}), 1.0);
+  EXPECT_NEAR(jain_index(std::vector<double>{1.0, 1.0, 0.0}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Metrics, AsDoubles) {
+  const Allocation<Rational> alloc({Rational{1, 4}, Rational{3}});
+  const auto d = as_doubles(alloc);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+}
+
+}  // namespace
+}  // namespace closfair

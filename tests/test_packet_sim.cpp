@@ -1,0 +1,137 @@
+#include "sim/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+PacketSimParams fast_params() {
+  PacketSimParams p;
+  p.packet_size = 0.05;
+  p.window = 8;
+  p.warmup = 10.0;
+  p.measure = 40.0;
+  return p;
+}
+
+TEST(PacketSim, SingleFlowSaturatesItsPath) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const auto result = packet_fair_queueing(ms.topology(), flows,
+                                           macro_routing(ms, flows), fast_params());
+  EXPECT_NEAR(result.rates.rate(0), 1.0, 0.05);
+  EXPECT_GT(result.events, 100u);
+}
+
+TEST(PacketSim, TwoFlowsShareOneLinkEqually) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 4, 1}});
+  const auto result = packet_fair_queueing(ms.topology(), flows,
+                                           macro_routing(ms, flows), fast_params());
+  EXPECT_NEAR(result.rates.rate(0), 0.5, 0.05);
+  EXPECT_NEAR(result.rates.rate(1), 0.5, 0.05);
+}
+
+TEST(PacketSim, EmergesTwoLevelMaxMin) {
+  // The two-level instance from test_waterfill: three flows out of one
+  // source (1/3 each) plus one flow limited only at a shared destination
+  // (2/3). Fair queueing must discover both levels.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 3, 2},
+                                         FlowSpec{1, 1, 4, 1}, FlowSpec{2, 1, 3, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto result =
+      packet_fair_queueing(ms.topology(), flows, routing, fast_params());
+  const auto oracle = max_min_fair<double>(ms.topology(), flows, routing);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(result.rates.rate(f), oracle.rate(f), 0.07) << "flow " << f;
+  }
+}
+
+TEST(PacketSim, Example23MacroRatesEmerge) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+           FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto result =
+      packet_fair_queueing(ms.topology(), flows, routing, fast_params());
+  const double expected[] = {1.0 / 3, 1.0 / 3, 1.0 / 3, 2.0 / 3, 2.0 / 3, 1.0};
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(result.rates.rate(f), expected[f], 0.08) << "flow " << f;
+  }
+}
+
+TEST(PacketSim, UtilizationNeverExceedsCapacity) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(5);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 10, rng));
+  const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+  const auto result = packet_fair_queueing(net.topology(), flows, routing, fast_params());
+  for (double u : result.link_utilization) {
+    EXPECT_LE(u, 1.0 + 0.02);  // quantization slack of ~1 packet
+  }
+}
+
+TEST(PacketSim, TracksWaterfillOnClosRoutings) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(7);
+  for (int trial = 0; trial < 3; ++trial) {
+    const FlowSet flows = instantiate(
+        net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 8, rng));
+    const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+    const auto result =
+        packet_fair_queueing(net.topology(), flows, routing, fast_params());
+    const auto oracle = max_min_fair<double>(net.topology(), flows, routing);
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      EXPECT_NEAR(result.rates.rate(f), oracle.rate(f), 0.12)
+          << "trial " << trial << " flow " << f;
+    }
+  }
+}
+
+TEST(PacketSim, FractionalCapacities) {
+  // A 1/2-capacity fabric: the single flow's throughput halves.
+  ClosNetwork net(ClosNetwork::Params{2, 2, 1, Rational{1, 2}});
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}});
+  const Routing routing = expand_routing(net, flows, {1});
+  const auto result = packet_fair_queueing(net.topology(), flows, routing, fast_params());
+  EXPECT_NEAR(result.rates.rate(0), 0.5, 0.05);
+}
+
+TEST(PacketSim, RejectsBadParameters) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  PacketSimParams bad;
+  bad.packet_size = 0.0;
+  EXPECT_THROW(packet_fair_queueing(ms.topology(), flows, routing, bad),
+               ContractViolation);
+  bad = PacketSimParams{};
+  bad.window = 0;
+  EXPECT_THROW(packet_fair_queueing(ms.topology(), flows, routing, bad),
+               ContractViolation);
+  bad = PacketSimParams{};
+  bad.measure = 0.0;
+  EXPECT_THROW(packet_fair_queueing(ms.topology(), flows, routing, bad),
+               ContractViolation);
+}
+
+TEST(PacketSim, ThrowsWithoutBoundedLink) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  topo.add_unbounded_link(a, b);
+  const FlowSet flows = {Flow{a, b}};
+  const Routing routing{std::vector<Path>{{0}}};
+  EXPECT_THROW(packet_fair_queueing(topo, flows, routing), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,87 @@
+#include "core/proofs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(ProofReplay, Theorem34OnExample33) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const AdversarialInstance inst = theorem_3_4_instance(1, 1);
+  const auto replay = replay_theorem_3_4(ms, instantiate(ms, inst.flows));
+
+  ASSERT_EQ(replay.matching.size(), 2u);
+  // All rates are 1/2: each matched flow's source carries total 1 or 1/2.
+  EXPECT_TRUE(replay.bottleneck_step_holds);
+  EXPECT_TRUE(replay.max_step_holds);
+  EXPECT_TRUE(replay.half_step_holds);
+  EXPECT_TRUE(replay.conclusion_holds);
+  EXPECT_EQ(replay.t_maxmin, Rational(3, 2));
+  // τ totals: the two sources carry 1/2 (s_1^1) and 1 (s_2^1, two flows).
+  EXPECT_EQ(replay.sum_tau_source, Rational(3, 2));
+  EXPECT_EQ(replay.sum_tau_dest, Rational(3, 2));
+}
+
+TEST(ProofReplay, Theorem34TauPerFlowBottleneck) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const AdversarialInstance inst = theorem_3_4_instance(1, 4);
+  const auto replay = replay_theorem_3_4(ms, instantiate(ms, inst.flows));
+  ASSERT_EQ(replay.tau_source.size(), replay.matching.size());
+  for (std::size_t i = 0; i < replay.matching.size(); ++i) {
+    EXPECT_GE(replay.tau_source[i] + replay.tau_dest[i], Rational(1));
+  }
+}
+
+TEST(ProofReplay, EmptyCollection) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const auto replay = replay_theorem_3_4(ms, FlowSet{});
+  EXPECT_TRUE(replay.matching.empty());
+  EXPECT_TRUE(replay.bottleneck_step_holds);
+  EXPECT_TRUE(replay.conclusion_holds);
+}
+
+// The proof's steps must hold on arbitrary instances — this is exactly what
+// "for every collection of flows" means, sampled.
+class Theorem34Steps : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem34Steps, AllStepsHoldOnRandomInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 523 + 19);
+  const int n = 1 + static_cast<int>(rng.next_below(3));
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const Fabric fabric{2 * n, n};
+  FlowCollection specs;
+  switch (rng.next_below(3)) {
+    case 0: specs = uniform_random(fabric, 1 + rng.next_below(30), rng); break;
+    case 1: specs = incast(fabric, 1 + rng.next_below(15), 1, 1, rng); break;
+    default: specs = zipf_destinations(fabric, 1 + rng.next_below(30), 1.0, rng); break;
+  }
+  const auto replay = replay_theorem_3_4(ms, instantiate(ms, specs));
+  EXPECT_TRUE(replay.bottleneck_step_holds);
+  EXPECT_TRUE(replay.max_step_holds);
+  EXPECT_TRUE(replay.half_step_holds);
+  EXPECT_TRUE(replay.conclusion_holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Theorem34Steps, ::testing::Range(0, 30));
+
+TEST(ProofReplay, Claim45ExactlyTwoSolutions) {
+  for (int n : {1, 2, 3, 4, 5, 8, 13, 50}) {
+    const auto solutions = replay_claim_4_5(n);
+    ASSERT_EQ(solutions.size(), 2u) << "n=" << n;
+    EXPECT_EQ(solutions[0].x, 0);
+    EXPECT_EQ(solutions[0].y, n);
+    EXPECT_EQ(solutions[1].x, n + 1);
+    EXPECT_EQ(solutions[1].y, 0);
+  }
+}
+
+TEST(ProofReplay, Claim45RejectsBadN) {
+  EXPECT_THROW(replay_claim_4_5(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,135 @@
+#include "sim/rate_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Rcp, SingleBottleneckEqualShares) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 3, 2}, FlowSpec{1, 1, 4, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto result = rcp_rate_control(ms.topology(), flows, routing);
+  EXPECT_TRUE(result.converged);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(result.rates.rate(f), 1.0 / 3, 1e-6);
+  }
+}
+
+TEST(Rcp, ConvergesToExample23MacroAllocation) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+           FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto result = rcp_rate_control(ms.topology(), flows, routing);
+  EXPECT_TRUE(result.converged);
+  const double expected[] = {1.0 / 3, 1.0 / 3, 1.0 / 3, 2.0 / 3, 2.0 / 3, 1.0};
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(result.rates.rate(f), expected[f], 1e-6) << "flow " << f;
+  }
+}
+
+TEST(Rcp, ConvergenceIsFast) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{2, 1, 2, 1}});
+  const auto result = rcp_rate_control(ms.topology(), flows, macro_routing(ms, flows));
+  EXPECT_TRUE(result.converged);
+  // Levels-of-bottleneck many rounds plus slack, not hundreds.
+  EXPECT_LE(result.iterations, 20u);
+}
+
+TEST(Rcp, ThrowsWithoutBoundedLink) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  topo.add_unbounded_link(a, b);
+  const FlowSet flows = {Flow{a, b}};
+  const Routing routing{std::vector<Path>{{0}}};
+  EXPECT_THROW(rcp_rate_control(topo, flows, routing), ContractViolation);
+}
+
+// The premise of the paper's model, validated dynamically: distributed
+// per-link fair-share control converges to the water-filling allocation on
+// random Clos instances and routings.
+class RcpMatchesWaterfill : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcpMatchesWaterfill, Converges) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 3);
+  const int n = 2 + static_cast<int>(rng.next_below(3));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const std::size_t count = 1 + rng.next_below(20);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, count, rng));
+  const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+
+  const auto rcp = rcp_rate_control(net.topology(), flows, routing);
+  ASSERT_TRUE(rcp.converged);
+  const auto oracle = max_min_fair<double>(net.topology(), flows, routing);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(rcp.rates.rate(f), oracle.rate(f), 1e-6) << "flow " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, RcpMatchesWaterfill, ::testing::Range(0, 30));
+
+TEST(Aimd, SingleFlowOscillatesNearCapacity) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto result = aimd_rate_control(ms.topology(), flows, routing);
+  // Sawtooth between ~0.5 and 1.0: the time average sits around 0.75.
+  EXPECT_GT(result.rates.rate(0), 0.6);
+  EXPECT_LT(result.rates.rate(0), 1.0);
+}
+
+TEST(Aimd, EqualSharesOnSharedBottleneck) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 4, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto result = aimd_rate_control(ms.topology(), flows, routing);
+  // Synchronized AIMD keeps equal flows equal.
+  EXPECT_NEAR(result.rates.rate(0), result.rates.rate(1), 1e-9);
+  EXPECT_GT(result.rates.rate(0), 0.3);
+  EXPECT_LT(result.rates.rate(0), 0.5 + 0.01);
+}
+
+TEST(Aimd, TracksMaxMinOrdering) {
+  // AIMD doesn't hit max-min exactly, but the relative order of rates
+  // (which flow is more constrained) must match the fair allocation.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 3, 2}, FlowSpec{1, 1, 4, 1},
+           FlowSpec{2, 1, 3, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto aimd = aimd_rate_control(ms.topology(), flows, routing);
+  // Flow 3 shares only a destination with flow 0: it should end up faster
+  // than the three source-limited flows (max-min gives it 2/3 vs 1/3).
+  EXPECT_GT(aimd.rates.rate(3), aimd.rates.rate(0));
+  EXPECT_GT(aimd.rates.rate(3), aimd.rates.rate(1));
+  EXPECT_GT(aimd.rates.rate(3), aimd.rates.rate(2));
+}
+
+TEST(Aimd, ParameterValidation) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  AimdParams params;
+  params.average_window = 0;
+  EXPECT_THROW(aimd_rate_control(ms.topology(), flows, routing, params),
+               ContractViolation);
+  params.average_window = 10;
+  params.rounds = 5;
+  EXPECT_THROW(aimd_rate_control(ms.topology(), flows, routing, params),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,152 @@
+#include "routing/rearrange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fairness/waterfill.hpp"
+#include "flow/allocation.hpp"
+#include "net/macroswitch.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+// A Clos with plenty of middles for rearrangement studies: m middles over
+// `tors` ToRs with `servers` servers each.
+ClosNetwork wide_clos(int middles, int tors, int servers) {
+  return ClosNetwork(ClosNetwork::Params{middles, tors, servers, Rational{1}});
+}
+
+TEST(Rearrange, SingleFlowUsesOneMiddle) {
+  const ClosNetwork net = wide_clos(4, 2, 1);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}});
+  const auto result = first_fit_rearrange(net, flows, {Rational{1}});
+  EXPECT_EQ(result.middles_used, 1);
+  EXPECT_EQ(result.assignment, (MiddleAssignment{1}));
+}
+
+TEST(Rearrange, ParallelUnitFlowsNeedDistinctMiddles) {
+  // Three unit-rate flows between the same ToR pair need three middles.
+  const ClosNetwork net = wide_clos(5, 2, 3);
+  const FlowSet flows = instantiate(
+      net, {FlowSpec{1, 1, 2, 1}, FlowSpec{1, 2, 2, 2}, FlowSpec{1, 3, 2, 3}});
+  const std::vector<Rational> rates(3, Rational{1});
+  const auto result = first_fit_rearrange(net, flows, rates);
+  EXPECT_EQ(result.middles_used, 3);
+
+  const auto exact = min_middles_exact(net, flows, rates);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(*exact, 3);
+}
+
+TEST(Rearrange, FractionalRatesPack) {
+  // Four flows at 1/2 between one ToR pair fit into two middles.
+  const ClosNetwork net = wide_clos(6, 2, 4);
+  FlowCollection specs;
+  for (int j = 1; j <= 4; ++j) specs.push_back(FlowSpec{1, j, 2, j});
+  const FlowSet flows = instantiate(net, specs);
+  const std::vector<Rational> rates(4, Rational{1, 2});
+  const auto result = first_fit_rearrange(net, flows, rates);
+  EXPECT_EQ(result.middles_used, 2);
+  const auto exact = min_middles_exact(net, flows, rates);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(*exact, 2);
+}
+
+TEST(Rearrange, FirstFitCanBeSuboptimal) {
+  // The classic bin-packing trap: rates 1/2, 1/2, 1/3, 1/3, 1/3 between one
+  // pair. Optimal packs {1/2, 1/3} x2 ... no: 1/2+1/2 = 1 and 1/3*3 = 1 fit
+  // in two middles. First-fit *decreasing* also finds two. Use non-sorted
+  // order via a direct capacity argument instead: verify FFD matches exact
+  // here (documenting that FFD is good on this family).
+  const ClosNetwork net = wide_clos(6, 2, 5);
+  FlowCollection specs;
+  for (int j = 1; j <= 5; ++j) specs.push_back(FlowSpec{1, j, 2, j});
+  const FlowSet flows = instantiate(net, specs);
+  const std::vector<Rational> rates = {Rational{1, 2}, Rational{1, 2}, Rational{1, 3},
+                                       Rational{1, 3}, Rational{1, 3}};
+  const auto ffd = first_fit_rearrange(net, flows, rates);
+  const auto exact = min_middles_exact(net, flows, rates);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(*exact, 2);
+  EXPECT_GE(ffd.middles_used, *exact);
+  EXPECT_LE(ffd.middles_used, 3);
+}
+
+// Edge-feasible rates for a random workload: the macro-switch max-min
+// allocation is feasible on the edge links by construction (§2.1), which is
+// the rearrangeability setting's precondition.
+std::vector<Rational> macro_rates_for(const FlowCollection& specs, int tors, int servers) {
+  const MacroSwitch ms(MacroSwitch::Params{tors, servers, Rational{1}});
+  return max_min_fair<Rational>(ms, instantiate(ms, specs)).rates();
+}
+
+TEST(Rearrange, ResultIsFeasibleRouting) {
+  const ClosNetwork net = wide_clos(8, 4, 3);
+  Rng rng(9);
+  const FlowCollection specs = uniform_random(Fabric{4, 3}, 15, rng);
+  const FlowSet flows = instantiate(net, specs);
+  const std::vector<Rational> rates = macro_rates_for(specs, 4, 3);
+  const auto result = first_fit_rearrange(net, flows, rates);
+  const Routing routing = expand_routing(net, flows, result.assignment);
+  EXPECT_TRUE(is_feasible(net.topology(), routing, Allocation<Rational>(rates)));
+}
+
+TEST(Rearrange, LowerBoundIsSound) {
+  const ClosNetwork net = wide_clos(8, 4, 3);
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const FlowCollection specs = uniform_random(Fabric{4, 3}, 10, rng);
+    const FlowSet flows = instantiate(net, specs);
+    const std::vector<Rational> rates = macro_rates_for(specs, 4, 3);
+    const int lb = middle_count_lower_bound(net, flows, rates);
+    const auto exact = min_middles_exact(net, flows, rates);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(lb, *exact);
+    const auto ffd = first_fit_rearrange(net, flows, rates);
+    EXPECT_GE(ffd.middles_used, *exact);
+  }
+}
+
+TEST(Rearrange, MacroMaxMinRatesNeedAtMostTwoNminusOneEmpirically) {
+  // Probe the 2n-1 conjecture (§6): route the macro-switch max-min rates of
+  // random workloads and check first-fit never needs more than 2n-1 middles
+  // (n = servers per ToR).
+  const int servers = 3;
+  const int tors = 4;
+  const ClosNetwork net = wide_clos(3 * servers, tors, servers);
+  const MacroSwitch ms(MacroSwitch::Params{tors, servers, Rational{1}});
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const FlowCollection specs = uniform_random(Fabric{tors, servers}, 14, rng);
+    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+    const FlowSet flows = instantiate(net, specs);
+    const auto ffd = first_fit_rearrange(net, flows, macro.rates());
+    EXPECT_LE(ffd.middles_used, 2 * servers - 1) << "trial " << trial;
+  }
+}
+
+TEST(Rearrange, ThrowsWhenOutOfMiddles) {
+  const ClosNetwork net = wide_clos(1, 2, 2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}, FlowSpec{1, 2, 2, 2}});
+  EXPECT_THROW(first_fit_rearrange(net, flows, {Rational{1}, Rational{1}}),
+               ContractViolation);
+}
+
+TEST(Rearrange, MinMiddlesInfeasibleReturnsNullopt) {
+  // Edge-infeasible rates: no middle count helps.
+  const ClosNetwork net = wide_clos(4, 2, 1);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}, FlowSpec{1, 1, 2, 1}});
+  const auto exact = min_middles_exact(net, flows, {Rational{1}, Rational{1}});
+  EXPECT_FALSE(exact.has_value());
+}
+
+TEST(Rearrange, RejectsBadInput) {
+  const ClosNetwork net = wide_clos(2, 2, 1);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}});
+  EXPECT_THROW(first_fit_rearrange(net, flows, {}), ContractViolation);
+  EXPECT_THROW(first_fit_rearrange(net, flows, {Rational{-1}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

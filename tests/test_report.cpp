@@ -1,0 +1,55 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+TEST(Report, SummaryKeepsFirstAppearanceOrder) {
+  const Allocation<Rational> alloc({Rational{1}, Rational{2}, Rational{3}});
+  const std::vector<std::string> labels = {"z", "a", "z"};
+  const auto summary = summarize_by_label(labels, alloc);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].label, "z");  // first seen stays first
+  EXPECT_EQ(summary[1].label, "a");
+  EXPECT_EQ(summary[0].count, 2u);
+  EXPECT_EQ(summary[0].min_rate, Rational(1));
+  EXPECT_EQ(summary[0].max_rate, Rational(3));
+}
+
+TEST(Report, SummaryEmptyAllocation) {
+  const auto summary = summarize_by_label({}, Allocation<Rational>(0));
+  EXPECT_TRUE(summary.empty());
+}
+
+TEST(Report, SingleColumnTable) {
+  const Allocation<Rational> alloc({Rational{1, 2}});
+  const std::string out = render_label_table({"only"}, alloc, "rates");
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_NE(out.find("rates rate"), std::string::npos);
+  EXPECT_NE(out.find("1/2"), std::string::npos);
+  // No second column header.
+  EXPECT_EQ(out.find(".. "), std::string::npos);
+}
+
+TEST(Report, RangeRenderingWhenRatesDiffer) {
+  const Allocation<Rational> alloc({Rational{1, 3}, Rational{1}});
+  const std::string out = render_label_table({"t", "t"}, alloc, "x");
+  EXPECT_NE(out.find("1/3 .. 1"), std::string::npos);
+}
+
+TEST(Report, TwoColumnAlignment) {
+  const Allocation<Rational> left({Rational{1}});
+  const Allocation<Rational> right({Rational{1, 7}});
+  const std::string out = render_label_table({"f0"}, left, "macro", &right, "clos");
+  // Both columns present on the same data row. ("f0" avoids colliding with
+  // the "flow type" header.)
+  const auto row_pos = out.find("f0");
+  ASSERT_NE(row_pos, std::string::npos);
+  const std::string row = out.substr(row_pos, out.find('\n', row_pos) - row_pos);
+  EXPECT_NE(row.find('1'), std::string::npos);
+  EXPECT_NE(row.find("1/7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace closfair

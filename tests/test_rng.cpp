@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace closfair {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) ++seen[rng.next_below(7)];
+  for (int count : seen) EXPECT_GT(count, 700);  // uniform ~1000 each
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.next_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnit) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.next_exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(17);
+  for (std::size_t n : {0u, 1u, 2u, 10u, 100u}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::vector<std::size_t> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(19);
+  std::vector<int> v = {1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(orig.begin(), orig.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  Rng rng(23);
+  ZipfSampler z(4, 0.0);
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[z.sample(rng)];
+  for (int count : seen) EXPECT_NEAR(count, 2000, 300);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Rng rng(29);
+  ZipfSampler z(100, 1.2);
+  std::vector<int> seen(100, 0);
+  for (int i = 0; i < 20000; ++i) ++seen[z.sample(rng)];
+  EXPECT_GT(seen[0], seen[10]);
+  EXPECT_GT(seen[0], 20000 / 20);  // rank 1 gets a large share
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(31);
+  ZipfSampler z(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_THROW(ZipfSampler(0, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

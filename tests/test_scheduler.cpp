@@ -1,0 +1,135 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Scheduler, SingleFlowBothPoliciesEqual) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const std::vector<double> sizes = {3.0};
+  const auto cc =
+      batch_congestion_control(ms.topology(), flows, macro_routing(ms, flows), sizes);
+  const auto sched = batch_matching_schedule(ms, flows, sizes);
+  EXPECT_NEAR(cc.fct[0], 3.0, 1e-9);
+  EXPECT_NEAR(sched.fct[0], 3.0, 1e-9);
+}
+
+TEST(Scheduler, Example33SchedulingBeatsCongestionControlOnMeanFct) {
+  // The R1 discussion: on the adversarial family, max-min sharing drags
+  // every flow out, while scheduling finishes the matching first.
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const AdversarialInstance inst = theorem_3_4_instance(1, 1);
+  const FlowSet flows = instantiate(ms, inst.flows);
+  const std::vector<double> sizes(flows.size(), 1.0);
+
+  const auto cc =
+      batch_congestion_control(ms.topology(), flows, macro_routing(ms, flows), sizes);
+  const auto sched = batch_matching_schedule(ms, flows, sizes);
+
+  // Congestion control: all three flows at 1/2 -> type 1 flows done at 2,
+  // then the type 2 flow finishes at 2 as well (it was also at 1/2)...
+  // water-filling gives all 1/2, so everything completes at t=2: mean 2.
+  EXPECT_NEAR(cc.mean_fct, 2.0, 1e-9);
+  // Scheduling: the two type 1 flows run at rate 1 (done at 1), then the
+  // type 2 flow runs alone (done at 2): mean 4/3.
+  EXPECT_NEAR(sched.mean_fct, 4.0 / 3.0, 1e-9);
+  EXPECT_LT(sched.mean_fct, cc.mean_fct);
+}
+
+TEST(Scheduler, MakespanNeverBeatsTotalWorkBound) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Rng rng(5);
+  const FlowSet flows =
+      instantiate(ms, uniform_random(Fabric{4, 2}, 12, rng));
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    sizes.push_back(0.5 + rng.next_double());
+  }
+  const auto cc =
+      batch_congestion_control(ms.topology(), flows, macro_routing(ms, flows), sizes);
+  const auto sched = batch_matching_schedule(ms, flows, sizes);
+
+  // Any single source must ship all its bytes through a unit link.
+  double per_source_max = 0.0;
+  for (int i = 1; i <= 4; ++i) {
+    for (int j = 1; j <= 2; ++j) {
+      double total = 0.0;
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (flows[f].src == ms.source(i, j)) total += sizes[f];
+      }
+      per_source_max = std::max(per_source_max, total);
+    }
+  }
+  EXPECT_GE(cc.max_fct, per_source_max - 1e-9);
+  EXPECT_GE(sched.max_fct, per_source_max - 1e-9);
+}
+
+TEST(Scheduler, AllFlowsComplete) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Rng rng(6);
+  const FlowSet flows = instantiate(ms, uniform_random(Fabric{4, 2}, 15, rng));
+  const std::vector<double> sizes(flows.size(), 1.0);
+  const auto cc =
+      batch_congestion_control(ms.topology(), flows, macro_routing(ms, flows), sizes);
+  const auto sched = batch_matching_schedule(ms, flows, sizes);
+  for (double fct : cc.fct) EXPECT_GT(fct, 0.0);
+  for (double fct : sched.fct) EXPECT_GT(fct, 0.0);
+  EXPECT_GT(cc.throughput_time_avg, 0.0);
+  EXPECT_GT(sched.throughput_time_avg, 0.0);
+}
+
+TEST(Scheduler, SrptPrefersShortFlows) {
+  // Two flows share endpoints: sizes 10 and 1. Plain matching picks either
+  // (the multigraph edge order decides); SRPT must run the short one first:
+  // FCTs {1, 11} -> mean 6, vs {10, 11} -> mean 10.5 the other way.
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}, FlowSpec{1, 1, 2, 1}});
+  const std::vector<double> sizes = {10.0, 1.0};
+  const auto srpt = batch_srpt_schedule(ms, flows, sizes);
+  EXPECT_NEAR(srpt.fct[1], 1.0, 1e-9);
+  EXPECT_NEAR(srpt.fct[0], 11.0, 1e-9);
+  EXPECT_NEAR(srpt.mean_fct, 6.0, 1e-9);
+}
+
+TEST(Scheduler, SrptNoWorseThanPlainMatchingOnSkewedSizes) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Rng rng(17);
+  const FlowSet flows = instantiate(ms, uniform_random(Fabric{4, 2}, 14, rng));
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    sizes.push_back(rng.next_bool(0.8) ? 0.2 : 5.0);  // mice and elephants
+  }
+  const auto plain = batch_matching_schedule(ms, flows, sizes);
+  const auto srpt = batch_srpt_schedule(ms, flows, sizes);
+  EXPECT_LE(srpt.mean_fct, plain.mean_fct + 1e-9);
+}
+
+TEST(Scheduler, SrptKeepsMaximumCardinality) {
+  // The weighting must not sacrifice parallelism: with disjoint endpoint
+  // pairs everything runs immediately, so every FCT equals its size.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 2, 3, 2}, FlowSpec{2, 1, 4, 1}});
+  const std::vector<double> sizes = {3.0, 1.0, 2.0};
+  const auto srpt = batch_srpt_schedule(ms, flows, sizes);
+  for (std::size_t f = 0; f < sizes.size(); ++f) {
+    EXPECT_NEAR(srpt.fct[f], sizes[f], 1e-9);
+  }
+}
+
+TEST(Scheduler, SizeMismatchThrows) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  EXPECT_THROW(batch_matching_schedule(ms, flows, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(
+      batch_congestion_control(ms.topology(), flows, macro_routing(ms, flows), {}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

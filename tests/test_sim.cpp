@@ -1,0 +1,190 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+Trace single_flow_trace(double size) {
+  return Trace{FlowArrival{0.0, FlowSpec{1, 1, 3, 1}, size}};
+}
+
+TEST(Sim, SingleFlowFinishesAtSize) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(1);
+  const SimStats stats = simulate_clos(net, single_flow_trace(2.5), SimPolicy::kEcmp, rng);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_DOUBLE_EQ(stats.fcts[0], 2.5);  // full rate 1
+  EXPECT_DOUBLE_EQ(stats.mean_slowdown, 1.0);
+}
+
+TEST(Sim, TwoFlowsSharingSourceLink) {
+  // Both flows start at t=0 from the same source, size 1 each. They share
+  // the source link at rate 1/2 until one finishes... they finish together
+  // at t=2.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Trace trace = {FlowArrival{0.0, FlowSpec{1, 1, 3, 1}, 1.0},
+                 FlowArrival{0.0, FlowSpec{1, 1, 4, 1}, 1.0}};
+  const SimStats stats = simulate_macro(ms, trace);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_NEAR(stats.fcts[0], 2.0, 1e-9);
+  EXPECT_NEAR(stats.fcts[1], 2.0, 1e-9);
+}
+
+TEST(Sim, SecondFlowSpeedsUpAfterFirstCompletes) {
+  // Flow 1: size 1. Flow 2: size 2, same source. Share at 1/2 until t=2
+  // (both have 0 and 1 remaining), then flow 2 runs at rate 1, done at t=3.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Trace trace = {FlowArrival{0.0, FlowSpec{1, 1, 3, 1}, 1.0},
+                 FlowArrival{0.0, FlowSpec{1, 1, 4, 1}, 2.0}};
+  const SimStats stats = simulate_macro(ms, trace);
+  EXPECT_NEAR(stats.fcts[0], 2.0, 1e-9);
+  EXPECT_NEAR(stats.fcts[1], 3.0, 1e-9);
+  EXPECT_NEAR(stats.finish_time, 3.0, 1e-9);
+}
+
+TEST(Sim, LateArrivalWaitsForItsStart) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Trace trace = {FlowArrival{5.0, FlowSpec{1, 1, 3, 1}, 1.0}};
+  const SimStats stats = simulate_macro(ms, trace);
+  // FCT is measured from arrival, not simulation start.
+  EXPECT_NEAR(stats.fcts[0], 1.0, 1e-9);
+  EXPECT_NEAR(stats.finish_time, 6.0, 1e-9);
+}
+
+TEST(Sim, MacroNeverSlowerThanClosOnCongestedCore) {
+  // Deterministic incast-ish load through one middle: the macro-switch is
+  // the ideal reference, so mean FCT under ECMP on C_1 (single middle) is
+  // at least the macro's (C_1's middle is a real bottleneck).
+  const ClosNetwork net = ClosNetwork::paper(1);
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  Trace trace;
+  for (int i = 0; i < 4; ++i) {
+    // Cross traffic: ToR 1 and ToR 2 both send through the single middle.
+    trace.push_back(FlowArrival{0.0, FlowSpec{1, 1, 2, 1}, 1.0});
+    trace.push_back(FlowArrival{0.0, FlowSpec{2, 1, 1, 1}, 1.0});
+  }
+  Rng rng(2);
+  const SimStats clos = simulate_clos(net, trace, SimPolicy::kEcmp, rng);
+  const SimStats macro = simulate_macro(ms, trace);
+  EXPECT_GE(clos.mean_fct, macro.mean_fct - 1e-9);
+}
+
+TEST(Sim, LeastLoadedBeatsUnluckyEcmpOnParallelFlows) {
+  // n parallel ToR-pair flows: least-loaded spreads them across middles and
+  // every flow finishes at its size; ECMP sometimes collides.
+  const int n = 4;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  Trace trace;
+  for (int j = 1; j <= n; ++j) {
+    trace.push_back(FlowArrival{0.0, FlowSpec{1, j, 2, j}, 1.0});
+  }
+  Rng rng(3);
+  const SimStats ll = simulate_clos(net, trace, SimPolicy::kLeastLoaded, rng);
+  for (double fct : ll.fcts) EXPECT_NEAR(fct, 1.0, 1e-9);
+}
+
+TEST(Sim, StatsPercentilesOrdered) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  TraceParams params;
+  params.fabric = Fabric{4, 2};
+  params.num_flows = 60;
+  params.arrival_rate = 3.0;
+  Rng rng(4);
+  const SimStats stats = simulate_macro(ms, poisson_trace(params, rng));
+  EXPECT_EQ(stats.completed, 60u);
+  EXPECT_LE(stats.p50_fct, stats.p99_fct);
+  EXPECT_LE(stats.p99_fct, stats.max_fct + 1e-12);
+  EXPECT_GE(stats.mean_slowdown, 1.0 - 1e-9);
+}
+
+TEST(SimScheduled, MatchedFlowsRunAtFullRate) {
+  // The Theorem 3.4 gadget arriving at t=0: scheduling finishes both type 1
+  // flows at t=1 and the type 2 flow at t=2 (vs all at t=2 under max-min).
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  Trace trace = {FlowArrival{0.0, FlowSpec{1, 1, 1, 1}, 1.0},
+                 FlowArrival{0.0, FlowSpec{2, 1, 2, 1}, 1.0},
+                 FlowArrival{0.0, FlowSpec{2, 1, 1, 1}, 1.0}};
+  const SimStats sched = simulate_macro_scheduled(ms, trace);
+  EXPECT_NEAR(sched.fcts[0], 1.0, 1e-9);
+  EXPECT_NEAR(sched.fcts[1], 1.0, 1e-9);
+  EXPECT_NEAR(sched.fcts[2], 2.0, 1e-9);
+
+  const SimStats shared = simulate_macro(ms, trace);
+  EXPECT_LT(sched.mean_fct, shared.mean_fct);
+  EXPECT_NEAR(sched.finish_time, shared.finish_time, 1e-9);
+}
+
+TEST(SimScheduled, LateArrivalPreemptsViaRematch) {
+  // A long flow runs alone; a short flow on disjoint endpoints arrives later
+  // and must start immediately (the re-matched schedule includes both).
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Trace trace = {FlowArrival{0.0, FlowSpec{1, 1, 3, 1}, 5.0},
+                 FlowArrival{1.0, FlowSpec{2, 1, 4, 1}, 1.0}};
+  const SimStats sched = simulate_macro_scheduled(ms, trace);
+  EXPECT_NEAR(sched.fcts[0], 5.0, 1e-9);
+  EXPECT_NEAR(sched.fcts[1], 1.0, 1e-9);
+}
+
+TEST(SimScheduled, AllFlowsEventuallyComplete) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  TraceParams params;
+  params.fabric = Fabric{4, 2};
+  params.num_flows = 80;
+  params.arrival_rate = 4.0;
+  params.endpoints = EndpointPattern::kIncast;  // heavy contention
+  Rng rng(21);
+  const SimStats sched = simulate_macro_scheduled(ms, poisson_trace(params, rng));
+  EXPECT_EQ(sched.completed, 80u);
+  for (double fct : sched.fcts) EXPECT_GT(fct, 0.0);
+}
+
+// Property: FCT invariants on random traces — every flow's FCT is at least
+// its size (rates never exceed 1), finish time covers the last completion,
+// and the ideal macro-switch is never slower on mean FCT than any Clos
+// routing of the same trace.
+class SimInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimInvariants, FctBoundsAndMacroDominance) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1303 + 17);
+  const int n = 1 + static_cast<int>(rng.next_below(2));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  TraceParams params;
+  params.fabric = Fabric{2 * n, n};
+  params.num_flows = 30 + rng.next_below(40);
+  params.arrival_rate = 2.0 + rng.next_double() * 4.0;
+  params.sizes = rng.next_bool() ? SizeDistribution::kExponential
+                                 : SizeDistribution::kBimodal;
+  const Trace trace = poisson_trace(params, rng);
+
+  Rng rng2(GetParam());
+  const SimStats clos = simulate_clos(net, trace, SimPolicy::kEcmp, rng2);
+  const SimStats macro = simulate_macro(ms, trace);
+  ASSERT_EQ(clos.completed, trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(clos.fcts[i], trace[i].size - 1e-9);
+    EXPECT_GE(macro.fcts[i], trace[i].size - 1e-9);
+  }
+  EXPECT_GE(clos.mean_fct, macro.mean_fct - 1e-6);
+  double max_end = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    max_end = std::max(max_end, trace[i].time + macro.fcts[i]);
+  }
+  EXPECT_NEAR(macro.finish_time, max_end, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, SimInvariants, ::testing::Range(0, 12));
+
+TEST(Sim, SummarizeEmpty) {
+  const SimStats stats = summarize_fcts({}, {}, 0.0);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.mean_fct, 0.0);
+}
+
+TEST(Sim, SummarizeMismatchThrows) {
+  EXPECT_THROW(summarize_fcts({1.0}, {}, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

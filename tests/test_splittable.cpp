@@ -1,0 +1,114 @@
+#include "lp/splittable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/exhaustive.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Splittable, SingleFlowUsesOnePathWorth) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowCollection specs = {FlowSpec{1, 1, 3, 1}};
+  const auto result = splittable_max_min(net, ms, specs);
+  EXPECT_EQ(result.rates.rate(0), Rational(1));
+  Rational total{0};
+  for (const Rational& share : result.shares[0]) total += share;
+  EXPECT_EQ(total, Rational(1));
+}
+
+TEST(Splittable, EmptyCollection) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const auto result = splittable_max_min(net, ms, {});
+  EXPECT_EQ(result.rates.size(), 0u);
+  EXPECT_TRUE(result.shares.empty());
+}
+
+TEST(Splittable, SplittingIsRequiredSomewhere) {
+  // Theorem 4.2's instance: unsplittable routing cannot carry the macro
+  // rates (proven by search elsewhere), but a fractional routing can —
+  // the paper's core dichotomy, witnessed end to end.
+  const int n = 3;
+  const AdversarialInstance inst = theorem_4_2_instance(n);
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+
+  const auto result = splittable_max_min(net, ms, inst.flows);
+  EXPECT_EQ(result.rates.rates(), inst.macro_rates);
+  const FlowSet flows = instantiate(net, inst.flows);
+  EXPECT_TRUE(fractional_routing_feasible(net, flows, result.shares));
+
+  // At least one flow genuinely splits (otherwise the integral routing
+  // would exist, contradicting Theorem 4.2).
+  bool some_flow_splits = false;
+  for (const auto& shares : result.shares) {
+    int used = 0;
+    for (const Rational& s : shares) {
+      if (!s.is_zero()) ++used;
+    }
+    if (used >= 2) some_flow_splits = true;
+  }
+  EXPECT_TRUE(some_flow_splits);
+}
+
+TEST(Splittable, SharesSumToRatesAndRespectCapacities) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const FlowCollection specs =
+        uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 1 + rng.next_below(10),
+                       rng);
+    const auto result = splittable_max_min(net, ms, specs);
+    const FlowSet flows = instantiate(net, specs);
+    ASSERT_EQ(result.shares.size(), flows.size());
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      Rational total{0};
+      for (const Rational& share : result.shares[f]) {
+        EXPECT_FALSE(share.is_negative());
+        total += share;
+      }
+      EXPECT_EQ(total, result.rates.rate(f));
+    }
+    EXPECT_TRUE(fractional_routing_feasible(net, flows, result.shares));
+  }
+}
+
+TEST(Splittable, DominatesEveryUnsplittableRouting) {
+  // The quantified gap: splittable == macro >= lex-max-min (exhaustive).
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const Example23 ex = example_2_3();
+  const auto splittable = splittable_max_min(net, ms, ex.instance.flows);
+  const auto lex = lex_max_min_exhaustive(net, instantiate(net, ex.instance.flows));
+  EXPECT_EQ(lex_compare(splittable.rates.sorted(), lex.alloc.sorted()),
+            std::strong_ordering::greater);
+}
+
+TEST(Splittable, FractionalCheckerRejectsBadShares) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}});
+  // Negative share.
+  EXPECT_FALSE(fractional_routing_feasible(
+      net, flows, {{Rational{-1, 2}, Rational{3, 2}}}));
+  // Over capacity on the edge link (total 2 through a unit source link).
+  EXPECT_FALSE(fractional_routing_feasible(net, flows, {{Rational{1}, Rational{1}}}));
+  // Wrong arity.
+  EXPECT_THROW(static_cast<void>(fractional_routing_feasible(net, flows, {{Rational{1}}})),
+               ContractViolation);
+}
+
+TEST(Splittable, MismatchedDimensionsThrow) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const MacroSwitch ms = MacroSwitch::paper(3);
+  EXPECT_THROW(splittable_max_min(net, ms, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

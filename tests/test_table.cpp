@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      23456"), std::string::npos);
+}
+
+TEST(TextTable, HeaderUnderline) {
+  TextTable t({"ab", "cd"});
+  const std::string out = t.render();
+  // Underline spans both columns plus the gutter.
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(TextTable, NumRowsTracksAdds) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, StreamOperatorMatchesRender) {
+  TextTable t({"k", "v"});
+  t.add_row({"a", "b"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+TEST(FmtDouble, FixedPrecision) {
+  EXPECT_EQ(fmt_double(0.5), "0.5000");
+  EXPECT_EQ(fmt_double(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,154 @@
+#include "io/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace closfair {
+namespace {
+
+TEST(TextFormat, ParsesPaperForm) {
+  const InstanceSpec spec = parse_instance("clos n=3\nflow 1 2 -> 4 1\n");
+  EXPECT_EQ(spec.params.num_middles, 3);
+  EXPECT_EQ(spec.params.num_tors, 6);
+  EXPECT_EQ(spec.params.servers_per_tor, 3);
+  ASSERT_EQ(spec.flows.size(), 1u);
+  EXPECT_EQ(spec.flows[0], (FlowSpec{1, 2, 4, 1}));
+}
+
+TEST(TextFormat, ParsesExplicitForm) {
+  const InstanceSpec spec =
+      parse_instance("clos middles=4 tors=3 servers=2 capacity=1/2\nflow 3 2 -> 1 1\n");
+  EXPECT_EQ(spec.params.num_middles, 4);
+  EXPECT_EQ(spec.params.num_tors, 3);
+  EXPECT_EQ(spec.params.servers_per_tor, 2);
+  EXPECT_EQ(spec.params.link_capacity, Rational(1, 2));
+}
+
+TEST(TextFormat, MultiplicityExpands) {
+  const InstanceSpec spec = parse_instance("clos n=1\nflow 2 1 -> 1 1 x3\n");
+  ASSERT_EQ(spec.flows.size(), 3u);
+  for (const auto& f : spec.flows) EXPECT_EQ(f, (FlowSpec{2, 1, 1, 1}));
+}
+
+TEST(TextFormat, CommentsAndBlanksIgnored) {
+  const InstanceSpec spec = parse_instance(
+      "# Example 3.3\n\nclos n=1  # the paper's C_1\n"
+      "flow 1 1 -> 1 1\n# middle comment\nflow 2 1 -> 2 1\n");
+  EXPECT_EQ(spec.flows.size(), 2u);
+}
+
+TEST(TextFormat, ErrorsCarryLineNumbers) {
+  try {
+    parse_instance("clos n=1\nflaw 1 1 -> 1 1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextFormat, RejectsMalformedInput) {
+  EXPECT_THROW(parse_instance(""), ParseError);                              // no clos
+  EXPECT_THROW(parse_instance("flow 1 1 -> 1 1\n"), ParseError);             // flow first
+  EXPECT_THROW(parse_instance("clos n=1\nclos n=2\n"), ParseError);          // duplicate
+  EXPECT_THROW(parse_instance("clos n=0\n"), ParseError);                    // bad n
+  EXPECT_THROW(parse_instance("clos n=1 middles=2\n"), ParseError);          // mixed forms
+  EXPECT_THROW(parse_instance("clos middles=2 tors=2\n"), ParseError);       // incomplete
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 -> 1\n"), ParseError);     // short flow
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 => 1 1\n"), ParseError);   // bad arrow
+  EXPECT_THROW(parse_instance("clos n=1\nflow a 1 -> 1 1\n"), ParseError);   // non-int
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 -> 1 1 x0\n"), ParseError);
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 -> 1 1 y2\n"), ParseError);
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 -> 1 1 x2 junk\n"), ParseError);
+  EXPECT_THROW(parse_instance("clos capacity=1/0 middles=1 tors=2 servers=1\n"),
+               ParseError);
+  // Out-of-range coordinates are a contract violation (dimensions declared).
+  EXPECT_THROW(parse_instance("clos n=1\nflow 3 1 -> 1 1\n"), ContractViolation);
+}
+
+TEST(TextFormat, RateAnnotations) {
+  const InstanceSpec spec = parse_instance(
+      "clos n=2\nflow 1 1 -> 3 1 @2/3\nflow 1 2 -> 3 2\nflow 2 1 -> 4 1 x2 @1/2\n");
+  ASSERT_EQ(spec.flows.size(), 4u);
+  ASSERT_EQ(spec.rates.size(), 4u);
+  ASSERT_TRUE(spec.rates[0].has_value());
+  EXPECT_EQ(*spec.rates[0], Rational(2, 3));
+  EXPECT_FALSE(spec.rates[1].has_value());
+  ASSERT_TRUE(spec.rates[2].has_value());
+  EXPECT_EQ(*spec.rates[2], Rational(1, 2));
+  EXPECT_EQ(spec.rates[2], spec.rates[3]);
+  EXPECT_TRUE(spec.has_rates());
+}
+
+TEST(TextFormat, RateBeforeMultiplicityAlsoAccepted) {
+  const InstanceSpec spec = parse_instance("clos n=1\nflow 2 1 -> 1 1 @1/3 x2\n");
+  ASSERT_EQ(spec.flows.size(), 2u);
+  EXPECT_EQ(*spec.rates[0], Rational(1, 3));
+}
+
+TEST(TextFormat, RateErrors) {
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 -> 1 1 @-1/2\n"), ParseError);
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 -> 1 1 @a\n"), ParseError);
+  EXPECT_THROW(parse_instance("clos n=1\nflow 1 1 -> 1 1 @1/0\n"), ParseError);
+}
+
+TEST(TextFormat, RoundTripWithRates) {
+  const std::string text = "clos n=2\nflow 1 1 -> 3 1 x2 @1/3\nflow 2 1 -> 4 1\n";
+  const InstanceSpec spec = parse_instance(text);
+  EXPECT_EQ(format_instance(spec), text);
+  EXPECT_FALSE(parse_instance("clos n=1\nflow 1 1 -> 1 1\n").has_rates());
+}
+
+TEST(TextFormat, RoundTripPaperForm) {
+  const std::string text = "clos n=2\nflow 1 2 -> 2 1 x3\nflow 2 1 -> 1 1\n";
+  const InstanceSpec spec = parse_instance(text);
+  EXPECT_EQ(format_instance(spec), text);
+}
+
+TEST(TextFormat, RoundTripExplicitForm) {
+  const std::string text = "clos middles=4 tors=3 servers=2 capacity=2/3\nflow 1 1 -> 3 2\n";
+  const InstanceSpec spec = parse_instance(text);
+  EXPECT_EQ(format_instance(spec), text);
+  // And the re-parse matches.
+  const InstanceSpec again = parse_instance(format_instance(spec));
+  EXPECT_EQ(again.flows, spec.flows);
+  EXPECT_EQ(again.params.link_capacity, spec.params.link_capacity);
+}
+
+TEST(TextFormat, BuildClosMatchesParams) {
+  const InstanceSpec spec = parse_instance("clos n=2\nflow 1 1 -> 3 1\n");
+  const ClosNetwork net = spec.build_clos();
+  EXPECT_EQ(net.num_middles(), 2);
+  EXPECT_EQ(net.num_tors(), 4);
+  // Flows instantiate cleanly.
+  const FlowSet flows = instantiate(net, spec.flows);
+  EXPECT_EQ(flows.size(), 1u);
+}
+
+TEST(TextFormat, CsvOutput) {
+  const FlowCollection flows = {FlowSpec{1, 1, 2, 1}, FlowSpec{2, 1, 1, 1}};
+  const std::vector<std::string> labels = {"a", "b"};
+  const Allocation<Rational> macro({Rational{1}, Rational{1, 3}});
+  const Allocation<Rational> clos({Rational{1, 2}, Rational{1, 3}});
+  std::ostringstream os;
+  write_rates_csv(os, flows, labels,
+                  {NamedAllocation{"macro", &macro}, NamedAllocation{"clos", &clos}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("flow,src_tor,src_server,dst_tor,dst_server,label,macro,macro_approx,"
+                     "clos,clos_approx"),
+            std::string::npos);
+  EXPECT_NE(out.find("0,1,1,2,1,a,1,1,1/2,0.5"), std::string::npos);
+  EXPECT_NE(out.find("1,2,1,1,1,b,1/3,"), std::string::npos);
+}
+
+TEST(TextFormat, CsvRejectsMismatch) {
+  const FlowCollection flows = {FlowSpec{1, 1, 2, 1}};
+  const Allocation<Rational> wrong({Rational{1}, Rational{2}});
+  std::ostringstream os;
+  EXPECT_THROW(
+      write_rates_csv(os, flows, {}, {NamedAllocation{"x", &wrong}}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace closfair

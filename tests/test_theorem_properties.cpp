@@ -1,0 +1,136 @@
+// Property tests: the paper's bounds, re-read as runtime invariants, checked
+// over randomized workloads and topology sizes.
+//
+//  * Theorem 3.4 lower bound: T^MmF >= 1/2 T^MT in every macro-switch.
+//  * §2.3: the macro-switch sorted vector dominates every Clos routing's
+//    max-min sorted vector lexicographically.
+//  * Theorem 5.4 upper bound: t(a_r^MmF) <= 2 T^MmF for every routing r.
+//  * Lemma 5.2: T^T-MT == T^MT on every instance.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/doom_switch.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/greedy.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+FlowCollection random_workload(const Fabric& fabric, Rng& rng) {
+  switch (rng.next_below(5)) {
+    case 0:
+      return uniform_random(fabric, 1 + rng.next_below(30), rng);
+    case 1:
+      return random_permutation(fabric, rng);
+    case 2:
+      return zipf_destinations(fabric, 1 + rng.next_below(30), 1.1, rng);
+    case 3:
+      return incast(fabric, 1 + rng.next_below(20), 1, 1, rng);
+    default:
+      return hotspot(fabric, 1 + rng.next_below(30), 1, 0.5, rng);
+  }
+}
+
+class PaperBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperBounds, Theorem34LowerBoundOnMacroSwitch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 1);
+  const int n = 1 + static_cast<int>(rng.next_below(4));
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const FlowCollection specs = random_workload(Fabric{2 * n, n}, rng);
+  const auto a = analyze_macro(ms, instantiate(ms, specs));
+  // T^MmF >= 1/2 T^MT (Theorem 3.4) and of course T^MmF <= T^MT.
+  EXPECT_GE(a.t_maxmin * Rational{2}, a.t_max_throughput);
+  EXPECT_LE(a.t_maxmin, a.t_max_throughput);
+}
+
+TEST_P(PaperBounds, MacroVectorDominatesEveryRouting) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1013 + 2);
+  const int n = 2 + static_cast<int>(rng.next_below(3));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const FlowCollection specs = random_workload(Fabric{2 * n, n}, rng);
+  const FlowSet flows = instantiate(net, specs);
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const MiddleAssignment middles = ecmp_routing(net, flows, rng);
+    const auto clos = max_min_fair<Rational>(net, flows, middles);
+    EXPECT_NE(lex_compare_sorted(clos, macro), std::strong_ordering::greater);
+    // Theorem 5.4 upper bound applies to *every* routing's throughput.
+    EXPECT_LE(clos.throughput(), Rational{2} * macro.throughput());
+  }
+}
+
+TEST_P(PaperBounds, Lemma52MaxThroughputReplicable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1019 + 3);
+  const int n = 2 + static_cast<int>(rng.next_below(3));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const FlowCollection specs = random_workload(Fabric{2 * n, n}, rng);
+
+  const auto macro = analyze_macro(ms, instantiate(ms, specs));
+  const auto routing = max_throughput_routing(net, instantiate(net, specs));
+  EXPECT_EQ(routing.throughput, macro.t_max_throughput);
+}
+
+TEST_P(PaperBounds, DoomSwitchRespectsUpperBound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1021 + 4);
+  const int n = 2 + static_cast<int>(rng.next_below(3));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const FlowCollection specs = random_workload(Fabric{2 * n, n}, rng);
+  const FlowSet flows = instantiate(net, specs);
+
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+  const auto doom = doom_switch(net, flows);
+  const auto alloc = max_min_fair<Rational>(net, flows, doom.middles);
+  EXPECT_LE(alloc.throughput(), Rational{2} * macro.throughput());
+}
+
+TEST_P(PaperBounds, GreedyRoutingStaysDominatedByMacro) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1031 + 5);
+  const int n = 2 + static_cast<int>(rng.next_below(3));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  const FlowCollection specs = random_workload(Fabric{2 * n, n}, rng);
+  const FlowSet flows = instantiate(net, specs);
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
+
+  std::vector<double> demands;
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    demands.push_back(macro.rate(f).to_double());
+  }
+  const MiddleAssignment middles = greedy_routing(net, flows, demands);
+  const auto clos = max_min_fair<Rational>(net, flows, middles);
+  EXPECT_NE(lex_compare_sorted(clos, macro), std::strong_ordering::greater);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, PaperBounds, ::testing::Range(0, 25));
+
+// Scale check: the exact machinery holds up on the paper-sized C_8 (128
+// servers per side) without rational overflow on realistic workloads.
+TEST(PaperBoundsScale, C8PermutationAndUniform) {
+  const int n = 8;
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const MacroSwitch ms = MacroSwitch::paper(n);
+  Rng rng(424242);
+
+  const FlowCollection perm = random_permutation(Fabric{2 * n, n}, rng);
+  const auto macro_perm = max_min_fair<Rational>(ms, instantiate(ms, perm));
+  EXPECT_EQ(macro_perm.throughput(), Rational(2 * n * n));  // all rate 1
+
+  const FlowCollection uni = uniform_random(Fabric{2 * n, n}, 300, rng);
+  const FlowSet flows = instantiate(net, uni);
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, uni));
+  const MiddleAssignment middles = ecmp_routing(net, flows, rng);
+  const auto clos = max_min_fair<Rational>(net, flows, middles);
+  EXPECT_NE(lex_compare_sorted(clos, macro), std::strong_ordering::greater);
+  EXPECT_LE(clos.throughput(), Rational{2} * macro.throughput());
+}
+
+}  // namespace
+}  // namespace closfair

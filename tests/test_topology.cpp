@@ -1,0 +1,146 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace closfair {
+namespace {
+
+Topology make_line() {
+  // a -> b -> c with capacities 1 and 1/2.
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kSource);
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c", NodeKind::kDestination);
+  t.add_link(a, b, Rational{1});
+  t.add_link(b, c, Rational{1, 2});
+  return t;
+}
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology t = make_line();
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_EQ(t.num_links(), 2u);
+  EXPECT_EQ(t.node(0).name, "a");
+  EXPECT_EQ(t.node(0).kind, NodeKind::kSource);
+  EXPECT_EQ(t.node(1).kind, NodeKind::kOther);
+  EXPECT_EQ(t.link(1).capacity, Rational(1, 2));
+  EXPECT_FALSE(t.link(1).unbounded);
+}
+
+TEST(Topology, AdjacencyLists) {
+  Topology t = make_line();
+  EXPECT_EQ(t.out_links(0).size(), 1u);
+  EXPECT_EQ(t.in_links(0).size(), 0u);
+  EXPECT_EQ(t.out_links(1).size(), 1u);
+  EXPECT_EQ(t.in_links(1).size(), 1u);
+  EXPECT_EQ(t.in_links(2).size(), 1u);
+}
+
+TEST(Topology, FindLink) {
+  Topology t = make_line();
+  ASSERT_TRUE(t.find_link(0, 1).has_value());
+  EXPECT_EQ(*t.find_link(0, 1), 0);
+  EXPECT_FALSE(t.find_link(1, 0).has_value());
+  EXPECT_FALSE(t.find_link(0, 2).has_value());
+}
+
+TEST(Topology, UnboundedLink) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId l = t.add_unbounded_link(a, b);
+  EXPECT_TRUE(t.link(l).unbounded);
+  EXPECT_THROW(capacity_as<Rational>(t.link(l)), ContractViolation);
+}
+
+TEST(Topology, CapacityAs) {
+  Topology t = make_line();
+  EXPECT_EQ(capacity_as<Rational>(t.link(1)), Rational(1, 2));
+  EXPECT_DOUBLE_EQ(capacity_as<double>(t.link(1)), 0.5);
+}
+
+TEST(Topology, NegativeCapacityThrows) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  EXPECT_THROW(t.add_link(a, b, Rational{-1}), ContractViolation);
+}
+
+TEST(Topology, OutOfRangeAccessThrows) {
+  Topology t = make_line();
+  EXPECT_THROW(t.node(-1), ContractViolation);
+  EXPECT_THROW(t.node(3), ContractViolation);
+  EXPECT_THROW(t.link(2), ContractViolation);
+  EXPECT_THROW(t.add_link(0, 99), ContractViolation);
+}
+
+TEST(Topology, IsPath) {
+  Topology t = make_line();
+  EXPECT_TRUE(t.is_path({0, 1}, 0, 2));
+  EXPECT_TRUE(t.is_path({0}, 0, 1));
+  EXPECT_TRUE(t.is_path({}, 1, 1));  // empty walk at a node
+  EXPECT_FALSE(t.is_path({1, 0}, 0, 2));   // wrong order
+  EXPECT_FALSE(t.is_path({0, 1}, 0, 1));   // wrong endpoint
+  EXPECT_FALSE(t.is_path({0, 7}, 0, 2));   // bogus link id
+  EXPECT_FALSE(t.is_path({}, 0, 1));
+}
+
+TEST(Topology, DescribePath) {
+  Topology t = make_line();
+  EXPECT_EQ(t.describe_path({0, 1}), "a -> b -> c");
+  EXPECT_EQ(t.describe_path({}), "");
+}
+
+TEST(Topology, MultigraphParallelLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId l1 = t.add_link(a, b);
+  const LinkId l2 = t.add_link(a, b, Rational{2});
+  EXPECT_NE(l1, l2);
+  EXPECT_EQ(t.out_links(a).size(), 2u);
+  // find_link returns the first.
+  EXPECT_EQ(*t.find_link(a, b), l1);
+}
+
+TEST(Topology, AdjacencyPartitionsLinksFuzz) {
+  // Every link appears exactly once in its endpoints' out/in lists.
+  std::uint64_t seed = 7;
+  auto next = [&seed](std::uint64_t bound) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (seed >> 33) % bound;
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    Topology t;
+    const std::size_t nodes = 2 + next(10);
+    for (std::size_t v = 0; v < nodes; ++v) t.add_node("v" + std::to_string(v));
+    const std::size_t links = next(30);
+    for (std::size_t e = 0; e < links; ++e) {
+      t.add_link(static_cast<NodeId>(next(nodes)), static_cast<NodeId>(next(nodes)),
+                 Rational{1, static_cast<std::int64_t>(1 + next(4))});
+    }
+    std::size_t out_total = 0;
+    std::size_t in_total = 0;
+    for (std::size_t v = 0; v < nodes; ++v) {
+      for (LinkId l : t.out_links(static_cast<NodeId>(v))) {
+        EXPECT_EQ(t.link(l).from, static_cast<NodeId>(v));
+        ++out_total;
+      }
+      for (LinkId l : t.in_links(static_cast<NodeId>(v))) {
+        EXPECT_EQ(t.link(l).to, static_cast<NodeId>(v));
+        ++in_total;
+      }
+    }
+    EXPECT_EQ(out_total, t.num_links());
+    EXPECT_EQ(in_total, t.num_links());
+  }
+}
+
+TEST(NodeKind, ToString) {
+  EXPECT_STREQ(to_string(NodeKind::kSource), "source");
+  EXPECT_STREQ(to_string(NodeKind::kMiddleSwitch), "middle-switch");
+  EXPECT_STREQ(to_string(NodeKind::kOther), "other");
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,188 @@
+#include "fairness/waterfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fairness/bottleneck.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Waterfill, SingleFlowGetsFullCapacity) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const auto alloc = max_min_fair<Rational>(ms, flows);
+  EXPECT_EQ(alloc.rate(0), Rational(1));
+}
+
+TEST(Waterfill, EqualShareOnSharedLink) {
+  // k flows from the same source share its edge link equally.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  for (int k : {2, 3, 5}) {
+    FlowCollection specs;
+    for (int c = 0; c < k; ++c) specs.push_back(FlowSpec{1, 1, 3, 1});
+    const FlowSet flows = instantiate(ms, specs);
+    const auto alloc = max_min_fair<Rational>(ms, flows);
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      EXPECT_EQ(alloc.rate(f), Rational(1, k));
+    }
+  }
+}
+
+TEST(Waterfill, TwoLevelFill) {
+  // Three flows out of s_1^1 to distinct destinations; one of those
+  // destinations also receives a flow from s_2^1. The s_1^1 flows get 1/3;
+  // the s_2^1 flow is then limited only by its shared destination: 2/3.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 3, 2},
+                                         FlowSpec{1, 1, 4, 1}, FlowSpec{2, 1, 3, 1}});
+  const auto alloc = max_min_fair<Rational>(ms, flows);
+  EXPECT_EQ(alloc.rate(0), Rational(1, 3));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 3));
+  EXPECT_EQ(alloc.rate(2), Rational(1, 3));
+  EXPECT_EQ(alloc.rate(3), Rational(2, 3));
+}
+
+TEST(Waterfill, PaperExample23MacroSwitch) {
+  // Figure 1b: type 1 flows 1/3, type 2 flows 2/3, type 3 flow 1.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+           FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+  const auto alloc = max_min_fair<Rational>(ms, flows);
+  EXPECT_EQ(alloc.rate(0), Rational(1, 3));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 3));
+  EXPECT_EQ(alloc.rate(2), Rational(1, 3));
+  EXPECT_EQ(alloc.rate(3), Rational(2, 3));
+  EXPECT_EQ(alloc.rate(4), Rational(2, 3));
+  EXPECT_EQ(alloc.rate(5), Rational(1));
+}
+
+TEST(Waterfill, PaperExample23ClosRoutings) {
+  // Figure 1a: the two routings discussed in Example 2.3.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  const FlowSet flows = instantiate(
+      net, {FlowSpec{1, 2, 1, 2}, FlowSpec{1, 2, 2, 1}, FlowSpec{1, 2, 2, 2},
+            FlowSpec{2, 1, 2, 1}, FlowSpec{2, 2, 2, 2}, FlowSpec{1, 1, 1, 1}});
+
+  // Routing A: contested type 1 flow via M_1; type 3 drops to 2/3.
+  const auto alloc_a = max_min_fair<Rational>(net, flows, {2, 1, 2, 1, 2, 1});
+  EXPECT_EQ(alloc_a.sorted(),
+            (std::vector<Rational>{Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                   Rational{2, 3}, Rational{2, 3}, Rational{2, 3}}));
+
+  // Routing B: contested flow via M_2; type 2 flow (s_2^2,t_2^2) drops to 1/3.
+  const auto alloc_b = max_min_fair<Rational>(net, flows, {2, 2, 2, 1, 2, 1});
+  EXPECT_EQ(alloc_b.sorted(),
+            (std::vector<Rational>{Rational{1, 3}, Rational{1, 3}, Rational{1, 3},
+                                   Rational{1, 3}, Rational{2, 3}, Rational{1}}));
+
+  // Routing A beats routing B lexicographically (paper's conclusion).
+  EXPECT_EQ(lex_compare_sorted(alloc_a, alloc_b), std::strong_ordering::greater);
+}
+
+TEST(Waterfill, FractionalCapacities) {
+  // Non-unit capacities: two flows through a 1/2-capacity source link.
+  ClosNetwork net(ClosNetwork::Params{2, 2, 1, Rational{1, 2}});
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 2, 1}, FlowSpec{1, 1, 2, 1}});
+  const auto alloc = max_min_fair<Rational>(net, flows, {1, 2});
+  EXPECT_EQ(alloc.rate(0), Rational(1, 4));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 4));
+}
+
+TEST(Waterfill, ZeroCapacityLinkZeroesFlows) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kSource);
+  const NodeId b = topo.add_node("b", NodeKind::kDestination);
+  topo.add_link(a, b, Rational{0});
+  const FlowSet flows = {Flow{a, b}};
+  const Routing r{std::vector<Path>{{0}}};
+  const auto alloc = max_min_fair<Rational>(topo, flows, r);
+  EXPECT_EQ(alloc.rate(0), Rational(0));
+}
+
+TEST(Waterfill, ThrowsWhenFlowHasNoBoundedLink) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  topo.add_unbounded_link(a, b);
+  const FlowSet flows = {Flow{a, b}};
+  const Routing r{std::vector<Path>{{0}}};
+  EXPECT_THROW(max_min_fair<Rational>(topo, flows, r), ContractViolation);
+}
+
+TEST(Waterfill, EmptyFlowSet) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const auto alloc = max_min_fair<Rational>(ms, FlowSet{});
+  EXPECT_EQ(alloc.size(), 0u);
+}
+
+TEST(Waterfill, DoubleMatchesRationalOnSmallInstances) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FlowCollection specs = uniform_random(Fabric{4, 2}, 8, rng);
+    const FlowSet flows = instantiate(net, specs);
+    const MiddleAssignment middles = ecmp_routing(net, flows, rng);
+    const auto exact = max_min_fair<Rational>(net, flows, middles);
+    const auto approx = max_min_fair<double>(
+        net.topology(), flows, expand_routing(net, flows, middles));
+    for (FlowIndex f = 0; f < flows.size(); ++f) {
+      EXPECT_NEAR(approx.rate(f), exact.rate(f).to_double(), 1e-9);
+    }
+  }
+}
+
+TEST(Waterfill, RatesInvariantUnderFlowReordering) {
+  // The max-min fair allocation is a unique rate *function* of the routing;
+  // permuting the flow indices must permute rates identically.
+  const ClosNetwork net = ClosNetwork::paper(3);
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const FlowCollection specs =
+        uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 12, rng);
+    const FlowSet flows = instantiate(net, specs);
+    const MiddleAssignment middles = ecmp_routing(net, flows, rng);
+    const auto base = max_min_fair<Rational>(net, flows, middles);
+
+    const auto perm = rng.permutation(flows.size());
+    FlowSet shuffled(flows.size());
+    MiddleAssignment shuffled_middles(flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      shuffled[i] = flows[perm[i]];
+      shuffled_middles[i] = middles[perm[i]];
+    }
+    const auto permuted = max_min_fair<Rational>(net, shuffled, shuffled_middles);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      EXPECT_EQ(permuted.rate(i), base.rate(perm[i]));
+    }
+  }
+}
+
+// Property sweep: on random instances, the water-fill result is feasible and
+// satisfies the bottleneck property (Lemma 2.2) — i.e., *is* max-min fair.
+class WaterfillProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaterfillProperty, FeasibleAndBottlenecked) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const int n = 2 + static_cast<int>(rng.next_below(3));  // C_2 .. C_4
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const Fabric fabric{net.num_tors(), net.servers_per_tor()};
+  const std::size_t count = 1 + rng.next_below(24);
+  const FlowCollection specs = uniform_random(fabric, count, rng);
+  const FlowSet flows = instantiate(net, specs);
+  const MiddleAssignment middles = ecmp_routing(net, flows, rng);
+  const Routing routing = expand_routing(net, flows, middles);
+
+  const auto alloc = max_min_fair<Rational>(net.topology(), flows, routing);
+  EXPECT_TRUE(is_feasible(net.topology(), routing, alloc));
+  EXPECT_TRUE(is_max_min_fair(net.topology(), routing, alloc));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, WaterfillProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,180 @@
+#include "fairness/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "lp/maxmin_lp.hpp"
+#include "fairness/waterfill.hpp"
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+TEST(Weighted, UnitWeightsReduceToPlainMaxMin) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const FlowSet flows = instantiate(
+        net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 8, rng));
+    const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+    const std::vector<Rational> unit(flows.size(), Rational{1});
+    EXPECT_EQ(weighted_max_min_fair<Rational>(net.topology(), flows, routing, unit).rates(),
+              max_min_fair<Rational>(net.topology(), flows, routing).rates());
+  }
+}
+
+TEST(Weighted, ProportionalSplitOnSharedLink) {
+  // Two flows with weights 2:1 through the same source link split 2/3, 1/3.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 4, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const std::vector<Rational> weights = {Rational{2}, Rational{1}};
+  const auto alloc = weighted_max_min_fair<Rational>(ms.topology(), flows, routing, weights);
+  EXPECT_EQ(alloc.rate(0), Rational(2, 3));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 3));
+}
+
+TEST(Weighted, TwoLevelWeightedFill) {
+  // Flows A, B share source s_1^1 (weights 3, 1); B also shares destination
+  // t_3^1 with C (weight 1). First level: s-link saturates at A=3/4, B=1/4.
+  // Then C is limited only by the destination residual: 3/4.
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 1, 4, 1}, FlowSpec{1, 1, 3, 1}, FlowSpec{2, 1, 3, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const std::vector<Rational> weights = {Rational{3}, Rational{1}, Rational{1}};
+  const auto alloc = weighted_max_min_fair<Rational>(ms.topology(), flows, routing, weights);
+  EXPECT_EQ(alloc.rate(0), Rational(3, 4));
+  EXPECT_EQ(alloc.rate(1), Rational(1, 4));
+  EXPECT_EQ(alloc.rate(2), Rational(3, 4));
+}
+
+TEST(Weighted, RejectsNonPositiveWeights) {
+  const MacroSwitch ms = MacroSwitch::paper(1);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  EXPECT_THROW(
+      weighted_max_min_fair<Rational>(ms.topology(), flows, routing, {Rational{0}}),
+      ContractViolation);
+  EXPECT_THROW(
+      weighted_max_min_fair<Rational>(ms.topology(), flows, routing, {Rational{-1}}),
+      ContractViolation);
+  EXPECT_THROW(weighted_max_min_fair<Rational>(ms.topology(), flows, routing, {}),
+               ContractViolation);
+}
+
+TEST(Weighted, CertifierAcceptsAndRejects) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 4, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const std::vector<Rational> weights = {Rational{2}, Rational{1}};
+
+  const Allocation<Rational> good({Rational{2, 3}, Rational{1, 3}});
+  EXPECT_TRUE(is_weighted_max_min_fair(ms.topology(), routing, good, weights));
+
+  // The *unweighted* fair split is not weighted-fair here.
+  const Allocation<Rational> unweighted({Rational{1, 2}, Rational{1, 2}});
+  EXPECT_FALSE(is_weighted_max_min_fair(ms.topology(), routing, unweighted, weights));
+
+  // Underutilization fails the saturation requirement.
+  const Allocation<Rational> slack({Rational{1, 3}, Rational{1, 6}});
+  EXPECT_FALSE(is_weighted_max_min_fair(ms.topology(), routing, slack, weights));
+}
+
+// On the Theorem 4.3 instance, weighting flows by their macro-switch rates
+// rescues the type 3 flow from 1/n starvation to ~1/2 under the very same
+// witness routing — the dynamic counterpart of the paper's §7
+// relative-max-min proposal.
+TEST(Weighted, MacroWeightsMitigateStarvation) {
+  for (int n : {3, 4, 5}) {
+    const AdversarialInstance inst = theorem_4_3_instance(n);
+    const ClosNetwork net = ClosNetwork::paper(n);
+    const FlowSet flows = instantiate(net, inst.flows);
+    const Routing routing = expand_routing(net, flows, *inst.witness);
+
+    const auto plain = max_min_fair<Rational>(net.topology(), flows, routing);
+    const auto weighted = weighted_max_min_fair<Rational>(net.topology(), flows, routing,
+                                                          inst.macro_rates);
+    const FlowIndex type3 = flows.size() - 1;
+    EXPECT_EQ(plain.rate(type3), Rational(1, n));
+    // Weighted fill on M_n O_{n+1}: level * (1 + (n-1)/n) = 1.
+    EXPECT_EQ(weighted.rate(type3), Rational(n, 2 * n - 1)) << "n=" << n;
+    EXPECT_GT(weighted.rate(type3), plain.rate(type3));
+    // Certified weighted-max-min for the routing.
+    EXPECT_TRUE(
+        is_weighted_max_min_fair(net.topology(), routing, weighted, inst.macro_rates));
+  }
+}
+
+// Property: weighted water-fill is feasible, saturating, and certified by the
+// independent weighted bottleneck checker on random instances.
+class WeightedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedProperty, FeasibleAndCertified) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 353 + 11);
+  const int n = 2 + static_cast<int>(rng.next_below(3));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const std::size_t count = 1 + rng.next_below(16);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, count, rng));
+  const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+  std::vector<Rational> weights;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    weights.emplace_back(rng.next_int(1, 5), rng.next_int(1, 3));
+  }
+  const auto alloc =
+      weighted_max_min_fair<Rational>(net.topology(), flows, routing, weights);
+  EXPECT_TRUE(is_feasible(net.topology(), routing, alloc));
+  EXPECT_TRUE(is_weighted_max_min_fair(net.topology(), routing, alloc, weights));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, WeightedProperty, ::testing::Range(0, 30));
+
+// Cross-validation against the independent weighted LP oracle.
+class WeightedCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedCrossValidation, WaterfillEqualsLp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 467 + 29);
+  const int n = 2 + static_cast<int>(rng.next_below(2));
+  const ClosNetwork net = ClosNetwork::paper(n);
+  const std::size_t count = 1 + rng.next_below(8);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, count, rng));
+  const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+  std::vector<Rational> weights;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    weights.emplace_back(rng.next_int(1, 4), rng.next_int(1, 3));
+  }
+  const auto wf = weighted_max_min_fair<Rational>(net.topology(), flows, routing, weights);
+  const auto lp = weighted_max_min_fair_lp(net.topology(), flows, routing, weights);
+  EXPECT_EQ(wf.rates(), lp.rates());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, WeightedCrossValidation,
+                         ::testing::Range(0, 20));
+
+TEST(Weighted, DoubleInstantiationTracksRational) {
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(77);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 6, rng));
+  const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+  std::vector<Rational> weights;
+  std::vector<double> weights_d;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Rational w{rng.next_int(1, 4)};
+    weights.push_back(w);
+    weights_d.push_back(w.to_double());
+  }
+  const auto exact = weighted_max_min_fair<Rational>(net.topology(), flows, routing, weights);
+  const auto approx =
+      weighted_max_min_fair<double>(net.topology(), flows, routing, weights_d);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(approx.rate(f), exact.rate(f).to_double(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace closfair

@@ -1,0 +1,162 @@
+#include "workload/stochastic.hpp"
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace closfair {
+namespace {
+
+bool in_bounds(const FlowSpec& sp, const Fabric& fabric) {
+  return sp.src_tor >= 1 && sp.src_tor <= fabric.num_tors && sp.src_server >= 1 &&
+         sp.src_server <= fabric.servers_per_tor && sp.dst_tor >= 1 &&
+         sp.dst_tor <= fabric.num_tors && sp.dst_server >= 1 &&
+         sp.dst_server <= fabric.servers_per_tor;
+}
+
+TEST(Workload, UniformRandomBounds) {
+  const Fabric fabric{6, 3};
+  Rng rng(1);
+  const FlowCollection flows = uniform_random(fabric, 200, rng);
+  ASSERT_EQ(flows.size(), 200u);
+  for (const auto& sp : flows) EXPECT_TRUE(in_bounds(sp, fabric));
+}
+
+TEST(Workload, PermutationIsBijective) {
+  const Fabric fabric{4, 2};
+  Rng rng(2);
+  const FlowCollection flows = random_permutation(fabric, rng);
+  ASSERT_EQ(flows.size(), 8u);
+  std::set<std::pair<int, int>> sources;
+  std::set<std::pair<int, int>> dests;
+  for (const auto& sp : flows) {
+    EXPECT_TRUE(in_bounds(sp, fabric));
+    sources.insert({sp.src_tor, sp.src_server});
+    dests.insert({sp.dst_tor, sp.dst_server});
+  }
+  EXPECT_EQ(sources.size(), 8u);
+  EXPECT_EQ(dests.size(), 8u);
+}
+
+TEST(Workload, ZipfSkewsDestinations) {
+  const Fabric fabric{8, 4};
+  Rng rng(3);
+  const FlowCollection flows = zipf_destinations(fabric, 4000, 1.3, rng);
+  std::size_t to_first = 0;
+  for (const auto& sp : flows) {
+    EXPECT_TRUE(in_bounds(sp, fabric));
+    if (sp.dst_tor == 1 && sp.dst_server == 1) ++to_first;
+  }
+  // Rank-1 destination receives far more than the uniform share (4000/32).
+  EXPECT_GT(to_first, 600u);
+}
+
+TEST(Workload, IncastTargetsOneDestination) {
+  const Fabric fabric{4, 2};
+  Rng rng(4);
+  const FlowCollection flows = incast(fabric, 30, 3, 2, rng);
+  ASSERT_EQ(flows.size(), 30u);
+  for (const auto& sp : flows) {
+    EXPECT_EQ(sp.dst_tor, 3);
+    EXPECT_EQ(sp.dst_server, 2);
+  }
+  EXPECT_THROW(incast(fabric, 5, 9, 1, rng), ContractViolation);
+}
+
+TEST(Workload, HotspotFractionRespected) {
+  const Fabric fabric{10, 2};
+  Rng rng(5);
+  const FlowCollection flows = hotspot(fabric, 4000, 7, 0.6, rng);
+  std::size_t hot = 0;
+  for (const auto& sp : flows) {
+    if (sp.dst_tor == 7) ++hot;
+  }
+  // 60% forced plus ~4% uniform spill.
+  EXPECT_NEAR(static_cast<double>(hot) / 4000.0, 0.64, 0.05);
+  EXPECT_THROW(hotspot(fabric, 5, 1, 1.5, rng), ContractViolation);
+}
+
+TEST(Workload, StrideWrapsAround) {
+  const Fabric fabric{2, 2};  // 4 servers
+  const FlowCollection flows = stride(fabric, 1);
+  ASSERT_EQ(flows.size(), 4u);
+  // Server (1,1) -> (1,2); (1,2) -> (2,1); (2,2) wraps to (1,1).
+  EXPECT_EQ(flows[0].dst_tor, 1);
+  EXPECT_EQ(flows[0].dst_server, 2);
+  EXPECT_EQ(flows[1].dst_tor, 2);
+  EXPECT_EQ(flows[1].dst_server, 1);
+  EXPECT_EQ(flows[3].dst_tor, 1);
+  EXPECT_EQ(flows[3].dst_server, 1);
+  // Negative strides also wrap.
+  const FlowCollection back = stride(fabric, -1);
+  EXPECT_EQ(back[0].dst_tor, 2);
+  EXPECT_EQ(back[0].dst_server, 2);
+}
+
+TEST(Workload, TorAllToAllShape) {
+  const Fabric fabric{3, 2};
+  const FlowCollection flows = tor_all_to_all(fabric);
+  EXPECT_EQ(flows.size(), 6u);  // 3 ToRs x 2 peers
+  for (const auto& sp : flows) {
+    EXPECT_NE(sp.src_tor, sp.dst_tor);
+    EXPECT_TRUE(in_bounds(sp, fabric));
+  }
+}
+
+TEST(Trace, PoissonSortedAndSized) {
+  TraceParams params;
+  params.fabric = Fabric{4, 2};
+  params.arrival_rate = 5.0;
+  params.num_flows = 500;
+  params.mean_size = 2.0;
+  Rng rng(6);
+  const Trace trace = poisson_trace(params, rng);
+  ASSERT_EQ(trace.size(), 500u);
+  double prev = 0.0;
+  double total_size = 0.0;
+  for (const auto& a : trace) {
+    EXPECT_GE(a.time, prev);
+    prev = a.time;
+    EXPECT_GT(a.size, 0.0);
+    total_size += a.size;
+    EXPECT_TRUE(in_bounds(a.spec, params.fabric));
+  }
+  // Mean inter-arrival 1/5 over 500 flows -> last arrival near 100.
+  EXPECT_NEAR(trace.back().time, 100.0, 20.0);
+  EXPECT_NEAR(total_size / 500.0, 2.0, 0.5);
+}
+
+TEST(Trace, FixedSizes) {
+  TraceParams params;
+  params.num_flows = 50;
+  params.sizes = SizeDistribution::kFixed;
+  params.mean_size = 3.0;
+  Rng rng(7);
+  for (const auto& a : poisson_trace(params, rng)) EXPECT_DOUBLE_EQ(a.size, 3.0);
+}
+
+TEST(Trace, BimodalPreservesMean) {
+  TraceParams params;
+  params.num_flows = 20000;
+  params.sizes = SizeDistribution::kBimodal;
+  params.mean_size = 1.0;
+  Rng rng(8);
+  double total = 0.0;
+  for (const auto& a : poisson_trace(params, rng)) total += a.size;
+  EXPECT_NEAR(total / 20000.0, 1.0, 0.05);
+}
+
+TEST(Trace, IncastEndpoints) {
+  TraceParams params;
+  params.num_flows = 40;
+  params.endpoints = EndpointPattern::kIncast;
+  Rng rng(9);
+  for (const auto& a : poisson_trace(params, rng)) {
+    EXPECT_EQ(a.spec.dst_tor, 1);
+    EXPECT_EQ(a.spec.dst_server, 1);
+  }
+}
+
+}  // namespace
+}  // namespace closfair
