@@ -4,7 +4,9 @@
 //   * replication search: canonical middle symmetry breaking on/off
 //     (nodes explored to prove Theorem 4.2 infeasibility);
 //   * exhaustive lex-max-min: pin-first-flow symmetry on/off and
-//     stop-at-macro-vector early exit on/off (routings evaluated).
+//     stop-at-macro-vector early exit on/off (routings evaluated);
+//   * exhaustive lex-max-min: canonical (restricted-growth-string) vs
+//     odometer enumeration (water-fill invocations).
 #include <chrono>
 #include <thread>
 #include <iostream>
@@ -78,9 +80,39 @@ int main() {
   }
   std::cout << lex << '\n';
 
-  std::cout << "thread scaling of exhaustive lex-max-min (C_4, 9 random flows, full\n"
-               "4^8 = 65536-routing space, no early exit; speedup is bounded by the\n"
-               "host's core count — this machine reports "
+  std::cout << "canonical (symmetry-reduced) vs odometer enumeration of exhaustive\n"
+               "lex-max-min (C_4, 8 random flows; middles are capacity-symmetric, so\n"
+               "only restricted-growth-string representatives need water-filling):\n";
+  {
+    const ClosNetwork net = ClosNetwork::paper(4);
+    Rng rng(101);
+    const FlowSet flows = instantiate(
+        net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 8, rng));
+    TextTable table({"enumeration", "waterfills", "routings covered", "seconds"});
+    struct Mode {
+      const char* name;
+      bool canonical;
+      bool pin;
+    };
+    for (const Mode& mode : {Mode{"odometer (full)", false, false},
+                             Mode{"odometer (pinned)", false, true},
+                             Mode{"canonical", true, true}}) {
+      ExhaustiveOptions options;
+      options.exploit_middle_symmetry = mode.canonical;
+      options.fix_first_flow = mode.pin;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = lex_max_min_exhaustive(net, flows, options);
+      table.add_row({mode.name, std::to_string(result.waterfill_invocations),
+                     std::to_string(result.routings_evaluated),
+                     fmt_double(seconds_since(start), 3)});
+    }
+    std::cout << table << '\n';
+  }
+
+  std::cout << "thread scaling of exhaustive lex-max-min (C_4, 9 random flows,\n"
+               "covering the pinned 4^8 = 65536-routing space via canonical\n"
+               "prefixes, no early exit; speedup is bounded by the host's core\n"
+               "count — this machine reports "
             << std::thread::hardware_concurrency() << "):\n";
   {
     const ClosNetwork net = ClosNetwork::paper(4);
@@ -106,7 +138,8 @@ int main() {
   std::cout << "reading: symmetry breaking shrinks the infeasibility proof by orders\n"
                "of magnitude (it is what makes the n=4 proof tractable), the\n"
                "macro-vector early exit turns replicable instances from exponential\n"
-               "to near-instant, and the exhaustive search parallelizes cleanly over\n"
-               "the last flow's middle choice.\n";
+               "to near-instant, canonical enumeration cuts the water-fill count by\n"
+               "another order of magnitude on symmetric fabrics, and the exhaustive\n"
+               "search parallelizes deterministically over canonical prefixes.\n";
   return 0;
 }

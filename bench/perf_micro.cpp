@@ -13,6 +13,7 @@
 #include "matching/hungarian.hpp"
 #include "routing/doom_switch.hpp"
 #include "routing/ecmp.hpp"
+#include "routing/exhaustive.hpp"
 #include "routing/replication.hpp"
 #include "sim/rate_control.hpp"
 #include "util/rng.hpp"
@@ -58,6 +59,73 @@ void BM_WaterfillDouble(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WaterfillDouble)->Args({2, 16})->Args({4, 64})->Args({8, 256})->Args({8, 1024});
+
+// Exhaustive-search engine: plain odometer vs canonical (symmetry-reduced)
+// enumeration, serial vs parallel. The "waterfills" counter is the number of
+// candidates actually evaluated — the acceptance metric for the canonical
+// reduction (C_4, 8 flows: 65536 full / 16384 pinned odometer candidates vs
+// 2795 canonical classes).
+ExhaustiveOptions search_options(bool canonical, bool pin_first, unsigned threads) {
+  ExhaustiveOptions options;
+  options.exploit_middle_symmetry = canonical;
+  options.fix_first_flow = pin_first;
+  options.num_threads = threads;
+  return options;
+}
+
+void run_lex_search(benchmark::State& state, const ExhaustiveOptions& options) {
+  const Instance inst = make_instance(static_cast<int>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)), 101);
+  std::uint64_t waterfills = 0;
+  for (auto _ : state) {
+    const auto result = lex_max_min_exhaustive(inst.net, inst.flows, options);
+    waterfills = result.waterfill_invocations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["waterfills"] = static_cast<double>(waterfills);
+}
+
+void BM_LexSearchOdometerFull(benchmark::State& state) {
+  run_lex_search(state, search_options(false, false, 1));
+}
+BENCHMARK(BM_LexSearchOdometerFull)->Args({3, 6})->Args({4, 8})->Unit(benchmark::kMillisecond);
+
+void BM_LexSearchOdometerPinned(benchmark::State& state) {
+  run_lex_search(state, search_options(false, true, 1));
+}
+BENCHMARK(BM_LexSearchOdometerPinned)->Args({3, 6})->Args({4, 8})->Unit(benchmark::kMillisecond);
+
+void BM_LexSearchCanonical(benchmark::State& state) {
+  run_lex_search(state, search_options(true, true, 1));
+}
+BENCHMARK(BM_LexSearchCanonical)->Args({3, 6})->Args({4, 8})->Unit(benchmark::kMillisecond);
+
+void BM_LexSearchCanonicalParallel(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(2));
+  run_lex_search(state, search_options(true, true, threads));
+}
+BENCHMARK(BM_LexSearchCanonicalParallel)
+    ->Args({4, 8, 2})
+    ->Args({4, 8, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_ThroughputSearchCanonical(benchmark::State& state) {
+  const Instance inst = make_instance(3, 7, 103);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(throughput_max_min_exhaustive(inst.net, inst.flows));
+  }
+}
+BENCHMARK(BM_ThroughputSearchCanonical)->Unit(benchmark::kMillisecond);
+
+void BM_FrontierCanonical(benchmark::State& state) {
+  const Instance inst = make_instance(3, 6, 105);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(throughput_fairness_frontier(inst.net, inst.flows));
+  }
+}
+BENCHMARK(BM_FrontierCanonical)->Unit(benchmark::kMillisecond);
 
 void BM_MaxMinLpRational(benchmark::State& state) {
   const auto flows_count = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,175 @@
+// Machine-readable perf report for the exhaustive-search engine.
+//
+// Runs the lex-max-min search on a fixed C_4 / 8-flow instance under every
+// engine configuration (full odometer, pinned odometer, canonical, canonical
+// parallel), cross-checks that all configurations return the same lex-optimal
+// sorted vector, and emits BENCH_search.json (path overridable via argv[1])
+// so future PRs can track the perf trajectory: waterfill invocations,
+// full-space coverage, wall seconds, and the canonical-reduction ratios.
+// Exits non-zero if any cross-check fails — the binary doubles as a
+// regression test.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "flow/allocation.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/search_engine.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+namespace {
+
+struct LexConfig {
+  const char* name;
+  bool canonical;
+  bool pin_first;
+  unsigned threads;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_search.json";
+  constexpr int kMiddles = 4;
+  constexpr std::size_t kFlows = 8;
+  constexpr std::uint64_t kSeed = 101;
+
+  const ClosNetwork net = ClosNetwork::paper(kMiddles);
+  Rng rng(kSeed);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, kFlows, rng));
+
+  const LexConfig configs[] = {
+      {"odometer_full", false, false, 1},
+      {"odometer_pinned", false, true, 1},
+      {"canonical", true, true, 1},
+      {"canonical_2_threads", true, true, 2},
+      {"canonical_8_threads", true, true, 8},
+  };
+
+  Json lex_runs = Json::array();
+  TextTable table({"config", "waterfills", "routings covered", "seconds"});
+  std::vector<Rational> reference_sorted;
+  std::uint64_t odometer_full_waterfills = 0;
+  std::uint64_t odometer_pinned_waterfills = 0;
+  std::uint64_t canonical_waterfills = 0;
+  bool sorted_identical = true;
+
+  for (const LexConfig& config : configs) {
+    ExhaustiveOptions options;
+    options.exploit_middle_symmetry = config.canonical;
+    options.fix_first_flow = config.pin_first;
+    options.num_threads = config.threads;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = lex_max_min_exhaustive(net, flows, options);
+    const double secs = seconds_since(start);
+
+    if (reference_sorted.empty()) reference_sorted = result.alloc.sorted();
+    if (result.alloc.sorted() != reference_sorted) sorted_identical = false;
+    if (std::string{config.name} == "odometer_full") {
+      odometer_full_waterfills = result.waterfill_invocations;
+    } else if (std::string{config.name} == "odometer_pinned") {
+      odometer_pinned_waterfills = result.waterfill_invocations;
+    } else if (std::string{config.name} == "canonical") {
+      canonical_waterfills = result.waterfill_invocations;
+    }
+
+    Json run = Json::object();
+    run.set("config", Json::string(config.name));
+    run.set("waterfill_invocations",
+            Json::number(static_cast<std::int64_t>(result.waterfill_invocations)));
+    run.set("routings_evaluated",
+            Json::number(static_cast<std::int64_t>(result.routings_evaluated)));
+    run.set("seconds", Json::number(secs));
+    run.set("sorted", Json::string(format_sorted(result.alloc)));
+    lex_runs.push_back(std::move(run));
+    table.add_row({config.name, std::to_string(result.waterfill_invocations),
+                   std::to_string(result.routings_evaluated), fmt_double(secs, 4)});
+  }
+
+  // Throughput search: canonical + sum-of-capacities prune vs plain odometer.
+  Json tput = Json::object();
+  bool throughput_identical = true;
+  {
+    ExhaustiveOptions odometer;
+    odometer.exploit_middle_symmetry = false;
+    odometer.prune_throughput_bound = false;
+    auto start = std::chrono::steady_clock::now();
+    const auto full = throughput_max_min_exhaustive(net, flows, odometer);
+    const double full_secs = seconds_since(start);
+    start = std::chrono::steady_clock::now();
+    const auto canon = throughput_max_min_exhaustive(net, flows);
+    const double canon_secs = seconds_since(start);
+    throughput_identical = full.alloc.throughput() == canon.alloc.throughput();
+    tput.set("odometer_waterfills",
+             Json::number(static_cast<std::int64_t>(full.waterfill_invocations)));
+    tput.set("odometer_seconds", Json::number(full_secs));
+    tput.set("canonical_pruned_waterfills",
+             Json::number(static_cast<std::int64_t>(canon.waterfill_invocations)));
+    tput.set("canonical_pruned_seconds", Json::number(canon_secs));
+    tput.set("optimal_throughput", Json::string(full.alloc.throughput().to_string()));
+    tput.set("throughput_identical", Json::boolean(throughput_identical));
+  }
+
+  const double full_ratio = canonical_waterfills == 0
+                                ? 0.0
+                                : static_cast<double>(odometer_full_waterfills) /
+                                      static_cast<double>(canonical_waterfills);
+  const double pinned_ratio = canonical_waterfills == 0
+                                  ? 0.0
+                                  : static_cast<double>(odometer_pinned_waterfills) /
+                                        static_cast<double>(canonical_waterfills);
+
+  Json report = Json::object();
+  report.set("bench", Json::string("search_engine"));
+  Json instance = Json::object();
+  instance.set("middles", Json::number(static_cast<std::int64_t>(kMiddles)));
+  instance.set("flows", Json::number(static_cast<std::int64_t>(kFlows)));
+  instance.set("seed", Json::number(static_cast<std::int64_t>(kSeed)));
+  report.set("instance", std::move(instance));
+  report.set("lex_runs", std::move(lex_runs));
+  report.set("throughput", std::move(tput));
+  Json checks = Json::object();
+  checks.set("sorted_vectors_identical", Json::boolean(sorted_identical));
+  checks.set("waterfill_reduction_vs_full_odometer", Json::number(full_ratio));
+  checks.set("waterfill_reduction_vs_pinned_odometer", Json::number(pinned_ratio));
+  checks.set("canonical_classes",
+             Json::number(static_cast<std::int64_t>(canonical_class_count(kMiddles, kFlows))));
+  report.set("checks", std::move(checks));
+
+  std::ofstream out(out_path);
+  out << report.dump(2) << '\n';
+  out.close();
+  if (!out) {
+    std::cerr << "error: could not write report to " << out_path << '\n';
+    return 1;
+  }
+
+  std::cout << "=== search-engine perf report (C_" << kMiddles << ", " << kFlows
+            << " flows) ===\n\n"
+            << table << '\n'
+            << "canonical reduction: " << fmt_double(full_ratio, 1)
+            << "x fewer water-fills than the full odometer ("
+            << fmt_double(pinned_ratio, 1) << "x vs pinned)\n"
+            << "lex-optimal sorted vectors identical across configs: "
+            << (sorted_identical ? "yes" : "NO") << '\n'
+            << "report written to " << out_path << '\n';
+
+  if (!sorted_identical || !throughput_identical) return 1;
+  if (full_ratio < 10.0) {
+    std::cout << "REGRESSION: canonical reduction fell below 10x\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the search engine's
+# serial-vs-parallel equivalence tests under ThreadSanitizer.
+#
+# Usage: scripts/tier1.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "== tier 1: SearchEngine tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DCLOSFAIR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_search_engine
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'SearchEngine')
+
+echo
+echo "tier 1: OK"

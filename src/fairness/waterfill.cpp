@@ -1,5 +1,7 @@
 #include "fairness/waterfill.hpp"
 
+#include <algorithm>
+
 namespace closfair {
 
 // Explicit instantiations for the two supported rate domains, keeping the
@@ -8,5 +10,155 @@ template Allocation<Rational> max_min_fair<Rational>(const Topology&, const Flow
                                                      const Routing&);
 template Allocation<double> max_min_fair<double>(const Topology&, const FlowSet&,
                                                  const Routing&);
+
+void WaterfillWorkspace::bind(const ClosNetwork& net, const FlowSet& flows) {
+  const Topology& topo = net.topology();
+  const int n = net.num_middles();
+  num_middles_ = n;
+  num_flows_ = flows.size();
+  const std::size_t num_links = topo.num_links();
+
+  capacity_.assign(num_links, Rational{0});
+  for (std::size_t l = 0; l < num_links; ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    CF_CHECK_MSG(!link.unbounded, "WaterfillWorkspace requires bounded links");
+    capacity_[l] = link.capacity;
+  }
+
+  flow_links_.assign(4 * num_flows_, kInvalidLink);
+  uplink_of_.assign(num_flows_ * static_cast<std::size_t>(n), kInvalidLink);
+  downlink_of_.assign(num_flows_ * static_cast<std::size_t>(n), kInvalidLink);
+  for (FlowIndex f = 0; f < num_flows_; ++f) {
+    const ClosNetwork::ServerCoord s = net.source_coord(flows[f].src);
+    const ClosNetwork::ServerCoord t = net.dest_coord(flows[f].dst);
+    flow_links_[4 * f + 0] = net.source_link(s.tor, s.server);
+    flow_links_[4 * f + 3] = net.dest_link(t.tor, t.server);
+    for (int m = 1; m <= n; ++m) {
+      uplink_of_[f * static_cast<std::size_t>(n) + (m - 1)] = net.uplink(s.tor, m);
+      downlink_of_[f * static_cast<std::size_t>(n) + (m - 1)] = net.downlink(m, t.tor);
+    }
+  }
+
+  epoch_ = 0;
+  link_epoch_.assign(num_links, 0);
+  used_links_.clear();
+  used_links_.reserve(4 * num_flows_);
+  flows_on_.assign(num_links, 0);
+  active_count_.assign(num_links, 0);
+  residual_.assign(num_links, Rational{0});
+  link_offset_.assign(num_links, 0);
+  link_cursor_.assign(num_links, 0);
+  link_flows_.assign(4 * num_flows_, 0);
+  saturated_.clear();
+  saturated_.reserve(4 * num_flows_);
+  to_freeze_.clear();
+  // A flow can be pushed once per saturated link it crosses (up to 4), so
+  // reserve enough that the inner loop never reallocates.
+  to_freeze_.reserve(4 * num_flows_);
+  frozen_.assign(num_flows_, 0);
+  rates_.assign(num_flows_, Rational{0});
+}
+
+const std::vector<Rational>& WaterfillWorkspace::max_min_rates(
+    const MiddleAssignment& middles) {
+  CF_CHECK_MSG(middles.size() == num_flows_,
+               "middle assignment covers " << middles.size() << " flows, expected "
+                                           << num_flows_);
+  const auto n = static_cast<std::size_t>(num_middles_);
+
+  // Map the assignment onto link loads: fill the per-flow variable links and
+  // gather the distinct links touched, counting flows per link.
+  ++epoch_;
+  used_links_.clear();
+  for (FlowIndex f = 0; f < num_flows_; ++f) {
+    const int m = middles[f];
+    CF_CHECK_MSG(m >= 1 && m <= num_middles_,
+                 "middle index " << m << " out of [1, " << num_middles_ << "]");
+    flow_links_[4 * f + 1] = uplink_of_[f * n + static_cast<std::size_t>(m - 1)];
+    flow_links_[4 * f + 2] = downlink_of_[f * n + static_cast<std::size_t>(m - 1)];
+    for (int slot = 0; slot < 4; ++slot) {
+      const auto l = static_cast<std::size_t>(flow_links_[4 * f + slot]);
+      if (link_epoch_[l] != epoch_) {
+        link_epoch_[l] = epoch_;
+        used_links_.push_back(static_cast<LinkId>(l));
+        flows_on_[l] = 0;
+      }
+      ++flows_on_[l];
+    }
+  }
+
+  // CSR index of flows per used link, then per-link water-fill state.
+  std::size_t running = 0;
+  for (const LinkId link : used_links_) {
+    const auto l = static_cast<std::size_t>(link);
+    link_offset_[l] = running;
+    link_cursor_[l] = running;
+    running += flows_on_[l];
+    residual_[l] = capacity_[l];
+    active_count_[l] = flows_on_[l];
+  }
+  for (FlowIndex f = 0; f < num_flows_; ++f) {
+    for (int slot = 0; slot < 4; ++slot) {
+      const auto l = static_cast<std::size_t>(flow_links_[4 * f + slot]);
+      link_flows_[link_cursor_[l]++] = f;
+    }
+  }
+
+  // Progressive filling, identical to max_min_fair<Rational> but iterating
+  // only the links this candidate actually uses.
+  std::fill(rates_.begin(), rates_.end(), Rational{0});
+  std::fill(frozen_.begin(), frozen_.end(), static_cast<unsigned char>(0));
+  std::size_t num_frozen = 0;
+  while (num_frozen < num_flows_) {
+    bool have_level = false;
+    Rational level{0};
+    saturated_.clear();
+    for (const LinkId link : used_links_) {
+      const auto l = static_cast<std::size_t>(link);
+      if (active_count_[l] == 0) continue;
+      const Rational share =
+          residual_[l] / Rational{static_cast<std::int64_t>(active_count_[l])};
+      if (!have_level || share < level) {
+        have_level = true;
+        level = share;
+        saturated_.clear();
+        saturated_.push_back(link);
+      } else if (share == level) {
+        saturated_.push_back(link);
+      }
+    }
+    CF_CHECK_MSG(have_level,
+                 "flow with no bounded link: max-min rate would be unbounded");
+
+    to_freeze_.clear();
+    for (const LinkId link : saturated_) {
+      const auto l = static_cast<std::size_t>(link);
+      const std::size_t end = link_offset_[l] + flows_on_[l];
+      for (std::size_t idx = link_offset_[l]; idx < end; ++idx) {
+        const FlowIndex f = link_flows_[idx];
+        if (!frozen_[f]) to_freeze_.push_back(f);
+      }
+    }
+    CF_CHECK(!to_freeze_.empty());
+
+    for (const LinkId link : used_links_) {
+      const auto l = static_cast<std::size_t>(link);
+      if (active_count_[l] == 0) continue;
+      residual_[l] -= level * Rational{static_cast<std::int64_t>(active_count_[l])};
+    }
+    for (FlowIndex f = 0; f < num_flows_; ++f) {
+      if (!frozen_[f]) rates_[f] += level;
+    }
+    for (const FlowIndex f : to_freeze_) {
+      if (frozen_[f]) continue;
+      frozen_[f] = 1;
+      ++num_frozen;
+      for (int slot = 0; slot < 4; ++slot) {
+        --active_count_[static_cast<std::size_t>(flow_links_[4 * f + slot])];
+      }
+    }
+  }
+  return rates_;
+}
 
 }  // namespace closfair

@@ -11,6 +11,7 @@
 // the lexicographic-order theorems require; R = double serves the simulator.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -65,29 +66,36 @@ template <typename R>
   Allocation<R> alloc(num_flows);
   std::vector<bool> frozen(num_flows, false);
   std::size_t num_frozen = 0;
+  std::vector<std::size_t> saturated;  // links attaining the round's level
+  std::vector<FlowIndex> to_freeze;    // both reused across rounds
 
   while (num_frozen < num_flows) {
     // The next saturation level: the smallest fair share (residual / active)
     // over bounded links that still carry active flows. All active flows
     // currently sit at the previous level, already subtracted from residual.
+    // One pass computes each link's share once, tracking the minimum and the
+    // links that attain it.
     std::optional<R> level;
+    saturated.clear();
     for (std::size_t l = 0; l < num_links; ++l) {
       if (active_count[l] == 0 || topo.link(static_cast<LinkId>(l)).unbounded) continue;
       R share = residual[l] / detail::count_as_rate<R>(active_count[l]);
-      if (!level || share < *level) level = std::move(share);
+      if (!level || share < *level) {
+        level = std::move(share);
+        saturated.clear();
+        saturated.push_back(l);
+      } else if (share == *level) {
+        saturated.push_back(l);
+      }
     }
     CF_CHECK_MSG(level.has_value(),
                  "flow with no bounded link: max-min rate would be unbounded");
 
     // Freeze every active flow crossing a link that saturates at this level.
-    std::vector<FlowIndex> to_freeze;
-    for (std::size_t l = 0; l < num_links; ++l) {
-      if (active_count[l] == 0 || topo.link(static_cast<LinkId>(l)).unbounded) continue;
-      const R share = residual[l] / detail::count_as_rate<R>(active_count[l]);
-      if (share == *level) {
-        for (FlowIndex f : on_link[l]) {
-          if (!frozen[f]) to_freeze.push_back(f);
-        }
+    to_freeze.clear();
+    for (std::size_t l : saturated) {
+      for (FlowIndex f : on_link[l]) {
+        if (!frozen[f]) to_freeze.push_back(f);
       }
     }
     CF_CHECK(!to_freeze.empty());
@@ -128,5 +136,59 @@ template <typename R>
 [[nodiscard]] Allocation<R> max_min_fair(const MacroSwitch& ms, const FlowSet& flows) {
   return max_min_fair<R>(ms.topology(), flows, macro_routing(ms, flows));
 }
+
+/// Reusable exact water-filling state for repeated evaluation of Clos middle
+/// assignments — the exhaustive-search inner loop.
+///
+/// `bind` precomputes, per flow, the two routing-independent links (source
+/// and destination) and a per-middle uplink/downlink lookup table, so a
+/// candidate MiddleAssignment maps directly onto link loads without building
+/// a Routing (`expand_routing`) or a per-link flow index (`flows_per_link`)
+/// per candidate. After the first evaluation every buffer is reused: no heap
+/// allocation happens per candidate. Per-link state is reset via a touched-
+/// links list stamped with an epoch counter, so cost scales with the links
+/// the flows actually use, not the topology size.
+///
+/// Results are bit-identical to `max_min_fair<Rational>(net, flows, middles)`
+/// (same progressive-filling algorithm on the same exact arithmetic).
+class WaterfillWorkspace {
+ public:
+  WaterfillWorkspace() = default;
+
+  /// Bind to an instance; sizes all buffers. May be called again to re-bind.
+  void bind(const ClosNetwork& net, const FlowSet& flows);
+
+  /// Max-min fair rates in flow order for `middles`. The returned reference
+  /// (and its `data()` pointer) stays valid and stable until the next call;
+  /// callers needing persistence must copy.
+  const std::vector<Rational>& max_min_rates(const MiddleAssignment& middles);
+
+ private:
+  int num_middles_ = 0;
+  std::size_t num_flows_ = 0;
+
+  // Bind-time tables. flow_links_ holds each flow's 4-link path; slots 0
+  // (source link) and 3 (destination link) are fixed at bind, slots 1 and 2
+  // (uplink, downlink) are filled per candidate from the lookup tables.
+  std::vector<LinkId> flow_links_;     // 4 * num_flows_
+  std::vector<LinkId> uplink_of_;      // [flow * n + (m-1)] -> uplink id
+  std::vector<LinkId> downlink_of_;    // [flow * n + (m-1)] -> downlink id
+  std::vector<Rational> capacity_;     // per link
+
+  // Per-candidate state, reset via used_links_ / epoch stamps.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> link_epoch_;     // per link
+  std::vector<LinkId> used_links_;            // distinct links of the candidate
+  std::vector<std::size_t> flows_on_;         // per link: flows crossing it
+  std::vector<std::size_t> active_count_;     // per link: unfrozen flows
+  std::vector<Rational> residual_;            // per link
+  std::vector<std::size_t> link_offset_;      // per link: CSR offset
+  std::vector<std::size_t> link_cursor_;      // per link: CSR fill cursor
+  std::vector<FlowIndex> link_flows_;         // CSR payload, 4 * num_flows_
+  std::vector<LinkId> saturated_;             // round scratch
+  std::vector<FlowIndex> to_freeze_;          // round scratch
+  std::vector<unsigned char> frozen_;         // per flow
+  std::vector<Rational> rates_;               // per flow: the result
+};
 
 }  // namespace closfair

@@ -109,6 +109,27 @@ LinkId ClosNetwork::downlink(int m, int i) const {
   return downlinks_[static_cast<std::size_t>(m - 1) * params_.num_tors + (i - 1)];
 }
 
+bool ClosNetwork::middles_symmetric() const {
+  const int middles = params_.num_middles;
+  for (int i = 1; i <= params_.num_tors; ++i) {
+    const Rational up = topo_.link(uplink(i, 1)).capacity;
+    const Rational down = topo_.link(downlink(1, i)).capacity;
+    for (int m = 2; m <= middles; ++m) {
+      if (topo_.link(uplink(i, m)).capacity != up) return false;
+      if (topo_.link(downlink(m, i)).capacity != down) return false;
+    }
+  }
+  return true;
+}
+
+void ClosNetwork::set_uplink_capacity(int i, int m, Rational capacity) {
+  topo_.set_link_capacity(uplink(i, m), capacity);
+}
+
+void ClosNetwork::set_downlink_capacity(int m, int i, Rational capacity) {
+  topo_.set_link_capacity(downlink(m, i), capacity);
+}
+
 ClosNetwork::ServerCoord ClosNetwork::source_coord(NodeId src) const {
   CF_CHECK_MSG(topo_.node(src).kind == NodeKind::kSource, "node is not a source server");
   // Sources and destinations are interleaved in creation order: the k'th

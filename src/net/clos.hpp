@@ -71,6 +71,21 @@ class ClosNetwork {
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
+  /// True when the middle switches are interchangeable: for every input ToR
+  /// all n uplink capacities are equal, and for every output ToR all n
+  /// downlink capacities are equal. Any permutation of middle labels is then
+  /// a capacity-preserving automorphism, which licenses the symmetry-reduced
+  /// (canonical) enumeration of middle assignments in routing/search_engine.
+  /// Freshly constructed networks are always symmetric; the capacity setters
+  /// below can break it.
+  [[nodiscard]] bool middles_symmetric() const;
+
+  /// Override the capacity of link I_i -> M_m (breaks middle symmetry when
+  /// the new value differs from ToR i's other uplinks).
+  void set_uplink_capacity(int i, int m, Rational capacity);
+  /// Override the capacity of link M_m -> O_i.
+  void set_downlink_capacity(int m, int i, Rational capacity);
+
  private:
   Params params_;
   Topology topo_;

@@ -44,6 +44,14 @@ LinkId Topology::add_unbounded_link(NodeId from, NodeId to) {
   return id;
 }
 
+void Topology::set_link_capacity(LinkId id, Rational capacity) {
+  check_link(id);
+  Link& link = links_[static_cast<std::size_t>(id)];
+  CF_CHECK_MSG(!link.unbounded, "set_link_capacity on unbounded link");
+  CF_CHECK_MSG(!capacity.is_negative(), "negative link capacity");
+  link.capacity = capacity;
+}
+
 const Node& Topology::node(NodeId id) const {
   check_node(id);
   return nodes_[static_cast<std::size_t>(id)];

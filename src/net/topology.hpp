@@ -64,6 +64,11 @@ class Topology {
   /// Adds a directed link of unbounded capacity (macro-switch inner links).
   LinkId add_unbounded_link(NodeId from, NodeId to);
 
+  /// Changes a bounded link's capacity (must be >= 0). Lets workload studies
+  /// and tests build capacity-asymmetric variants of regular topologies;
+  /// throws on unbounded links.
+  void set_link_capacity(LinkId id, Rational capacity);
+
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] std::size_t num_links() const { return links_.size(); }
 

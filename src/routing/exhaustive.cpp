@@ -1,198 +1,212 @@
 #include "routing/exhaustive.hpp"
 
-#include <atomic>
-#include <thread>
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
-#include "fairness/waterfill.hpp"
+#include "routing/search_engine.hpp"
 
 namespace closfair {
 namespace {
 
-// Odometer-style enumeration of middle assignments, invoking `visit` for
-// each. Returns the number of assignments visited; `visit` returning false
-// stops the enumeration. When pin_last > 0 the last flow's middle is fixed
-// to that value (used by the parallel partitioning) and excluded from the
-// odometer.
-template <typename Visit>
-std::uint64_t enumerate(const ClosNetwork& net, std::size_t num_flows,
-                        const ExhaustiveOptions& options, Visit visit, int pin_last = 0) {
-  const int n = net.num_middles();
-  const std::size_t fixed_prefix = (options.fix_first_flow && num_flows > 0) ? 1 : 0;
-  const std::size_t free_end = (pin_last > 0 && num_flows > 0) ? num_flows - 1 : num_flows;
-
-  // Guard the search-space size before starting.
-  std::uint64_t space = 1;
-  for (std::size_t f = fixed_prefix; f < free_end; ++f) {
-    CF_CHECK_MSG(space <= options.max_routings / static_cast<std::uint64_t>(n),
-                 "routing space " << n << "^" << (free_end - fixed_prefix)
-                                  << " exceeds max_routings " << options.max_routings);
-    space *= static_cast<std::uint64_t>(n);
-  }
-
-  MiddleAssignment middles(num_flows, 1);
-  if (pin_last > 0 && num_flows > 0) middles[num_flows - 1] = pin_last;
-  std::uint64_t visited = 0;
-  while (true) {
-    ++visited;
-    if (!visit(middles)) return visited;
-    // Increment the odometer over positions [fixed_prefix, free_end).
-    std::size_t pos = fixed_prefix;
-    while (pos < free_end) {
-      if (middles[pos] < n) {
-        ++middles[pos];
-        break;
-      }
-      middles[pos] = 1;
-      ++pos;
-    }
-    if (pos >= free_end) return visited;
-  }
-}
-
-}  // namespace
-
-namespace {
-
-// Serial lex search over one pinned-last-slice of the space (pin_last = 0
-// means the whole space). `stop` lets parallel siblings cancel each other
-// once stop_at_sorted is reached.
+// Per-worker state of the lex-max-min search. `scratch` is the reused sort
+// buffer, so steady-state candidates allocate nothing.
 struct LexLocal {
   bool have = false;
-  ExactRoutingResult result;
+  MiddleAssignment middles;
+  std::vector<Rational> rates;
   std::vector<Rational> sorted;
+  SearchOrder order;
+  std::vector<Rational> scratch;
 };
 
-void lex_search_slice(const ClosNetwork& net, const FlowSet& flows,
-                      const ExhaustiveOptions& options, int pin_last, LexLocal& local,
-                      std::atomic<bool>& stop) {
-  local.result.routings_evaluated +=
-      enumerate(
-          net, flows.size(), options,
-          [&](const MiddleAssignment& middles) {
-            if (stop.load(std::memory_order_relaxed)) return false;
-            Allocation<Rational> alloc = max_min_fair<Rational>(net, flows, middles);
-            std::vector<Rational> sorted = alloc.sorted();
-            if (!local.have ||
-                lex_compare(sorted, local.sorted) == std::strong_ordering::greater) {
-              local.have = true;
-              local.result.middles = middles;
-              local.result.alloc = std::move(alloc);
-              local.sorted = std::move(sorted);
-              if (options.stop_at_sorted &&
-                  lex_compare(local.sorted, *options.stop_at_sorted) !=
-                      std::strong_ordering::less) {
-                stop.store(true, std::memory_order_relaxed);
-                return false;  // provably optimal
-              }
-            }
-            return true;
-          },
-          pin_last);
-}
+// Per-worker state of the throughput-max-min search.
+struct TputLocal {
+  bool have = false;
+  Rational throughput{0};
+  MiddleAssignment middles;
+  std::vector<Rational> rates;
+  std::vector<Rational> sorted;
+  SearchOrder order;
+  std::vector<Rational> scratch;
+};
+
+// Per-worker state of the frontier sweep: per throughput value seen, the
+// best (min rate, earliest order) candidate. Keyed on the hashable Rational
+// so dedup is O(1) per candidate instead of a linear scan.
+struct FrontierCandidate {
+  Rational min_rate{0};
+  MiddleAssignment middles;
+  SearchOrder order;
+};
+struct FrontierLocal {
+  std::unordered_map<Rational, FrontierCandidate> by_throughput;
+};
 
 }  // namespace
 
 ExactRoutingResult lex_max_min_exhaustive(const ClosNetwork& net, const FlowSet& flows,
                                           const ExhaustiveOptions& options) {
-  std::atomic<bool> stop{false};
-  const unsigned threads =
-      flows.size() >= 2 ? std::max(1u, options.num_threads) : 1u;
+  const SearchEngine engine(net, flows, options);
+  std::vector<LexLocal> locals(engine.num_workers());
+  const SearchStats stats = engine.run(
+      locals, [&options](LexLocal& local, const MiddleAssignment& middles,
+                         const std::vector<Rational>& rates, SearchOrder order) {
+        local.scratch.assign(rates.begin(), rates.end());
+        std::sort(local.scratch.begin(), local.scratch.end());
+        if (!local.have ||
+            lex_compare(local.scratch, local.sorted) == std::strong_ordering::greater) {
+          local.have = true;
+          local.middles = middles;
+          local.rates.assign(rates.begin(), rates.end());
+          local.sorted.swap(local.scratch);
+          local.order = order;
+          if (options.stop_at_sorted &&
+              lex_compare(local.sorted, *options.stop_at_sorted) !=
+                  std::strong_ordering::less) {
+            return false;  // provably optimal
+          }
+        }
+        return true;
+      });
 
-  if (threads == 1) {
-    LexLocal local;
-    lex_search_slice(net, flows, options, /*pin_last=*/0, local, stop);
-    CF_CHECK_MSG(local.have, "empty flow collection has no lex-max-min routing");
-    return std::move(local.result);
-  }
-
-  // Partition by the last flow's middle; workers take values round-robin.
-  std::vector<LexLocal> locals(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      for (int v = 1 + static_cast<int>(w); v <= net.num_middles();
-           v += static_cast<int>(threads)) {
-        if (stop.load(std::memory_order_relaxed)) break;
-        lex_search_slice(net, flows, options, v, locals[w], stop);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-
-  LexLocal merged;
+  // Deterministic merge: greatest sorted vector, ties broken by earliest
+  // enumeration order — the candidate a serial scan would have kept.
+  LexLocal* best = nullptr;
   for (LexLocal& local : locals) {
-    merged.result.routings_evaluated += local.result.routings_evaluated;
-    if (local.have &&
-        (!merged.have ||
-         lex_compare(local.sorted, merged.sorted) == std::strong_ordering::greater)) {
-      merged.have = true;
-      merged.result.middles = std::move(local.result.middles);
-      merged.result.alloc = std::move(local.result.alloc);
-      merged.sorted = std::move(local.sorted);
+    if (!local.have) continue;
+    if (best == nullptr) {
+      best = &local;
+      continue;
+    }
+    const auto cmp = lex_compare(local.sorted, best->sorted);
+    if (cmp == std::strong_ordering::greater ||
+        (cmp == std::strong_ordering::equal && local.order < best->order)) {
+      best = &local;
     }
   }
-  CF_CHECK_MSG(merged.have, "empty flow collection has no lex-max-min routing");
-  return std::move(merged.result);
+  CF_CHECK_MSG(best != nullptr, "empty flow collection has no lex-max-min routing");
+
+  ExactRoutingResult result;
+  result.middles = std::move(best->middles);
+  result.alloc = Allocation<Rational>(std::move(best->rates));
+  result.routings_evaluated = stats.routings_covered;
+  result.waterfill_invocations = stats.waterfill_invocations;
+  return result;
 }
 
 ExactRoutingResult throughput_max_min_exhaustive(const ClosNetwork& net,
                                                  const FlowSet& flows,
                                                  const ExhaustiveOptions& options) {
-  ExactRoutingResult best;
-  bool have_best = false;
-  Rational best_throughput{0};
-  std::vector<Rational> best_sorted;
-
-  best.routings_evaluated =
-      enumerate(net, flows.size(), options, [&](const MiddleAssignment& middles) {
-        Allocation<Rational> alloc = max_min_fair<Rational>(net, flows, middles);
-        const Rational throughput = alloc.throughput();
-        bool take = !have_best || best_throughput < throughput;
-        if (have_best && throughput == best_throughput) {
-          take = lex_compare(alloc.sorted(), best_sorted) == std::strong_ordering::greater;
+  const SearchEngine engine(net, flows, options);
+  const Rational bound = options.prune_throughput_bound
+                             ? throughput_capacity_bound(net, flows)
+                             : Rational{0};
+  std::vector<TputLocal> locals(engine.num_workers());
+  const SearchStats stats = engine.run(
+      locals, [&options, &bound](TputLocal& local, const MiddleAssignment& middles,
+                                 const std::vector<Rational>& rates, SearchOrder order) {
+        Rational throughput{0};
+        for (const Rational& r : rates) throughput += r;
+        bool take = !local.have || local.throughput < throughput;
+        if (!take && local.have && throughput == local.throughput) {
+          local.scratch.assign(rates.begin(), rates.end());
+          std::sort(local.scratch.begin(), local.scratch.end());
+          take = lex_compare(local.scratch, local.sorted) == std::strong_ordering::greater;
+          if (take) {
+            local.middles = middles;
+            local.rates.assign(rates.begin(), rates.end());
+            local.sorted.swap(local.scratch);
+            local.order = order;
+          }
+          return true;
         }
         if (take) {
-          have_best = true;
-          best.middles = middles;
-          best_sorted = alloc.sorted();
-          best.alloc = std::move(alloc);
-          best_throughput = throughput;
+          local.have = true;
+          local.throughput = throughput;
+          local.middles = middles;
+          local.rates.assign(rates.begin(), rates.end());
+          local.scratch.assign(rates.begin(), rates.end());
+          std::sort(local.scratch.begin(), local.scratch.end());
+          local.sorted.swap(local.scratch);
+          local.order = order;
+          // Sum-of-capacities prune: nothing can beat the bound, so attaining
+          // it proves throughput optimality (the lex tie-break then settles
+          // for this witness).
+          if (options.prune_throughput_bound && throughput == bound) return false;
         }
         return true;
       });
-  CF_CHECK_MSG(have_best, "empty flow collection has no throughput-max-min routing");
-  return best;
+
+  // Deterministic merge: highest throughput, then greatest sorted vector,
+  // then earliest enumeration order.
+  TputLocal* best = nullptr;
+  for (TputLocal& local : locals) {
+    if (!local.have) continue;
+    if (best == nullptr) {
+      best = &local;
+      continue;
+    }
+    bool take = best->throughput < local.throughput;
+    if (!take && local.throughput == best->throughput) {
+      const auto cmp = lex_compare(local.sorted, best->sorted);
+      take = cmp == std::strong_ordering::greater ||
+             (cmp == std::strong_ordering::equal && local.order < best->order);
+    }
+    if (take) best = &local;
+  }
+  CF_CHECK_MSG(best != nullptr, "empty flow collection has no throughput-max-min routing");
+
+  ExactRoutingResult result;
+  result.middles = std::move(best->middles);
+  result.alloc = Allocation<Rational>(std::move(best->rates));
+  result.routings_evaluated = stats.routings_covered;
+  result.waterfill_invocations = stats.waterfill_invocations;
+  return result;
 }
 
 std::vector<ParetoPoint> throughput_fairness_frontier(const ClosNetwork& net,
                                                       const FlowSet& flows,
                                                       const ExhaustiveOptions& options) {
-  // Collect candidate (throughput, min rate) points, then prune dominated
-  // ones. Deduplicate on the fly by keeping, per throughput value seen, only
-  // the best min rate (the candidate map stays small).
-  std::vector<ParetoPoint> candidates;
-  enumerate(net, flows.size(), options, [&](const MiddleAssignment& middles) {
-    const Allocation<Rational> alloc = max_min_fair<Rational>(net, flows, middles);
-    ParetoPoint point;
-    point.throughput = alloc.throughput();
-    point.min_rate = flows.empty() ? Rational{0} : alloc.sorted().front();
-    for (ParetoPoint& existing : candidates) {
-      if (existing.throughput == point.throughput) {
-        if (existing.min_rate < point.min_rate) {
-          existing.min_rate = point.min_rate;
-          existing.middles = middles;
-        }
-        return true;
-      }
+  const SearchEngine engine(net, flows, options);
+  std::vector<FrontierLocal> locals(engine.num_workers());
+  engine.run(locals, [](FrontierLocal& local, const MiddleAssignment& middles,
+                        const std::vector<Rational>& rates, SearchOrder order) {
+    Rational throughput{0};
+    bool first = true;
+    Rational min_rate{0};
+    for (const Rational& r : rates) {
+      throughput += r;
+      if (first || r < min_rate) min_rate = r;
+      first = false;
     }
-    point.middles = middles;
-    candidates.push_back(std::move(point));
+    auto [it, inserted] =
+        local.by_throughput.try_emplace(throughput, FrontierCandidate{min_rate, middles, order});
+    if (!inserted && (it->second.min_rate < min_rate ||
+                      (it->second.min_rate == min_rate && order < it->second.order))) {
+      it->second = FrontierCandidate{min_rate, middles, order};
+    }
     return true;
   });
 
+  // Merge the per-worker candidate maps with the same (min rate, order) rule.
+  std::unordered_map<Rational, FrontierCandidate> merged;
+  for (FrontierLocal& local : locals) {
+    for (auto& [throughput, cand] : local.by_throughput) {
+      auto [it, inserted] = merged.try_emplace(throughput, cand);
+      if (!inserted && (it->second.min_rate < cand.min_rate ||
+                        (it->second.min_rate == cand.min_rate &&
+                         cand.order < it->second.order))) {
+        it->second = cand;
+      }
+    }
+  }
+
+  std::vector<ParetoPoint> candidates;
+  candidates.reserve(merged.size());
+  for (auto& [throughput, cand] : merged) {
+    candidates.push_back(ParetoPoint{throughput, cand.min_rate, std::move(cand.middles)});
+  }
   std::sort(candidates.begin(), candidates.end(),
             [](const ParetoPoint& a, const ParetoPoint& b) {
               return a.throughput < b.throughput;

@@ -8,8 +8,12 @@
 // constructions.
 //
 // Middle switches are interchangeable (any permutation of middles is a
-// topology automorphism), so the first flow can be pinned to M_1, cutting the
-// space by a factor n; enable via `fix_first_flow`.
+// topology automorphism), so assignments only need enumerating up to middle
+// relabeling: the search engine (routing/search_engine.hpp) visits one
+// canonical representative per equivalence class — a restricted-growth
+// string — and reconstructs full-space counts from orbit sizes. The legacy
+// odometer with its `fix_first_flow` pin remains as the fallback for
+// capacity-asymmetric middles.
 #pragma once
 
 #include <cstdint>
@@ -23,31 +27,61 @@
 namespace closfair {
 
 struct ExhaustiveOptions {
-  /// Abort (throw ContractViolation) if the enumeration would exceed this
-  /// many routings. Guards against accidentally launching an n^|F| blow-up.
+  /// Abort (throw ContractViolation) if the enumeration would water-fill
+  /// more than this many candidates. Guards against accidentally launching
+  /// an n^|F| blow-up; with canonical enumeration the bound applies to the
+  /// (much smaller) canonical class count.
   std::uint64_t max_routings = 50'000'000;
 
-  /// Pin flow 0 to middle 1 (sound by middle-switch symmetry).
+  /// Pin flow 0 to middle 1 in odometer mode (sound by middle-switch
+  /// symmetry). In canonical mode this is implied by the enumeration; the
+  /// flag then only selects whether `routings_evaluated` reports the pinned
+  /// (n^(|F|-1)-scale) or the full (n^|F|-scale) space, keeping counts
+  /// comparable with odometer runs under the same setting.
   bool fix_first_flow = true;
 
-  /// Worker threads for lex_max_min_exhaustive (1 = serial). The space is
-  /// partitioned by the last flow's middle; each worker keeps a local best
-  /// and the results merge lexicographically, so the answer is identical to
-  /// the serial one. stop_at_sorted early exit is honored via an atomic
-  /// flag (workers may overshoot slightly; routings_evaluated counts all
-  /// visits across workers).
+  /// Enumerate one canonical representative per middle-relabeling class
+  /// (restricted-growth strings) instead of the full odometer. Requires
+  /// capacity-symmetric middles; automatically falls back to the odometer
+  /// when `ClosNetwork::middles_symmetric()` is false.
+  bool exploit_middle_symmetry = true;
+
+  /// Worker threads (1 = serial) for all three searches. Work is distributed
+  /// over enumeration prefixes; each worker keeps a local best and results
+  /// merge with deterministic tie-breaking (enumeration order), so parallel
+  /// results are bitwise-identical to serial ones. Early-exit options are
+  /// honored via an atomic flag (workers may overshoot slightly;
+  /// routings_evaluated counts all visits across workers).
   unsigned num_threads = 1;
 
   /// Stop early if this sorted vector is reached: no feasible Clos allocation
   /// can lexicographically exceed the macro-switch max-min sorted vector
   /// (§2.3), so reaching it proves optimality. Applies to lex search only.
   std::optional<std::vector<Rational>> stop_at_sorted;
+
+  /// Throughput search only: stop once a routing attains the sum-of-
+  /// capacities upper bound (min over the distinct source / destination
+  /// links' capacity sums — no routing can exceed either). The returned
+  /// throughput is still exact; among equal-throughput optima the witness
+  /// may then be any bound-attaining routing rather than the first in
+  /// enumeration order.
+  bool prune_throughput_bound = true;
 };
 
 struct ExactRoutingResult {
   MiddleAssignment middles;
   Allocation<Rational> alloc;           ///< max-min fair allocation for `middles`
+
+  /// Routings covered, reported in full-space-equivalent terms: canonical
+  /// searches multiply each visited class by its orbit size (divided by n
+  /// under fix_first_flow), so the count matches what an odometer run with
+  /// the same fix_first_flow setting would report.
   std::uint64_t routings_evaluated = 0;
+
+  /// Candidates actually water-filled — the real work done. With canonical
+  /// enumeration this is the visited class count, orders of magnitude below
+  /// routings_evaluated.
+  std::uint64_t waterfill_invocations = 0;
 };
 
 /// True lex-max-min fair allocation by enumeration (exact, exponential).

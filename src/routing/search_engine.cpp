@@ -1,0 +1,152 @@
+#include "routing/search_engine.hpp"
+
+#include <algorithm>
+
+namespace closfair {
+namespace {
+
+// Saturating n^k.
+std::uint64_t sat_pow(std::uint64_t base, std::size_t exp) {
+  std::uint64_t result = 1;
+  for (std::size_t i = 0; i < exp; ++i) result = detail::sat_mul(result, base);
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t canonical_class_count(int max_values, std::size_t length) {
+  CF_CHECK_MSG(max_values >= 1, "canonical_class_count requires max_values >= 1");
+  // dp[k] = number of restricted-growth strings of the current length using
+  // exactly k distinct values: dp'[k] = k·dp[k] (reuse a value) + dp[k−1]
+  // (open value k). Descending k keeps dp[k−1] from the previous length.
+  std::vector<std::uint64_t> dp(static_cast<std::size_t>(max_values) + 1, 0);
+  dp[0] = 1;
+  for (std::size_t pos = 0; pos < length; ++pos) {
+    for (int k = max_values; k >= 1; --k) {
+      dp[static_cast<std::size_t>(k)] =
+          detail::sat_add(detail::sat_mul(dp[static_cast<std::size_t>(k)],
+                                          static_cast<std::uint64_t>(k)),
+                          dp[static_cast<std::size_t>(k) - 1]);
+    }
+    dp[0] = 0;
+  }
+  std::uint64_t total = length == 0 ? 1 : 0;
+  for (int k = 1; k <= max_values; ++k) {
+    total = detail::sat_add(total, dp[static_cast<std::size_t>(k)]);
+  }
+  return total;
+}
+
+std::uint64_t orbit_size(int n, int k) {
+  CF_CHECK(k >= 0 && k <= n);
+  std::uint64_t result = 1;
+  for (int i = 0; i < k; ++i) {
+    result = detail::sat_mul(result, static_cast<std::uint64_t>(n - i));
+  }
+  return result;
+}
+
+Rational throughput_capacity_bound(const ClosNetwork& net, const FlowSet& flows) {
+  const Topology& topo = net.topology();
+  std::vector<char> seen_src(topo.num_links(), 0);
+  std::vector<char> seen_dst(topo.num_links(), 0);
+  Rational src_sum{0};
+  Rational dst_sum{0};
+  for (const Flow& flow : flows) {
+    const ClosNetwork::ServerCoord s = net.source_coord(flow.src);
+    const ClosNetwork::ServerCoord t = net.dest_coord(flow.dst);
+    const LinkId src_link = net.source_link(s.tor, s.server);
+    const LinkId dst_link = net.dest_link(t.tor, t.server);
+    if (!seen_src[static_cast<std::size_t>(src_link)]) {
+      seen_src[static_cast<std::size_t>(src_link)] = 1;
+      src_sum += topo.link(src_link).capacity;
+    }
+    if (!seen_dst[static_cast<std::size_t>(dst_link)]) {
+      seen_dst[static_cast<std::size_t>(dst_link)] = 1;
+      dst_sum += topo.link(dst_link).capacity;
+    }
+  }
+  return min(src_sum, dst_sum);
+}
+
+SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,
+                           const ExhaustiveOptions& options)
+    : net_(net), flows_(flows) {
+  num_middles_ = net.num_middles();
+  fix_first_ = options.fix_first_flow;
+  canonical_ = options.exploit_middle_symmetry && net.middles_symmetric();
+  const std::size_t num_flows = flows.size();
+
+  // Guard the number of candidates that would be water-filled.
+  const std::size_t odometer_free =
+      num_flows - ((fix_first_ && num_flows > 0) ? 1 : 0);
+  const std::uint64_t candidates =
+      canonical_ ? canonical_class_count(num_middles_, num_flows)
+                 : sat_pow(static_cast<std::uint64_t>(num_middles_), odometer_free);
+  CF_CHECK_MSG(candidates <= options.max_routings,
+               (canonical_ ? "canonical" : "odometer")
+                   << " routing space of " << candidates << " candidates ("
+                   << num_middles_ << " middles, " << num_flows
+                   << " flows) exceeds max_routings " << options.max_routings);
+
+  covered_per_class_.assign(static_cast<std::size_t>(num_middles_) + 1, 1);
+  for (int k = 1; k <= num_middles_; ++k) {
+    const std::uint64_t orbit = orbit_size(num_middles_, k);
+    // Under fix_first_flow the reported space is the slice with flow 0 on
+    // M_1; by symmetry exactly 1/n of each orbit lies in that slice.
+    covered_per_class_[static_cast<std::size_t>(k)] =
+        (fix_first_ && num_flows > 0 && orbit != UINT64_MAX)
+            ? orbit / static_cast<std::uint64_t>(num_middles_)
+            : orbit;
+  }
+
+  workers_ = num_flows >= 2 ? std::max(1u, options.num_threads) : 1u;
+
+  // Carve the space into prefix work units: the shortest prefix length whose
+  // unit count gives each worker several units to pull. Serial runs use a
+  // single empty prefix — the same code path, no partition overhead.
+  prefix_len_ = 0;
+  if (workers_ > 1) {
+    const std::uint64_t target = static_cast<std::uint64_t>(workers_) * 8;
+    std::uint64_t count = 1;
+    while (prefix_len_ < num_flows && count < target) {
+      ++prefix_len_;
+      count = canonical_
+                  ? canonical_class_count(num_middles_, prefix_len_)
+                  : sat_pow(static_cast<std::uint64_t>(num_middles_),
+                            prefix_len_ - ((fix_first_ && prefix_len_ > 0) ? 1 : 0));
+    }
+  }
+
+  // Generate the prefixes in enumeration order (lexicographic), carrying the
+  // running maximum for canonical continuation.
+  prefixes_.clear();
+  MiddleAssignment current(prefix_len_, 1);
+  // Iterative DFS emitting leaves at depth prefix_len_ in lex order.
+  std::vector<int> value(prefix_len_ + 1, 0);
+  std::vector<int> max_before(prefix_len_ + 1, 0);
+  std::size_t pos = 0;
+  while (true) {
+    if (pos == prefix_len_) {
+      prefixes_.push_back(Prefix{current, max_before[pos]});
+      if (prefix_len_ == 0) break;
+      --pos;
+      continue;
+    }
+    const int hi = canonical_ ? std::min(num_middles_, max_before[pos] + 1)
+                   : (pos == 0 && fix_first_) ? 1
+                                              : num_middles_;
+    if (value[pos] < hi) {
+      ++value[pos];
+      current[pos] = value[pos];
+      max_before[pos + 1] = std::max(max_before[pos], value[pos]);
+      ++pos;
+      value[pos] = 0;
+    } else {
+      if (pos == 0) break;
+      --pos;
+    }
+  }
+}
+
+}  // namespace closfair

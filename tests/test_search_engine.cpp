@@ -1,0 +1,276 @@
+// The symmetry-reduced search engine: canonical class counts, orbit
+// reconstruction, odometer fallback, serial/parallel equivalence, the
+// throughput prune, and the allocation-free waterfill workspace.
+#include "routing/search_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "fairness/waterfill.hpp"
+#include "routing/exhaustive.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+// Global allocation counter for the no-allocation-per-candidate test. Only
+// operator new/new[] are counted; the counter is atomic so instrumented
+// multi-threaded tests stay well-defined.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete[](p); }
+
+namespace closfair {
+namespace {
+
+FlowSet random_flows(const ClosNetwork& net, std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  return instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, count, rng));
+}
+
+TEST(SearchEngine, CanonicalClassCountsClosedForm) {
+  // sum_{k<=n} S(F, k): Stirling numbers of the second kind.
+  EXPECT_EQ(canonical_class_count(1, 5), 1u);
+  EXPECT_EQ(canonical_class_count(2, 4), 8u);    // 1 + 7
+  EXPECT_EQ(canonical_class_count(3, 4), 14u);   // 1 + 7 + 6
+  EXPECT_EQ(canonical_class_count(4, 4), 15u);   // Bell(4)
+  EXPECT_EQ(canonical_class_count(3, 5), 41u);   // 1 + 15 + 25
+  EXPECT_EQ(canonical_class_count(4, 8), 2795u); // 1 + 127 + 966 + 1701
+  EXPECT_EQ(canonical_class_count(5, 0), 1u);
+  // Saturation, not overflow, on absurd sizes.
+  EXPECT_EQ(canonical_class_count(40, 80), UINT64_MAX);
+}
+
+TEST(SearchEngine, OrbitSizesAreFallingFactorials) {
+  EXPECT_EQ(orbit_size(4, 0), 1u);
+  EXPECT_EQ(orbit_size(4, 1), 4u);
+  EXPECT_EQ(orbit_size(4, 2), 12u);
+  EXPECT_EQ(orbit_size(4, 4), 24u);
+  EXPECT_EQ(orbit_size(3, 3), 6u);
+}
+
+TEST(SearchEngine, CanonicalVisitCountsAndOrbitReconstruction) {
+  // The lex search must water-fill exactly one representative per class and
+  // reconstruct the full n^F space (pinned n^(F-1) under fix_first_flow)
+  // from orbit sizes.
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = random_flows(net, 4, 7);
+
+  ExhaustiveOptions full;
+  full.fix_first_flow = false;
+  const auto unpinned = lex_max_min_exhaustive(net, flows, full);
+  EXPECT_EQ(unpinned.waterfill_invocations, canonical_class_count(3, 4));  // 14
+  EXPECT_EQ(unpinned.routings_evaluated, 81u);                             // 3^4
+
+  const auto pinned = lex_max_min_exhaustive(net, flows);
+  EXPECT_EQ(pinned.waterfill_invocations, canonical_class_count(3, 4));
+  EXPECT_EQ(pinned.routings_evaluated, 27u);  // 3^3
+  EXPECT_EQ(pinned.alloc.sorted(), unpinned.alloc.sorted());
+}
+
+TEST(SearchEngine, MiddlesSymmetricPredicate) {
+  ClosNetwork net = ClosNetwork::paper(3);
+  EXPECT_TRUE(net.middles_symmetric());
+
+  // One deviating uplink breaks it; restoring a uniform (if different)
+  // capacity per ToR keeps it.
+  net.set_uplink_capacity(1, 2, Rational{1, 2});
+  EXPECT_FALSE(net.middles_symmetric());
+  net.set_uplink_capacity(1, 1, Rational{1, 2});
+  net.set_uplink_capacity(1, 3, Rational{1, 2});
+  EXPECT_TRUE(net.middles_symmetric());
+
+  net.set_downlink_capacity(2, 4, Rational{3});
+  EXPECT_FALSE(net.middles_symmetric());
+}
+
+TEST(SearchEngine, CanonicalMatchesOdometerOnC3) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const FlowSet flows = random_flows(net, 5, seed);
+    ExhaustiveOptions odometer;
+    odometer.exploit_middle_symmetry = false;
+    const auto lex_full = lex_max_min_exhaustive(net, flows, odometer);
+    const auto lex_canon = lex_max_min_exhaustive(net, flows);
+    EXPECT_EQ(lex_canon.alloc.sorted(), lex_full.alloc.sorted()) << "seed " << seed;
+    EXPECT_EQ(lex_canon.routings_evaluated, lex_full.routings_evaluated);
+    EXPECT_LT(lex_canon.waterfill_invocations, lex_full.waterfill_invocations);
+
+    const auto tput_full = throughput_max_min_exhaustive(net, flows, odometer);
+    const auto tput_canon = throughput_max_min_exhaustive(net, flows);
+    EXPECT_EQ(tput_canon.alloc.throughput(), tput_full.alloc.throughput())
+        << "seed " << seed;
+  }
+}
+
+TEST(SearchEngine, CanonicalMatchesOdometerOnC4) {
+  const ClosNetwork net = ClosNetwork::paper(4);
+  const FlowSet flows = random_flows(net, 6, 21);
+  ExhaustiveOptions odometer;
+  odometer.exploit_middle_symmetry = false;
+  const auto lex_full = lex_max_min_exhaustive(net, flows, odometer);
+  const auto lex_canon = lex_max_min_exhaustive(net, flows);
+  EXPECT_EQ(lex_canon.alloc.sorted(), lex_full.alloc.sorted());
+  EXPECT_EQ(lex_canon.routings_evaluated, lex_full.routings_evaluated);
+  // 4^5 = 1024 pinned-odometer candidates vs sum_{k<=4} S(6,k) = 187.
+  EXPECT_EQ(lex_full.waterfill_invocations, 1024u);
+  EXPECT_EQ(lex_canon.waterfill_invocations, canonical_class_count(4, 6));
+
+  const auto tput_full = throughput_max_min_exhaustive(net, flows, odometer);
+  const auto tput_canon = throughput_max_min_exhaustive(net, flows);
+  EXPECT_EQ(tput_canon.alloc.throughput(), tput_full.alloc.throughput());
+}
+
+TEST(SearchEngine, AsymmetricMiddlesFallBackToOdometer) {
+  ClosNetwork net = ClosNetwork::paper(3);
+  net.set_uplink_capacity(2, 3, Rational{1, 4});  // middles no longer interchangeable
+  ASSERT_FALSE(net.middles_symmetric());
+  const FlowSet flows = random_flows(net, 4, 33);
+
+  // Default options now fall back to the full odometer: every pinned
+  // assignment is water-filled (no canonical reduction is sound here).
+  const auto result = lex_max_min_exhaustive(net, flows);
+  EXPECT_EQ(result.waterfill_invocations, 27u);  // 3^3, flow 0 pinned
+  EXPECT_EQ(result.routings_evaluated, 27u);
+
+  ExhaustiveOptions no_sym;
+  no_sym.exploit_middle_symmetry = false;
+  const auto explicit_odometer = lex_max_min_exhaustive(net, flows, no_sym);
+  EXPECT_EQ(result.alloc.sorted(), explicit_odometer.alloc.sorted());
+  EXPECT_EQ(result.middles, explicit_odometer.middles);
+}
+
+TEST(SearchEngine, ParallelLexIdenticalToSerial) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  for (std::uint64_t seed : {5u, 6u}) {
+    const FlowSet flows = random_flows(net, 6, seed);
+    const auto serial = lex_max_min_exhaustive(net, flows);
+    for (unsigned threads : {2u, 8u}) {
+      ExhaustiveOptions options;
+      options.num_threads = threads;
+      const auto parallel = lex_max_min_exhaustive(net, flows, options);
+      EXPECT_EQ(parallel.middles, serial.middles) << threads << " threads, seed " << seed;
+      EXPECT_EQ(parallel.alloc.rates(), serial.alloc.rates());
+      EXPECT_EQ(parallel.routings_evaluated, serial.routings_evaluated);
+      EXPECT_EQ(parallel.waterfill_invocations, serial.waterfill_invocations);
+    }
+  }
+}
+
+TEST(SearchEngine, ParallelThroughputIdenticalToSerial) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = random_flows(net, 6, 9);
+  // Prune off: with it on, a bound-attaining witness may legitimately differ
+  // across schedules (the throughput itself never does).
+  ExhaustiveOptions serial_options;
+  serial_options.prune_throughput_bound = false;
+  const auto serial = throughput_max_min_exhaustive(net, flows, serial_options);
+  for (unsigned threads : {2u, 8u}) {
+    ExhaustiveOptions options = serial_options;
+    options.num_threads = threads;
+    const auto parallel = throughput_max_min_exhaustive(net, flows, options);
+    EXPECT_EQ(parallel.middles, serial.middles) << threads << " threads";
+    EXPECT_EQ(parallel.alloc.rates(), serial.alloc.rates());
+    EXPECT_EQ(parallel.routings_evaluated, serial.routings_evaluated);
+    EXPECT_EQ(parallel.waterfill_invocations, serial.waterfill_invocations);
+  }
+}
+
+TEST(SearchEngine, ParallelFrontierIdenticalToSerial) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = random_flows(net, 6, 14);
+  const auto serial = throughput_fairness_frontier(net, flows);
+  for (unsigned threads : {2u, 8u}) {
+    ExhaustiveOptions options;
+    options.num_threads = threads;
+    const auto parallel = throughput_fairness_frontier(net, flows, options);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].throughput, serial[i].throughput);
+      EXPECT_EQ(parallel[i].min_rate, serial[i].min_rate);
+      EXPECT_EQ(parallel[i].middles, serial[i].middles);
+    }
+  }
+}
+
+TEST(SearchEngine, ThroughputPruneStopsAtCapacityBound) {
+  // Three flows between pairwise-distinct ToRs: routing them all through M_1
+  // already gives every flow rate 1, attaining the sum-of-capacities bound 3
+  // on the first candidate.
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = instantiate(
+      net, {FlowSpec{1, 1, 4, 1}, FlowSpec{2, 1, 5, 1}, FlowSpec{3, 1, 6, 1}});
+  EXPECT_EQ(throughput_capacity_bound(net, flows), Rational(3));
+
+  const auto pruned = throughput_max_min_exhaustive(net, flows);
+  EXPECT_EQ(pruned.waterfill_invocations, 1u);
+  EXPECT_EQ(pruned.alloc.throughput(), Rational(3));
+
+  ExhaustiveOptions no_prune;
+  no_prune.prune_throughput_bound = false;
+  const auto full = throughput_max_min_exhaustive(net, flows, no_prune);
+  EXPECT_EQ(full.waterfill_invocations, canonical_class_count(3, 3));  // 5
+  EXPECT_EQ(full.alloc.throughput(), pruned.alloc.throughput());
+}
+
+TEST(SearchEngine, WorkspaceMatchesGenericWaterfill) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = random_flows(net, 7, 77);
+  WaterfillWorkspace workspace;
+  workspace.bind(net, flows);
+  Rng rng(123);
+  MiddleAssignment middles(flows.size());
+  for (int trial = 0; trial < 20; ++trial) {
+    for (int& m : middles) m = 1 + static_cast<int>(rng.next_below(3));
+    const auto reference = max_min_fair<Rational>(net, flows, middles);
+    EXPECT_EQ(workspace.max_min_rates(middles), reference.rates()) << "trial " << trial;
+  }
+}
+
+TEST(SearchEngine, WorkspaceReusesBuffersWithoutAllocating) {
+  const ClosNetwork net = ClosNetwork::paper(4);
+  const FlowSet flows = random_flows(net, 8, 88);
+  WaterfillWorkspace workspace;
+  workspace.bind(net, flows);
+  MiddleAssignment middles(flows.size(), 1);
+  const Rational* stable = workspace.max_min_rates(middles).data();  // warm-up
+
+  const std::uint64_t before = g_allocations.load();
+  for (int trial = 0; trial < 100; ++trial) {
+    // Odometer step: vary the assignment without allocating.
+    for (std::size_t f = 0; f < middles.size(); ++f) {
+      if (middles[f] < 4) {
+        ++middles[f];
+        break;
+      }
+      middles[f] = 1;
+    }
+    const std::vector<Rational>& rates = workspace.max_min_rates(middles);
+    if (rates.data() != stable) {
+      ADD_FAILURE() << "result buffer moved on trial " << trial;
+      break;
+    }
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "water-fill inner loop allocated on the heap";
+}
+
+}  // namespace
+}  // namespace closfair
