@@ -11,6 +11,8 @@
 #include "matching/flow_graphs.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/hungarian.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "routing/doom_switch.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/exhaustive.hpp"
@@ -217,6 +219,25 @@ void BM_RcpConvergence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RcpConvergence)->Arg(2)->Arg(4)->Arg(8);
+
+// Cost of one counter report (a relaxed fetch_add on a padded thread-local
+// slot when OBS is on; nothing when compiled out). Baseline for judging the
+// instrumentation density of hot paths.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    OBS_COUNTER_INC("bench.counter_add");
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+// Cost of a full span (two steady-clock reads + histogram record, no sink).
+void BM_ObsSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    OBS_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpan);
 
 }  // namespace
 }  // namespace closfair

@@ -2,7 +2,12 @@
 //
 //   $ ./closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex] [--seed S]
 //                    [--csv OUT.csv] [--dot OUT.dot] [--json OUT.json] [--verify]
-//                    [--replicate]
+//                    [--replicate] [--metrics OUT.json] [--trace OUT.jsonl]
+//
+// --metrics dumps the obs registry (counters/gauges/histograms accumulated
+// during the analysis) as JSON; --trace streams Chrome-trace JSONL span
+// events (see docs/OBSERVABILITY.md). Both are no-ops when the library was
+// built with -DCLOSFAIR_OBS=OFF.
 //
 // --replicate asks the exact backtracking searcher whether the instance's
 // target rates (each flow's `@rate`, defaulting to its macro-switch max-min
@@ -30,6 +35,8 @@
 #include "fairness/waterfill.hpp"
 #include "io/text_format.hpp"
 #include "net/dot.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "routing/doom_switch.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/greedy.hpp"
@@ -44,7 +51,8 @@ namespace {
 int usage() {
   std::cerr << "usage: closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex]\n"
                "                    [--seed S] [--csv OUT.csv] [--dot OUT.dot]\n"
-               "                    [--json OUT.json] [--verify] [--replicate]\n";
+               "                    [--json OUT.json] [--verify] [--replicate]\n"
+               "                    [--metrics OUT.json] [--trace OUT.jsonl]\n";
   return 2;
 }
 
@@ -56,6 +64,8 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string dot_path;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool verify = false;
   bool replicate = false;
   std::uint64_t seed = 1;
@@ -78,6 +88,10 @@ int main(int argc, char** argv) {
       dot_path = next();
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--replicate") {
@@ -90,6 +104,11 @@ int main(int argc, char** argv) {
   std::ifstream in(argv[1]);
   if (!in) {
     std::cerr << "cannot open " << argv[1] << '\n';
+    return 1;
+  }
+
+  if (!trace_path.empty() && !obs::start_trace(trace_path)) {
+    std::cerr << "cannot open trace file " << trace_path << '\n';
     return 1;
   }
 
@@ -181,6 +200,12 @@ int main(int argc, char** argv) {
       std::ofstream dot(dot_path);
       dot << to_dot(net.topology(), flows, expand_routing(net, flows, middles));
       std::cout << "wrote " << dot_path << '\n';
+    }
+    obs::stop_trace();
+    if (!metrics_path.empty()) {
+      std::ofstream metrics(metrics_path);
+      metrics << metrics_to_json(obs::Registry::instance().snapshot()).dump(2) << '\n';
+      std::cout << "wrote " << metrics_path << '\n';
     }
   } catch (const ParseError& e) {
     std::cerr << "parse error: " << e.what() << '\n';

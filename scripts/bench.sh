@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Perf-regression check for the search engine: build Release, run
+# bench/perf_report against a scratch output, and diff the obs counter
+# snapshot embedded in it against the committed BENCH_search.json baseline.
+#
+# Counters measuring algorithmic work (waterfill.*, search.candidates,
+# search.routings_covered, lp.*) are deterministic for the fixed benchmark
+# instance, so any increase is a genuine work regression and fails the
+# script. Wall-clock seconds and span durations are reported but never
+# gating — this machine is shared.
+#
+# Usage: scripts/bench.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+BASELINE="BENCH_search.json"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" --target perf_report >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+build-release/bench/perf_report "$TMP/BENCH_search.json"
+echo
+
+if [ ! -f "$BASELINE" ]; then
+  cp "$TMP/BENCH_search.json" "$BASELINE"
+  echo "no committed $BASELINE found: wrote a first-run baseline."
+  echo "Commit it to start tracking the perf trajectory."
+  exit 0
+fi
+
+python3 - "$BASELINE" "$TMP/BENCH_search.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+
+base_counters = base.get("metrics", {}).get("counters", {})
+cur_counters = cur.get("metrics", {}).get("counters", {})
+
+# Thread-count- and machine-independent work counters: deterministic for the
+# fixed benchmark instance, so an increase is a real regression.
+DETERMINISTIC_PREFIXES = ("waterfill.", "lp.")
+DETERMINISTIC_NAMES = {"search.candidates", "search.routings_covered", "search.runs"}
+
+def deterministic(name):
+    return name in DETERMINISTIC_NAMES or name.startswith(DETERMINISTIC_PREFIXES)
+
+rows = []
+regressions = []
+for name in sorted(set(base_counters) | set(cur_counters)):
+    b = base_counters.get(name)
+    c = cur_counters.get(name)
+    if b == c:
+        status = ""
+    elif b is None:
+        status = "new"
+    elif c is None:
+        status = "gone"
+    elif deterministic(name):
+        status = "REGRESSION" if c > b else "improved"
+        if c > b:
+            regressions.append(name)
+    else:
+        status = "changed (non-deterministic)"
+    rows.append((name, b, c, status))
+
+name_w = max(len(r[0]) for r in rows) if rows else 7
+print(f"{'counter':<{name_w}}  {'baseline':>12}  {'current':>12}  status")
+print("-" * (name_w + 40))
+for name, b, c, status in rows:
+    bs = "-" if b is None else str(b)
+    cs = "-" if c is None else str(c)
+    print(f"{name:<{name_w}}  {bs:>12}  {cs:>12}  {status}")
+
+base_secs = {r["config"]: r["seconds"] for r in base.get("lex_runs", [])}
+cur_secs = {r["config"]: r["seconds"] for r in cur.get("lex_runs", [])}
+if base_secs and cur_secs:
+    print("\nwall seconds (informational, not gating):")
+    for config in cur_secs:
+        b = base_secs.get(config)
+        c = cur_secs[config]
+        delta = "" if b is None else f"  ({(c - b) / b * 100.0:+.0f}%)"
+        print(f"  {config:<22} {c:.4f}s{delta}")
+
+if regressions:
+    print(f"\nFAIL: {len(regressions)} deterministic counter(s) regressed: "
+          + ", ".join(regressions))
+    sys.exit(1)
+print("\nbench: no work regressions vs committed baseline")
+EOF

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the search engine's
-# serial-vs-parallel equivalence tests under ThreadSanitizer.
+# Tier-1 verification: full build + test suite, the search engine's
+# serial-vs-parallel equivalence tests under ThreadSanitizer, and the
+# CLOSFAIR_OBS=OFF configuration (instrumentation compiled out) with its
+# unit tests plus a link-level check that the obs TUs are empty.
 #
 # Usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -18,6 +20,22 @@ echo "== tier 1: SearchEngine tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCLOSFAIR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_search_engine
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'SearchEngine')
+
+echo
+echo "== tier 1: CLOSFAIR_OBS=OFF build (instrumentation compiled out) =="
+cmake -B build-noobs -S . -DCLOSFAIR_OBS=OFF >/dev/null
+cmake --build build-noobs -j "$JOBS" --target \
+    test_obs test_search_engine test_waterfill test_simplex test_maxmin_lp test_exhaustive
+for tu in obs/obs.cpp.o obs/trace.cpp.o; do
+  defined=$(nm "build-noobs/src/CMakeFiles/closfair.dir/$tu" | grep -c ' T ' || true)
+  if [ "$defined" -ne 0 ]; then
+    echo "FAIL: $tu defines $defined symbols in an OBS=OFF build"
+    exit 1
+  fi
+done
+echo "obs TUs are empty under OBS=OFF (no defined symbols)"
+(cd build-noobs && ctest --output-on-failure -j "$JOBS" \
+    -R 'Obs|SearchEngine|Waterfill|Simplex|MaxMin|Exhaustive')
 
 echo
 echo "tier 1: OK"

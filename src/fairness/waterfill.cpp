@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace closfair {
 
 // Explicit instantiations for the two supported rate domains, keeping the
@@ -57,6 +59,7 @@ void WaterfillWorkspace::bind(const ClosNetwork& net, const FlowSet& flows) {
   to_freeze_.reserve(4 * num_flows_);
   frozen_.assign(num_flows_, 0);
   rates_.assign(num_flows_, Rational{0});
+  OBS_COUNTER_INC("waterfill.binds");
 }
 
 const std::vector<Rational>& WaterfillWorkspace::max_min_rates(
@@ -105,7 +108,10 @@ const std::vector<Rational>& WaterfillWorkspace::max_min_rates(
   }
 
   // Progressive filling, identical to max_min_fair<Rational> but iterating
-  // only the links this candidate actually uses.
+  // only the links this candidate actually uses. Telemetry accumulates in
+  // plain locals; the registry is touched once per call, at the bottom.
+  std::uint64_t obs_rounds = 0;
+  std::uint64_t obs_saturations = 0;
   std::fill(rates_.begin(), rates_.end(), Rational{0});
   std::fill(frozen_.begin(), frozen_.end(), static_cast<unsigned char>(0));
   std::size_t num_frozen = 0;
@@ -157,7 +163,13 @@ const std::vector<Rational>& WaterfillWorkspace::max_min_rates(
         --active_count_[static_cast<std::size_t>(flow_links_[4 * f + slot])];
       }
     }
+    ++obs_rounds;
+    obs_saturations += saturated_.size();
   }
+  OBS_COUNTER_INC("waterfill.calls");
+  OBS_COUNTER_ADD("waterfill.rounds", obs_rounds);
+  OBS_COUNTER_ADD("waterfill.saturated_links", obs_saturations);
+  OBS_COUNTER_ADD("waterfill.links_touched", used_links_.size());
   return rates_;
 }
 

@@ -20,6 +20,7 @@
 #include "flow/flow.hpp"
 #include "flow/routing.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 
 namespace closfair {
 namespace detail {
@@ -68,6 +69,7 @@ template <typename R>
   std::size_t num_frozen = 0;
   std::vector<std::size_t> saturated;  // links attaining the round's level
   std::vector<FlowIndex> to_freeze;    // both reused across rounds
+  std::uint64_t obs_rounds = 0;        // reported once, below
 
   while (num_frozen < num_flows) {
     // The next saturation level: the smallest fair share (residual / active)
@@ -119,7 +121,10 @@ template <typename R>
         --active_count[static_cast<std::size_t>(l)];
       }
     }
+    ++obs_rounds;
   }
+  OBS_COUNTER_INC("waterfill.generic_calls");
+  OBS_COUNTER_ADD("waterfill.generic_rounds", obs_rounds);
   return alloc;
 }
 

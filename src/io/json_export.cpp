@@ -60,4 +60,38 @@ Json to_json(const SimStats& stats) {
   return j;
 }
 
+Json metrics_to_json(const obs::MetricsSnapshot& snapshot) {
+  Json counters = Json::object();
+  for (const auto& c : snapshot.counters) {
+    counters.set(c.name, Json::number(static_cast<std::int64_t>(c.value)));
+  }
+  Json gauges = Json::object();
+  for (const auto& g : snapshot.gauges) {
+    gauges.set(g.name, Json::number(g.value));
+  }
+  Json histograms = Json::object();
+  for (const auto& h : snapshot.histograms) {
+    Json entry = Json::object();
+    entry.set("count", Json::number(static_cast<std::int64_t>(h.count)));
+    entry.set("total_ns", Json::number(static_cast<std::int64_t>(h.total_ns)));
+    entry.set("min_ns", Json::number(static_cast<std::int64_t>(h.min_ns)));
+    entry.set("max_ns", Json::number(static_cast<std::int64_t>(h.max_ns)));
+    // Log2-ns buckets, truncated after the last nonzero bin to keep dumps
+    // readable; bucket i counts durations in [2^(i-1), 2^i) ns.
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < last; ++b) {
+      buckets.push_back(Json::number(static_cast<std::int64_t>(h.buckets[b])));
+    }
+    entry.set("buckets_log2_ns", std::move(buckets));
+    histograms.set(h.name, std::move(entry));
+  }
+  Json j = Json::object();
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
 }  // namespace closfair

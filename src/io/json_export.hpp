@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/analysis.hpp"
+#include "obs/obs.hpp"
 #include "sim/event_sim.hpp"
 #include "util/json.hpp"
 
@@ -21,5 +22,12 @@ namespace closfair {
 
 /// Simulator statistics.
 [[nodiscard]] Json to_json(const SimStats& stats);
+
+/// Registry snapshot (src/obs): {"counters": {name: n, ...}, "gauges":
+/// {...}, "histograms": {name: {count, total_ns, min_ns, max_ns, buckets},
+/// ...}}. Entries are name-sorted (snapshot order), so exports diff cleanly.
+/// In CLOSFAIR_OBS=OFF builds snapshots are empty and this returns the same
+/// shape with empty objects.
+[[nodiscard]] Json metrics_to_json(const obs::MetricsSnapshot& snapshot);
 
 }  // namespace closfair

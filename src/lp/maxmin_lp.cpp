@@ -3,12 +3,15 @@
 #include <optional>
 
 #include "lp/simplex.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace closfair {
 
 template <typename R>
 Allocation<R> max_min_fair_lp(const Topology& topo, const FlowSet& flows,
                               const Routing& routing) {
+  OBS_SPAN("lp.maxmin.solve");
   CF_CHECK(routing.size() == flows.size());
   const std::size_t num_flows = flows.size();
   const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
@@ -75,6 +78,8 @@ Allocation<R> max_min_fair_lp(const Topology& topo, const FlowSet& flows,
     }
     std::vector<R> c(num_vars, R{0});
     c[k] = R{1};
+    OBS_COUNTER_INC("lp.maxmin.rounds");
+    OBS_COUNTER_INC("lp.maxmin.level_lps");
     const LpResult<R> level_lp = solve_lp<R>(A, b, c);
     CF_CHECK_MSG(level_lp.status == LpStatus::kOptimal,
                  "max-min level LP unbounded: some flow crosses no bounded link");
@@ -104,11 +109,13 @@ Allocation<R> max_min_fair_lp(const Topology& topo, const FlowSet& flows,
     for (std::size_t i = 0; i < k; ++i) {
       std::vector<R> c2(k, R{0});
       c2[i] = R{1};
+      OBS_COUNTER_INC("lp.maxmin.improve_lps");
       const LpResult<R> improve = solve_lp<R>(A2, b2, c2);
       CF_CHECK(improve.status == LpStatus::kOptimal);
       if (improve.objective == R{0}) to_fix.push_back(active[i]);
     }
     CF_CHECK_MSG(!to_fix.empty(), "max-min LP made no progress");
+    OBS_COUNTER_ADD("lp.maxmin.flows_frozen", to_fix.size());
 
     for (FlowIndex f : to_fix) {
       fixed[f] = true;
@@ -130,6 +137,7 @@ Allocation<Rational> weighted_max_min_fair_lp(const Topology& topo, const FlowSe
                                               const Routing& routing,
                                               const std::vector<Rational>& weights) {
   using R = Rational;
+  OBS_SPAN("lp.maxmin.solve");
   CF_CHECK(routing.size() == flows.size());
   CF_CHECK_MSG(weights.size() == flows.size(),
                "weights cover " << weights.size() << " flows, expected " << flows.size());
@@ -194,6 +202,8 @@ Allocation<Rational> weighted_max_min_fair_lp(const Topology& topo, const FlowSe
     }
     std::vector<R> c(num_vars, R{0});
     c[k] = R{1};
+    OBS_COUNTER_INC("lp.maxmin.rounds");
+    OBS_COUNTER_INC("lp.maxmin.level_lps");
     const LpResult<R> level_lp = solve_lp<R>(A, b, c);
     CF_CHECK_MSG(level_lp.status == LpStatus::kOptimal,
                  "weighted max-min level LP unbounded");
@@ -221,11 +231,13 @@ Allocation<Rational> weighted_max_min_fair_lp(const Topology& topo, const FlowSe
     for (std::size_t i = 0; i < k; ++i) {
       std::vector<R> c2(k, R{0});
       c2[i] = R{1};
+      OBS_COUNTER_INC("lp.maxmin.improve_lps");
       const LpResult<R> improve = solve_lp<R>(A2, b2, c2);
       CF_CHECK(improve.status == LpStatus::kOptimal);
       if (improve.objective == R{0}) to_fix.push_back(active[i]);
     }
     CF_CHECK_MSG(!to_fix.empty(), "weighted max-min LP made no progress");
+    OBS_COUNTER_ADD("lp.maxmin.flows_frozen", to_fix.size());
 
     for (FlowIndex f : to_fix) {
       fixed[f] = true;

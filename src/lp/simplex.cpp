@@ -1,5 +1,8 @@
 #include "lp/simplex.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace closfair {
 namespace {
 
@@ -29,13 +32,18 @@ class Tableau {
   }
 
   LpResult<R> run() {
+    OBS_SPAN("lp.solve");
+    OBS_COUNTER_INC("lp.solves");
     while (true) {
       const std::size_t enter = entering_column();
       if (enter == kNoCol) break;  // optimal
       const std::size_t leave = leaving_row(enter);
       if (leave == kNoRow) {
+        OBS_COUNTER_INC("lp.unbounded");
         return LpResult<R>{LpStatus::kUnbounded, R{0}, {}};
       }
+      OBS_COUNTER_INC("lp.pivots");
+      if (rows_[leave][cols_ - 1] == R{0}) OBS_COUNTER_INC("lp.degenerate_pivots");
       pivot(leave, enter);
     }
     LpResult<R> result;
@@ -174,6 +182,8 @@ class TwoPhaseTableau {
   }
 
   GeneralLpResult<R> run() {
+    OBS_SPAN("lp.solve_general");
+    OBS_COUNTER_INC("lp.two_phase_solves");
     // Phase 1: maximize -(sum of artificials).
     std::vector<R> phase1(cols_ - 1, R{0});
     for (std::size_t j = art_base_; j + 1 < cols_; ++j) phase1[j] = R{-1};
@@ -183,6 +193,7 @@ class TwoPhaseTableau {
       throw ContractViolation("phase-1 LP reported unbounded");
     }
     if (z_[cols_ - 1] < R{0}) {
+      OBS_COUNTER_INC("lp.infeasible");
       return GeneralLpResult<R>{GeneralLpStatus::kInfeasible, R{0}, {}};
     }
     pivot_out_artificials();
@@ -190,6 +201,7 @@ class TwoPhaseTableau {
     // Phase 2: the real objective, artificials barred.
     build_objective(c_full_);
     if (!optimize(/*allow_artificials=*/false)) {
+      OBS_COUNTER_INC("lp.unbounded");
       return GeneralLpResult<R>{GeneralLpStatus::kUnbounded, R{0}, {}};
     }
     GeneralLpResult<R> result;
@@ -203,8 +215,10 @@ class TwoPhaseTableau {
   }
 
  private:
-  // Rebuild the reduced-cost row for objective `c` over the current basis.
+  // Rebuild the reduced-cost row for objective `c` over the current basis —
+  // the dense-tableau analogue of a basis refactorization.
   void build_objective(const std::vector<R>& c) {
+    OBS_COUNTER_INC("lp.refactorizations");
     z_.assign(cols_, R{0});
     for (std::size_t j = 0; j + 1 < cols_; ++j) z_[j] = R{0} - c[j];
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -239,6 +253,8 @@ class TwoPhaseTableau {
         }
       }
       if (leave == rows_.size()) return false;
+      OBS_COUNTER_INC("lp.pivots");
+      if (rows_[leave][cols_ - 1] == R{0}) OBS_COUNTER_INC("lp.degenerate_pivots");
       pivot(leave, enter);
     }
   }

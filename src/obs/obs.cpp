@@ -1,0 +1,272 @@
+#include "obs/obs.hpp"
+
+#if CLOSFAIR_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace closfair {
+namespace obs {
+namespace {
+
+constexpr std::size_t kMaxCounters = 128;
+constexpr std::size_t kMaxGauges = 64;
+constexpr std::size_t kMaxHistograms = 64;
+
+// One counter slot, padded to a cache line so the owning thread's writes
+// never false-share with neighbours or with the aggregating reader.
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct ThreadSlab {
+  CounterCell cells[kMaxCounters];
+};
+
+struct GaugeCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+struct HistogramCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> min_ns{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns{0};
+  std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
+
+  void reset() {
+    count.store(0, std::memory_order_relaxed);
+    total_ns.store(0, std::memory_order_relaxed);
+    min_ns.store(UINT64_MAX, std::memory_order_relaxed);
+    max_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  }
+};
+
+void atomic_update_min(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_update_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct RegistryImpl {
+  mutable std::mutex mu;
+
+  // Metric objects live in deques: references handed out stay stable.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::unordered_map<std::string, std::size_t> counter_index;
+  std::unordered_map<std::string, std::size_t> gauge_index;
+  std::unordered_map<std::string, std::size_t> histogram_index;
+
+  // Per-thread counter slabs currently alive, plus totals folded in from
+  // threads that have exited.
+  std::vector<ThreadSlab*> slabs;
+  std::atomic<std::uint64_t> retired[kMaxCounters] = {};
+
+  GaugeCell gauge_cells[kMaxGauges];
+  HistogramCell histogram_cells[kMaxHistograms];
+
+  void attach(ThreadSlab* slab) {
+    std::lock_guard<std::mutex> lock(mu);
+    slabs.push_back(slab);
+  }
+
+  void detach(ThreadSlab* slab) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      const std::uint64_t v = slab->cells[i].value.load(std::memory_order_relaxed);
+      if (v != 0) retired[i].fetch_add(v, std::memory_order_relaxed);
+    }
+    slabs.erase(std::remove(slabs.begin(), slabs.end(), slab), slabs.end());
+  }
+
+  [[nodiscard]] std::uint64_t counter_total_locked(std::size_t id) const {
+    std::uint64_t total = retired[id].load(std::memory_order_relaxed);
+    for (const ThreadSlab* slab : slabs) {
+      total += slab->cells[id].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+RegistryImpl& impl() {
+  // Leaked on purpose: thread_local slab destructors of threads outliving
+  // main must still find a live registry to retire into.
+  static RegistryImpl* instance = new RegistryImpl();
+  return *instance;
+}
+
+struct SlabHolder {
+  ThreadSlab slab;
+  SlabHolder() { impl().attach(&slab); }
+  ~SlabHolder() { impl().detach(&slab); }
+};
+
+ThreadSlab& local_slab() {
+  thread_local SlabHolder holder;
+  return holder.slab;
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();
+  impl();  // force construction before first metric registration
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  RegistryImpl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string key(name);
+  if (auto it = s.counter_index.find(key); it != s.counter_index.end()) {
+    return s.counters[it->second];
+  }
+  CF_CHECK_MSG(s.counters.size() < kMaxCounters,
+               "obs counter capacity (" << kMaxCounters << ") exhausted at '" << key
+                                        << "'");
+  const std::size_t id = s.counters.size();
+  s.counters.push_back(Counter(key, id));
+  s.counter_index.emplace(std::move(key), id);
+  return s.counters.back();
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  RegistryImpl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string key(name);
+  if (auto it = s.gauge_index.find(key); it != s.gauge_index.end()) {
+    return s.gauges[it->second];
+  }
+  CF_CHECK_MSG(s.gauges.size() < kMaxGauges,
+               "obs gauge capacity (" << kMaxGauges << ") exhausted at '" << key << "'");
+  const std::size_t id = s.gauges.size();
+  s.gauges.push_back(Gauge(key, id));
+  s.gauge_index.emplace(std::move(key), id);
+  return s.gauges.back();
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  RegistryImpl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string key(name);
+  if (auto it = s.histogram_index.find(key); it != s.histogram_index.end()) {
+    return s.histograms[it->second];
+  }
+  CF_CHECK_MSG(s.histograms.size() < kMaxHistograms,
+               "obs histogram capacity (" << kMaxHistograms << ") exhausted at '" << key
+                                          << "'");
+  const std::size_t id = s.histograms.size();
+  s.histograms.push_back(Histogram(key, id));
+  s.histogram_index.emplace(std::move(key), id);
+  return s.histograms.back();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const RegistryImpl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  MetricsSnapshot snap;
+
+  snap.counters.reserve(s.counters.size());
+  for (const Counter& c : s.counters) {
+    snap.counters.push_back({c.name_, s.counter_total_locked(c.id_)});
+  }
+  snap.gauges.reserve(s.gauges.size());
+  for (const Gauge& g : s.gauges) {
+    snap.gauges.push_back(
+        {g.name_, s.gauge_cells[g.id_].value.load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(s.histograms.size());
+  for (const Histogram& h : s.histograms) {
+    const HistogramCell& cell = s.histogram_cells[h.id_];
+    MetricsSnapshot::HistogramValue v;
+    v.name = h.name_;
+    v.count = cell.count.load(std::memory_order_relaxed);
+    v.total_ns = cell.total_ns.load(std::memory_order_relaxed);
+    const std::uint64_t min_ns = cell.min_ns.load(std::memory_order_relaxed);
+    v.min_ns = v.count == 0 || min_ns == UINT64_MAX ? 0 : min_ns;
+    v.max_ns = cell.max_ns.load(std::memory_order_relaxed);
+    v.buckets.resize(kHistogramBuckets);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      v.buckets[b] = cell.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(v));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  RegistryImpl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (std::size_t i = 0; i < kMaxCounters; ++i) {
+    s.retired[i].store(0, std::memory_order_relaxed);
+    for (ThreadSlab* slab : s.slabs) {
+      slab->cells[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& cell : s.gauge_cells) cell.value.store(0, std::memory_order_relaxed);
+  for (auto& cell : s.histogram_cells) cell.reset();
+}
+
+void Counter::add(std::uint64_t n) noexcept {
+  local_slab().cells[id_].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::total() const {
+  const RegistryImpl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.counter_total_locked(id_);
+}
+
+void Gauge::set(std::int64_t v) noexcept {
+  impl().gauge_cells[id_].value.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t v) noexcept {
+  impl().gauge_cells[id_].value.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::value() const noexcept {
+  return impl().gauge_cells[id_].value.load(std::memory_order_relaxed);
+}
+
+void Histogram::record_ns(std::uint64_t ns) noexcept {
+  HistogramCell& cell = impl().histogram_cells[id_];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  atomic_update_min(cell.min_ns, ns);
+  atomic_update_max(cell.max_ns, ns);
+  const std::size_t bucket = std::min<std::size_t>(
+      static_cast<std::size_t>(std::bit_width(ns)), kHistogramBuckets - 1);
+  cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return impl().histogram_cells[id_].count.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace closfair
+
+#endif  // CLOSFAIR_OBS_ENABLED

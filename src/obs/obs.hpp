@@ -1,0 +1,242 @@
+// closfair::obs — counters, gauges, and duration histograms behind a
+// process-wide registry with stable string names.
+//
+// Hot paths report through the OBS_* macros below. Counters write to
+// cache-line-padded per-thread atomic slots (one relaxed fetch_add, no
+// sharing between threads); the registry aggregates live threads plus the
+// retired totals of exited ones, so totals survive worker-pool teardown and
+// are exact. Gauges and histograms are process-wide atomics — they record
+// rarely (per run / per solve), not per candidate.
+//
+// The whole layer is compile-time gated: configure with -DCLOSFAIR_OBS=OFF
+// and every macro expands to nothing, every class below becomes an empty
+// inline stub, and no obs translation unit is linked. Instrumented code
+// (the search engine, the water-filler, the simplex solver) is then
+// bit-for-bit the uninstrumented algorithm — determinism and the
+// allocation-free inner-loop guarantee are untouched.
+//
+// Determinism note: counters that measure *algorithmic* work (candidates
+// water-filled, rounds, pivots) aggregate to identical totals no matter how
+// many worker threads ran, because the engine evaluates the same candidate
+// set; counters and gauges that describe the *engine shape* (prefix work
+// units claimed, worker count) legitimately vary with num_threads. The
+// distinction is documented per metric in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef CLOSFAIR_OBS_ENABLED
+#define CLOSFAIR_OBS_ENABLED 1
+#endif
+
+namespace closfair {
+namespace obs {
+
+/// Compile-time switch mirror, for code that wants `if constexpr`.
+inline constexpr bool kEnabled = CLOSFAIR_OBS_ENABLED != 0;
+
+/// Log2 duration buckets: bucket i holds durations in [2^(i-1), 2^i) ns
+/// (bucket 0: < 1 ns). 40 buckets reach ~9 minutes.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// A point-in-time copy of every registered metric, sorted by name so dumps
+/// diff cleanly. Produced by Registry::snapshot(); serialized by
+/// io/json_export.hpp (metrics_to_json).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;  ///< 0 when count == 0
+    std::uint64_t max_ns = 0;
+    std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets log2-ns bins
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+#if CLOSFAIR_OBS_ENABLED
+
+/// Monotonically increasing event count. add() is wait-free on the calling
+/// thread's padded slot; total() aggregates across threads (live + retired).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  Counter(std::string name, std::size_t id) : name_(std::move(name)), id_(id) {}
+  std::string name_;
+  std::size_t id_;
+};
+
+/// Last-write-wins instantaneous value (worker count, space size, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept;
+  void add(std::int64_t v) noexcept;
+  [[nodiscard]] std::int64_t value() const noexcept;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  Gauge(std::string name, std::size_t id) : name_(std::move(name)), id_(id) {}
+  std::string name_;
+  std::size_t id_;
+};
+
+/// Duration histogram (log2 ns buckets + count/sum/min/max), the backing
+/// store of OBS_SPAN wall-time stats. record_ns is a handful of relaxed
+/// atomic ops; contention is only with other recorders of the same span.
+class Histogram {
+ public:
+  void record_ns(std::uint64_t ns) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::size_t id) : name_(std::move(name)), id_(id) {}
+  std::string name_;
+  std::size_t id_;
+};
+
+/// Process-wide metric registry. Instruments register once (first use of an
+/// OBS_* macro; the returned reference is stable forever), report lock-free,
+/// and exporters call snapshot(). Intentionally leaked at exit so
+/// thread_local destructors of late-dying threads can still retire slots.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create by stable name. Throws ContractViolation when the fixed
+  /// metric capacity (128 counters / 64 gauges / 64 histograms) is exhausted.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Aggregate every metric. Safe to call while instrumented code runs
+  /// (values are then merely a consistent-enough snapshot of a moving run).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every counter slot (live and retired), gauge, and histogram.
+  /// Call between runs, not while instrumented code is executing.
+  void reset();
+
+ private:
+  Registry() = default;
+};
+
+#else  // !CLOSFAIR_OBS_ENABLED — inline no-op stubs, no library symbols.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t total() const { return 0; }
+  [[nodiscard]] const std::string& name() const { return empty_name(); }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  static const std::string& empty_name() {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+};
+
+class Histogram {
+ public:
+  void record_ns(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+
+ private:
+  Registry() = default;
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // CLOSFAIR_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace closfair
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. `name` must be a string literal (or otherwise have
+// static storage duration): it becomes the metric's registry key, resolved
+// once per call site through a magic-static reference.
+
+#if CLOSFAIR_OBS_ENABLED
+
+#define OBS_COUNTER_ADD(name, n)                                            \
+  do {                                                                      \
+    static ::closfair::obs::Counter& cf_obs_counter_ref_ =                  \
+        ::closfair::obs::Registry::instance().counter(name);                \
+    cf_obs_counter_ref_.add(static_cast<std::uint64_t>(n));                 \
+  } while (0)
+
+#define OBS_COUNTER_INC(name) OBS_COUNTER_ADD(name, 1)
+
+#define OBS_GAUGE_SET(name, v)                                              \
+  do {                                                                      \
+    static ::closfair::obs::Gauge& cf_obs_gauge_ref_ =                      \
+        ::closfair::obs::Registry::instance().gauge(name);                  \
+    cf_obs_gauge_ref_.set(static_cast<std::int64_t>(v));                    \
+  } while (0)
+
+#else
+
+// sizeof keeps the value expression an unevaluated operand: no code is
+// generated, yet tally variables maintained only for these macros still
+// count as used (no -Wunused-but-set-variable in OBS-off builds).
+#define OBS_COUNTER_ADD(name, n) ((void)sizeof(n))
+#define OBS_COUNTER_INC(name) ((void)0)
+#define OBS_GAUGE_SET(name, v) ((void)sizeof(v))
+
+#endif  // CLOSFAIR_OBS_ENABLED

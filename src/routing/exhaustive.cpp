@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "routing/search_engine.hpp"
 
 namespace closfair {
@@ -61,9 +63,11 @@ ExactRoutingResult lex_max_min_exhaustive(const ClosNetwork& net, const FlowSet&
           local.rates.assign(rates.begin(), rates.end());
           local.sorted.swap(local.scratch);
           local.order = order;
+          OBS_COUNTER_INC("search.lex_improvements");
           if (options.stop_at_sorted &&
               lex_compare(local.sorted, *options.stop_at_sorted) !=
                   std::strong_ordering::less) {
+            OBS_COUNTER_INC("search.lex_early_stops");
             return false;  // provably optimal
           }
         }
@@ -72,6 +76,7 @@ ExactRoutingResult lex_max_min_exhaustive(const ClosNetwork& net, const FlowSet&
 
   // Deterministic merge: greatest sorted vector, ties broken by earliest
   // enumeration order — the candidate a serial scan would have kept.
+  OBS_SPAN("search.merge");
   LexLocal* best = nullptr;
   for (LexLocal& local : locals) {
     if (!local.have) continue;
@@ -133,13 +138,17 @@ ExactRoutingResult throughput_max_min_exhaustive(const ClosNetwork& net,
           // Sum-of-capacities prune: nothing can beat the bound, so attaining
           // it proves throughput optimality (the lex tie-break then settles
           // for this witness).
-          if (options.prune_throughput_bound && throughput == bound) return false;
+          if (options.prune_throughput_bound && throughput == bound) {
+            OBS_COUNTER_INC("search.prune_bound_hits");
+            return false;
+          }
         }
         return true;
       });
 
   // Deterministic merge: highest throughput, then greatest sorted vector,
   // then earliest enumeration order.
+  OBS_SPAN("search.merge");
   TputLocal* best = nullptr;
   for (TputLocal& local : locals) {
     if (!local.have) continue;
@@ -190,6 +199,7 @@ std::vector<ParetoPoint> throughput_fairness_frontier(const ClosNetwork& net,
   });
 
   // Merge the per-worker candidate maps with the same (min rate, order) rule.
+  OBS_SPAN("search.merge");
   std::unordered_map<Rational, FrontierCandidate> merged;
   for (FrontierLocal& local : locals) {
     for (auto& [throughput, cand] : local.by_throughput) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace closfair {
 namespace {
 
@@ -67,6 +69,25 @@ Rational throughput_capacity_bound(const ClosNetwork& net, const FlowSet& flows)
     }
   }
   return min(src_sum, dst_sum);
+}
+
+void SearchEngine::record_run_metrics(const std::vector<SearchStats>& per_worker,
+                                      const SearchStats& total) const {
+  OBS_COUNTER_INC("search.runs");
+  OBS_COUNTER_ADD("search.candidates", total.waterfill_invocations);
+  OBS_COUNTER_ADD("search.routings_covered", total.routings_covered);
+  if (canonical_) OBS_COUNTER_INC("search.canonical_runs");
+  OBS_GAUGE_SET("search.workers", workers_);
+  OBS_GAUGE_SET("search.prefixes", prefixes_.size());
+#if CLOSFAIR_OBS_ENABLED
+  // Work-balance distribution: one sample per worker. (Histogram values are
+  // nominally nanoseconds; here the "duration" is a water-fill count.)
+  static obs::Histogram& per_worker_hist =
+      obs::Registry::instance().histogram("search.worker_waterfills");
+  for (const SearchStats& s : per_worker) per_worker_hist.record_ns(s.waterfill_invocations);
+#else
+  (void)per_worker;
+#endif
 }
 
 SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,

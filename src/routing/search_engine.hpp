@@ -32,6 +32,8 @@
 #include "flow/flow.hpp"
 #include "flow/routing.hpp"
 #include "net/clos.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "routing/exhaustive.hpp"
 
 namespace closfair {
@@ -92,17 +94,20 @@ class SearchEngine {
   template <typename Local, typename Visit>
   SearchStats run(std::vector<Local>& locals, Visit visit) const {
     CF_CHECK(locals.size() == workers_);
+    OBS_SPAN("search.run");
     std::atomic<bool> stop{false};
     std::atomic<std::size_t> next{0};
     std::vector<SearchStats> stats(workers_);
 
     auto work = [&](unsigned w) {
+      OBS_SPAN("search.worker");
       WaterfillWorkspace workspace;
       workspace.bind(net_, flows_);
       MiddleAssignment middles(flows_.size(), 1);
       while (!stop.load(std::memory_order_relaxed)) {
         const std::size_t p = next.fetch_add(1, std::memory_order_relaxed);
         if (p >= prefixes_.size()) break;
+        OBS_COUNTER_INC("search.prefix_claims");
         const Prefix& prefix = prefixes_[p];
         std::copy(prefix.values.begin(), prefix.values.end(), middles.begin());
         std::uint64_t seq = 0;
@@ -130,6 +135,7 @@ class SearchEngine {
           detail::sat_add(total.waterfill_invocations, s.waterfill_invocations);
       total.routings_covered = detail::sat_add(total.routings_covered, s.routings_covered);
     }
+    record_run_metrics(stats, total);
     return total;
   }
 
@@ -138,6 +144,12 @@ class SearchEngine {
     MiddleAssignment values;  ///< first prefix_len_ positions
     int max_used = 0;         ///< max middle index in `values` (canonical mode)
   };
+
+  /// Registry reporting for one completed run: aggregate work counters
+  /// (thread-count-invariant absent early stops), engine-shape gauges, and
+  /// the per-worker water-fill distribution. No-op with CLOSFAIR_OBS=OFF.
+  void record_run_metrics(const std::vector<SearchStats>& per_worker,
+                          const SearchStats& total) const;
 
   // Depth-first completion of positions [pos, |F|). In canonical mode each
   // position ranges over 1..min(n, max_used+1); in odometer mode over 1..n

@@ -1,0 +1,342 @@
+// Tests for closfair::obs — counter aggregation across threads, registry
+// reset semantics, span nesting in the JSONL trace output, and the
+// determinism of algorithmic counters across worker-thread counts.
+//
+// With CLOSFAIR_OBS=OFF the same binary compiles against the inline stubs
+// and the tests instead prove the layer is inert: snapshots stay empty and
+// tracing cannot be activated.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "routing/exhaustive.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+using namespace closfair;
+
+namespace {
+
+[[maybe_unused]] std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot,
+                                             const std::string& name) {
+  for (const auto& c : snapshot.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+FlowSet sample_flows(const ClosNetwork& net, std::size_t num_flows,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  return instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, num_flows, rng));
+}
+
+}  // namespace
+
+#if CLOSFAIR_OBS_ENABLED
+
+TEST(Obs, CounterAggregatesAcrossEightThreads) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Counter& counter = registry.counter("test.eight_threads");
+
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 10000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  // All worker threads have exited: totals must have been folded into the
+  // retired slots, not lost with the thread-local slabs.
+  EXPECT_EQ(counter.total(), kThreads * kAddsPerThread);
+  EXPECT_EQ(counter_value(registry.snapshot(), "test.eight_threads"),
+            kThreads * kAddsPerThread);
+}
+
+TEST(Obs, CounterReferenceIsStableAndFindOrCreate) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Counter& a = registry.counter("test.stable");
+  obs::Counter& b = registry.counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.total(), 7u);
+}
+
+TEST(Obs, GaugeLastWriteWins) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Gauge& gauge = registry.gauge("test.gauge");
+  gauge.set(42);
+  gauge.set(-7);
+  EXPECT_EQ(gauge.value(), -7);
+  gauge.add(10);
+  EXPECT_EQ(gauge.value(), 3);
+}
+
+TEST(Obs, HistogramTracksCountMinMax) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Histogram& hist = registry.histogram("test.hist");
+  hist.record_ns(100);
+  hist.record_ns(7);
+  hist.record_ns(5000);
+  EXPECT_EQ(hist.count(), 3u);
+
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  bool found = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "test.hist") continue;
+    found = true;
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_EQ(h.total_ns, 5107u);
+    EXPECT_EQ(h.min_ns, 7u);
+    EXPECT_EQ(h.max_ns, 5000u);
+    std::uint64_t bucket_sum = 0;
+    for (std::uint64_t b : h.buckets) bucket_sum += b;
+    EXPECT_EQ(bucket_sum, 3u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Obs, ResetZeroesEverythingButKeepsReferencesValid) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Counter& counter = registry.counter("test.reset");
+  obs::Gauge& gauge = registry.gauge("test.reset_gauge");
+  obs::Histogram& hist = registry.histogram("test.reset_hist");
+  counter.add(9);
+  gauge.set(5);
+  hist.record_ns(123);
+
+  registry.reset();
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(counter_value(registry.snapshot(), "test.reset"), 0u);
+
+  // A reset must not invalidate previously returned references.
+  counter.add(2);
+  EXPECT_EQ(counter.total(), 2u);
+}
+
+TEST(Obs, ResetAlsoClearsRetiredCounts) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Counter& counter = registry.counter("test.retired_reset");
+  std::thread([&counter] { counter.add(1000); }).join();
+  EXPECT_EQ(counter.total(), 1000u);
+  registry.reset();
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(Obs, SnapshotIsNameSorted) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  registry.counter("test.zzz").add(1);
+  registry.counter("test.aaa").add(1);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+}
+
+namespace {
+
+// Extract the numeric value following `"key":` in a JSON line. The trace
+// writer emits flat one-line objects, so plain string scanning suffices.
+double json_number_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing " << key << " in: " << line;
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+void spin_for_ns(std::uint64_t ns) {
+  const std::uint64_t start = obs::now_ns();
+  while (obs::now_ns() - start < ns) {
+  }
+}
+
+}  // namespace
+
+TEST(ObsTrace, NestedSpansEmitOrderedJsonlEvents) {
+  obs::Registry::instance().reset();
+  const std::string path = "test_obs_trace.jsonl";
+  ASSERT_TRUE(obs::start_trace(path));
+  EXPECT_TRUE(obs::trace_active());
+  // A second session cannot start while one is active.
+  EXPECT_FALSE(obs::start_trace("test_obs_trace_second.jsonl"));
+
+  {
+    OBS_SPAN("test.outer");
+    spin_for_ns(200000);
+    {
+      OBS_SPAN("test.inner");
+      spin_for_ns(200000);
+    }
+    spin_for_ns(200000);
+  }
+  obs::stop_trace();
+  EXPECT_FALSE(obs::trace_active());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::string inner_line;
+  std::string outer_line;
+  std::size_t inner_index = 0;
+  std::size_t outer_index = 0;
+  std::size_t index = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"test.inner\"") != std::string::npos) {
+      inner_line = line;
+      inner_index = index;
+    }
+    if (line.find("\"test.outer\"") != std::string::npos) {
+      outer_line = line;
+      outer_index = index;
+    }
+    ++index;
+  }
+  ASSERT_FALSE(inner_line.empty());
+  ASSERT_FALSE(outer_line.empty());
+
+  // Spans complete inner-first, and a thread's ring preserves completion
+  // order, so the inner event must precede the outer one in the file.
+  EXPECT_LT(inner_index, outer_index);
+
+  // Chrome-trace complete events with microsecond timestamps.
+  EXPECT_NE(inner_line.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(outer_line.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(inner_line.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(inner_line.find("\"tid\":"), std::string::npos);
+
+  const double inner_ts = json_number_field(inner_line, "ts");
+  const double inner_dur = json_number_field(inner_line, "dur");
+  const double outer_ts = json_number_field(outer_line, "ts");
+  const double outer_dur = json_number_field(outer_line, "dur");
+  // Nesting: the inner span lies strictly inside the outer interval.
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+  EXPECT_GE(inner_dur, 200000.0 / 1000.0);  // at least the 200 us spin
+  EXPECT_GE(outer_dur, 3 * 200000.0 / 1000.0);
+
+  // The span histograms recorded regardless of the sink.
+  EXPECT_GE(obs::Registry::instance().histogram("test.inner").count(), 1u);
+  EXPECT_GE(obs::Registry::instance().histogram("test.outer").count(), 1u);
+
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, SpansRecordHistogramsWithoutActiveSession) {
+  obs::Registry::instance().reset();
+  ASSERT_FALSE(obs::trace_active());
+  {
+    OBS_SPAN("test.no_sink");
+    spin_for_ns(1000);
+  }
+  EXPECT_EQ(obs::Registry::instance().histogram("test.no_sink").count(), 1u);
+}
+
+// The acceptance bar of this layer: algorithmic counters must not depend on
+// how many worker threads ran the search. Every thread count evaluates the
+// same canonical candidate set (no early stop is configured), so per-call
+// water-fill work aggregates to identical totals.
+TEST(ObsDeterminism, AlgorithmicCountersInvariantAcrossThreadCounts) {
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = sample_flows(net, 6, 77);
+
+  const char* const kAlgorithmic[] = {
+      "waterfill.calls",          "waterfill.rounds",
+      "waterfill.saturated_links", "waterfill.links_touched",
+      "search.candidates",        "search.routings_covered",
+  };
+
+  std::map<std::string, std::uint64_t> reference;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    obs::Registry::instance().reset();
+    ExhaustiveOptions options;
+    options.num_threads = threads;
+    const auto result = lex_max_min_exhaustive(net, flows, options);
+    ASSERT_GT(result.waterfill_invocations, 0u);
+
+    const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+    for (const char* name : kAlgorithmic) {
+      const std::uint64_t value = counter_value(snapshot, name);
+      if (threads == 1) {
+        reference[name] = value;
+        EXPECT_GT(value, 0u) << name;
+      } else {
+        EXPECT_EQ(value, reference[name]) << name << " at " << threads << " threads";
+      }
+    }
+    // Sanity: the counter mirrors the engine's own statistic.
+    EXPECT_EQ(counter_value(snapshot, "search.candidates"),
+              result.waterfill_invocations);
+  }
+}
+
+TEST(ObsDeterminism, SearchCountersMatchEngineStats) {
+  obs::Registry::instance().reset();
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = sample_flows(net, 5, 11);
+  const auto result = lex_max_min_exhaustive(net, flows);
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  EXPECT_EQ(counter_value(snapshot, "search.candidates"), result.waterfill_invocations);
+  EXPECT_EQ(counter_value(snapshot, "search.routings_covered"),
+            result.routings_evaluated);
+  EXPECT_EQ(counter_value(snapshot, "search.runs"), 1u);
+  EXPECT_EQ(counter_value(snapshot, "waterfill.calls"), result.waterfill_invocations);
+}
+
+#else  // !CLOSFAIR_OBS_ENABLED
+
+// OBS=OFF: instrumented code must leave no trace. The stubs return empty
+// snapshots and tracing cannot activate.
+TEST(ObsDisabled, SnapshotStaysEmptyAfterInstrumentedRun) {
+  EXPECT_FALSE(obs::kEnabled);
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const FlowSet flows = sample_flows(net, 5, 11);
+  const auto result = lex_max_min_exhaustive(net, flows);
+  EXPECT_GT(result.waterfill_invocations, 0u);
+  EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
+}
+
+TEST(ObsDisabled, TraceCannotActivate) {
+  EXPECT_FALSE(obs::start_trace("unused.jsonl"));
+  EXPECT_FALSE(obs::trace_active());
+  obs::stop_trace();
+  std::ifstream in("unused.jsonl");
+  EXPECT_FALSE(in.good());
+}
+
+TEST(ObsDisabled, MacrosAreInert) {
+  std::uint64_t tally = 0;
+  OBS_COUNTER_ADD("test.off", ++tally);  // unevaluated operand: no side effect
+  EXPECT_EQ(tally, 0u);
+  OBS_COUNTER_INC("test.off");
+  OBS_GAUGE_SET("test.off_gauge", 3);
+  OBS_SPAN("test.off_span");
+  EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
+}
+
+#endif  // CLOSFAIR_OBS_ENABLED
