@@ -3,6 +3,14 @@
 //   $ ./closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex] [--seed S]
 //                    [--csv OUT.csv] [--dot OUT.dot] [--json OUT.json] [--verify]
 //                    [--replicate] [--metrics OUT.json] [--trace OUT.jsonl]
+//                    [--fail-middles K] [--fail-links P] [--fail-seed S]
+//
+// --fail-middles K kills K uniformly random middle switches, --fail-links P
+// independently zeroes each fabric link with probability P, both drawn from
+// the deterministic --fail-seed stream (default 1). The degraded fabric is
+// what every policy, bound check, and export below then sees; the macro
+// switch reference stays pristine, so the comparison shows what the failures
+// cost relative to the ideal fabric.
 //
 // --metrics dumps the obs registry (counters/gauges/histograms accumulated
 // during the analysis) as JSON; --trace streams Chrome-trace JSONL span
@@ -31,6 +39,7 @@
 #include "core/analysis.hpp"
 #include "core/bounds.hpp"
 #include "core/report.hpp"
+#include "fault/fault.hpp"
 #include "io/json_export.hpp"
 #include "fairness/waterfill.hpp"
 #include "io/text_format.hpp"
@@ -52,7 +61,8 @@ int usage() {
   std::cerr << "usage: closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex]\n"
                "                    [--seed S] [--csv OUT.csv] [--dot OUT.dot]\n"
                "                    [--json OUT.json] [--verify] [--replicate]\n"
-               "                    [--metrics OUT.json] [--trace OUT.jsonl]\n";
+               "                    [--metrics OUT.json] [--trace OUT.jsonl]\n"
+               "                    [--fail-middles K] [--fail-links P] [--fail-seed S]\n";
   return 2;
 }
 
@@ -69,6 +79,9 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool replicate = false;
   std::uint64_t seed = 1;
+  int fail_middles = 0;
+  double fail_links = 0.0;
+  std::uint64_t fail_seed = 1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -92,6 +105,12 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--fail-middles") {
+      fail_middles = std::stoi(next());
+    } else if (arg == "--fail-links") {
+      fail_links = std::stod(next());
+    } else if (arg == "--fail-seed") {
+      fail_seed = static_cast<std::uint64_t>(std::stoull(next()));
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--replicate") {
@@ -114,13 +133,26 @@ int main(int argc, char** argv) {
 
   try {
     const InstanceSpec spec = parse_instance_stream(in);
-    const ClosNetwork net = spec.build_clos();
+    ClosNetwork net = spec.build_clos();
     const MacroSwitch ms(MacroSwitch::Params{spec.params.num_tors,
                                              spec.params.servers_per_tor,
                                              spec.params.link_capacity});
     const FlowSet flows = instantiate(net, spec.flows);
     std::cout << "instance: " << flows.size() << " flows on a "
               << net.num_middles() << "-middle, " << net.num_tors() << "-ToR Clos\n\n";
+
+    if (fail_middles > 0 || fail_links > 0.0) {
+      Rng fail_rng(fail_seed);
+      fault::FailureScenario scenario = fault::sample_middle_outage(net, fail_middles, fail_rng);
+      const fault::FailureScenario links = fault::sample_link_failures(net, fail_links, fail_rng);
+      scenario.derated_links.insert(scenario.derated_links.end(),
+                                    links.derated_links.begin(), links.derated_links.end());
+      const std::size_t changed = fault::apply(net, scenario);
+      std::cout << "degraded fabric: " << fault::summary(scenario) << " ("
+                << changed << " links changed, "
+                << fault::surviving_middles(net).size() << '/' << net.num_middles()
+                << " middles survive)\n\n";
+    }
 
     const auto macro = analyze_macro(ms, instantiate(ms, spec.flows));
 

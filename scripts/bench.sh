@@ -1,37 +1,43 @@
 #!/usr/bin/env bash
-# Perf-regression check for the search engine: build Release, run
-# bench/perf_report against a scratch output, and diff the obs counter
-# snapshot embedded in it against the committed BENCH_search.json baseline.
+# Perf-regression check for the search engine and the degraded-fabric
+# evaluation: build Release, run bench/perf_report and bench/degraded_fabric
+# against scratch outputs, and diff the obs counter snapshots embedded in
+# them against the committed BENCH_search.json / BENCH_degraded.json
+# baselines.
 #
-# Counters measuring algorithmic work (waterfill.*, search.candidates,
-# search.routings_covered, lp.*) are deterministic for the fixed benchmark
-# instance, so any increase is a genuine work regression and fails the
-# script. Wall-clock seconds and span durations are reported but never
-# gating — this machine is shared.
+# Counters measuring algorithmic work (waterfill.*, lp.*, fault.*,
+# rate_control.*, search.candidates, search.routings_covered) are
+# deterministic for the fixed benchmark instances, so any increase is a
+# genuine work regression and fails the script. Wall-clock seconds and span
+# durations are reported but never gating — this machine is shared.
 #
 # Usage: scripts/bench.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
-BASELINE="BENCH_search.json"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j "$JOBS" --target perf_report >/dev/null
+cmake --build build-release -j "$JOBS" --target perf_report degraded_fabric >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 build-release/bench/perf_report "$TMP/BENCH_search.json"
 echo
+build-release/bench/degraded_fabric "$TMP/BENCH_degraded.json"
+echo
 
-if [ ! -f "$BASELINE" ]; then
-  cp "$TMP/BENCH_search.json" "$BASELINE"
-  echo "no committed $BASELINE found: wrote a first-run baseline."
-  echo "Commit it to start tracking the perf trajectory."
-  exit 0
-fi
+STATUS=0
+for BASELINE in BENCH_search.json BENCH_degraded.json; do
+  if [ ! -f "$BASELINE" ]; then
+    cp "$TMP/$BASELINE" "$BASELINE"
+    echo "no committed $BASELINE found: wrote a first-run baseline."
+    echo "Commit it to start tracking the perf trajectory."
+    continue
+  fi
 
-python3 - "$BASELINE" "$TMP/BENCH_search.json" <<'EOF'
+  echo "== counter diff vs $BASELINE =="
+  python3 - "$BASELINE" "$TMP/$BASELINE" <<'EOF' || STATUS=1
 import json
 import sys
 
@@ -44,8 +50,8 @@ base_counters = base.get("metrics", {}).get("counters", {})
 cur_counters = cur.get("metrics", {}).get("counters", {})
 
 # Thread-count- and machine-independent work counters: deterministic for the
-# fixed benchmark instance, so an increase is a real regression.
-DETERMINISTIC_PREFIXES = ("waterfill.", "lp.")
+# fixed benchmark instances, so an increase is a real regression.
+DETERMINISTIC_PREFIXES = ("waterfill.", "lp.", "fault.", "rate_control.")
 DETERMINISTIC_NAMES = {"search.candidates", "search.routings_covered", "search.runs"}
 
 def deterministic(name):
@@ -92,5 +98,13 @@ if regressions:
     print(f"\nFAIL: {len(regressions)} deterministic counter(s) regressed: "
           + ", ".join(regressions))
     sys.exit(1)
-print("\nbench: no work regressions vs committed baseline")
+print("\nno work regressions vs this baseline")
 EOF
+  echo
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "bench: FAIL (work regression against a committed baseline)"
+  exit 1
+fi
+echo "bench: OK"

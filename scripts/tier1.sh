@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, the search engine's
-# serial-vs-parallel equivalence tests under ThreadSanitizer, and the
+# serial-vs-parallel equivalence tests under ThreadSanitizer, the fault /
+# workload / rate-control / search tests under ASan+UBSan, and the
 # CLOSFAIR_OBS=OFF configuration (instrumentation compiled out) with its
 # unit tests plus a link-level check that the obs TUs are empty.
 #
@@ -20,6 +21,14 @@ echo "== tier 1: SearchEngine tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCLOSFAIR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_search_engine
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'SearchEngine')
+
+echo
+echo "== tier 1: fault/workload/rate-control tests under ASan+UBSan =="
+cmake -B build-asan -S . -DCLOSFAIR_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS" --target \
+    test_fault test_workload test_rate_control test_search_engine
+(cd build-asan && ctest --output-on-failure -j "$JOBS" \
+    -R 'Fault|Workload|Trace|Rcp|Aimd|SearchEngine')
 
 echo
 echo "== tier 1: CLOSFAIR_OBS=OFF build (instrumentation compiled out) =="

@@ -1,11 +1,39 @@
 #include "routing/ecmp.hpp"
 
+#include "fault/fault.hpp"
+
 namespace closfair {
 
 MiddleAssignment ecmp_routing(const ClosNetwork& net, const FlowSet& flows, Rng& rng) {
+  const int n = net.num_middles();
   MiddleAssignment middles(flows.size());
-  for (auto& m : middles) {
-    m = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(net.num_middles()))) + 1;
+
+  // Pristine fast path: no dead fabric link means every middle is usable for
+  // every flow, and one draw per flow keeps seeded runs bit-identical to the
+  // historical generator.
+  if (!fault::has_dead_fabric_links(net)) {
+    for (auto& m : middles) {
+      m = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))) + 1;
+    }
+    return middles;
+  }
+
+  std::vector<int> usable;
+  usable.reserve(static_cast<std::size_t>(n));
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    const ClosNetwork::ServerCoord s = net.source_coord(flows[f].src);
+    const ClosNetwork::ServerCoord t = net.dest_coord(flows[f].dst);
+    usable.clear();
+    for (int m = 1; m <= n; ++m) {
+      if (fault::middle_usable(net, s.tor, t.tor, m)) usable.push_back(m);
+    }
+    if (usable.empty()) {
+      // Every path is dead; the flow is starved regardless, so any label works.
+      middles[f] = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))) + 1;
+    } else {
+      middles[f] =
+          usable[static_cast<std::size_t>(rng.next_below(usable.size()))];
+    }
   }
   return middles;
 }

@@ -11,7 +11,12 @@
 
 namespace closfair {
 
-/// A uniformly random middle assignment (1-based middles).
+/// A uniformly random middle assignment (1-based middles). On degraded
+/// fabrics (fault/fault.hpp) the draw is uniform over each flow's *usable*
+/// middles — live uplink and downlink for its ToR pair — matching how ECMP
+/// hashes only over surviving next-hops; flows with no usable middle get a
+/// uniformly random label and stay starved. On pristine fabrics the seeded
+/// stream is bit-identical to the historical one-draw-per-flow generator.
 [[nodiscard]] MiddleAssignment ecmp_routing(const ClosNetwork& net, const FlowSet& flows,
                                             Rng& rng);
 

@@ -42,8 +42,12 @@ struct ExhaustiveOptions {
 
   /// Enumerate one canonical representative per middle-relabeling class
   /// (restricted-growth strings) instead of the full odometer. Requires
-  /// capacity-symmetric middles; automatically falls back to the odometer
-  /// when `ClosNetwork::middles_symmetric()` is false.
+  /// capacity-symmetric middles over the *surviving* pool: dead middles
+  /// (fault/fault.hpp) are excluded from enumeration entirely, and the
+  /// quotient is taken over surviving labels only. Automatically falls back
+  /// to the odometer (still over the surviving pool) when
+  /// `fault::surviving_middles_symmetric` is false — on pristine fabrics
+  /// this is exactly the old `ClosNetwork::middles_symmetric()` gate.
   bool exploit_middle_symmetry = true;
 
   /// Worker threads (1 = serial) for all three searches. Work is distributed
@@ -73,9 +77,11 @@ struct ExactRoutingResult {
   Allocation<Rational> alloc;           ///< max-min fair allocation for `middles`
 
   /// Routings covered, reported in full-space-equivalent terms: canonical
-  /// searches multiply each visited class by its orbit size (divided by n
-  /// under fix_first_flow), so the count matches what an odometer run with
-  /// the same fix_first_flow setting would report.
+  /// searches multiply each visited class by its orbit size (divided by the
+  /// pool size under fix_first_flow), so the count matches what an odometer
+  /// run with the same fix_first_flow setting would report. On degraded
+  /// fabrics the space is the surviving-middle pool's |pool|^|F|, not
+  /// n^|F| — dead middles are never enumerated.
   std::uint64_t routings_evaluated = 0;
 
   /// Candidates actually water-filled — the real work done. With canonical

@@ -1,6 +1,7 @@
 #include "routing/greedy.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 namespace closfair {
@@ -27,6 +28,13 @@ MiddleAssignment place(const ClosNetwork& net, const FlowSet& flows,
         const Link& link = topo.link(l);
         if (link.unbounded) continue;
         const double cap = link.capacity.to_double();
+        if (cap == 0.0) {
+          // Dead link (fault/fault.hpp mask): infinitely congested, never a
+          // 0/0 NaN even for zero-demand flows. Chosen only if every path of
+          // this flow is dead.
+          congestion = std::numeric_limits<double>::infinity();
+          break;
+        }
         const double c = (load[static_cast<std::size_t>(l)] + demands[idx]) / cap;
         congestion = std::max(congestion, c);
       }

@@ -1,8 +1,10 @@
 #include "routing/local_search.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "fairness/waterfill.hpp"
+#include "fault/fault.hpp"
 #include "routing/ecmp.hpp"
 
 namespace closfair {
@@ -25,11 +27,36 @@ CongestionScore score_loads(const Topology& topo, const std::vector<double>& loa
   for (std::size_t l = 0; l < load.size(); ++l) {
     const Link& link = topo.link(static_cast<LinkId>(l));
     if (link.unbounded) continue;
-    const double c = load[l] / link.capacity.to_double();
-    s.max_congestion = std::max(s.max_congestion, c);
+    const double cap = link.capacity.to_double();
+    if (cap == 0.0) {
+      // Dead link (fault mask): any load on it is infinitely congested; an
+      // idle dead link costs nothing. Guards the 0/0 NaN that would poison
+      // every score comparison.
+      if (load[l] > 0.0) s.max_congestion = std::numeric_limits<double>::infinity();
+    } else {
+      s.max_congestion = std::max(s.max_congestion, load[l] / cap);
+    }
     s.sum_sq += load[l] * load[l];
   }
   return s;
+}
+
+// Per-flow usable-middle mask (flat |F| x n, 1 = usable) for degraded
+// fabrics; empty when the fabric has no dead fabric link, in which case the
+// climbers scan all middles exactly as before.
+std::vector<char> usable_mask(const ClosNetwork& net, const FlowSet& flows) {
+  if (!fault::has_dead_fabric_links(net)) return {};
+  const std::size_t n = static_cast<std::size_t>(net.num_middles());
+  std::vector<char> mask(flows.size() * n, 0);
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    const ClosNetwork::ServerCoord s = net.source_coord(flows[f].src);
+    const ClosNetwork::ServerCoord t = net.dest_coord(flows[f].dst);
+    for (int m = 1; m <= net.num_middles(); ++m) {
+      mask[f * n + static_cast<std::size_t>(m - 1)] =
+          fault::middle_usable(net, s.tor, t.tor, m) ? 1 : 0;
+    }
+  }
+  return mask;
 }
 
 }  // namespace
@@ -50,6 +77,9 @@ MiddleAssignment congestion_local_search(const ClosNetwork& net, const FlowSet& 
   }
   CongestionScore current = score_loads(topo, load);
 
+  const std::vector<char> usable = usable_mask(net, flows);
+  const std::size_t num_middles = static_cast<std::size_t>(net.num_middles());
+
   std::size_t moves = 0;
   bool improved = true;
   while (improved && moves < options.max_moves) {
@@ -58,6 +88,10 @@ MiddleAssignment congestion_local_search(const ClosNetwork& net, const FlowSet& 
       const int old_m = start[f];
       for (int m = 1; m <= net.num_middles(); ++m) {
         if (m == old_m) continue;
+        // Never move a flow onto a dead middle (degraded fabrics only).
+        if (!usable.empty() && !usable[f * num_middles + static_cast<std::size_t>(m - 1)]) {
+          continue;
+        }
         // Apply the move, score, keep or revert.
         for (LinkId l : net.path(flows[f].src, flows[f].dst, old_m)) {
           load[static_cast<std::size_t>(l)] -= demands[f];
@@ -95,6 +129,8 @@ LexSearchResult hill_climb(const ClosNetwork& net, const FlowSet& flows,
                            Better better) {
   CF_CHECK(start.size() == flows.size());
   Allocation<Rational> current = max_min_fair<Rational>(net, flows, start);
+  const std::vector<char> usable = usable_mask(net, flows);
+  const std::size_t num_middles = static_cast<std::size_t>(net.num_middles());
   std::size_t moves = 0;
 
   bool improved = true;
@@ -104,6 +140,12 @@ LexSearchResult hill_climb(const ClosNetwork& net, const FlowSet& flows,
       const int old_m = start[f];
       for (int m = 1; m <= net.num_middles(); ++m) {
         if (m == old_m) continue;
+        // Skip dead middles: routing into one can only zero this flow's rate,
+        // so the candidate is never a strict improvement — not evaluating it
+        // saves a water-fill per dead middle per scan on degraded fabrics.
+        if (!usable.empty() && !usable[f * num_middles + static_cast<std::size_t>(m - 1)]) {
+          continue;
+        }
         start[f] = m;
         Allocation<Rational> candidate = max_min_fair<Rational>(net, flows, start);
         if (better(candidate, current)) {

@@ -1,7 +1,9 @@
 #include "routing/search_engine.hpp"
 
 #include <algorithm>
+#include <numeric>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace closfair {
@@ -79,6 +81,7 @@ void SearchEngine::record_run_metrics(const std::vector<SearchStats>& per_worker
   if (canonical_) OBS_COUNTER_INC("search.canonical_runs");
   OBS_GAUGE_SET("search.workers", workers_);
   OBS_GAUGE_SET("search.prefixes", prefixes_.size());
+  OBS_GAUGE_SET("search.pool_middles", pool_.size());
 #if CLOSFAIR_OBS_ENABLED
   // Work-balance distribution: one sample per worker. (Histogram values are
   // nominally nanoseconds; here the "duration" is a water-fill count.)
@@ -95,29 +98,48 @@ SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,
     : net_(net), flows_(flows) {
   num_middles_ = net.num_middles();
   fix_first_ = options.fix_first_flow;
-  canonical_ = options.exploit_middle_symmetry && net.middles_symmetric();
+
+  // The enumeration alphabet is the surviving-middle pool: dead middles
+  // (every uplink and downlink at zero — the mask a failed middle leaves)
+  // never carry traffic, so no live routing uses them. When all middles are
+  // dead every assignment is equally starved; enumerate over all labels,
+  // which are then also trivially capacity-symmetric.
+  pool_ = fault::surviving_middles(net);
+  if (pool_.empty()) {
+    pool_.resize(static_cast<std::size_t>(num_middles_));
+    std::iota(pool_.begin(), pool_.end(), 1);
+  }
+  pool_size_ = static_cast<int>(pool_.size());
+
+  // Canonical mode needs the pool to be capacity-interchangeable; failed
+  // middles break the full-label symmetry, but the surviving labels may
+  // still permute freely (fault/fault.hpp). Pristine fabrics reduce to the
+  // original middles_symmetric() gate.
+  canonical_ = options.exploit_middle_symmetry && fault::surviving_middles_symmetric(net);
   const std::size_t num_flows = flows.size();
 
   // Guard the number of candidates that would be water-filled.
   const std::size_t odometer_free =
       num_flows - ((fix_first_ && num_flows > 0) ? 1 : 0);
   const std::uint64_t candidates =
-      canonical_ ? canonical_class_count(num_middles_, num_flows)
-                 : sat_pow(static_cast<std::uint64_t>(num_middles_), odometer_free);
+      canonical_ ? canonical_class_count(pool_size_, num_flows)
+                 : sat_pow(static_cast<std::uint64_t>(pool_size_), odometer_free);
   CF_CHECK_MSG(candidates <= options.max_routings,
                (canonical_ ? "canonical" : "odometer")
                    << " routing space of " << candidates << " candidates ("
-                   << num_middles_ << " middles, " << num_flows
-                   << " flows) exceeds max_routings " << options.max_routings);
+                   << pool_size_ << " surviving of " << num_middles_ << " middles, "
+                   << num_flows << " flows) exceeds max_routings "
+                   << options.max_routings);
 
-  covered_per_class_.assign(static_cast<std::size_t>(num_middles_) + 1, 1);
-  for (int k = 1; k <= num_middles_; ++k) {
-    const std::uint64_t orbit = orbit_size(num_middles_, k);
+  covered_per_class_.assign(static_cast<std::size_t>(pool_size_) + 1, 1);
+  for (int k = 1; k <= pool_size_; ++k) {
+    const std::uint64_t orbit = orbit_size(pool_size_, k);
     // Under fix_first_flow the reported space is the slice with flow 0 on
-    // M_1; by symmetry exactly 1/n of each orbit lies in that slice.
+    // the pool's first middle; by symmetry exactly 1/|pool| of each orbit
+    // lies in that slice.
     covered_per_class_[static_cast<std::size_t>(k)] =
         (fix_first_ && num_flows > 0 && orbit != UINT64_MAX)
-            ? orbit / static_cast<std::uint64_t>(num_middles_)
+            ? orbit / static_cast<std::uint64_t>(pool_size_)
             : orbit;
   }
 
@@ -133,16 +155,17 @@ SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,
     while (prefix_len_ < num_flows && count < target) {
       ++prefix_len_;
       count = canonical_
-                  ? canonical_class_count(num_middles_, prefix_len_)
-                  : sat_pow(static_cast<std::uint64_t>(num_middles_),
+                  ? canonical_class_count(pool_size_, prefix_len_)
+                  : sat_pow(static_cast<std::uint64_t>(pool_size_),
                             prefix_len_ - ((fix_first_ && prefix_len_ > 0) ? 1 : 0));
     }
   }
 
   // Generate the prefixes in enumeration order (lexicographic), carrying the
-  // running maximum for canonical continuation.
+  // running maximum for canonical continuation. `value` walks 1-based pool
+  // indices; `current` stores the actual middle labels they map to.
   prefixes_.clear();
-  MiddleAssignment current(prefix_len_, 1);
+  MiddleAssignment current(prefix_len_, pool_.front());
   // Iterative DFS emitting leaves at depth prefix_len_ in lex order.
   std::vector<int> value(prefix_len_ + 1, 0);
   std::vector<int> max_before(prefix_len_ + 1, 0);
@@ -154,12 +177,12 @@ SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,
       --pos;
       continue;
     }
-    const int hi = canonical_ ? std::min(num_middles_, max_before[pos] + 1)
+    const int hi = canonical_ ? std::min(pool_size_, max_before[pos] + 1)
                    : (pos == 0 && fix_first_) ? 1
-                                              : num_middles_;
+                                              : pool_size_;
     if (value[pos] < hi) {
       ++value[pos];
-      current[pos] = value[pos];
+      current[pos] = pool_[static_cast<std::size_t>(value[pos] - 1)];
       max_before[pos + 1] = std::max(max_before[pos], value[pos]);
       ++pos;
       value[pos] = 0;

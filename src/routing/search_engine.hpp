@@ -21,6 +21,18 @@
 // carries a SearchOrder key equal to its serial enumeration position, so
 // merges can tie-break deterministically and parallel results are
 // bitwise-identical to serial ones.
+//
+// Degraded fabrics (fault/fault.hpp): dead middles — all uplinks and
+// downlinks at zero capacity — are excluded from enumeration entirely. The
+// engine searches over the *surviving-middle pool*; a failed middle breaks
+// the full middle-relabeling orbit equivalence, but permuting surviving
+// labels among themselves is still a capacity-preserving automorphism, so
+// canonical enumeration applies whenever the survivors are pairwise
+// capacity-symmetric (fault::surviving_middles_symmetric), with orbit sizes
+// taken as falling factorials over the pool size. Coverage counts
+// (routings_covered) are reported relative to the surviving space
+// |pool|^|F|: routing a flow into a dead switch is dropping it, which no
+// live routing layer does.
 #pragma once
 
 #include <atomic>
@@ -141,8 +153,8 @@ class SearchEngine {
 
  private:
   struct Prefix {
-    MiddleAssignment values;  ///< first prefix_len_ positions
-    int max_used = 0;         ///< max middle index in `values` (canonical mode)
+    MiddleAssignment values;  ///< first prefix_len_ positions (actual middle labels)
+    int max_used = 0;         ///< max pool index used in `values` (canonical mode)
   };
 
   /// Registry reporting for one completed run: aggregate work counters
@@ -151,10 +163,12 @@ class SearchEngine {
   void record_run_metrics(const std::vector<SearchStats>& per_worker,
                           const SearchStats& total) const;
 
-  // Depth-first completion of positions [pos, |F|). In canonical mode each
-  // position ranges over 1..min(n, max_used+1); in odometer mode over 1..n
-  // (position 0 pinned to 1 under fix_first_flow). Returns false iff the
-  // visitor requested a stop.
+  // Depth-first completion of positions [pos, |F|). Values are 1-based
+  // *pool indices* mapped through pool_ onto actual middle labels — on a
+  // pristine fabric the pool is the identity and the mapping is free. In
+  // canonical mode each position ranges over 1..min(|pool|, max_used+1); in
+  // odometer mode over 1..|pool| (position 0 pinned under fix_first_flow).
+  // Returns false iff the visitor requested a stop.
   template <typename Local, typename Visit>
   bool enumerate_from(MiddleAssignment& middles, std::size_t pos, int max_used,
                       std::uint64_t prefix_index, std::uint64_t& seq,
@@ -169,11 +183,11 @@ class SearchEngine {
       const std::vector<Rational>& rates = workspace.max_min_rates(middles);
       return visit(local, middles, rates, SearchOrder{prefix_index, seq++});
     }
-    const int hi = canonical_ ? std::min(num_middles_, max_used + 1)
+    const int hi = canonical_ ? std::min(pool_size_, max_used + 1)
                    : (pos == 0 && fix_first_) ? 1
-                                              : num_middles_;
+                                              : pool_size_;
     for (int v = 1; v <= hi; ++v) {
-      middles[pos] = v;
+      middles[pos] = pool_[static_cast<std::size_t>(v - 1)];
       if (!enumerate_from(middles, pos + 1, std::max(max_used, v), prefix_index, seq,
                           workspace, stats, stop, local, visit)) {
         return false;
@@ -185,13 +199,18 @@ class SearchEngine {
   const ClosNetwork& net_;
   const FlowSet& flows_;
   int num_middles_ = 1;
+  /// Surviving middles in ascending label order — the enumeration alphabet.
+  /// Identity on pristine fabrics; falls back to all middles when every
+  /// middle is dead (any assignment is then equally starved).
+  std::vector<int> pool_;
+  int pool_size_ = 1;
   bool canonical_ = false;
   bool fix_first_ = true;
   unsigned workers_ = 1;
   std::size_t prefix_len_ = 0;
   std::vector<Prefix> prefixes_;
   /// covered_per_class_[k]: routings a canonical class with k distinct
-  /// middles accounts for — orbit_size(n, k), divided by n when
+  /// middles accounts for — orbit_size(|pool|, k), divided by |pool| when
   /// fix_first_flow pins the reported space.
   std::vector<std::uint64_t> covered_per_class_;
 };

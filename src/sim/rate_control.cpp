@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace closfair {
 namespace {
 
@@ -22,8 +24,12 @@ double advertised_share(double capacity, std::vector<double> rates) {
     best = std::max(best, candidate);
     prefix += rates[i];
   }
-  // The "everyone else capped" view for the largest flow.
-  best = std::max(best, capacity - (prefix - rates.back()));
+  // No separate "everyone else capped" term for the largest flow: the loop's
+  // final candidate (i = m-1) is exactly (capacity - (sum - rates.back())),
+  // so adding it again would at best be redundant — and a version that
+  // subtracted each tied-largest rate once ("capacity - (prefix -
+  // rates.back()) per duplicate") over-advertises when several flows tie for
+  // largest. The Charny estimate is the loop maximum alone.
   return best;
 }
 
@@ -34,11 +40,46 @@ RateControlResult rcp_rate_control(const Topology& topo, const FlowSet& flows,
   CF_CHECK(routing.size() == flows.size());
   const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
 
+  // Effective capacities: the topology's, shrunk by transient failure events
+  // as rounds pass. A degraded capacity of 0 advertises share 0 — its flows
+  // collapse to rate 0 and the loop still converges.
+  std::vector<double> capacity(topo.num_links(), 0.0);
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (!link.unbounded) capacity[l] = link.capacity.to_double();
+  }
+
+  std::vector<LinkFailureEvent> events = params.failures;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const LinkFailureEvent& a, const LinkFailureEvent& b) {
+                     return a.round < b.round;
+                   });
+  for (const LinkFailureEvent& e : events) {
+    CF_CHECK_MSG(e.round < params.max_iterations,
+                 "failure event at round " << e.round << " beyond max_iterations "
+                                           << params.max_iterations);
+    CF_CHECK_MSG(e.link >= 0 && static_cast<std::size_t>(e.link) < topo.num_links(),
+                 "failure event targets unknown link " << e.link);
+    CF_CHECK_MSG(!topo.link(e.link).unbounded,
+                 "failure event targets unbounded link " << e.link);
+    CF_CHECK_MSG(e.factor >= 0.0 && e.factor <= 1.0,
+                 "failure factor " << e.factor << " outside [0, 1]");
+  }
+
   RateControlResult result;
   result.rates = Allocation<double>(flows.size());
   std::vector<double> rate(flows.size(), 0.0);
+  std::size_t next_event = 0;
+  std::size_t last_failure_round = 0;
 
   for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    while (next_event < events.size() && events[next_event].round <= round) {
+      const LinkFailureEvent& e = events[next_event];
+      capacity[static_cast<std::size_t>(e.link)] *= e.factor;
+      last_failure_round = round;
+      ++next_event;
+    }
+
     // Each bounded link advertises a share from last round's rates.
     std::vector<double> share(topo.num_links(),
                               std::numeric_limits<double>::infinity());
@@ -48,7 +89,7 @@ RateControlResult rcp_rate_control(const Topology& topo, const FlowSet& flows,
       std::vector<double> local;
       local.reserve(on_link[l].size());
       for (FlowIndex f : on_link[l]) local.push_back(rate[f]);
-      share[l] = advertised_share(link.capacity.to_double(), std::move(local));
+      share[l] = advertised_share(capacity[l], std::move(local));
     }
 
     // Each flow takes the minimum advertised share along its path.
@@ -66,11 +107,18 @@ RateControlResult rcp_rate_control(const Topology& topo, const FlowSet& flows,
     }
     rate = std::move(next);
     result.iterations = round + 1;
-    if (max_change <= params.epsilon) {
+    // Never declare convergence with failures still pending: the run must
+    // experience every scheduled event and re-converge afterwards.
+    if (max_change <= params.epsilon && next_event == events.size()) {
       result.converged = true;
       break;
     }
   }
+  if (result.converged && !events.empty()) {
+    result.recovery_rounds = result.iterations - last_failure_round;
+    OBS_COUNTER_ADD("rate_control.recovery_rounds", result.recovery_rounds);
+  }
+  OBS_COUNTER_ADD("rate_control.transient_failures", next_event);
   result.rates = Allocation<double>(rate);
   return result;
 }

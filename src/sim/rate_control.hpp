@@ -29,11 +29,35 @@ struct RateControlResult {
   Allocation<double> rates;    ///< final (RCP) or time-averaged (AIMD) rates
   std::size_t iterations = 0;  ///< rounds executed
   bool converged = false;      ///< RCP: successive-round change below epsilon
+
+  /// RCP with transient failures only: rounds executed from the last applied
+  /// failure event (inclusive) until re-convergence — the recovery time of
+  /// the rate-control loop. Zero when no failure event was scheduled or the
+  /// run never re-converged.
+  std::size_t recovery_rounds = 0;
+};
+
+/// A mid-run capacity drop: at the start of round `round` (0-based) the
+/// link's effective capacity is multiplied by `factor` in [0, 1] — factor 0
+/// is a link death. The topology itself is untouched; only the RCP loop's
+/// view of the capacity changes, and flows re-converge to the max-min
+/// allocation of the degraded fabric (rates on dead links collapse to 0
+/// without tripping the bounded-link check).
+struct LinkFailureEvent {
+  std::size_t round = 0;
+  LinkId link = kInvalidLink;
+  double factor = 0.0;
 };
 
 struct RcpParams {
   std::size_t max_iterations = 1000;
   double epsilon = 1e-9;  ///< max per-flow rate change that counts as converged
+
+  /// Transient failures, applied in round order. Convergence is never
+  /// declared while events are still pending, so a run always experiences
+  /// every scheduled failure. Each event's round must be < max_iterations
+  /// and its factor in [0, 1]; events must target bounded links.
+  std::vector<LinkFailureEvent> failures;
 };
 
 /// RCP-style explicit fair-share iteration. Links iterate

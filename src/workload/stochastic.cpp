@@ -1,5 +1,7 @@
 #include "workload/stochastic.hpp"
 
+#include <algorithm>
+
 namespace closfair {
 namespace {
 
@@ -18,21 +20,49 @@ std::size_t random_server(const Fabric& fabric, Rng& rng) {
   return rng.next_below(static_cast<std::uint64_t>(fabric.num_servers()));
 }
 
+// Self-flows (source server == destination server) never enter the fabric:
+// they traverse no bounded link, contribute phantom throughput to T-metrics,
+// and crash rcp_rate_control ("flow with no bounded link"). Every random
+// generator below excludes them, which needs at least two servers.
+void check_two_servers(const Fabric& fabric) {
+  CF_CHECK_MSG(fabric.num_servers() > 1,
+               "self-flow-free workloads need at least 2 servers, fabric has "
+                   << fabric.num_servers());
+}
+
 }  // namespace
 
 FlowCollection uniform_random(const Fabric& fabric, std::size_t count, Rng& rng) {
+  check_two_servers(fabric);
   FlowCollection flows;
   flows.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const Coord s = coord_of(fabric, random_server(fabric, rng));
-    const Coord t = coord_of(fabric, random_server(fabric, rng));
+    const std::size_t src = random_server(fabric, rng);
+    std::size_t dst = random_server(fabric, rng);
+    while (dst == src) dst = random_server(fabric, rng);
+    const Coord s = coord_of(fabric, src);
+    const Coord t = coord_of(fabric, dst);
     flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
   }
   return flows;
 }
 
 FlowCollection random_permutation(const Fabric& fabric, Rng& rng) {
-  const auto perm = rng.permutation(static_cast<std::size_t>(fabric.num_servers()));
+  check_two_servers(fabric);
+  // Sample a derangement: a permutation with a fixed point maps some server
+  // to itself — a self-flow. Whole-permutation rejection keeps the result
+  // uniform over derangements and deterministic per seed; the acceptance
+  // probability tends to 1/e, so a few draws suffice in expectation.
+  auto perm = rng.permutation(static_cast<std::size_t>(fabric.num_servers()));
+  auto has_fixed_point = [](const std::vector<std::size_t>& p) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] == i) return true;
+    }
+    return false;
+  };
+  while (has_fixed_point(perm)) {
+    perm = rng.permutation(static_cast<std::size_t>(fabric.num_servers()));
+  }
   FlowCollection flows;
   flows.reserve(perm.size());
   for (std::size_t src = 0; src < perm.size(); ++src) {
@@ -45,12 +75,16 @@ FlowCollection random_permutation(const Fabric& fabric, Rng& rng) {
 
 FlowCollection zipf_destinations(const Fabric& fabric, std::size_t count, double skew,
                                  Rng& rng) {
+  check_two_servers(fabric);
   const ZipfSampler sampler(static_cast<std::size_t>(fabric.num_servers()), skew);
   FlowCollection flows;
   flows.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const Coord s = coord_of(fabric, random_server(fabric, rng));
-    const Coord t = coord_of(fabric, sampler.sample(rng));
+    const std::size_t src = random_server(fabric, rng);
+    std::size_t dst = sampler.sample(rng);
+    while (dst == src) dst = sampler.sample(rng);
+    const Coord s = coord_of(fabric, src);
+    const Coord t = coord_of(fabric, dst);
     flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
   }
   return flows;
@@ -60,10 +94,19 @@ FlowCollection incast(const Fabric& fabric, std::size_t senders, int dst_tor, in
                       Rng& rng) {
   CF_CHECK(dst_tor >= 1 && dst_tor <= fabric.num_tors);
   CF_CHECK(dst_server >= 1 && dst_server <= fabric.servers_per_tor);
+  check_two_servers(fabric);
+  // The destination server is excluded from the sender pool: draw over the
+  // other num_servers-1 servers and shift past the destination's slot.
+  const std::size_t dst_global = static_cast<std::size_t>(dst_tor - 1) *
+                                     static_cast<std::size_t>(fabric.servers_per_tor) +
+                                 static_cast<std::size_t>(dst_server - 1);
   FlowCollection flows;
   flows.reserve(senders);
   for (std::size_t i = 0; i < senders; ++i) {
-    const Coord s = coord_of(fabric, random_server(fabric, rng));
+    std::size_t src =
+        rng.next_below(static_cast<std::uint64_t>(fabric.num_servers()) - 1);
+    if (src >= dst_global) ++src;
+    const Coord s = coord_of(fabric, src);
     flows.push_back(FlowSpec{s.tor, s.server, dst_tor, dst_server});
   }
   return flows;
@@ -73,19 +116,28 @@ FlowCollection hotspot(const Fabric& fabric, std::size_t count, int hot_tor,
                        double hot_fraction, Rng& rng) {
   CF_CHECK(hot_tor >= 1 && hot_tor <= fabric.num_tors);
   CF_CHECK(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  check_two_servers(fabric);
   FlowCollection flows;
   flows.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const Coord s = coord_of(fabric, random_server(fabric, rng));
-    Coord t;
-    if (rng.next_bool(hot_fraction)) {
-      t = Coord{hot_tor,
-                static_cast<int>(rng.next_below(
-                    static_cast<std::uint64_t>(fabric.servers_per_tor))) +
-                    1};
-    } else {
-      t = coord_of(fabric, random_server(fabric, rng));
-    }
+    // Resample the whole (source, branch, destination) tuple on a self-flow:
+    // resampling only the destination could loop forever when the hot branch
+    // is forced (hot_fraction == 1) and the source *is* the single hot
+    // server; re-drawing the source always terminates with >= 2 servers.
+    Coord s{};
+    Coord t{};
+    do {
+      const std::size_t src = random_server(fabric, rng);
+      s = coord_of(fabric, src);
+      if (rng.next_bool(hot_fraction)) {
+        t = Coord{hot_tor,
+                  static_cast<int>(rng.next_below(
+                      static_cast<std::uint64_t>(fabric.servers_per_tor))) +
+                      1};
+      } else {
+        t = coord_of(fabric, random_server(fabric, rng));
+      }
+    } while (s.tor == t.tor && s.server == t.server);
     flows.push_back(FlowSpec{s.tor, s.server, t.tor, t.server});
   }
   return flows;

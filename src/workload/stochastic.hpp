@@ -7,6 +7,12 @@
 // All generators emit coordinate-level FlowCollections for a fabric with
 // `num_tors` ToRs and `servers_per_tor` servers per ToR (both sides), so the
 // same collection instantiates on C_n and MS_n.
+//
+// No generator ever emits a self-flow (source server == destination server):
+// such flows traverse no bounded link, inflate throughput metrics for free,
+// and crash rcp_rate_control. Random generators therefore require fabrics
+// with at least two servers and resample deterministically (per seed) until
+// the endpoints differ.
 #pragma once
 
 #include <cstddef>
@@ -24,27 +30,35 @@ struct Fabric {
   [[nodiscard]] int num_servers() const { return num_tors * servers_per_tor; }
 };
 
-/// `count` flows with source and destination chosen uniformly at random.
+/// `count` flows with source and destination chosen uniformly at random
+/// among distinct servers (the destination is resampled until it differs
+/// from the source).
 [[nodiscard]] FlowCollection uniform_random(const Fabric& fabric, std::size_t count,
                                             Rng& rng);
 
-/// One flow per source, destinations forming a uniformly random permutation
+/// One flow per source, destinations forming a uniformly random *derangement*
 /// (classic permutation traffic; at most one flow per source and per
-/// destination — the admission-control regime of §1).
+/// destination — the admission-control regime of §1 — and no server sends to
+/// itself). Whole permutations are rejected until fixed-point-free, so the
+/// result is uniform over derangements and deterministic per seed.
 [[nodiscard]] FlowCollection random_permutation(const Fabric& fabric, Rng& rng);
 
 /// `count` flows with uniform sources and Zipf(s)-skewed destinations (rank 1
-/// = hottest server). s = 0 degenerates to uniform.
+/// = hottest server; resampled until distinct from the source). s = 0
+/// degenerates to uniform.
 [[nodiscard]] FlowCollection zipf_destinations(const Fabric& fabric, std::size_t count,
                                                double skew, Rng& rng);
 
 /// Incast: `senders` flows from uniformly random sources into one
-/// destination (1-based coordinates).
+/// destination (1-based coordinates). The destination server is excluded
+/// from the sender pool, so exactly `senders` flows cross the fabric.
 [[nodiscard]] FlowCollection incast(const Fabric& fabric, std::size_t senders, int dst_tor,
                                     int dst_server, Rng& rng);
 
 /// Hotspot: `count` flows; with probability `hot_fraction` the destination
-/// lies on `hot_tor`, otherwise uniform.
+/// lies on `hot_tor`, otherwise uniform. Self-flows resample the whole
+/// (source, destination) pair, so the hot-branch probability is preserved
+/// conditional on the pair being a real flow.
 [[nodiscard]] FlowCollection hotspot(const Fabric& fabric, std::size_t count, int hot_tor,
                                      double hot_fraction, Rng& rng);
 

@@ -14,19 +14,34 @@ Trace poisson_trace(const TraceParams& params, Rng& rng) {
           static_cast<int>(global) / params.fabric.servers_per_tor + 1,
           static_cast<int>(global) % params.fabric.servers_per_tor + 1};
     };
+    // Self-flows never enter the fabric (no bounded link), so each pattern
+    // resamples until the endpoints differ — same policy as the static
+    // generators in workload/stochastic.cpp.
     const auto servers = static_cast<std::uint64_t>(params.fabric.num_servers());
-    const auto [si, sj] = coord_of(rng.next_below(servers));
+    CF_CHECK_MSG(servers > 1, "self-flow-free traces need at least 2 servers");
     switch (params.endpoints) {
       case EndpointPattern::kUniform: {
-        const auto [ti, tj] = coord_of(rng.next_below(servers));
+        const std::size_t src = rng.next_below(servers);
+        std::size_t dst = rng.next_below(servers);
+        while (dst == src) dst = rng.next_below(servers);
+        const auto [si, sj] = coord_of(src);
+        const auto [ti, tj] = coord_of(dst);
         return FlowSpec{si, sj, ti, tj};
       }
       case EndpointPattern::kZipfDst: {
-        const auto [ti, tj] = coord_of(zipf.sample(rng));
+        const std::size_t src = rng.next_below(servers);
+        std::size_t dst = zipf.sample(rng);
+        while (dst == src) dst = zipf.sample(rng);
+        const auto [si, sj] = coord_of(src);
+        const auto [ti, tj] = coord_of(dst);
         return FlowSpec{si, sj, ti, tj};
       }
-      case EndpointPattern::kIncast:
+      case EndpointPattern::kIncast: {
+        // Destination is server (1,1) = global 0; draw senders from the rest.
+        const std::size_t src = rng.next_below(servers - 1) + 1;
+        const auto [si, sj] = coord_of(src);
         return FlowSpec{si, sj, 1, 1};
+      }
     }
     return FlowSpec{};
   };

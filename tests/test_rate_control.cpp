@@ -80,6 +80,120 @@ TEST_P(RcpMatchesWaterfill, Converges) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, RcpMatchesWaterfill, ::testing::Range(0, 30));
 
+// The advertised-share estimate must make converged RCP rates land on the
+// exact water-fill levels, not above them: a historical fallback term that
+// re-added a "largest flow" candidate over-advertised on ties.
+TEST(Rcp, AdvertisedShareConvergesToExactWaterfillLevels) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  // Three equal flows through one capacity-1 link: the only fixed point of a
+  // correct advertised share is exactly c/3 each — an over-advertising share
+  // would admit a fixed point above it.
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 3, 2}, FlowSpec{1, 1, 4, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const auto rcp = rcp_rate_control(ms.topology(), flows, routing);
+  ASSERT_TRUE(rcp.converged);
+  const auto oracle = max_min_fair<Rational>(ms.topology(), flows, routing);
+  double sum = 0.0;
+  for (FlowIndex f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(rcp.rates.rate(f), oracle.rate(f).to_double(), 1e-9);
+    sum += rcp.rates.rate(f);
+  }
+  // Never over capacity: the tied-largest over-advertising bug showed up as
+  // a converged sum above the bottleneck capacity.
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+// Regression for the workload self-flow bug: a flow whose source and
+// destination are the same server enters the network as an empty/unbounded
+// path and trips the "no bounded link" contract — rate control cannot
+// converge for it. The generators must therefore never emit one.
+TEST(Rcp, SelfFlowsWouldCrashAndGeneratorsAvoidThem) {
+  // (a) A self-flow modeled faithfully (host-local, no bounded link) crashes.
+  Topology topo;
+  const NodeId host = topo.add_node("host");
+  const NodeId sw = topo.add_node("sw");
+  topo.add_unbounded_link(host, sw);
+  const FlowSet loopback = {Flow{host, host}};
+  const Routing empty_path{std::vector<Path>{{}}};
+  EXPECT_THROW(rcp_rate_control(topo, loopback, empty_path), ContractViolation);
+
+  // (b) The fixed generators feed RCP workloads that complete. Seed 0 on
+  // this fabric produced self-flows before the fix.
+  const ClosNetwork net = ClosNetwork::paper(2);
+  Rng rng(0);
+  const FlowSet flows = instantiate(
+      net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 16, rng));
+  const Routing routing = expand_routing(net, flows, ecmp_routing(net, flows, rng));
+  const auto rcp = rcp_rate_control(net.topology(), flows, routing);
+  EXPECT_TRUE(rcp.converged);
+}
+
+TEST(Rcp, TransientFailureReconvergesToDegradedWaterfill) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(
+      ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{1, 1, 3, 2}, FlowSpec{2, 1, 4, 1}});
+  const Routing routing = macro_routing(ms, flows);
+
+  // Halve the source link of flows 0 and 1 mid-run.
+  const LinkId src_link = routing.path(0).front();
+  RcpParams params;
+  params.failures.push_back(LinkFailureEvent{25, src_link, 0.5});
+  const auto rcp = rcp_rate_control(ms.topology(), flows, routing, params);
+  ASSERT_TRUE(rcp.converged);
+  EXPECT_GT(rcp.recovery_rounds, 0u);
+  EXPECT_GT(rcp.iterations, 25u);  // convergence never declared before the event
+  EXPECT_NEAR(rcp.rates.rate(0), 0.25, 1e-6);
+  EXPECT_NEAR(rcp.rates.rate(1), 0.25, 1e-6);
+  EXPECT_NEAR(rcp.rates.rate(2), 1.0, 1e-6);
+}
+
+TEST(Rcp, LinkDeathCollapsesItsFlowsToZero) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}, FlowSpec{2, 1, 4, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  RcpParams params;
+  params.failures.push_back(LinkFailureEvent{10, routing.path(0).front(), 0.0});
+  const auto rcp = rcp_rate_control(ms.topology(), flows, routing, params);
+  ASSERT_TRUE(rcp.converged);
+  EXPECT_NEAR(rcp.rates.rate(0), 0.0, 1e-9);  // dead link, not a crash
+  EXPECT_NEAR(rcp.rates.rate(1), 1.0, 1e-6);
+}
+
+TEST(Rcp, MultipleFailureEventsComposeMultiplicatively) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  RcpParams params;
+  const LinkId link = routing.path(0).front();
+  params.failures.push_back(LinkFailureEvent{10, link, 0.5});
+  params.failures.push_back(LinkFailureEvent{30, link, 0.5});
+  const auto rcp = rcp_rate_control(ms.topology(), flows, routing, params);
+  ASSERT_TRUE(rcp.converged);
+  EXPECT_NEAR(rcp.rates.rate(0), 0.25, 1e-6);  // 1 * 0.5 * 0.5
+}
+
+TEST(Rcp, FailureEventValidation) {
+  const MacroSwitch ms = MacroSwitch::paper(2);
+  const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 3, 1}});
+  const Routing routing = macro_routing(ms, flows);
+  const LinkId link = routing.path(0).front();
+
+  RcpParams late;
+  late.failures.push_back(LinkFailureEvent{10'000, link, 0.5});
+  EXPECT_THROW(rcp_rate_control(ms.topology(), flows, routing, late), ContractViolation);
+
+  RcpParams reviving;
+  reviving.failures.push_back(LinkFailureEvent{5, link, 1.5});
+  EXPECT_THROW(rcp_rate_control(ms.topology(), flows, routing, reviving),
+               ContractViolation);
+
+  RcpParams bogus_link;
+  bogus_link.failures.push_back(LinkFailureEvent{5, LinkId{9999}, 0.5});
+  EXPECT_THROW(rcp_rate_control(ms.topology(), flows, routing, bogus_link),
+               ContractViolation);
+}
+
 TEST(Aimd, SingleFlowOscillatesNearCapacity) {
   const MacroSwitch ms = MacroSwitch::paper(1);
   const FlowSet flows = instantiate(ms, {FlowSpec{1, 1, 2, 1}});

@@ -21,7 +21,8 @@ TEST(Replication, SingleFlowAlwaysFeasible) {
 
 TEST(Replication, WitnessRoutingIsActuallyFeasible) {
   const ClosNetwork net = ClosNetwork::paper(2);
-  Rng rng(3);
+  // Seed chosen so the (self-flow-free) workload is feasible at rate 1/4.
+  Rng rng(4);
   const FlowSet flows = instantiate(
       net, uniform_random(Fabric{net.num_tors(), net.servers_per_tor()}, 10, rng));
   const std::vector<Rational> rates(flows.size(), Rational{1, 4});

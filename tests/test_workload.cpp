@@ -158,5 +158,144 @@ TEST(Trace, IncastEndpoints) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Property suite: every random generator, across many seeds — bounds hold,
+// no generator ever emits a self-flow, and equal seeds give equal output.
+// ---------------------------------------------------------------------------
+
+bool is_self_flow(const FlowSpec& sp) {
+  return sp.src_tor == sp.dst_tor && sp.src_server == sp.dst_server;
+}
+
+TEST(WorkloadProperty, NoGeneratorEmitsSelfFlows) {
+  const Fabric fabrics[] = {{2, 1}, {4, 2}, {6, 3}};
+  for (const Fabric& fabric : fabrics) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      Rng rng(seed);
+      for (const auto& sp : uniform_random(fabric, 50, rng)) {
+        EXPECT_FALSE(is_self_flow(sp)) << "uniform_random seed " << seed;
+        EXPECT_TRUE(in_bounds(sp, fabric));
+      }
+      for (const auto& sp : random_permutation(fabric, rng)) {
+        EXPECT_FALSE(is_self_flow(sp)) << "random_permutation seed " << seed;
+        EXPECT_TRUE(in_bounds(sp, fabric));
+      }
+      for (const auto& sp : zipf_destinations(fabric, 50, 1.2, rng)) {
+        EXPECT_FALSE(is_self_flow(sp)) << "zipf_destinations seed " << seed;
+        EXPECT_TRUE(in_bounds(sp, fabric));
+      }
+      for (const auto& sp : incast(fabric, 25, 1, 1, rng)) {
+        EXPECT_FALSE(is_self_flow(sp)) << "incast seed " << seed;
+        EXPECT_TRUE(in_bounds(sp, fabric));
+      }
+      for (const auto& sp : hotspot(fabric, 50, fabric.num_tors, 0.7, rng)) {
+        EXPECT_FALSE(is_self_flow(sp)) << "hotspot seed " << seed;
+        EXPECT_TRUE(in_bounds(sp, fabric));
+      }
+    }
+  }
+}
+
+TEST(WorkloadProperty, PermutationIsDerangementOnRegressionSeeds) {
+  // Before the derangement fix these seeds produced permutations with fixed
+  // points on an 8-server fabric — i.e. self-flows under admission control.
+  const Fabric fabric{4, 2};
+  for (std::uint64_t seed : {4u, 5u, 6u, 7u, 9u, 10u, 12u, 14u}) {
+    Rng rng(seed);
+    const FlowCollection flows = random_permutation(fabric, rng);
+    ASSERT_EQ(flows.size(), 8u);
+    std::set<std::pair<int, int>> dests;
+    for (const auto& sp : flows) {
+      EXPECT_FALSE(is_self_flow(sp)) << "fixed point at seed " << seed;
+      dests.insert({sp.dst_tor, sp.dst_server});
+    }
+    EXPECT_EQ(dests.size(), 8u) << "not a permutation at seed " << seed;
+  }
+}
+
+TEST(WorkloadProperty, GeneratorsAreDeterministicPerSeed) {
+  const Fabric fabric{4, 2};
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng a(seed);
+    Rng b(seed);
+    EXPECT_EQ(uniform_random(fabric, 40, a), uniform_random(fabric, 40, b));
+    EXPECT_EQ(random_permutation(fabric, a), random_permutation(fabric, b));
+    EXPECT_EQ(zipf_destinations(fabric, 40, 1.1, a), zipf_destinations(fabric, 40, 1.1, b));
+    EXPECT_EQ(incast(fabric, 20, 2, 1, a), incast(fabric, 20, 2, 1, b));
+    EXPECT_EQ(hotspot(fabric, 40, 3, 0.5, a), hotspot(fabric, 40, 3, 0.5, b));
+  }
+}
+
+TEST(WorkloadProperty, IncastExcludesDestinationFromSenderPool) {
+  const Fabric fabric{4, 2};
+  Rng rng(17);
+  std::set<std::pair<int, int>> sources;
+  const FlowCollection flows = incast(fabric, 2000, 3, 2, rng);
+  ASSERT_EQ(flows.size(), 2000u);  // exactly `senders` real fabric flows
+  for (const auto& sp : flows) {
+    EXPECT_FALSE(sp.src_tor == 3 && sp.src_server == 2);
+    sources.insert({sp.src_tor, sp.src_server});
+  }
+  // Every one of the other 7 servers shows up as a sender.
+  EXPECT_EQ(sources.size(), 7u);
+}
+
+TEST(WorkloadProperty, HotspotForcedFractionTerminates) {
+  // hot_fraction = 1 with a single hot server: the only self-flow escape is
+  // resampling the source, which must terminate and yield real flows.
+  const Fabric fabric{2, 1};
+  Rng rng(3);
+  const FlowCollection flows = hotspot(fabric, 50, 1, 1.0, rng);
+  ASSERT_EQ(flows.size(), 50u);
+  for (const auto& sp : flows) {
+    EXPECT_EQ(sp.src_tor, 2);  // only non-hot server can send
+    EXPECT_EQ(sp.dst_tor, 1);
+  }
+}
+
+TEST(WorkloadProperty, StrideIsBijectiveForEveryStride) {
+  const Fabric fabric{3, 2};  // 6 servers
+  for (int s : {-7, -1, 0, 1, 2, 5, 6, 13}) {
+    const FlowCollection flows = stride(fabric, s);
+    ASSERT_EQ(flows.size(), 6u);
+    std::set<std::pair<int, int>> sources;
+    std::set<std::pair<int, int>> dests;
+    for (const auto& sp : flows) {
+      EXPECT_TRUE(in_bounds(sp, fabric));
+      sources.insert({sp.src_tor, sp.src_server});
+      dests.insert({sp.dst_tor, sp.dst_server});
+    }
+    EXPECT_EQ(sources.size(), 6u) << "stride " << s;
+    EXPECT_EQ(dests.size(), 6u) << "stride " << s;
+  }
+}
+
+TEST(WorkloadProperty, SingleServerFabricThrows) {
+  const Fabric tiny{1, 1};
+  Rng rng(1);
+  EXPECT_THROW(uniform_random(tiny, 5, rng), ContractViolation);
+  EXPECT_THROW(random_permutation(tiny, rng), ContractViolation);
+  EXPECT_THROW(zipf_destinations(tiny, 5, 1.0, rng), ContractViolation);
+  EXPECT_THROW(incast(tiny, 5, 1, 1, rng), ContractViolation);
+  EXPECT_THROW(hotspot(tiny, 5, 1, 0.5, rng), ContractViolation);
+}
+
+TEST(TraceProperty, NoEndpointPatternEmitsSelfFlows) {
+  for (EndpointPattern pattern :
+       {EndpointPattern::kUniform, EndpointPattern::kZipfDst, EndpointPattern::kIncast}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      TraceParams params;
+      params.fabric = Fabric{4, 2};
+      params.num_flows = 100;
+      params.endpoints = pattern;
+      Rng rng(seed);
+      for (const auto& a : poisson_trace(params, rng)) {
+        EXPECT_FALSE(is_self_flow(a.spec));
+        EXPECT_TRUE(in_bounds(a.spec, params.fabric));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace closfair
