@@ -33,11 +33,15 @@ struct ExhaustiveOptions {
   /// (much smaller) canonical class count.
   std::uint64_t max_routings = 50'000'000;
 
-  /// Pin flow 0 to middle 1 in odometer mode (sound by middle-switch
-  /// symmetry). In canonical mode this is implied by the enumeration; the
-  /// flag then only selects whether `routings_evaluated` reports the pinned
-  /// (n^(|F|-1)-scale) or the full (n^|F|-scale) space, keeping counts
-  /// comparable with odometer runs under the same setting.
+  /// Pin flow 0 to the first surviving middle in odometer mode. Sound only
+  /// when the surviving pool is capacity-interchangeable, so — like the
+  /// canonical quotient — the pin is ignored whenever
+  /// `fault::surviving_middles_symmetric` is false (e.g. a single dead
+  /// uplink with its middle otherwise alive): the engine then enumerates
+  /// flow 0 over the whole pool. In canonical mode the pin is implied by the
+  /// enumeration; the flag then only selects whether `routings_evaluated`
+  /// reports the pinned (n^(|F|-1)-scale) or the full (n^|F|-scale) space,
+  /// keeping counts comparable with odometer runs under the same setting.
   bool fix_first_flow = true;
 
   /// Enumerate one canonical representative per middle-relabeling class

@@ -97,7 +97,6 @@ SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,
                            const ExhaustiveOptions& options)
     : net_(net), flows_(flows) {
   num_middles_ = net.num_middles();
-  fix_first_ = options.fix_first_flow;
 
   // The enumeration alphabet is the surviving-middle pool: dead middles
   // (every uplink and downlink at zero — the mask a failed middle leaves)
@@ -111,11 +110,18 @@ SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,
   }
   pool_size_ = static_cast<int>(pool_.size());
 
-  // Canonical mode needs the pool to be capacity-interchangeable; failed
+  // Both quotients need the pool to be capacity-interchangeable: the
+  // canonical classes AND the odometer's fix_first_flow pin (flow 0 locked
+  // to pool_.front()) are only exhaustive up to relabeling survivors. Failed
   // middles break the full-label symmetry, but the surviving labels may
-  // still permute freely (fault/fault.hpp). Pristine fabrics reduce to the
-  // original middles_symmetric() gate.
-  canonical_ = options.exploit_middle_symmetry && fault::surviving_middles_symmetric(net);
+  // still permute freely (fault/fault.hpp); a single dead or derated link
+  // between survivors — e.g. one killed uplink with its middle otherwise
+  // alive — invalidates both reductions, so the engine then enumerates the
+  // full unpinned |pool|^|F| space. Pristine fabrics reduce to the original
+  // middles_symmetric() gate.
+  const bool symmetric = fault::surviving_middles_symmetric(net);
+  canonical_ = options.exploit_middle_symmetry && symmetric;
+  fix_first_ = options.fix_first_flow && symmetric;
   const std::size_t num_flows = flows.size();
 
   // Guard the number of candidates that would be water-filled.

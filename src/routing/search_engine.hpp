@@ -167,8 +167,10 @@ class SearchEngine {
   // *pool indices* mapped through pool_ onto actual middle labels — on a
   // pristine fabric the pool is the identity and the mapping is free. In
   // canonical mode each position ranges over 1..min(|pool|, max_used+1); in
-  // odometer mode over 1..|pool| (position 0 pinned under fix_first_flow).
-  // Returns false iff the visitor requested a stop.
+  // odometer mode over 1..|pool|, position 0 pinned under fix_first_ —
+  // which the constructor clears, along with canonical_, whenever the
+  // surviving pool is capacity-asymmetric. Returns false iff the visitor
+  // requested a stop.
   template <typename Local, typename Visit>
   bool enumerate_from(MiddleAssignment& middles, std::size_t pos, int max_used,
                       std::uint64_t prefix_index, std::uint64_t& seq,
@@ -205,7 +207,10 @@ class SearchEngine {
   std::vector<int> pool_;
   int pool_size_ = 1;
   bool canonical_ = false;
-  bool fix_first_ = true;
+  /// options.fix_first_flow, honored only when the surviving pool is
+  /// capacity-symmetric — the pin quotients by a relabeling that must be an
+  /// automorphism to be sound.
+  bool fix_first_ = false;
   unsigned workers_ = 1;
   std::size_t prefix_len_ = 0;
   std::vector<Prefix> prefixes_;

@@ -15,6 +15,10 @@ namespace {
 // every current rate, letting flows grow; for a bottleneck it converges to
 // the link's max-min level.
 double advertised_share(double capacity, std::vector<double> rates) {
+  // With no flows every division below is 0/0 = NaN — a failed (capacity 0)
+  // link that happens to carry no flows must still advertise a number, not
+  // poison anything that reads share[] beyond the link's own flows.
+  if (rates.empty()) return capacity;
   std::sort(rates.begin(), rates.end());
   double best = capacity / static_cast<double>(rates.size());
   double prefix = 0.0;

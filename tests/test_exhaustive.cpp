@@ -4,6 +4,7 @@
 
 #include "core/adversarial.hpp"
 #include "fairness/waterfill.hpp"
+#include "fault/fault.hpp"
 #include "routing/local_search.hpp"
 #include "util/rng.hpp"
 #include "workload/stochastic.hpp"
@@ -86,6 +87,40 @@ TEST(Exhaustive, SymmetryPinMatchesUnpinned) {
   const auto b = lex_max_min_exhaustive(net, flows, unpinned);
   EXPECT_EQ(a.alloc.sorted(), b.alloc.sorted());
   EXPECT_EQ(b.routings_evaluated, 2 * a.routings_evaluated);
+}
+
+TEST(Exhaustive, DeadUplinkDisablesFirstFlowPin) {
+  // One dead uplink leaves both middles alive but capacity-asymmetric, so
+  // neither the canonical quotient nor the fix_first_flow pin is sound: a
+  // pinned odometer would lock flow 0 onto M_1's dead uplink and report a
+  // starved sorted vector as the "exact" optimum. The engine must drop the
+  // pin and enumerate flow 0 over the whole surviving pool.
+  ClosNetwork net = ClosNetwork::paper(2);
+  fault::FailureScenario nick;
+  nick.derated_links.push_back(
+      fault::LinkDeration{fault::LinkStage::kUplink, 1, 1, Rational{0}});
+  fault::apply(net, nick);
+  ASSERT_TRUE(fault::middle_alive(net, 1));
+  ASSERT_FALSE(fault::surviving_middles_symmetric(net));
+
+  const FlowSet flows = instantiate(net, {FlowSpec{1, 1, 3, 1}, FlowSpec{2, 1, 4, 1}});
+  ExhaustiveOptions pinned;  // fix_first_flow = true (default) must be ignored
+  ExhaustiveOptions unpinned;
+  unpinned.fix_first_flow = false;
+  const auto a = lex_max_min_exhaustive(net, flows, pinned);
+  const auto b = lex_max_min_exhaustive(net, flows, unpinned);
+  // Flow 0 must route around the dead uplink via M_2: everyone at full rate.
+  EXPECT_EQ(a.alloc.sorted(), (std::vector<Rational>{Rational{1}, Rational{1}}));
+  EXPECT_EQ(a.alloc.sorted(), b.alloc.sorted());
+  EXPECT_EQ(a.middles, b.middles);
+  // With the pin dropped both runs cover the identical full 2^2 space (a
+  // honored pin would have reported 2).
+  EXPECT_EQ(a.routings_evaluated, 4u);
+  EXPECT_EQ(b.routings_evaluated, 4u);
+
+  // Throughput search over the same degraded fabric agrees.
+  const auto t = throughput_max_min_exhaustive(net, flows, pinned);
+  EXPECT_EQ(t.alloc.throughput(), Rational{2});
 }
 
 TEST(Exhaustive, ParallelMatchesSerial) {

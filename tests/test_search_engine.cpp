@@ -144,11 +144,13 @@ TEST(SearchEngine, AsymmetricMiddlesFallBackToOdometer) {
   ASSERT_FALSE(net.middles_symmetric());
   const FlowSet flows = random_flows(net, 4, 33);
 
-  // Default options now fall back to the full odometer: every pinned
-  // assignment is water-filled (no canonical reduction is sound here).
+  // Default options fall back to the full *unpinned* odometer: asymmetric
+  // middles void both quotients — the canonical classes and the
+  // fix_first_flow pin (pinning flow 0 quotients by the same broken
+  // relabeling symmetry) — so every assignment is water-filled.
   const auto result = lex_max_min_exhaustive(net, flows);
-  EXPECT_EQ(result.waterfill_invocations, 27u);  // 3^3, flow 0 pinned
-  EXPECT_EQ(result.routings_evaluated, 27u);
+  EXPECT_EQ(result.waterfill_invocations, 81u);  // 3^4, nothing pinned
+  EXPECT_EQ(result.routings_evaluated, 81u);
 
   ExhaustiveOptions no_sym;
   no_sym.exploit_middle_symmetry = false;
