@@ -4,7 +4,11 @@
 //
 // The paper's impossibility results are proven on pristine Clos fabrics; this
 // harness asks how the same adversarial instances behave as middles die
-// (fault/fault.hpp worst-case outages). Four parts:
+// (fault/fault.hpp worst-case outages). Parts A-C issue every cell as a
+// declarative ScenarioSpec through the closfair::svc service (the
+// adversarial flow sets ride inline as text-format instances, the outages as
+// fault.worst_case_outage), so the service path is pinned to the same exact
+// rational anchors as driving the library directly. Four parts:
 //
 //   A. R2 starvation (Theorem 4.3): the type 3 flow's lex-max-min rate ratio
 //      vs its macro rate, for f = 0..n-2 failed middles. f = 0 must
@@ -20,11 +24,13 @@
 //      frontier endpoints: (5,2) lex (8/3, min 1/3) vs throughput (3, 1/4).
 //   D. RCP under a transient mid-run link failure: the rate-control loop
 //      must re-converge to the degraded fabric's exact water-fill rates and
-//      report a positive recovery-round count.
+//      report a positive recovery-round count (direct, not via svc — the
+//      rate-control simulator is not a scenario policy).
 //
 // Emits BENCH_degraded.json (path overridable) with every measured table and
-// the obs registry snapshot (fault.* / rate_control.* / search.* counters)
+// the obs registry snapshot (fault.* / rate_control.* / svc.* counters)
 // under a "metrics" key; exits non-zero if any check fails.
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -35,11 +41,10 @@
 #include "fairness/waterfill.hpp"
 #include "fault/fault.hpp"
 #include "io/json_export.hpp"
+#include "io/text_format.hpp"
 #include "obs/obs.hpp"
-#include "routing/exhaustive.hpp"
-#include "routing/local_search.hpp"
-#include "routing/replication.hpp"
 #include "sim/rate_control.hpp"
+#include "svc/service.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -56,6 +61,34 @@ void check(bool ok, const std::string& what) {
   }
 }
 
+/// The adversarial flow set as canonical inline instance text (the one way a
+/// ScenarioSpec carries an arbitrary flow list). `with_rates` attaches the
+/// instance's macro rates as declared @rate targets (Part B's replication
+/// question).
+std::string inline_instance(int n, const AdversarialInstance& inst, bool with_rates) {
+  InstanceSpec is;
+  is.params = ClosNetwork::Params{n, 2 * n, n, Rational{1}};
+  is.flows = inst.flows;
+  if (with_rates) {
+    is.rates.assign(inst.macro_rates.begin(), inst.macro_rates.end());
+  }
+  return format_instance(is);
+}
+
+std::vector<Rational> sorted_rates(const svc::ScenarioResult& r) {
+  std::vector<Rational> s = r.rates;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+/// Evaluate one spec through the service; a failed cell is a harness bug.
+svc::ScenarioResult run(svc::Service& service, const svc::ScenarioSpec& spec,
+                        const std::string& what) {
+  const svc::BatchEntry entry = service.evaluate(spec);
+  check(entry.ok(), what + ": " + entry.error);
+  return entry.result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +99,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::Registry::instance().reset();
+  svc::Service service(svc::ServiceOptions{2, 256});
 
   Json report = Json::object();
   report.set("bench", Json::string("degraded_fabric"));
@@ -77,32 +111,37 @@ int main(int argc, char** argv) {
                      "ratio vs macro", "pristine 1/n"});
   for (int n : {3, 4}) {
     const AdversarialInstance inst = theorem_4_3_instance(n);
-    const ClosNetwork pristine = ClosNetwork::paper(n);
-    const MacroSwitch ms = MacroSwitch::paper(n);
-    const auto macro = max_min_fair<Rational>(ms, instantiate(ms, inst.flows));
-    const FlowSet flows = instantiate(pristine, inst.flows);
-    const FlowIndex type3 = flows.size() - 1;
+    const std::string instance = inline_instance(n, inst, /*with_rates=*/false);
 
     for (int f = 0; f <= n - 2; ++f) {
-      const ClosNetwork net = fault::degrade(pristine, fault::worst_case_outage(pristine, f));
-      MiddleAssignment middles = *inst.witness;
-      const std::size_t rerouted = fault::reroute_dead_paths(net, flows, middles);
-      const auto lex = lex_max_min_local_search(net, flows, middles);
-      const Rational ratio = lex.alloc.rate(type3) / macro.rate(type3);
+      svc::ScenarioSpec spec;
+      spec.workload.instance = instance;
+      spec.topology.params = ClosNetwork::Params{n, 2 * n, n, Rational{1}};
+      spec.routing.policy = "lex_climb";
+      spec.routing.start = *inst.witness;
+      spec.routing.reroute_dead = true;
+      spec.fault.worst_case_outage = f;
+      const svc::ScenarioResult r =
+          run(service, spec, "A: cell (n=" + std::to_string(n) + ", f=" + std::to_string(f) + ")");
+
+      const FlowIndex type3 = r.num_flows - 1;
+      const std::size_t rerouted = r.rerouted.value_or(0);
+      const Rational ratio = r.rates[type3] / r.macro_rates[type3];
 
       if (f == 0) {
         check(rerouted == 0, "A: pristine witness needs no reroute (n=" + std::to_string(n) + ")");
         check(ratio == Rational{1, n},
               "A: pristine starvation ratio is 1/n (n=" + std::to_string(n) + ")");
       }
-      table_a.add_row({std::to_string(n), std::to_string(f), std::to_string(n - f),
-                       std::to_string(rerouted), lex.alloc.rate(type3).to_string(),
+      table_a.add_row({std::to_string(n), std::to_string(f),
+                       std::to_string(r.surviving_middles.value_or(0)),
+                       std::to_string(rerouted), r.rates[type3].to_string(),
                        ratio.to_string(), Rational{1, n}.to_string()});
       Json row = Json::object();
       row.set("n", Json::number(static_cast<std::int64_t>(n)));
       row.set("failed_middles", Json::number(static_cast<std::int64_t>(f)));
       row.set("rerouted_flows", Json::number(static_cast<std::int64_t>(rerouted)));
-      row.set("type3_lex_rate", Json::string(lex.alloc.rate(type3).to_string()));
+      row.set("type3_lex_rate", Json::string(r.rates[type3].to_string()));
       row.set("ratio_vs_macro", Json::string(ratio.to_string()));
       part_a.push_back(std::move(row));
     }
@@ -118,22 +157,25 @@ int main(int argc, char** argv) {
     int idx = 0;
     for (int n : {3, 4}) {
       const AdversarialInstance inst = theorem_4_2_instance(n);
-      const ClosNetwork net = ClosNetwork::paper(n);
-      const FlowSet flows = instantiate(net, inst.flows);
-      const auto result = find_feasible_routing(net, flows, inst.macro_rates);
-      check(!result.feasible,
+      svc::ScenarioSpec spec;
+      spec.workload.instance = inline_instance(n, inst, /*with_rates=*/true);
+      spec.topology.params = ClosNetwork::Params{n, 2 * n, n, Rational{1}};
+      spec.routing.policy = "replicate";
+      const svc::ScenarioResult r =
+          run(service, spec, "B: cell n=" + std::to_string(n));
+
+      check(r.replication.has_value() && !r.replication->feasible,
             "B: macro rates unroutable on pristine C_" + std::to_string(n));
-      check(result.nodes_explored == expected_nodes[idx],
+      const std::uint64_t nodes = r.replication ? r.replication->nodes_explored : 0;
+      check(nodes == expected_nodes[idx],
             "B: E3 search-node anchor for n=" + std::to_string(n));
       std::cout << "n=" << n << ": "
-                << (result.feasible ? "FEASIBLE (bug)" : "infeasible") << ", "
-                << result.nodes_explored << " nodes (anchor " << expected_nodes[idx]
-                << ")\n";
+                << (r.replication && r.replication->feasible ? "FEASIBLE (bug)" : "infeasible")
+                << ", " << nodes << " nodes (anchor " << expected_nodes[idx] << ")\n";
       Json row = Json::object();
       row.set("n", Json::number(static_cast<std::int64_t>(n)));
-      row.set("feasible", Json::boolean(result.feasible));
-      row.set("nodes_explored",
-              Json::number(static_cast<std::int64_t>(result.nodes_explored)));
+      row.set("feasible", Json::boolean(r.replication && r.replication->feasible));
+      row.set("nodes_explored", Json::number(static_cast<std::int64_t>(nodes)));
       part_b.push_back(std::move(row));
       ++idx;
     }
@@ -152,48 +194,50 @@ int main(int argc, char** argv) {
   };
   for (const Gadget g : {Gadget{3, 1}, Gadget{5, 2}}) {
     const AdversarialInstance inst = theorem_5_4_instance(g.n, g.k);
-    const ClosNetwork pristine = ClosNetwork::paper(g.n);
-    const FlowSet flows = instantiate(pristine, inst.flows);
+    const std::string instance = inline_instance(g.n, inst, /*with_rates=*/false);
 
     for (int f = 0; f <= g.n - 2; ++f) {
-      const ClosNetwork net =
-          fault::degrade(pristine, fault::worst_case_outage(pristine, f));
-
       // The determinism gate: identical rational outputs and identical work
       // counters at every thread count. prune_throughput_bound is off —
       // early-exit overshoot is the one legitimately thread-dependent
-      // counter, so the gate excludes it by construction.
+      // counter, so the gate excludes it by construction. Each thread count
+      // is a distinct spec (threads is part of the content address), so all
+      // three actually evaluate — the cache cannot shortcut the gate.
       bool threads_agree = true;
-      ExactRoutingResult lex_ref;
-      ExactRoutingResult tput_ref;
+      svc::ScenarioResult lex_ref;
+      svc::ScenarioResult tput_ref;
       for (const unsigned threads : {1u, 2u, 8u}) {
-        ExhaustiveOptions options;
-        options.num_threads = threads;
-        options.prune_throughput_bound = false;
-        const auto lex = lex_max_min_exhaustive(net, flows, options);
-        const auto tput = throughput_max_min_exhaustive(net, flows, options);
+        svc::ScenarioSpec spec;
+        spec.workload.instance = instance;
+        spec.topology.params = ClosNetwork::Params{g.n, 2 * g.n, g.n, Rational{1}};
+        spec.routing.threads = threads;
+        spec.routing.prune_throughput_bound = false;
+        spec.fault.worst_case_outage = f;
+        const std::string where = " ((n,k)=(" + std::to_string(g.n) + "," +
+                                  std::to_string(g.k) + "), f=" + std::to_string(f) +
+                                  ", threads=" + std::to_string(threads) + ")";
+        spec.routing.policy = "exhaustive_lex";
+        const svc::ScenarioResult lex = run(service, spec, "C: lex cell" + where);
+        spec.routing.policy = "exhaustive_tput";
+        const svc::ScenarioResult tput = run(service, spec, "C: tput cell" + where);
         if (threads == 1u) {
           lex_ref = lex;
           tput_ref = tput;
           continue;
         }
-        threads_agree = threads_agree && lex.alloc.sorted() == lex_ref.alloc.sorted() &&
-                        lex.middles == lex_ref.middles &&
-                        lex.waterfill_invocations == lex_ref.waterfill_invocations &&
-                        lex.routings_evaluated == lex_ref.routings_evaluated &&
-                        tput.alloc.sorted() == tput_ref.alloc.sorted() &&
-                        tput.middles == tput_ref.middles &&
-                        tput.waterfill_invocations == tput_ref.waterfill_invocations &&
-                        tput.routings_evaluated == tput_ref.routings_evaluated;
+        threads_agree = threads_agree && sorted_rates(lex) == sorted_rates(lex_ref) &&
+                        lex.middles == lex_ref.middles && lex.search == lex_ref.search &&
+                        sorted_rates(tput) == sorted_rates(tput_ref) &&
+                        tput.middles == tput_ref.middles && tput.search == tput_ref.search;
       }
       check(threads_agree, "C: thread counts 1/2/8 agree ((n,k)=(" +
                                std::to_string(g.n) + "," + std::to_string(g.k) +
                                "), f=" + std::to_string(f) + ")");
 
-      const Rational lex_t = lex_ref.alloc.throughput();
-      const Rational lex_min = lex_ref.alloc.sorted().front();
-      const Rational tput_t = tput_ref.alloc.throughput();
-      const Rational tput_min = tput_ref.alloc.sorted().front();
+      const Rational lex_t = lex_ref.throughput;
+      const Rational lex_min = sorted_rates(lex_ref).front();
+      const Rational tput_t = tput_ref.throughput;
+      const Rational tput_min = sorted_rates(tput_ref).front();
       if (f == 0 && g.n == 3) {
         // Single gadget: one-point frontier (E17) at the macro T^MmF = 3/2.
         check(lex_t == Rational{3, 2} && tput_t == Rational{3, 2},
@@ -206,11 +250,11 @@ int main(int argc, char** argv) {
               "C: (5,2) pristine throughput endpoint (3, 1/4)");
       }
 
+      const std::uint64_t waterfills = lex_ref.search ? lex_ref.search->waterfill_invocations : 0;
       table_c.add_row({"(" + std::to_string(g.n) + "," + std::to_string(g.k) + ")",
                        std::to_string(f), lex_t.to_string(), lex_min.to_string(),
                        tput_t.to_string(), tput_min.to_string(),
-                       std::to_string(lex_ref.waterfill_invocations),
-                       threads_agree ? "yes" : "NO"});
+                       std::to_string(waterfills), threads_agree ? "yes" : "NO"});
       Json row = Json::object();
       row.set("n", Json::number(static_cast<std::int64_t>(g.n)));
       row.set("k", Json::number(static_cast<std::int64_t>(g.k)));
@@ -220,7 +264,7 @@ int main(int argc, char** argv) {
       row.set("tput_throughput", Json::string(tput_t.to_string()));
       row.set("tput_min_rate", Json::string(tput_min.to_string()));
       row.set("waterfill_invocations",
-              Json::number(static_cast<std::int64_t>(lex_ref.waterfill_invocations)));
+              Json::number(static_cast<std::int64_t>(waterfills)));
       row.set("threads_agree", Json::boolean(threads_agree));
       part_c.push_back(std::move(row));
     }

@@ -5,103 +5,126 @@
 // ratio (Clos max-min rate / macro-switch max-min rate) and the throughput
 // ratio, averaged over seeds. ECMP, greedy (macro demands), congestion local
 // search, and the lex hill-climbing heuristic are compared.
+//
+// Every cell is issued as a declarative ScenarioSpec through the
+// closfair::svc batch service (sharded workers + content-addressed cache) —
+// the numbers are identical to driving the routing stack directly, because
+// seedless seeded policies continue the workload generator's Rng stream
+// exactly as this bench historically did.
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
-#include "core/analysis.hpp"
-#include "fairness/waterfill.hpp"
-#include "routing/ecmp.hpp"
-#include "routing/greedy.hpp"
-#include "routing/local_search.hpp"
-#include "util/rng.hpp"
+#include "svc/service.hpp"
 #include "util/table.hpp"
-#include "workload/stochastic.hpp"
 
 using namespace closfair;
 
 namespace {
+
+struct Workload {
+  const char* name;
+  int kind;  // 0 uniform, 1 permutation, 2 zipf, 3 hotspot
+};
 
 struct Algo {
   const char* name;
   int kind;  // 0 ecmp, 1 greedy, 2 local search, 3 lex climb
 };
 
-MiddleAssignment route(const Algo& algo, const ClosNetwork& net, const FlowSet& flows,
-                       const Allocation<Rational>& macro, Rng& rng) {
-  std::vector<double> demands;
-  demands.reserve(flows.size());
-  for (FlowIndex f = 0; f < flows.size(); ++f) demands.push_back(macro.rate(f).to_double());
+svc::ScenarioSpec make_cell(const Workload& wl, const Algo& algo, int n, int seed) {
+  svc::ScenarioSpec spec;
+  spec.topology.kind = "clos";
+  spec.topology.params = ClosNetwork::Params{n, 2 * n, n, Rational{1}};
+  spec.workload.seed = static_cast<std::uint64_t>(seed) * 1009 + wl.kind * 31 + 7;
+  switch (wl.kind) {
+    case 0:
+      spec.workload.generator = "uniform";
+      spec.workload.count = 64;
+      break;
+    case 1:
+      spec.workload.generator = "permutation";
+      break;
+    case 2:
+      spec.workload.generator = "zipf";
+      spec.workload.count = 64;
+      spec.workload.skew = 1.1;
+      break;
+    default:
+      spec.workload.generator = "hotspot";
+      spec.workload.count = 64;
+      spec.workload.hot_tor = 1;
+      spec.workload.hot_fraction = 0.5;
+      break;
+  }
   switch (algo.kind) {
     case 0:
-      return ecmp_routing(net, flows, rng);
+      spec.routing.policy = "ecmp";  // no seed: continues the workload stream
+      break;
     case 1:
-      return greedy_routing(net, flows, demands);
+      spec.routing.policy = "greedy";
+      break;
     case 2:
-      return congestion_local_search(net, flows, demands,
-                                     greedy_routing(net, flows, demands));
-    default: {
-      LocalSearchOptions options;
-      options.max_moves = 400;
-      return lex_max_min_local_search(net, flows, greedy_routing(net, flows, demands),
-                                      options)
-          .middles;
-    }
+      spec.routing.policy = "local_search";
+      break;
+    default:
+      spec.routing.policy = "lex_climb";
+      spec.routing.max_moves = 400;
+      break;
   }
+  return spec;
 }
 
 }  // namespace
 
 int main() {
   std::cout << "=== E6: stochastic inputs — Clos rates vs macro-switch rates ===\n";
-  std::cout << "(C_4: 8 ToRs x 4 servers, 5 seeds per cell)\n\n";
+  std::cout << "(C_4: 8 ToRs x 4 servers, 5 seeds per cell, via closfair::svc)\n\n";
 
   const int n = 4;
   const int seeds = 5;
-  const ClosNetwork net = ClosNetwork::paper(n);
-  const MacroSwitch ms = MacroSwitch::paper(n);
-  const Fabric fabric{2 * n, n};
-
-  struct Workload {
-    const char* name;
-    int kind;
-  };
   const Workload workloads[] = {{"uniform-64", 0}, {"permutation", 1},
                                 {"zipf1.1-64", 2}, {"hotspot50-64", 3}};
   const Algo algos[] = {{"ecmp", 0}, {"greedy", 1}, {"local-search", 2}, {"lex-climb", 3}};
 
+  // One batch of every cell; the service shards them over 4 workers.
+  std::vector<svc::ScenarioSpec> cells;
+  for (const auto& wl : workloads) {
+    for (const auto& algo : algos) {
+      for (int seed = 0; seed < seeds; ++seed) cells.push_back(make_cell(wl, algo, n, seed));
+    }
+  }
+  svc::Service service(svc::ServiceOptions{4, 256});
+  const std::vector<svc::BatchEntry> batch = service.evaluate_batch(cells);
+
   TextTable table({"workload", "algorithm", "min rate ratio", "mean rate ratio",
                    "throughput ratio"});
+  std::size_t cell = 0;
   for (const auto& wl : workloads) {
     for (const auto& algo : algos) {
       double min_ratio = 1.0;
       double sum_mean = 0.0;
       double sum_tput = 0.0;
-      for (int seed = 0; seed < seeds; ++seed) {
-        Rng rng(static_cast<std::uint64_t>(seed) * 1009 + wl.kind * 31 + 7);
-        FlowCollection specs;
-        switch (wl.kind) {
-          case 0: specs = uniform_random(fabric, 64, rng); break;
-          case 1: specs = random_permutation(fabric, rng); break;
-          case 2: specs = zipf_destinations(fabric, 64, 1.1, rng); break;
-          default: specs = hotspot(fabric, 64, 1, 0.5, rng); break;
+      for (int seed = 0; seed < seeds; ++seed, ++cell) {
+        const svc::BatchEntry& entry = batch[cell];
+        if (!entry.ok()) {
+          std::cerr << "cell failed: " << entry.error << '\n';
+          return 1;
         }
-        const FlowSet flows = instantiate(net, specs);
-        const auto macro = max_min_fair<Rational>(ms, instantiate(ms, specs));
-        const MiddleAssignment middles = route(algo, net, flows, macro, rng);
-        const auto clos = max_min_fair<Rational>(net, flows, middles);
-
+        const svc::ScenarioResult& r = entry.result;
         double worst = 1.0;
         double mean = 0.0;
         std::size_t counted = 0;
-        for (FlowIndex f = 0; f < flows.size(); ++f) {
-          if (macro.rate(f).is_zero()) continue;
-          const double ratio = (clos.rate(f) / macro.rate(f)).to_double();
+        for (std::size_t f = 0; f < r.num_flows; ++f) {
+          if (r.macro_rates[f].is_zero()) continue;
+          const double ratio = (r.rates[f] / r.macro_rates[f]).to_double();
           worst = std::min(worst, ratio);
           mean += ratio;
           ++counted;
         }
         min_ratio = std::min(min_ratio, worst);
         sum_mean += counted > 0 ? mean / static_cast<double>(counted) : 1.0;
-        sum_tput += (clos.throughput() / macro.throughput()).to_double();
+        sum_tput += (r.throughput / r.macro_throughput).to_double();
       }
       table.add_row({wl.name, algo.name, fmt_double(min_ratio, 3),
                      fmt_double(sum_mean / seeds, 3), fmt_double(sum_tput / seeds, 3)});

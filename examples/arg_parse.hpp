@@ -1,0 +1,76 @@
+// Checked numeric argument parsing shared by the example binaries.
+//
+// std::atoi silently reads junk as 0 and a bare std::stoi aborts the process
+// with an uncaught std::invalid_argument; both are the wrong answer for
+// tools people drive by hand. These helpers parse the full token or die
+// with the offending token, the expected range, and the binary's usage line
+// on stderr, exiting 2 (the conventional usage-error status).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace closfair::examples {
+
+[[noreturn]] inline void bad_arg(std::string_view what, std::string_view token,
+                                 std::string_view expected, std::string_view usage) {
+  std::cerr << "error: bad value '" << token << "' for " << what << " (expected "
+            << expected << ")\n";
+  if (!usage.empty()) std::cerr << "usage: " << usage << '\n';
+  std::exit(2);
+}
+
+/// Whole-token signed integer in [min, max].
+inline std::int64_t checked_i64(std::string_view token, std::string_view what,
+                                std::int64_t min, std::int64_t max,
+                                std::string_view usage) {
+  std::int64_t value = 0;
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size() || value < min ||
+      value > max) {
+    bad_arg(what, token, "an integer in [" + std::to_string(min) + ", " +
+                             std::to_string(max) + "]",
+            usage);
+  }
+  return value;
+}
+
+inline int checked_int(std::string_view token, std::string_view what, int min, int max,
+                       std::string_view usage) {
+  return static_cast<int>(checked_i64(token, what, min, max, usage));
+}
+
+inline std::size_t checked_size(std::string_view token, std::string_view what,
+                                std::size_t max, std::string_view usage) {
+  return static_cast<std::size_t>(
+      checked_i64(token, what, 0, static_cast<std::int64_t>(max), usage));
+}
+
+inline std::uint64_t checked_u64(std::string_view token, std::string_view what,
+                                 std::string_view usage) {
+  std::uint64_t value = 0;
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
+    bad_arg(what, token, "a non-negative integer", usage);
+  }
+  return value;
+}
+
+/// Whole-token finite double in [min, max].
+inline double checked_double(std::string_view token, std::string_view what, double min,
+                             double max, std::string_view usage) {
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size() || !(value >= min) ||
+      !(value <= max)) {
+    bad_arg(what, token, "a number in [" + std::to_string(min) + ", " +
+                             std::to_string(max) + "]",
+            usage);
+  }
+  return value;
+}
+
+}  // namespace closfair::examples

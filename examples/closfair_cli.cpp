@@ -36,6 +36,7 @@
 #include <iostream>
 #include <string>
 
+#include "arg_parse.hpp"
 #include "core/analysis.hpp"
 #include "core/bounds.hpp"
 #include "core/report.hpp"
@@ -56,6 +57,9 @@
 using namespace closfair;
 
 namespace {
+
+constexpr std::string_view kUsage =
+    "closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex] [--seed S] ...";
 
 int usage() {
   std::cerr << "usage: closfair_cli INSTANCE.txt [--policy ecmp|greedy|doom|lex]\n"
@@ -94,7 +98,7 @@ int main(int argc, char** argv) {
     if (arg == "--policy") {
       policy = next();
     } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::stoull(next()));
+      seed = examples::checked_u64(next(), "--seed", kUsage);
     } else if (arg == "--csv") {
       csv_path = next();
     } else if (arg == "--dot") {
@@ -106,11 +110,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--fail-middles") {
-      fail_middles = std::stoi(next());
+      fail_middles = examples::checked_int(next(), "--fail-middles", 0, 1024, kUsage);
     } else if (arg == "--fail-links") {
-      fail_links = std::stod(next());
+      fail_links = examples::checked_double(next(), "--fail-links", 0.0, 1.0, kUsage);
     } else if (arg == "--fail-seed") {
-      fail_seed = static_cast<std::uint64_t>(std::stoull(next()));
+      fail_seed = examples::checked_u64(next(), "--fail-seed", kUsage);
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--replicate") {

@@ -1,0 +1,182 @@
+// closfair_serve — JSONL batch scenario-evaluation service (src/svc).
+//
+//   $ ./closfair_serve [--workers N] [--cache N] [--cache-file PATH]
+//                      [--in FILE] [--out FILE] [--metrics OUT.json]
+//
+// Reads one request per line (stdin, or --in FILE), evaluates the batch
+// through the sharded service, and writes one response per line (stdout, or
+// --out FILE), aligned with the requests. A request line is either a bare
+// ScenarioSpec object (docs/SERVICE.md) or an envelope
+// {"id": ..., "spec": {...}} whose id (any JSON scalar) is echoed back.
+// Responses:
+//
+//   {"id":..., "hash":"<fnv1a64 hex>", "cached":false, "result":{...}}
+//   {"id":..., "error":"..."}                       (bad line or failed cell)
+//
+// Responses are byte-identical for every --workers value (the determinism
+// contract in docs/SERVICE.md). --cache-file loads a JSONL cache spill
+// before the batch and rewrites it afterwards, so repeated invocations warm
+// each other.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arg_parse.hpp"
+#include "io/json_export.hpp"
+#include "obs/obs.hpp"
+#include "svc/service.hpp"
+
+using namespace closfair;
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "closfair_serve [--workers N] [--cache N] [--cache-file PATH] [--in FILE] "
+    "[--out FILE] [--metrics OUT.json]";
+
+int usage() {
+  std::cerr << "usage: " << kUsage << '\n';
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned workers = 1;
+  std::size_t cache_capacity = 1024;
+  std::string cache_file;
+  std::string in_path;
+  std::string out_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      workers = static_cast<unsigned>(
+          examples::checked_int(next(), "--workers", 1, 256, kUsage));
+    } else if (arg == "--cache") {
+      cache_capacity = examples::checked_size(next(), "--cache", 1 << 24, kUsage);
+      if (cache_capacity == 0) cache_capacity = 1;
+    } else if (arg == "--cache-file") {
+      cache_file = next();
+    } else if (arg == "--in") {
+      in_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream in_file;
+  if (!in_path.empty()) {
+    in_file.open(in_path);
+    if (!in_file) {
+      std::cerr << "cannot open " << in_path << '\n';
+      return 1;
+    }
+  }
+  std::istream& in = in_path.empty() ? std::cin : in_file;
+
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot open " << out_path << '\n';
+      return 1;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  svc::Service service(svc::ServiceOptions{workers, cache_capacity});
+  if (!cache_file.empty()) {
+    std::ifstream spill(cache_file);
+    if (spill) {
+      try {
+        service.cache().load(spill);
+      } catch (const std::exception& e) {
+        std::cerr << "cannot load cache spill " << cache_file << ": " << e.what() << '\n';
+        return 1;
+      }
+    }
+  }
+
+  // Parse every line up front; parse failures become per-line error
+  // responses without consuming an evaluation slot.
+  std::vector<svc::ScenarioSpec> specs;
+  std::vector<Json> ids;             // null when the request had no envelope id
+  std::vector<std::string> errors;   // per input line; empty = evaluable
+  std::vector<std::size_t> spec_of;  // line -> index into specs (or SIZE_MAX)
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ids.push_back(Json::null());
+    errors.emplace_back();
+    spec_of.push_back(SIZE_MAX);
+    try {
+      const Json request = Json::parse(line);
+      const Json* spec_json = &request;
+      if (request.is_object()) {
+        if (const Json* inner = request.find("spec"); inner != nullptr) {
+          spec_json = inner;
+          if (const Json* id = request.find("id"); id != nullptr) ids.back() = *id;
+        }
+      }
+      spec_of.back() = specs.size();
+      specs.push_back(svc::ScenarioSpec::from_json(*spec_json));
+    } catch (const std::exception& e) {
+      spec_of.back() = SIZE_MAX;
+      errors.back() = e.what();
+      OBS_COUNTER_INC("svc.errors");
+    }
+  }
+
+  const std::vector<svc::BatchEntry> batch = service.evaluate_batch(specs);
+
+  char hash_hex[17];
+  for (std::size_t i = 0; i < spec_of.size(); ++i) {
+    Json response = Json::object();
+    if (!ids[i].is_null()) response.set("id", ids[i]);
+    if (spec_of[i] == SIZE_MAX) {
+      response.set("error", Json::string(errors[i]));
+    } else {
+      const svc::BatchEntry& entry = batch[spec_of[i]];
+      std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                    static_cast<unsigned long long>(entry.hash));
+      response.set("hash", Json::string(hash_hex));
+      if (entry.ok()) {
+        response.set("cached", Json::boolean(entry.cached));
+        response.set("result", entry.result.to_json());
+      } else {
+        response.set("error", Json::string(entry.error));
+      }
+    }
+    out << response.dump() << '\n';
+  }
+  out.flush();
+
+  if (!cache_file.empty()) {
+    std::ofstream spill(cache_file, std::ios::trunc);
+    if (!spill) {
+      std::cerr << "cannot write cache spill " << cache_file << '\n';
+      return 1;
+    }
+    service.cache().save(spill);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics(metrics_path);
+    metrics << metrics_to_json(obs::Registry::instance().snapshot()).dump(2) << '\n';
+  }
+  return 0;
+}

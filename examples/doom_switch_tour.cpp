@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "arg_parse.hpp"
 #include "core/adversarial.hpp"
 #include "core/report.hpp"
 #include "core/theorems.hpp"
@@ -21,8 +22,10 @@
 using namespace closfair;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 7;
-  const int k = argc > 2 ? std::atoi(argv[2]) : 1;
+  constexpr std::string_view kUsage = "doom_switch_tour [n] [k]";
+  using namespace closfair::examples;
+  const int n = argc > 1 ? checked_int(argv[1], "n", 1, 63, kUsage) : 7;
+  const int k = argc > 2 ? checked_int(argv[2], "k", 1, 1000, kUsage) : 1;
   if (n < 3 || n % 2 == 0 || k < 1) {
     std::cerr << "need odd n >= 3 and k >= 1\n";
     return 1;

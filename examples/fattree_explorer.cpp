@@ -9,6 +9,7 @@
 #include <iostream>
 #include <string>
 
+#include "arg_parse.hpp"
 #include "core/metrics.hpp"
 #include "fairness/waterfill.hpp"
 #include "net/fattree.hpp"
@@ -21,10 +22,14 @@
 using namespace closfair;
 
 int main(int argc, char** argv) {
-  const int k = argc > 1 ? std::atoi(argv[1]) : 4;
+  constexpr std::string_view kUsage =
+      "fattree_explorer [k] [workload: uniform|perm|zipf] [flows] [seed]";
+  using namespace closfair::examples;
+  const int k = argc > 1 ? checked_int(argv[1], "k", 2, 16, kUsage) : 4;
   const std::string workload = argc > 2 ? argv[2] : "uniform";
-  const std::size_t num_flows = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 32;
-  const std::uint64_t seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 11;
+  const std::size_t num_flows =
+      argc > 3 ? checked_size(argv[3], "flows", 1'000'000, kUsage) : 32;
+  const std::uint64_t seed = argc > 4 ? checked_u64(argv[4], "seed", kUsage) : 11;
   if (k < 2 || k % 2 != 0) {
     std::cerr << "fat-tree arity k must be even and >= 2\n";
     return 1;

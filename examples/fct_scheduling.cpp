@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "arg_parse.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
@@ -15,10 +16,14 @@
 using namespace closfair;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
-  const std::size_t num_flows = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 200;
-  const double rate = argc > 3 ? std::atof(argv[3]) : 6.0;
-  const std::uint64_t seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 3;
+  constexpr std::string_view kUsage = "fct_scheduling [n] [flows] [arrival_rate] [seed]";
+  using namespace closfair::examples;
+  const int n = argc > 1 ? checked_int(argv[1], "n", 1, 64, kUsage) : 3;
+  const std::size_t num_flows =
+      argc > 2 ? checked_size(argv[2], "flows", 1'000'000, kUsage) : 200;
+  const double rate =
+      argc > 3 ? checked_double(argv[3], "arrival_rate", 1e-9, 1e9, kUsage) : 6.0;
+  const std::uint64_t seed = argc > 4 ? checked_u64(argv[4], "seed", kUsage) : 3;
 
   const ClosNetwork net = ClosNetwork::paper(n);
   const MacroSwitch ms = MacroSwitch::paper(n);

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "arg_parse.hpp"
 #include "core/analysis.hpp"
 #include "core/report.hpp"
 #include "fairness/waterfill.hpp"
@@ -18,9 +19,12 @@
 using namespace closfair;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
-  const std::size_t num_flows = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 24;
-  const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+  constexpr std::string_view kUsage = "quickstart [num_middles] [num_flows] [seed]";
+  using namespace closfair::examples;
+  const int n = argc > 1 ? checked_int(argv[1], "num_middles", 1, 64, kUsage) : 3;
+  const std::size_t num_flows =
+      argc > 2 ? checked_size(argv[2], "num_flows", 1'000'000, kUsage) : 24;
+  const std::uint64_t seed = argc > 3 ? checked_u64(argv[3], "seed", kUsage) : 1;
 
   // 1. The paper's C_n and its macro-switch abstraction MS_n.
   const ClosNetwork net = ClosNetwork::paper(n);

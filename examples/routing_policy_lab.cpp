@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "arg_parse.hpp"
 #include "core/analysis.hpp"
 #include "fairness/waterfill.hpp"
 #include "routing/doom_switch.hpp"
@@ -21,10 +22,14 @@
 using namespace closfair;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+  constexpr std::string_view kUsage =
+      "routing_policy_lab [n] [workload: uniform|perm|zipf|incast] [flows] [seed]";
+  using namespace closfair::examples;
+  const int n = argc > 1 ? checked_int(argv[1], "n", 1, 64, kUsage) : 4;
   const std::string workload = argc > 2 ? argv[2] : "uniform";
-  const std::size_t num_flows = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 48;
-  const std::uint64_t seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 7;
+  const std::size_t num_flows =
+      argc > 3 ? checked_size(argv[3], "flows", 1'000'000, kUsage) : 48;
+  const std::uint64_t seed = argc > 4 ? checked_u64(argv[4], "seed", kUsage) : 7;
 
   const ClosNetwork net = ClosNetwork::paper(n);
   const MacroSwitch ms = MacroSwitch::paper(n);

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "arg_parse.hpp"
 #include "core/adversarial.hpp"
 #include "core/report.hpp"
 #include "fairness/bottleneck.hpp"
@@ -19,7 +20,9 @@
 using namespace closfair;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
+  constexpr std::string_view kUsage = "starvation_anatomy [n]";
+  using namespace closfair::examples;
+  const int n = argc > 1 ? checked_int(argv[1], "n", 1, 64, kUsage) : 3;
   if (n < 3) {
     std::cerr << "Theorem 4.3 needs n >= 3\n";
     return 1;

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "arg_parse.hpp"
 #include "fairness/waterfill.hpp"
 #include "lp/concurrent_flow.hpp"
 #include "net/macroswitch.hpp"
@@ -19,8 +20,10 @@
 using namespace closfair;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 3;
-  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 5;
+  constexpr std::string_view kUsage = "topology_throughput [n] [seed]";
+  using namespace closfair::examples;
+  const int n = argc > 1 ? checked_int(argv[1], "n", 1, 64, kUsage) : 3;
+  const std::uint64_t seed = argc > 2 ? checked_u64(argv[2], "seed", kUsage) : 5;
   const ClosNetwork net = ClosNetwork::paper(n);
   const MacroSwitch ms = MacroSwitch::paper(n);
   const Fabric fabric{2 * n, n};

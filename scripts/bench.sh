@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Perf-regression check for the search engine and the degraded-fabric
-# evaluation: build Release, run bench/perf_report and bench/degraded_fabric
-# against scratch outputs, and diff the obs counter snapshots embedded in
-# them against the committed BENCH_search.json / BENCH_degraded.json
-# baselines.
+# Perf-regression check for the search engine, the degraded-fabric
+# evaluation, and the scenario service: build Release, run
+# bench/perf_report, bench/degraded_fabric, and bench/service against
+# scratch outputs, and diff the obs counter snapshots embedded in them
+# against the committed BENCH_search.json / BENCH_degraded.json /
+# BENCH_service.json baselines.
 #
 # Counters measuring algorithmic work (waterfill.*, lp.*, fault.*,
-# rate_control.*, search.candidates, search.routings_covered) are
+# rate_control.*, svc.*, search.candidates, search.routings_covered) are
 # deterministic for the fixed benchmark instances, so any increase is a
 # genuine work regression and fails the script. Wall-clock seconds and span
 # durations are reported but never gating — this machine is shared.
@@ -18,7 +19,7 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j "$JOBS" --target perf_report degraded_fabric >/dev/null
+cmake --build build-release -j "$JOBS" --target perf_report degraded_fabric service >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -26,9 +27,11 @@ build-release/bench/perf_report "$TMP/BENCH_search.json"
 echo
 build-release/bench/degraded_fabric "$TMP/BENCH_degraded.json"
 echo
+build-release/bench/service "$TMP/BENCH_service.json"
+echo
 
 STATUS=0
-for BASELINE in BENCH_search.json BENCH_degraded.json; do
+for BASELINE in BENCH_search.json BENCH_degraded.json BENCH_service.json; do
   if [ ! -f "$BASELINE" ]; then
     cp "$TMP/$BASELINE" "$BASELINE"
     echo "no committed $BASELINE found: wrote a first-run baseline."
@@ -51,7 +54,7 @@ cur_counters = cur.get("metrics", {}).get("counters", {})
 
 # Thread-count- and machine-independent work counters: deterministic for the
 # fixed benchmark instances, so an increase is a real regression.
-DETERMINISTIC_PREFIXES = ("waterfill.", "lp.", "fault.", "rate_control.")
+DETERMINISTIC_PREFIXES = ("waterfill.", "lp.", "fault.", "rate_control.", "svc.")
 DETERMINISTIC_NAMES = {"search.candidates", "search.routings_covered", "search.runs"}
 
 def deterministic(name):

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, the search engine's
+# Tier-1 verification: full build + test suite, a closfair_serve smoke run
+# diffed against a committed golden transcript, the search engine's
 # serial-vs-parallel equivalence tests under ThreadSanitizer, the fault /
 # workload / rate-control / search tests under ASan+UBSan, and the
 # CLOSFAIR_OBS=OFF configuration (instrumentation compiled out) with its
@@ -15,6 +16,22 @@ echo "== tier 1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "== tier 1: closfair_serve smoke vs golden transcript =="
+SMOKE_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT"' EXIT
+build/examples/closfair_serve --workers 2 \
+    --in tests/golden/serve_smoke_requests.jsonl --out "$SMOKE_OUT"
+if ! diff -u tests/golden/serve_smoke_responses.jsonl "$SMOKE_OUT"; then
+  echo "FAIL: closfair_serve output diverged from the committed golden"
+  exit 1
+fi
+if ! grep -q '"cached":true' "$SMOKE_OUT"; then
+  echo "FAIL: the duplicate request did not hit the result cache"
+  exit 1
+fi
+echo "3 requests answered, duplicate served from cache, golden matched"
 
 echo
 echo "== tier 1: SearchEngine tests under ThreadSanitizer =="

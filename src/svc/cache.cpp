@@ -1,0 +1,119 @@
+#include "svc/cache.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace closfair::svc {
+namespace {
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return std::string{buf};
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  CF_CHECK_MSG(capacity >= 1, "ResultCache capacity must be >= 1");
+}
+
+std::optional<ScenarioResult> ResultCache::lookup(const std::string& canonical) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(canonical);
+  if (it == index_.end()) {
+    OBS_COUNTER_INC("svc.cache_misses");
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);
+  OBS_COUNTER_INC("svc.cache_hits");
+  return entries_.front().result;
+}
+
+void ResultCache::insert(const std::string& canonical, const ScenarioResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(canonical, result);
+  OBS_GAUGE_SET("svc.cache_size", entries_.size());
+}
+
+void ResultCache::insert_locked(const std::string& canonical,
+                                const ScenarioResult& result) {
+  const auto it = index_.find(canonical);
+  if (it != index_.end()) {
+    it->second->result = result;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().spec);
+    entries_.pop_back();
+    OBS_COUNTER_INC("svc.cache_evictions");
+  }
+  entries_.push_front(Entry{canonical, result});
+  index_.emplace(canonical, entries_.begin());
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  index_.clear();
+}
+
+void ResultCache::save(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Reverse order: the reload inserts sequentially, so writing LRU-first
+  // makes the last line — the most recent entry — land at the front again.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    Json line = Json::object();
+    line.set("hash", Json::string(hash_hex(fnv1a64(it->spec))));
+    line.set("spec", Json::string(it->spec));
+    line.set("result", it->result.to_json());
+    out << line.dump() << '\n';
+  }
+}
+
+std::size_t ResultCache::load(std::istream& in) {
+  std::string line;
+  std::size_t loaded = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto rethrow = [&](const char* what) -> std::string {
+      return "cache line " + std::to_string(line_no) + ": " + what;
+    };
+    try {
+      const Json entry = Json::parse(line);
+      if (!entry.is_object()) throw SpecError("entry is not an object");
+      const Json* spec_text = entry.find("spec");
+      const Json* result_json = entry.find("result");
+      if (spec_text == nullptr || !spec_text->is_string() || result_json == nullptr) {
+        throw SpecError("entry needs string 'spec' and 'result'");
+      }
+      // Re-canonicalize: a spill edited (or produced by an older writer)
+      // with non-canonical spec bytes would otherwise sit in the cache
+      // forever without ever matching a lookup.
+      const ScenarioSpec spec =
+          ScenarioSpec::from_json(Json::parse(spec_text->as_string()));
+      insert(spec.canonical(), ScenarioResult::from_json(*result_json));
+      ++loaded;
+    } catch (const JsonParseError& e) {
+      throw JsonParseError(rethrow(e.what()));
+    } catch (const std::exception& e) {
+      throw SpecError(rethrow(e.what()));
+    }
+  }
+  return loaded;
+}
+
+}  // namespace closfair::svc

@@ -1,0 +1,72 @@
+// Content-addressed result cache for the scenario-evaluation service.
+//
+// Keys are the *canonical* spec bytes (ScenarioSpec::canonical()); two
+// requests that spell the same scenario differently therefore share one
+// entry, and the FNV-1a content hash of the key doubles as the response's
+// stable scenario address. Eviction is LRU over a fixed entry capacity.
+// Entries spill to JSONL — one {"hash","spec","result"} object per line,
+// least-recent first so a reload replays insertions in recency order — and
+// reload validates each line by re-canonicalizing the spec, so a stale or
+// hand-edited spill cannot poison lookups with unreachable keys.
+//
+// All public methods are thread-safe (one mutex; the service's workers only
+// touch the cache between batches, so contention is not a concern).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include <mutex>
+
+#include "svc/spec.hpp"
+
+namespace closfair::svc {
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum retained entries (>= 1).
+  explicit ResultCache(std::size_t capacity = 1024);
+
+  /// Copy of the cached result for this canonical spec, refreshing its
+  /// recency; nullopt on miss. Bumps svc.cache_hits / svc.cache_misses.
+  [[nodiscard]] std::optional<ScenarioResult> lookup(const std::string& canonical);
+
+  /// Insert or refresh. Evicts the least-recently-used entry when full
+  /// (bumps svc.cache_evictions). `canonical` must be canonical spec bytes —
+  /// the cache trusts its caller and does not re-derive them.
+  void insert(const std::string& canonical, const ScenarioResult& result);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  /// Write every entry as JSONL, least-recently-used first.
+  void save(std::ostream& out) const;
+
+  /// Load a save() spill, inserting line by line (so the stream's last line
+  /// ends up most recent). Returns the number of entries loaded. Throws
+  /// JsonParseError / SpecError on a malformed line; the error message
+  /// carries the 1-based line number.
+  std::size_t load(std::istream& in);
+
+ private:
+  struct Entry {
+    std::string spec;  ///< canonical bytes (the key)
+    ScenarioResult result;
+  };
+
+  // front = most recently used. index_ maps the canonical bytes to the list
+  // node holding them.
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+
+  void insert_locked(const std::string& canonical, const ScenarioResult& result);
+};
+
+}  // namespace closfair::svc

@@ -1,0 +1,67 @@
+// Batch scenario-evaluation service: sharded workers over the routing /
+// fairness / fault stack, fronted by the content-addressed result cache.
+//
+// Determinism contract (docs/SERVICE.md): a batch's responses are
+// byte-identical for every worker count. The queue is built *before* any
+// worker starts — cache lookups and duplicate detection happen in input
+// order on the submitting thread — so workers only ever run disjoint,
+// pre-assigned evaluations into dedicated result slots, and cache
+// insertions replay in input order after the pool joins. Worker scheduling
+// can therefore change wall-clock time but never a byte of output, a hit
+// flag, or the cache's eviction order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/spec.hpp"
+
+namespace closfair::svc {
+
+/// Evaluate one scenario directly (no cache, no workers): build the
+/// topology, generate or parse the workload, degrade the fabric, route, and
+/// allocate. Throws SpecError (and lets library ContractViolation /
+/// ParseError escape) on specs that are well-formed but unevaluable — e.g. a
+/// "static" start of the wrong length. Wrapped in the svc.evaluate span.
+[[nodiscard]] ScenarioResult evaluate_scenario(const ScenarioSpec& spec);
+
+/// One batch response: the result (or an error), plus cache provenance.
+struct BatchEntry {
+  ScenarioResult result;
+  std::uint64_t hash = 0;  ///< content hash of the canonical spec
+  bool cached = false;     ///< served from cache, or duplicate of an earlier line
+  std::string error;       ///< non-empty: evaluation failed, `result` is empty
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct ServiceOptions {
+  unsigned workers = 1;          ///< evaluation threads per batch (>= 1)
+  std::size_t cache_capacity = 1024;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Evaluate one spec through the cache.
+  [[nodiscard]] BatchEntry evaluate(const ScenarioSpec& spec);
+
+  /// Evaluate a batch with the worker pool; responses align with `specs` by
+  /// index. Within the batch, duplicate canonical specs evaluate once (the
+  /// first occurrence; later ones report cached = true), and failures are
+  /// per-entry — one bad spec never poisons the batch.
+  [[nodiscard]] std::vector<BatchEntry> evaluate_batch(
+      const std::vector<ScenarioSpec>& specs);
+
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServiceOptions options_;
+  ResultCache cache_;
+};
+
+}  // namespace closfair::svc

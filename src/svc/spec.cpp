@@ -1,0 +1,704 @@
+#include "svc/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "io/text_format.hpp"
+
+namespace closfair::svc {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw SpecError(message); }
+
+/// Strictness guard: every object's keys must come from the allowed set, so
+/// misspelled options fail loudly instead of silently canonicalizing away.
+void check_keys(const Json& obj, std::initializer_list<const char*> allowed,
+                const char* where) {
+  for (const auto& [key, value] : obj.members()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail(std::string{"unknown key '"} + key + "' in " + where);
+  }
+}
+
+const Json& require(const Json& obj, const char* key, const char* where) {
+  const Json* found = obj.find(key);
+  if (found == nullptr) fail(std::string{where} + " requires '" + key + "'");
+  return *found;
+}
+
+std::int64_t get_int(const Json& value, const char* what) {
+  if (!value.is_int()) fail(std::string{"'"} + what + "' must be an integer");
+  return value.as_int();
+}
+
+std::int64_t get_int_or(const Json& obj, const char* key, std::int64_t fallback) {
+  const Json* found = obj.find(key);
+  return found == nullptr ? fallback : get_int(*found, key);
+}
+
+std::uint64_t get_u64_or(const Json& obj, const char* key, std::uint64_t fallback) {
+  const Json* found = obj.find(key);
+  if (found == nullptr) return fallback;
+  const std::int64_t v = get_int(*found, key);
+  if (v < 0) fail(std::string{"'"} + key + "' must be non-negative");
+  return static_cast<std::uint64_t>(v);
+}
+
+double get_double_or(const Json& obj, const char* key, double fallback) {
+  const Json* found = obj.find(key);
+  if (found == nullptr) return fallback;
+  if (!found->is_number()) fail(std::string{"'"} + key + "' must be a number");
+  return found->as_double();
+}
+
+bool get_bool_or(const Json& obj, const char* key, bool fallback) {
+  const Json* found = obj.find(key);
+  if (found == nullptr) return fallback;
+  if (!found->is_bool()) fail(std::string{"'"} + key + "' must be a boolean");
+  return found->as_bool();
+}
+
+std::string get_string(const Json& value, const char* what) {
+  if (!value.is_string()) fail(std::string{"'"} + what + "' must be a string");
+  return value.as_string();
+}
+
+/// Rationals travel as "p/q" strings or bare integers — never doubles, which
+/// could not round-trip exactly.
+Rational get_rational(const Json& value, const char* what) {
+  if (value.is_int()) return Rational{value.as_int()};
+  if (value.is_string()) {
+    try {
+      return rational_from_string(value.as_string());
+    } catch (const std::invalid_argument& e) {
+      fail(std::string{"'"} + what + "': " + e.what());
+    }
+  }
+  fail(std::string{"'"} + what + "' must be an integer or a \"p/q\" string");
+}
+
+Json rational_json(const Rational& r) {
+  return r.is_integer() ? Json::number(r.num()) : Json::string(r.to_string());
+}
+
+MiddleAssignment get_middles(const Json& value, const char* what) {
+  if (!value.is_array()) fail(std::string{"'"} + what + "' must be an array");
+  MiddleAssignment middles;
+  middles.reserve(value.size());
+  for (const Json& item : value.items()) {
+    const std::int64_t m = get_int(item, what);
+    if (m < 1) fail(std::string{"'"} + what + "' entries must be >= 1");
+    middles.push_back(static_cast<int>(m));
+  }
+  return middles;
+}
+
+Json middles_json(const MiddleAssignment& middles) {
+  Json arr = Json::array();
+  for (int m : middles) arr.push_back(Json::number(static_cast<std::int64_t>(m)));
+  return arr;
+}
+
+std::vector<Rational> get_rates(const Json& value, const char* what) {
+  if (!value.is_array()) fail(std::string{"'"} + what + "' must be an array");
+  std::vector<Rational> rates;
+  rates.reserve(value.size());
+  for (const Json& item : value.items()) rates.push_back(get_rational(item, what));
+  return rates;
+}
+
+Json rates_json(const std::vector<Rational>& rates) {
+  Json arr = Json::array();
+  for (const Rational& r : rates) arr.push_back(Json::string(r.to_string()));
+  return arr;
+}
+
+// ------------------------------------------------------------------ topology
+
+TopologySpec parse_topology(const Json& obj) {
+  TopologySpec topo;
+  const Json* kind = obj.find("kind");
+  topo.kind = kind == nullptr ? "clos" : get_string(*kind, "kind");
+
+  if (topo.kind == "clos") {
+    check_keys(obj, {"kind", "n", "middles", "tors", "servers", "capacity"}, "topology");
+    const Json* n = obj.find("n");
+    if (n != nullptr) {
+      if (obj.find("middles") != nullptr || obj.find("tors") != nullptr ||
+          obj.find("servers") != nullptr || obj.find("capacity") != nullptr) {
+        fail("topology: use either n or middles/tors/servers, not both");
+      }
+      const std::int64_t paper_n = get_int(*n, "n");
+      if (paper_n < 1) fail("topology: n must be >= 1");
+      const int nn = static_cast<int>(paper_n);
+      topo.params = ClosNetwork::Params{nn, 2 * nn, nn, Rational{1}};
+    } else {
+      topo.params.num_middles = static_cast<int>(get_int(require(obj, "middles", "topology"), "middles"));
+      topo.params.num_tors = static_cast<int>(get_int(require(obj, "tors", "topology"), "tors"));
+      topo.params.servers_per_tor =
+          static_cast<int>(get_int(require(obj, "servers", "topology"), "servers"));
+      const Json* cap = obj.find("capacity");
+      topo.params.link_capacity = cap == nullptr ? Rational{1} : get_rational(*cap, "capacity");
+      if (topo.params.num_middles < 1 || topo.params.num_tors < 1 ||
+          topo.params.servers_per_tor < 1) {
+        fail("topology: middles/tors/servers must be >= 1");
+      }
+      if (topo.params.link_capacity.is_negative() || topo.params.link_capacity.is_zero()) {
+        fail("topology: capacity must be positive");
+      }
+    }
+  } else if (topo.kind == "macro") {
+    check_keys(obj, {"kind", "tors", "servers", "capacity"}, "topology");
+    topo.params.num_middles = 1;
+    topo.params.num_tors = static_cast<int>(get_int(require(obj, "tors", "topology"), "tors"));
+    topo.params.servers_per_tor =
+        static_cast<int>(get_int(require(obj, "servers", "topology"), "servers"));
+    const Json* cap = obj.find("capacity");
+    topo.params.link_capacity = cap == nullptr ? Rational{1} : get_rational(*cap, "capacity");
+    if (topo.params.num_tors < 1 || topo.params.servers_per_tor < 1) {
+      fail("topology: tors/servers must be >= 1");
+    }
+  } else if (topo.kind == "fattree") {
+    check_keys(obj, {"kind", "k"}, "topology");
+    const std::int64_t k = get_int(require(obj, "k", "topology"), "k");
+    if (k < 2 || k % 2 != 0) fail("topology: fattree k must be even and >= 2");
+    topo.fattree_k = static_cast<int>(k);
+  } else {
+    fail("topology: unknown kind '" + topo.kind + "'");
+  }
+  return topo;
+}
+
+Json topology_json(const TopologySpec& topo) {
+  Json obj = Json::object();
+  obj.set("kind", Json::string(topo.kind));
+  if (topo.kind == "clos") {
+    const auto& p = topo.params;
+    if (p.num_tors == 2 * p.num_middles && p.servers_per_tor == p.num_middles &&
+        p.link_capacity == Rational{1}) {
+      obj.set("n", Json::number(static_cast<std::int64_t>(p.num_middles)));
+    } else {
+      obj.set("middles", Json::number(static_cast<std::int64_t>(p.num_middles)));
+      obj.set("tors", Json::number(static_cast<std::int64_t>(p.num_tors)));
+      obj.set("servers", Json::number(static_cast<std::int64_t>(p.servers_per_tor)));
+      if (!(p.link_capacity == Rational{1})) {
+        obj.set("capacity", rational_json(p.link_capacity));
+      }
+    }
+  } else if (topo.kind == "macro") {
+    obj.set("tors", Json::number(static_cast<std::int64_t>(topo.params.num_tors)));
+    obj.set("servers", Json::number(static_cast<std::int64_t>(topo.params.servers_per_tor)));
+    if (!(topo.params.link_capacity == Rational{1})) {
+      obj.set("capacity", rational_json(topo.params.link_capacity));
+    }
+  } else {
+    obj.set("k", Json::number(static_cast<std::int64_t>(topo.fattree_k)));
+  }
+  return obj;
+}
+
+// ------------------------------------------------------------------ workload
+
+WorkloadSpec parse_workload(const Json& obj) {
+  WorkloadSpec wl;
+  const Json* instance = obj.find("instance");
+  const Json* generator = obj.find("generator");
+  if ((instance != nullptr) == (generator != nullptr)) {
+    fail("workload: exactly one of 'generator' or 'instance' is required");
+  }
+
+  if (instance != nullptr) {
+    check_keys(obj, {"instance", "seed"}, "workload");
+    const std::string text = get_string(*instance, "instance");
+    try {
+      // Canonicalize immediately: the stored text is format_instance's
+      // output, the io-layer serialize→parse→serialize fixed point.
+      wl.instance = format_instance(parse_instance(text));
+    } catch (const std::exception& e) {
+      fail(std::string{"workload.instance: "} + e.what());
+    }
+    wl.seed = get_u64_or(obj, "seed", 1);
+    return wl;
+  }
+
+  wl.generator = get_string(*generator, "generator");
+  const auto require_count = [&]() {
+    const std::int64_t count = get_int(require(obj, "count", "workload"), "count");
+    if (count < 1) fail("workload: count must be >= 1");
+    wl.count = static_cast<std::size_t>(count);
+  };
+  if (wl.generator == "uniform") {
+    check_keys(obj, {"generator", "count", "seed"}, "workload");
+    require_count();
+  } else if (wl.generator == "permutation") {
+    check_keys(obj, {"generator", "seed"}, "workload");
+  } else if (wl.generator == "zipf") {
+    check_keys(obj, {"generator", "count", "skew", "seed"}, "workload");
+    require_count();
+    const Json& skew = require(obj, "skew", "workload");
+    if (!skew.is_number()) fail("workload: skew must be a number");
+    wl.skew = skew.as_double();
+    if (wl.skew < 0.0) fail("workload: skew must be >= 0");
+  } else if (wl.generator == "hotspot") {
+    check_keys(obj, {"generator", "count", "hot_tor", "hot_fraction", "seed"}, "workload");
+    require_count();
+    wl.hot_tor = static_cast<int>(get_int(require(obj, "hot_tor", "workload"), "hot_tor"));
+    const Json& fraction = require(obj, "hot_fraction", "workload");
+    if (!fraction.is_number()) fail("workload: hot_fraction must be a number");
+    wl.hot_fraction = fraction.as_double();
+    if (wl.hot_fraction < 0.0 || wl.hot_fraction > 1.0) {
+      fail("workload: hot_fraction must lie in [0, 1]");
+    }
+  } else if (wl.generator == "incast") {
+    check_keys(obj, {"generator", "count", "dst_tor", "dst_server", "seed"}, "workload");
+    require_count();
+    wl.dst_tor = static_cast<int>(get_int(require(obj, "dst_tor", "workload"), "dst_tor"));
+    wl.dst_server =
+        static_cast<int>(get_int(require(obj, "dst_server", "workload"), "dst_server"));
+  } else if (wl.generator == "stride") {
+    check_keys(obj, {"generator", "stride"}, "workload");
+    wl.stride = static_cast<int>(get_int(require(obj, "stride", "workload"), "stride"));
+  } else if (wl.generator == "all_to_all") {
+    check_keys(obj, {"generator"}, "workload");
+  } else {
+    fail("workload: unknown generator '" + wl.generator + "'");
+  }
+  if (wl.generator != "stride" && wl.generator != "all_to_all") {
+    wl.seed = get_u64_or(obj, "seed", 1);
+  }
+  return wl;
+}
+
+Json workload_json(const WorkloadSpec& wl) {
+  Json obj = Json::object();
+  if (!wl.instance.empty()) {
+    obj.set("instance", Json::string(wl.instance));
+    if (wl.seed != 1) obj.set("seed", Json::number(static_cast<std::int64_t>(wl.seed)));
+    return obj;
+  }
+  obj.set("generator", Json::string(wl.generator));
+  if (wl.generator == "uniform" || wl.generator == "zipf" || wl.generator == "hotspot" ||
+      wl.generator == "incast") {
+    obj.set("count", Json::number(static_cast<std::int64_t>(wl.count)));
+  }
+  if (wl.generator == "zipf") obj.set("skew", Json::number(wl.skew));
+  if (wl.generator == "hotspot") {
+    obj.set("hot_tor", Json::number(static_cast<std::int64_t>(wl.hot_tor)));
+    obj.set("hot_fraction", Json::number(wl.hot_fraction));
+  }
+  if (wl.generator == "incast") {
+    obj.set("dst_tor", Json::number(static_cast<std::int64_t>(wl.dst_tor)));
+    obj.set("dst_server", Json::number(static_cast<std::int64_t>(wl.dst_server)));
+  }
+  if (wl.generator == "stride") {
+    obj.set("stride", Json::number(static_cast<std::int64_t>(wl.stride)));
+  }
+  if (wl.generator != "stride" && wl.generator != "all_to_all" && wl.seed != 1) {
+    obj.set("seed", Json::number(static_cast<std::int64_t>(wl.seed)));
+  }
+  return obj;
+}
+
+// ------------------------------------------------------------------- routing
+
+bool policy_known(const std::string& policy) {
+  static const char* kPolicies[] = {"none",      "static",       "ecmp",
+                                    "greedy",    "local_search", "lex_climb",
+                                    "tput_climb", "doom",        "lp_round",
+                                    "exhaustive_lex", "exhaustive_tput", "replicate"};
+  return std::find_if(std::begin(kPolicies), std::end(kPolicies),
+                      [&](const char* p) { return policy == p; }) != std::end(kPolicies);
+}
+
+RoutingSpec parse_routing(const Json& obj) {
+  RoutingSpec routing;
+  const Json* policy = obj.find("policy");
+  routing.policy = policy == nullptr ? "greedy" : get_string(*policy, "policy");
+  if (!policy_known(routing.policy)) {
+    fail("routing: unknown policy '" + routing.policy + "'");
+  }
+
+  const std::string& p = routing.policy;
+  if (p == "none" || p == "greedy" || p == "doom") {
+    check_keys(obj, {"policy"}, "routing");
+  } else if (p == "ecmp") {
+    check_keys(obj, {"policy", "seed"}, "routing");
+  } else if (p == "static") {
+    check_keys(obj, {"policy", "start", "reroute_dead"}, "routing");
+    routing.start = get_middles(require(obj, "start", "routing"), "start");
+  } else if (p == "local_search" || p == "lex_climb" || p == "tput_climb") {
+    check_keys(obj, {"policy", "max_moves", "start", "reroute_dead"}, "routing");
+    const Json* start = obj.find("start");
+    if (start != nullptr) routing.start = get_middles(*start, "start");
+  } else if (p == "lp_round") {
+    check_keys(obj, {"policy", "seed", "attempts"}, "routing");
+    const std::int64_t attempts = get_int_or(obj, "attempts", 8);
+    if (attempts < 1) fail("routing: attempts must be >= 1");
+    routing.attempts = static_cast<std::size_t>(attempts);
+  } else if (p == "exhaustive_lex") {
+    check_keys(obj, {"policy", "threads", "fix_first_flow", "max_routings"}, "routing");
+  } else if (p == "exhaustive_tput") {
+    check_keys(obj, {"policy", "threads", "prune_throughput_bound", "fix_first_flow",
+                     "max_routings"},
+               "routing");
+  } else if (p == "replicate") {
+    check_keys(obj, {"policy"}, "routing");
+  }
+
+  if (obj.find("seed") != nullptr) routing.seed = get_u64_or(obj, "seed", 0);
+  const std::int64_t max_moves = get_int_or(obj, "max_moves", 10'000);
+  if (max_moves < 1) fail("routing: max_moves must be >= 1");
+  routing.max_moves = static_cast<std::size_t>(max_moves);
+  const std::int64_t threads = get_int_or(obj, "threads", 1);
+  if (threads < 1 || threads > 256) fail("routing: threads must lie in [1, 256]");
+  routing.threads = static_cast<unsigned>(threads);
+  routing.prune_throughput_bound = get_bool_or(obj, "prune_throughput_bound", true);
+  routing.fix_first_flow = get_bool_or(obj, "fix_first_flow", true);
+  routing.max_routings = get_u64_or(obj, "max_routings", 0);
+  routing.reroute_dead = get_bool_or(obj, "reroute_dead", false);
+  if (routing.reroute_dead &&
+      !(p == "static" || p == "local_search" || p == "lex_climb" || p == "tput_climb")) {
+    fail("routing: reroute_dead applies only to start-based policies");
+  }
+  return routing;
+}
+
+Json routing_json(const RoutingSpec& routing) {
+  Json obj = Json::object();
+  obj.set("policy", Json::string(routing.policy));
+  if (routing.seed.has_value()) {
+    obj.set("seed", Json::number(static_cast<std::int64_t>(*routing.seed)));
+  }
+  if (routing.max_moves != 10'000) {
+    obj.set("max_moves", Json::number(static_cast<std::int64_t>(routing.max_moves)));
+  }
+  if (routing.threads != 1) {
+    obj.set("threads", Json::number(static_cast<std::int64_t>(routing.threads)));
+  }
+  if (!routing.prune_throughput_bound) {
+    obj.set("prune_throughput_bound", Json::boolean(false));
+  }
+  if (!routing.fix_first_flow) obj.set("fix_first_flow", Json::boolean(false));
+  if (routing.max_routings != 0) {
+    obj.set("max_routings", Json::number(static_cast<std::int64_t>(routing.max_routings)));
+  }
+  if (routing.attempts != 8) {
+    obj.set("attempts", Json::number(static_cast<std::int64_t>(routing.attempts)));
+  }
+  if (!routing.start.empty()) obj.set("start", middles_json(routing.start));
+  if (routing.reroute_dead) obj.set("reroute_dead", Json::boolean(true));
+  return obj;
+}
+
+// --------------------------------------------------------------------- fault
+
+FaultSpec parse_fault(const Json& obj) {
+  check_keys(obj,
+             {"failed_middles", "derated_links", "degraded_pods", "sample_middles",
+              "link_failure_p", "worst_case_outage", "seed"},
+             "fault");
+  FaultSpec fs;
+  if (const Json* failed = obj.find("failed_middles"); failed != nullptr) {
+    if (!failed->is_array()) fail("fault: failed_middles must be an array");
+    for (const Json& item : failed->items()) {
+      const std::int64_t m = get_int(item, "failed_middles");
+      if (m < 1) fail("fault: failed_middles entries must be >= 1");
+      fs.scenario.failed_middles.push_back(static_cast<int>(m));
+    }
+    // Canonical: ascending, duplicates removed (the mask is idempotent).
+    std::sort(fs.scenario.failed_middles.begin(), fs.scenario.failed_middles.end());
+    fs.scenario.failed_middles.erase(std::unique(fs.scenario.failed_middles.begin(),
+                                                 fs.scenario.failed_middles.end()),
+                                     fs.scenario.failed_middles.end());
+  }
+  if (const Json* derated = obj.find("derated_links"); derated != nullptr) {
+    if (!derated->is_array()) fail("fault: derated_links must be an array");
+    for (const Json& item : derated->items()) {
+      if (!item.is_object()) fail("fault: derated_links entries must be objects");
+      check_keys(item, {"stage", "tor", "middle", "factor"}, "fault.derated_links");
+      fault::LinkDeration d;
+      const std::string stage = get_string(require(item, "stage", "derated_links"), "stage");
+      if (stage == "uplink") {
+        d.stage = fault::LinkStage::kUplink;
+      } else if (stage == "downlink") {
+        d.stage = fault::LinkStage::kDownlink;
+      } else {
+        fail("fault: stage must be 'uplink' or 'downlink'");
+      }
+      d.tor = static_cast<int>(get_int(require(item, "tor", "derated_links"), "tor"));
+      d.middle = static_cast<int>(get_int(require(item, "middle", "derated_links"), "middle"));
+      d.factor = get_rational(require(item, "factor", "derated_links"), "factor");
+      if (d.factor.is_negative() || Rational{1} < d.factor) {
+        fail("fault: factor must lie in [0, 1]");
+      }
+      fs.scenario.derated_links.push_back(d);
+    }
+  }
+  if (const Json* pods = obj.find("degraded_pods"); pods != nullptr) {
+    if (!pods->is_array()) fail("fault: degraded_pods must be an array");
+    for (const Json& item : pods->items()) {
+      if (!item.is_object()) fail("fault: degraded_pods entries must be objects");
+      check_keys(item, {"tor", "factor"}, "fault.degraded_pods");
+      fault::PodDegradation pd;
+      pd.tor = static_cast<int>(get_int(require(item, "tor", "degraded_pods"), "tor"));
+      pd.factor = get_rational(require(item, "factor", "degraded_pods"), "factor");
+      if (pd.factor.is_negative() || Rational{1} < pd.factor) {
+        fail("fault: factor must lie in [0, 1]");
+      }
+      fs.scenario.degraded_pods.push_back(pd);
+    }
+  }
+  const std::int64_t sample_middles = get_int_or(obj, "sample_middles", 0);
+  if (sample_middles < 0) fail("fault: sample_middles must be >= 0");
+  fs.sample_middles = static_cast<int>(sample_middles);
+  fs.link_failure_p = get_double_or(obj, "link_failure_p", 0.0);
+  if (fs.link_failure_p < 0.0 || fs.link_failure_p > 1.0) {
+    fail("fault: link_failure_p must lie in [0, 1]");
+  }
+  const std::int64_t worst = get_int_or(obj, "worst_case_outage", 0);
+  if (worst < 0) fail("fault: worst_case_outage must be >= 0");
+  fs.worst_case_outage = static_cast<int>(worst);
+  fs.seed = get_u64_or(obj, "seed", 1);
+  if (fs.seed != 1 && fs.sample_middles == 0 && fs.link_failure_p == 0.0) {
+    fail("fault: seed without a sampler has no effect");
+  }
+  return fs;
+}
+
+Json fault_json(const FaultSpec& fs) {
+  Json obj = Json::object();
+  if (!fs.scenario.failed_middles.empty()) {
+    Json arr = Json::array();
+    for (int m : fs.scenario.failed_middles) {
+      arr.push_back(Json::number(static_cast<std::int64_t>(m)));
+    }
+    obj.set("failed_middles", std::move(arr));
+  }
+  if (!fs.scenario.derated_links.empty()) {
+    Json arr = Json::array();
+    for (const fault::LinkDeration& d : fs.scenario.derated_links) {
+      Json item = Json::object();
+      item.set("stage", Json::string(d.stage == fault::LinkStage::kUplink ? "uplink"
+                                                                          : "downlink"));
+      item.set("tor", Json::number(static_cast<std::int64_t>(d.tor)));
+      item.set("middle", Json::number(static_cast<std::int64_t>(d.middle)));
+      item.set("factor", rational_json(d.factor));
+      arr.push_back(std::move(item));
+    }
+    obj.set("derated_links", std::move(arr));
+  }
+  if (!fs.scenario.degraded_pods.empty()) {
+    Json arr = Json::array();
+    for (const fault::PodDegradation& pd : fs.scenario.degraded_pods) {
+      Json item = Json::object();
+      item.set("tor", Json::number(static_cast<std::int64_t>(pd.tor)));
+      item.set("factor", rational_json(pd.factor));
+      arr.push_back(std::move(item));
+    }
+    obj.set("degraded_pods", std::move(arr));
+  }
+  if (fs.sample_middles != 0) {
+    obj.set("sample_middles", Json::number(static_cast<std::int64_t>(fs.sample_middles)));
+  }
+  if (fs.link_failure_p != 0.0) obj.set("link_failure_p", Json::number(fs.link_failure_p));
+  if (fs.worst_case_outage != 0) {
+    obj.set("worst_case_outage", Json::number(static_cast<std::int64_t>(fs.worst_case_outage)));
+  }
+  if (fs.seed != 1) obj.set("seed", Json::number(static_cast<std::int64_t>(fs.seed)));
+  return obj;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+ScenarioSpec ScenarioSpec::from_json(const Json& json) {
+  if (!json.is_object()) fail("scenario spec must be a JSON object");
+  check_keys(json, {"topology", "workload", "routing", "objective", "fault"}, "spec");
+
+  ScenarioSpec spec;
+  const Json& workload = require(json, "workload", "spec");
+  if (!workload.is_object()) fail("'workload' must be an object");
+  spec.workload = parse_workload(workload);
+
+  const Json* topology = json.find("topology");
+  if (!spec.workload.instance.empty()) {
+    if (topology != nullptr) {
+      fail("an inline workload.instance defines the topology; drop the 'topology' group");
+    }
+    spec.topology.kind = "clos";
+    spec.topology.params = parse_instance(spec.workload.instance).params;
+  } else {
+    if (topology == nullptr) fail("spec requires 'topology'");
+    if (!topology->is_object()) fail("'topology' must be an object");
+    spec.topology = parse_topology(*topology);
+  }
+
+  const Json* routing = json.find("routing");
+  if (routing != nullptr) {
+    if (!routing->is_object()) fail("'routing' must be an object");
+    spec.routing = parse_routing(*routing);
+  }
+  if (spec.topology.kind == "macro") {
+    if (routing != nullptr && spec.routing.policy != "none") {
+      fail("macro topologies have a unique routing; use policy 'none' or drop 'routing'");
+    }
+    spec.routing = RoutingSpec{};
+    spec.routing.policy = "none";
+  }
+  if (spec.topology.kind == "fattree") {
+    const std::string& p = spec.routing.policy;
+    if (p != "none" && p != "ecmp" && p != "greedy" && p != "local_search") {
+      fail("fattree topologies support policies none/ecmp/greedy/local_search");
+    }
+    if (!spec.routing.start.empty()) fail("fattree routing takes no 'start'");
+  }
+  if (const Json* objective = json.find("objective"); objective != nullptr) {
+    spec.objective = get_string(*objective, "objective");
+    if (spec.objective != "maxmin" && spec.objective != "maxmin_lp") {
+      fail("objective must be 'maxmin' or 'maxmin_lp'");
+    }
+  }
+
+  if (const Json* fault_obj = json.find("fault"); fault_obj != nullptr) {
+    if (!fault_obj->is_object()) fail("'fault' must be an object");
+    spec.fault = parse_fault(*fault_obj);
+    if (spec.fault.empty()) fail("'fault' present but empty; drop the group instead");
+    if (spec.topology.kind != "clos") fail("fault scenarios apply to Clos topologies only");
+  }
+  return spec;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json obj = Json::object();
+  if (workload.instance.empty()) obj.set("topology", topology_json(topology));
+  obj.set("workload", workload_json(workload));
+  // Omit the routing group when reparsing without it reproduces the spec:
+  // macro topologies force policy "none" regardless, and a group that
+  // serializes to just {"policy":"greedy"} is the all-default RoutingSpec.
+  const Json routing_obj = routing_json(routing);
+  if (topology.kind != "macro" && routing_obj.dump() != R"({"policy":"greedy"})") {
+    obj.set("routing", routing_obj);
+  }
+  if (objective != "maxmin") obj.set("objective", Json::string(objective));
+  if (!fault.empty()) obj.set("fault", fault_json(fault));
+  return obj;
+}
+
+std::string ScenarioSpec::canonical() const { return to_json().dump(); }
+
+std::uint64_t ScenarioSpec::content_hash() const { return fnv1a64(canonical()); }
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+
+Json ScenarioResult::to_json() const {
+  Json obj = Json::object();
+  obj.set("flows", Json::number(static_cast<std::int64_t>(num_flows)));
+  obj.set("macro_rates", rates_json(macro_rates));
+  obj.set("macro_throughput", Json::string(macro_throughput.to_string()));
+  if (routed) {
+    obj.set("rates", rates_json(rates));
+    obj.set("throughput", Json::string(throughput.to_string()));
+    obj.set("throughput_ratio", Json::string(throughput_ratio.to_string()));
+    obj.set("min_rate_ratio", Json::string(min_rate_ratio.to_string()));
+    if (!middles.empty()) obj.set("middles", middles_json(middles));
+  }
+  if (surviving_middles.has_value()) {
+    obj.set("surviving_middles", Json::number(static_cast<std::int64_t>(*surviving_middles)));
+  }
+  if (rerouted.has_value()) {
+    obj.set("rerouted", Json::number(static_cast<std::int64_t>(*rerouted)));
+  }
+  if (search.has_value()) {
+    Json stats = Json::object();
+    stats.set("routings_evaluated",
+              Json::number(static_cast<std::int64_t>(search->routings_evaluated)));
+    stats.set("waterfill_invocations",
+              Json::number(static_cast<std::int64_t>(search->waterfill_invocations)));
+    obj.set("search", std::move(stats));
+  }
+  if (replication.has_value()) {
+    Json stats = Json::object();
+    stats.set("feasible", Json::boolean(replication->feasible));
+    stats.set("nodes_explored",
+              Json::number(static_cast<std::int64_t>(replication->nodes_explored)));
+    if (!replication->witness.empty()) {
+      stats.set("witness", middles_json(replication->witness));
+    }
+    obj.set("replication", std::move(stats));
+  }
+  return obj;
+}
+
+ScenarioResult ScenarioResult::from_json(const Json& json) {
+  if (!json.is_object()) fail("scenario result must be a JSON object");
+  check_keys(json,
+             {"flows", "macro_rates", "macro_throughput", "rates", "throughput",
+              "throughput_ratio", "min_rate_ratio", "middles", "surviving_middles",
+              "rerouted", "search", "replication"},
+             "result");
+  ScenarioResult result;
+  result.num_flows =
+      static_cast<std::size_t>(get_int(require(json, "flows", "result"), "flows"));
+  result.macro_rates = get_rates(require(json, "macro_rates", "result"), "macro_rates");
+  result.macro_throughput =
+      get_rational(require(json, "macro_throughput", "result"), "macro_throughput");
+  if (const Json* rates = json.find("rates"); rates != nullptr) {
+    result.routed = true;
+    result.rates = get_rates(*rates, "rates");
+    result.throughput = get_rational(require(json, "throughput", "result"), "throughput");
+    result.throughput_ratio =
+        get_rational(require(json, "throughput_ratio", "result"), "throughput_ratio");
+    result.min_rate_ratio =
+        get_rational(require(json, "min_rate_ratio", "result"), "min_rate_ratio");
+    if (const Json* middles = json.find("middles"); middles != nullptr) {
+      result.middles = get_middles(*middles, "middles");
+    }
+  }
+  if (const Json* surviving = json.find("surviving_middles"); surviving != nullptr) {
+    result.surviving_middles = static_cast<int>(get_int(*surviving, "surviving_middles"));
+  }
+  if (const Json* rerouted = json.find("rerouted"); rerouted != nullptr) {
+    result.rerouted = static_cast<std::size_t>(get_int(*rerouted, "rerouted"));
+  }
+  if (const Json* stats = json.find("search"); stats != nullptr) {
+    check_keys(*stats, {"routings_evaluated", "waterfill_invocations"}, "result.search");
+    SearchStats s;
+    s.routings_evaluated = static_cast<std::uint64_t>(
+        get_int(require(*stats, "routings_evaluated", "search"), "routings_evaluated"));
+    s.waterfill_invocations = static_cast<std::uint64_t>(get_int(
+        require(*stats, "waterfill_invocations", "search"), "waterfill_invocations"));
+    result.search = s;
+  }
+  if (const Json* stats = json.find("replication"); stats != nullptr) {
+    check_keys(*stats, {"feasible", "nodes_explored", "witness"}, "result.replication");
+    ReplicationStats s;
+    const Json& feasible = require(*stats, "feasible", "replication");
+    if (!feasible.is_bool()) fail("replication.feasible must be a boolean");
+    s.feasible = feasible.as_bool();
+    s.nodes_explored = static_cast<std::uint64_t>(
+        get_int(require(*stats, "nodes_explored", "replication"), "nodes_explored"));
+    if (const Json* witness = stats->find("witness"); witness != nullptr) {
+      s.witness = get_middles(*witness, "witness");
+    }
+    result.replication = s;
+  }
+  return result;
+}
+
+}  // namespace closfair::svc

@@ -1,0 +1,180 @@
+// closfair::svc — declarative scenario specifications.
+//
+// A ScenarioSpec names one evaluation cell of the §6-style studies: a
+// topology (Clos / fat-tree / macro-switch), a workload (named stochastic
+// generator + seed, or an inline io/text_format instance), a routing policy,
+// a fairness objective, and an optional failure scenario. Specs parse from
+// JSON (util/json) and serialize back to a *canonical* form: fixed key
+// order, defaults omitted, inline instances normalized through
+// parse_instance/format_instance. Two spellings of the same scenario
+// therefore canonicalize to the same bytes, and the canonical bytes are the
+// content address (FNV-1a 64) the result cache (svc/cache.hpp) keys on.
+//
+// docs/SERVICE.md documents the full request schema with examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "flow/routing.hpp"
+#include "net/clos.hpp"
+#include "util/json.hpp"
+#include "util/rational.hpp"
+
+namespace closfair::svc {
+
+/// Thrown on a structurally valid JSON document that is not a valid
+/// ScenarioSpec (unknown key, bad discriminator, out-of-range value).
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Where the flows run. For "clos" the generalized ClosNetwork::Params apply
+/// (the paper's C_n when tors == 2n, servers == n, capacity == 1, emitted
+/// canonically as {"kind":"clos","n":N}); "macro" evaluates the macro-switch
+/// reference only; "fattree" drives FatTree(k) through the topology-generic
+/// routing layer.
+struct TopologySpec {
+  std::string kind = "clos";  ///< "clos" | "macro" | "fattree"
+  ClosNetwork::Params params;
+  int fattree_k = 4;
+};
+
+/// Either a named stochastic generator (workload/stochastic.hpp; the seed
+/// feeds the deterministic Rng stream) or an inline text-format instance
+/// (io/text_format.hpp; its `clos` line then *defines* the topology and the
+/// spec must not carry a "topology" group).
+struct WorkloadSpec {
+  std::string generator;  ///< empty when `instance` is used
+  std::uint64_t seed = 1;
+  std::size_t count = 0;   ///< uniform/zipf/hotspot/incast flow count
+  double skew = 1.0;       ///< zipf
+  int hot_tor = 1;         ///< hotspot
+  double hot_fraction = 0.5;
+  int dst_tor = 1;         ///< incast sink
+  int dst_server = 1;
+  int stride = 1;          ///< stride offset
+  std::string instance;    ///< canonicalized text-format instance, or empty
+};
+
+/// How flows are routed. Policies follow the library's algorithm layer:
+/// "none" (macro-only), "static" (the given `start` assignment verbatim),
+/// "ecmp", "greedy", "local_search" (congestion descent from greedy),
+/// "lex_climb" / "tput_climb" (hill climbing from `start` or greedy),
+/// "doom", "lp_round", "exhaustive_lex" / "exhaustive_tput" (the
+/// symmetry-reduced exact engine), and "replicate" (feasibility of the
+/// instance's target rates, §4.1).
+///
+/// When `seed` is absent, seeded policies (ecmp, lp_round) continue the
+/// workload generator's Rng stream — the convention of the sweep benches,
+/// which draw the workload and the routing from one stream.
+struct RoutingSpec {
+  std::string policy = "greedy";
+  std::optional<std::uint64_t> seed;
+  std::size_t max_moves = 10'000;        ///< local_search / lex_climb / tput_climb
+  unsigned threads = 1;                  ///< exhaustive engine workers
+  bool prune_throughput_bound = true;    ///< exhaustive_tput early exit
+  bool fix_first_flow = true;            ///< exhaustive count convention
+  std::uint64_t max_routings = 0;        ///< 0 = engine default
+  std::size_t attempts = 8;              ///< lp_round draws
+  MiddleAssignment start;                ///< explicit start/static assignment
+  bool reroute_dead = false;             ///< fault::reroute_dead_paths on the start
+};
+
+/// Declarative failure scenario: explicit fault::FailureScenario components
+/// plus the deterministic samplers. Application order (all multiplicative,
+/// never reviving): explicit components, then `sample_middles` and
+/// `link_failure_p` drawn from one Rng(seed) stream (middles first), then
+/// `worst_case_outage` targeting the already-degraded fabric's most valuable
+/// survivors. Clos topologies only.
+struct FaultSpec {
+  fault::FailureScenario scenario;
+  int sample_middles = 0;
+  double link_failure_p = 0.0;
+  int worst_case_outage = 0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool empty() const {
+    return scenario.empty() && sample_middles == 0 && link_failure_p == 0.0 &&
+           worst_case_outage == 0;
+  }
+};
+
+/// One declarative scenario request.
+struct ScenarioSpec {
+  TopologySpec topology;
+  WorkloadSpec workload;
+  RoutingSpec routing;
+  std::string objective = "maxmin";  ///< "maxmin" (water-fill) | "maxmin_lp" (LP oracle)
+  FaultSpec fault;
+
+  /// Parse from a JSON object. Strict: unknown keys, conflicting groups
+  /// (e.g. "topology" next to an inline instance), and invalid values throw
+  /// SpecError; malformed embedded instances throw with the ParseError text.
+  static ScenarioSpec from_json(const Json& json);
+
+  /// Canonical JSON: fixed key order, defaults omitted, instance text
+  /// normalized. parse(to_json()) reproduces the spec exactly, and
+  /// to_json() is a fixed point of that round trip.
+  [[nodiscard]] Json to_json() const;
+
+  /// to_json().dump() — the bytes the content address is computed over.
+  [[nodiscard]] std::string canonical() const;
+
+  /// FNV-1a 64-bit hash of canonical().
+  [[nodiscard]] std::uint64_t content_hash() const;
+};
+
+/// FNV-1a 64 over arbitrary bytes (the service's content-address function).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Exhaustive-search work stats, reported for exhaustive_* policies so
+/// sweeps can gate engine determinism through the service.
+struct SearchStats {
+  std::uint64_t routings_evaluated = 0;
+  std::uint64_t waterfill_invocations = 0;
+
+  friend bool operator==(const SearchStats&, const SearchStats&) = default;
+};
+
+/// Replication-feasibility outcome ("replicate" policy).
+struct ReplicationStats {
+  bool feasible = false;
+  std::uint64_t nodes_explored = 0;
+  MiddleAssignment witness;  ///< empty when infeasible
+
+  friend bool operator==(const ReplicationStats&, const ReplicationStats&) = default;
+};
+
+/// The evaluated scenario: the pristine macro-switch reference always, plus
+/// the routed allocation on the (possibly degraded) fabric when the policy
+/// routes. All rates are exact rationals.
+struct ScenarioResult {
+  std::size_t num_flows = 0;
+  std::vector<Rational> macro_rates;
+  Rational macro_throughput{0};
+
+  bool routed = false;  ///< false for "none" and "replicate"
+  std::vector<Rational> rates;
+  Rational throughput{0};
+  Rational throughput_ratio{1};  ///< clos/macro (1 when macro throughput is 0)
+  Rational min_rate_ratio{1};    ///< min over flows with positive macro rate
+
+  MiddleAssignment middles;                    ///< Clos policies only
+  std::optional<int> surviving_middles;        ///< Clos topologies only
+  std::optional<std::size_t> rerouted;         ///< when routing.reroute_dead
+  std::optional<SearchStats> search;
+  std::optional<ReplicationStats> replication;
+
+  [[nodiscard]] Json to_json() const;
+  static ScenarioResult from_json(const Json& json);
+
+  friend bool operator==(const ScenarioResult&, const ScenarioResult&) = default;
+};
+
+}  // namespace closfair::svc

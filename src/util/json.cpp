@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -70,6 +71,57 @@ std::size_t Json::size() const {
   }
 }
 
+bool Json::as_bool() const {
+  CF_CHECK_MSG(kind_ == Kind::kBool, "as_bool on a non-boolean JSON value");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  CF_CHECK_MSG(kind_ == Kind::kInt, "as_int on a non-integer JSON value");
+  return int_;
+}
+
+double Json::as_double() const {
+  CF_CHECK_MSG(kind_ == Kind::kNumber || kind_ == Kind::kInt,
+               "as_double on a non-numeric JSON value");
+  return kind_ == Kind::kInt ? static_cast<double>(int_) : number_;
+}
+
+const std::string& Json::as_string() const {
+  CF_CHECK_MSG(kind_ == Kind::kString, "as_string on a non-string JSON value");
+  return string_;
+}
+
+const Json& Json::at(std::size_t i) const {
+  CF_CHECK_MSG(kind_ == Kind::kArray, "at(index) on a non-array JSON value");
+  CF_CHECK_MSG(i < array_.size(), "JSON array index " << i << " out of range");
+  return array_[i];
+}
+
+const std::vector<Json>& Json::items() const {
+  CF_CHECK_MSG(kind_ == Kind::kArray, "items on a non-array JSON value");
+  return array_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  CF_CHECK_MSG(kind_ == Kind::kObject, "find on a non-object JSON value");
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  CF_CHECK_MSG(found != nullptr, "JSON object has no key '" << key << "'");
+  return *found;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  CF_CHECK_MSG(kind_ == Kind::kObject, "members on a non-object JSON value");
+  return object_;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -80,18 +132,266 @@ std::string json_escape(const std::string& s) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Promote through unsigned char: with a signed plain char, bytes
+        // >= 0x80 (UTF-8 continuation/lead bytes in names and comments)
+        // would sign-extend to negative ints — the < 0x20 test would pass
+        // them to the escape branch as ￿ffXX garbage. Only genuine
+        // control characters are escaped; UTF-8 passes through verbatim.
+        const unsigned char uc = static_cast<unsigned char>(c);
+        if (uc < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned int>(uc));
           out += buf;
         } else {
           out += c;
         }
+      }
     }
   }
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over a string_view with a byte cursor.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                         message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char expected) {
+    if (!consume(expected)) {
+      fail(std::string{"expected '"} + expected + "'");
+    }
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("invalid literal (expected " + std::string{literal} + ")");
+    }
+    pos_ += literal.size();
+  }
+
+  Json parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 256 levels");
+    skip_whitespace();
+    Json result;
+    switch (peek()) {
+      case 'n': expect_literal("null"); result = Json::null(); break;
+      case 't': expect_literal("true"); result = Json::boolean(true); break;
+      case 'f': expect_literal("false"); result = Json::boolean(false); break;
+      case '"': result = Json::string(parse_string()); break;
+      case '[': result = parse_array(); break;
+      case '{': result = parse_object(); break;
+      default: result = parse_number(); break;
+    }
+    --depth_;
+    return result;
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_whitespace();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      if (consume(']')) return arr;
+      expect(',');
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_whitespace();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("object keys must be strings");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_whitespace();
+      if (consume('}')) return obj;
+      expect(',');
+    }
+  }
+
+  // Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t code = parse_hex4();
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const std::uint32_t low = parse_hex4();
+              if (low < 0xdc00 || low > 0xdfff) fail("unpaired surrogate in \\u escape");
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            } else {
+              fail("unpaired surrogate in \\u escape");
+            }
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired surrogate in \\u escape");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      pos_ = start;
+      fail("invalid value");
+    }
+    bool integral = true;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return Json::number(value);
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) fail("invalid number");
+    if (!std::isfinite(value)) fail("number out of double range");
+    return Json::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 
 void Json::write(std::string& out, int indent, int depth) const {
   const std::string pad = indent > 0 ? std::string(static_cast<std::size_t>(indent) *

@@ -1,20 +1,35 @@
-// Minimal JSON value builder + writer.
+// Minimal JSON value builder, writer, and parser.
 //
 // Bench harnesses and the CLI export machine-readable results for plotting
 // pipelines without dragging in an external dependency. Build values with
 // the static constructors, serialize with dump(). Output is deterministic
 // (object keys keep insertion order) so exports diff cleanly.
+//
+// The parser (Json::parse) is the inverse: it accepts any RFC 8259 document
+// and returns the value tree, decoding \uXXXX escapes (including surrogate
+// pairs) to UTF-8. Integral numbers that fit std::int64_t parse as integers,
+// so dump(parse(dump(x))) is a fixed point for exported reports. The
+// scenario-evaluation service (src/svc) builds its request/response loop and
+// canonical spec serialization on this pair.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "util/check.hpp"
 
 namespace closfair {
+
+/// Thrown on malformed JSON text; what() includes the byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// An immutable-ish JSON value (null, bool, number, string, array, object).
 class Json {
@@ -29,6 +44,11 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parse a complete JSON document (one value plus surrounding whitespace).
+  /// Throws JsonParseError on malformed input, trailing garbage, or nesting
+  /// deeper than 256 levels.
+  static Json parse(std::string_view text);
+
   /// Array append (this must be an array).
   void push_back(Json v);
 
@@ -37,9 +57,31 @@ class Json {
   void set(const std::string& key, Json v);
 
   [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInt;
+  }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
   [[nodiscard]] std::size_t size() const;
+
+  /// Typed reads; ContractViolation on kind mismatch. as_double accepts
+  /// integers, as_int demands an integral value.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array element access (this must be an array; index checked).
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+
+  /// Object lookup: find returns nullptr when the key is absent, at throws.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const;
 
   /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 0) const;

@@ -137,4 +137,37 @@ std::ostream& operator<<(std::ostream& os, const Rational& r) {
   return os;
 }
 
+Rational rational_from_string(std::string_view text) {
+  const auto parse_i64 = [&](std::string_view token) -> std::int64_t {
+    if (token.empty()) throw std::invalid_argument("empty rational component");
+    std::int64_t value = 0;
+    std::size_t i = 0;
+    bool negative = false;
+    if (token[0] == '-') {
+      negative = true;
+      i = 1;
+      if (token.size() == 1) throw std::invalid_argument("bare '-' in rational");
+    }
+    for (; i < token.size(); ++i) {
+      const char c = token[i];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("invalid rational '" + std::string{text} + "'");
+      }
+      const std::int64_t digit = c - '0';
+      if (value > (kMax64 - digit) / 10) {
+        throw std::invalid_argument("rational component out of int64 range");
+      }
+      value = value * 10 + digit;
+    }
+    return negative ? -value : value;
+  };
+
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return Rational{parse_i64(text)};
+  const std::int64_t num = parse_i64(text.substr(0, slash));
+  const std::int64_t den = parse_i64(text.substr(slash + 1));
+  if (den == 0) throw std::invalid_argument("zero denominator in rational");
+  return Rational{num, den};
+}
+
 }  // namespace closfair

@@ -13,6 +13,7 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace closfair {
 
@@ -87,6 +88,11 @@ std::ostream& operator<<(std::ostream& os, const Rational& r);
 
 /// |r|.
 [[nodiscard]] inline Rational abs(const Rational& r) { return r.is_negative() ? -r : r; }
+
+/// Inverse of to_string: parses "p" or "p/q" (optionally negative, no
+/// whitespace). Throws std::invalid_argument on anything else, including a
+/// zero denominator. Used by the io/svc layers to round-trip exact rates.
+[[nodiscard]] Rational rational_from_string(std::string_view text);
 
 }  // namespace closfair
 

@@ -68,6 +68,67 @@ TEST(Json, PrettyPrinting) {
   EXPECT_EQ(obj.dump(2), "{\n  \"x\": 1\n}");
 }
 
+// ------------------------------------------------------------------- parser
+
+TEST(JsonParse, ScalarsAndNesting) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e-1").as_double(), 0.25);
+  const Json doc = Json::parse(R"({"a":[1,{"b":"x"}],"c":null})");
+  EXPECT_EQ(doc.at("a").at(1).at("b").as_string(), "x");
+  EXPECT_TRUE(doc.at("c").is_null());
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+  try {
+    Json::parse("{\"a\":1,}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(Json::parse("[1,2] trailing"), JsonParseError);
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToUtf8) {
+  // U+1D11E (musical G clef) as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("𝄞")").as_string(), "\xF0\x9D\x84\x9E");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xC3\xA9");
+}
+
+// json_escape must treat bytes >= 0x80 as opaque UTF-8 payload. A signed
+// `char` promotes 0xC3 to a negative int, so a naive `c < 0x20` test would
+// mangle every multi-byte sequence into \uFFxx escapes.
+TEST(JsonParse, MultiByteUtf8PassesThroughUnescaped) {
+  const std::string s = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9D\x84\x9E";  // é € 𝄞
+  EXPECT_EQ(json_escape(s), s);
+  EXPECT_EQ(Json::parse(Json::string(s).dump()).as_string(), s);
+}
+
+TEST(JsonParse, AllControlBytesRoundTrip) {
+  std::string s;
+  for (char c = 1; c < 0x20; ++c) s.push_back(c);
+  s.push_back('\0');
+  s.push_back('A');
+  const std::string dumped = Json::string(s).dump();
+  // Every byte below 0x20 must appear escaped, never raw.
+  for (char c = 1; c < 0x20; ++c) {
+    EXPECT_EQ(dumped.find(std::string(1, c)), std::string::npos) << int(c);
+  }
+  EXPECT_EQ(Json::parse(dumped).as_string(), s);
+  // Short escapes decode alongside \u00XX forms.
+  EXPECT_EQ(Json::parse("\"\\b\\t\\n\\f\\r\"").as_string(),
+            std::string("\b\t\n\f\r"));
+}
+
+TEST(JsonParse, DumpParseDumpIsAFixedPoint) {
+  const std::string doc =
+      R"({"s":"a bc","u":")" "\xC3\xA9" R"(","n":[1,-2.5,0],"o":{"k":true}})";
+  const std::string once = Json::parse(doc).dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
 TEST(JsonExport, AllocationRoundTripFields) {
   const Allocation<Rational> alloc({Rational{1, 3}, Rational{1}});
   const std::string out = to_json(alloc).dump();

@@ -19,6 +19,7 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "routing/exhaustive.hpp"
+#include "svc/service.hpp"
 #include "util/rng.hpp"
 #include "workload/stochastic.hpp"
 
@@ -318,6 +319,24 @@ TEST(ObsDisabled, SnapshotStaysEmptyAfterInstrumentedRun) {
   const FlowSet flows = sample_flows(net, 5, 11);
   const auto result = lex_max_min_exhaustive(net, flows);
   EXPECT_GT(result.waterfill_invocations, 0u);
+  EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
+}
+
+// The scenario service is instrumented throughout (svc.requests,
+// svc.cache_hits, svc.queue_depth, spans); under OBS=OFF all of it must
+// compile to the inert stubs — a full batch leaves the registry empty.
+TEST(ObsDisabled, ServiceBatchLeavesNoMetrics) {
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  spec.workload.generator = "permutation";
+  spec.workload.seed = 3;
+  svc::Service service(svc::ServiceOptions{2, 8});
+  const std::vector<svc::BatchEntry> entries =
+      service.evaluate_batch({spec, spec});  // second entry: dedup path
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].ok());
+  EXPECT_TRUE(entries[1].cached);
+  EXPECT_TRUE(service.evaluate(spec).cached);  // cache-hit path
   EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
 }
 

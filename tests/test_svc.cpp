@@ -1,0 +1,330 @@
+// Tests for closfair::svc — scenario-spec parsing and canonicalization, the
+// FNV content address, the LRU result cache with JSONL spill/reload, and the
+// sharded batch service's determinism + equivalence-with-the-library
+// contracts (docs/SERVICE.md).
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/adversarial.hpp"
+#include "fairness/waterfill.hpp"
+#include "io/text_format.hpp"
+#include "obs/obs.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/greedy.hpp"
+#include "svc/cache.hpp"
+#include "util/rng.hpp"
+#include "workload/stochastic.hpp"
+
+namespace closfair {
+namespace {
+
+svc::ScenarioSpec parse_spec(const std::string& text) {
+  return svc::ScenarioSpec::from_json(Json::parse(text));
+}
+
+// ---------------------------------------------------------------- spec layer
+
+TEST(SvcSpec, DefaultsAndPaperAliasShareOneCanonicalForm) {
+  // Minimal spelling: defaults omitted everywhere.
+  const svc::ScenarioSpec a = parse_spec(
+      R"({"topology":{"kind":"clos","n":3},"workload":{"generator":"permutation"}})");
+  // Fully spelled-out equivalent: explicit params matching C_3, explicit
+  // defaults for routing/objective/seed.
+  const svc::ScenarioSpec b = parse_spec(
+      R"({"topology":{"kind":"clos","middles":3,"tors":6,"servers":3,"capacity":1},
+          "workload":{"generator":"permutation","seed":1},
+          "routing":{"policy":"greedy"},
+          "objective":"maxmin"})");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_EQ(a.canonical(),
+            R"({"topology":{"kind":"clos","n":3},"workload":{"generator":"permutation"}})");
+}
+
+TEST(SvcSpec, CanonicalIsAFixedPoint) {
+  const svc::ScenarioSpec spec = parse_spec(
+      R"({"topology":{"kind":"clos","middles":2,"tors":3,"servers":2,"capacity":"1/2"},
+          "workload":{"generator":"zipf","count":12,"skew":1.3,"seed":9},
+          "routing":{"policy":"lex_climb","max_moves":200},
+          "objective":"maxmin_lp",
+          "fault":{"worst_case_outage":1}})");
+  const svc::ScenarioSpec reparsed = svc::ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(reparsed.canonical(), spec.canonical());
+  EXPECT_EQ(reparsed.content_hash(), spec.content_hash());
+}
+
+TEST(SvcSpec, InlineInstanceNormalizesThroughTextFormat) {
+  // Two identical flows spelled out coalesce to the x2 form, so both
+  // spellings content-address identically.
+  const svc::ScenarioSpec a = parse_spec(
+      R"({"workload":{"instance":"clos n=2\nflow 1 1 -> 2 1\nflow 1 1 -> 2 1\n"},
+          "routing":{"policy":"doom"}})");
+  const svc::ScenarioSpec b = parse_spec(
+      R"({"workload":{"instance":"clos n=2\nflow 1 1 -> 2 1 x2\n"},
+          "routing":{"policy":"doom"}})");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.topology.params.num_middles, 2);
+  EXPECT_EQ(a.topology.params.num_tors, 4);
+}
+
+TEST(SvcSpec, StrictParsingRejectsBadSpecs) {
+  // Unknown key, anywhere.
+  EXPECT_THROW(parse_spec(R"({"bogus":1})"), svc::SpecError);
+  EXPECT_THROW(parse_spec(
+                   R"({"workload":{"generator":"permutation","stride":2}})"),
+               svc::SpecError);
+  // Inline instance defines the topology; a topology group conflicts.
+  EXPECT_THROW(parse_spec(
+                   R"({"topology":{"kind":"clos","n":2},
+                       "workload":{"instance":"clos n=2\nflow 1 1 -> 2 1\n"}})"),
+               svc::SpecError);
+  // Seed on an unseeded generator.
+  EXPECT_THROW(parse_spec(
+                   R"({"topology":{"kind":"clos","n":2},
+                       "workload":{"generator":"all_to_all","seed":3}})"),
+               svc::SpecError);
+  // Unknown routing policy.
+  EXPECT_THROW(parse_spec(
+                   R"({"topology":{"kind":"clos","n":2},
+                       "workload":{"generator":"permutation"},
+                       "routing":{"policy":"magic"}})"),
+               svc::SpecError);
+  // reroute_dead without a start-based policy.
+  EXPECT_THROW(parse_spec(
+                   R"({"topology":{"kind":"clos","n":2},
+                       "workload":{"generator":"permutation"},
+                       "routing":{"policy":"ecmp","reroute_dead":true}})"),
+               svc::SpecError);
+  // Faults only make sense on a Clos fabric.
+  EXPECT_THROW(parse_spec(
+                   R"({"topology":{"kind":"macro","tors":4,"servers":2},
+                       "workload":{"generator":"permutation"},
+                       "fault":{"worst_case_outage":1}})"),
+               svc::SpecError);
+  // Malformed embedded instance text surfaces the text-format error.
+  EXPECT_THROW(parse_spec(R"({"workload":{"instance":"clos n=2\nflow oops\n"}})"),
+               svc::SpecError);
+}
+
+TEST(SvcSpec, Fnv1a64KnownVectors) {
+  EXPECT_EQ(svc::fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(svc::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(svc::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(SvcSpec, ResultJsonRoundTrips) {
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{3, 6, 3, Rational{1}};
+  spec.workload.generator = "permutation";
+  spec.workload.seed = 5;
+  spec.routing.policy = "lex_climb";
+  spec.routing.max_moves = 100;
+  const svc::ScenarioResult result = svc::evaluate_scenario(spec);
+  EXPECT_TRUE(result.routed);
+  EXPECT_EQ(svc::ScenarioResult::from_json(result.to_json()), result);
+}
+
+// --------------------------------------------------------------- result cache
+
+svc::ScenarioResult tiny_result(std::size_t num_flows) {
+  svc::ScenarioResult r;
+  r.num_flows = num_flows;
+  r.macro_rates.assign(num_flows, Rational{1, 2});
+  r.macro_throughput = Rational{static_cast<std::int64_t>(num_flows), 2};
+  return r;
+}
+
+std::string seeded_spec_canonical(std::uint64_t seed) {
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  spec.workload.generator = "uniform";
+  spec.workload.count = 4;
+  spec.workload.seed = seed;
+  return spec.canonical();
+}
+
+TEST(SvcCache, LruEvictsLeastRecentlyUsed) {
+  svc::ResultCache cache(2);
+  const std::string a = seeded_spec_canonical(1);
+  const std::string b = seeded_spec_canonical(2);
+  const std::string c = seeded_spec_canonical(3);
+  cache.insert(a, tiny_result(1));
+  cache.insert(b, tiny_result(2));
+  EXPECT_TRUE(cache.lookup(a).has_value());  // refresh: b is now LRU
+  cache.insert(c, tiny_result(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  ASSERT_TRUE(cache.lookup(a).has_value());
+  EXPECT_EQ(cache.lookup(a)->num_flows, 1u);
+  EXPECT_TRUE(cache.lookup(c).has_value());
+}
+
+TEST(SvcCache, SpillAndReloadPreserveContentsAndRecency) {
+  svc::ResultCache cache(4);
+  cache.insert(seeded_spec_canonical(1), tiny_result(1));
+  cache.insert(seeded_spec_canonical(2), tiny_result(2));
+  cache.insert(seeded_spec_canonical(3), tiny_result(3));
+  std::stringstream spill;
+  cache.save(spill);
+
+  svc::ResultCache reloaded(2);  // smaller: only the 2 most recent survive
+  reloaded.load(spill);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_FALSE(reloaded.lookup(seeded_spec_canonical(1)).has_value());
+  ASSERT_TRUE(reloaded.lookup(seeded_spec_canonical(2)).has_value());
+  EXPECT_EQ(reloaded.lookup(seeded_spec_canonical(3))->num_flows, 3u);
+}
+
+TEST(SvcCache, LoadErrorsCarryLineNumbers) {
+  svc::ResultCache cache(4);
+  std::stringstream good;
+  cache.insert(seeded_spec_canonical(1), tiny_result(1));
+  cache.save(good);
+  std::stringstream bad(good.str() + "{not json\n");
+  svc::ResultCache target(4);
+  try {
+    target.load(bad);
+    FAIL() << "expected a load error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("cache line 2"), std::string::npos) << e.what();
+  }
+}
+
+// ------------------------------------------------------------------- service
+
+TEST(SvcService, GreedyMatchesDirectLibraryComputation) {
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{3, 6, 3, Rational{1}};
+  spec.workload.generator = "permutation";
+  spec.workload.seed = 5;
+  const svc::ScenarioResult via_svc = svc::evaluate_scenario(spec);
+
+  const ClosNetwork net = ClosNetwork::paper(3);
+  const MacroSwitch ms = MacroSwitch::paper(3);
+  Rng rng(5);
+  const FlowCollection flows_spec = random_permutation(Fabric{6, 3}, rng);
+  const auto macro = max_min_fair<Rational>(ms, instantiate(ms, flows_spec));
+  const FlowSet flows = instantiate(net, flows_spec);
+  std::vector<double> demands;
+  for (FlowIndex f = 0; f < flows.size(); ++f) demands.push_back(macro.rate(f).to_double());
+  const MiddleAssignment middles = greedy_routing(net, flows, demands);
+  const auto alloc = max_min_fair<Rational>(net, flows, middles);
+
+  EXPECT_EQ(via_svc.macro_rates, macro.rates());
+  EXPECT_EQ(via_svc.middles, middles);
+  EXPECT_EQ(via_svc.rates, alloc.rates());
+  EXPECT_EQ(via_svc.throughput, alloc.throughput());
+}
+
+TEST(SvcService, SeedlessEcmpContinuesTheWorkloadStream) {
+  // The sweep-bench convention: without routing.seed, ECMP draws from the
+  // same Rng stream the workload generator advanced.
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{3, 6, 3, Rational{1}};
+  spec.workload.generator = "uniform";
+  spec.workload.count = 10;
+  spec.workload.seed = 42;
+  spec.routing.policy = "ecmp";
+  const svc::ScenarioResult via_svc = svc::evaluate_scenario(spec);
+
+  const ClosNetwork net = ClosNetwork::paper(3);
+  Rng rng(42);
+  const FlowCollection flows_spec = uniform_random(Fabric{6, 3}, 10, rng);
+  const FlowSet flows = instantiate(net, flows_spec);
+  EXPECT_EQ(via_svc.middles, ecmp_routing(net, flows, rng));
+}
+
+std::vector<svc::ScenarioSpec> small_batch() {
+  std::vector<svc::ScenarioSpec> specs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const char* policy : {"ecmp", "greedy", "lex_climb"}) {
+      svc::ScenarioSpec spec;
+      spec.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+      spec.workload.generator = "uniform";
+      spec.workload.count = 6;
+      spec.workload.seed = seed;
+      spec.routing.policy = policy;
+      specs.push_back(spec);
+    }
+  }
+  specs.push_back(specs[0]);  // in-batch duplicate
+  return specs;
+}
+
+TEST(SvcService, BatchIsDeterministicAcrossWorkerCounts) {
+  const std::vector<svc::ScenarioSpec> specs = small_batch();
+  svc::Service one(svc::ServiceOptions{1, 64});
+  const std::vector<svc::BatchEntry> ref = one.evaluate_batch(specs);
+  ASSERT_EQ(ref.size(), specs.size());
+  for (const unsigned workers : {2u, 8u}) {
+    svc::Service service(svc::ServiceOptions{workers, 64});
+    const std::vector<svc::BatchEntry> entries = service.evaluate_batch(specs);
+    ASSERT_EQ(entries.size(), ref.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(entries[i].hash, ref[i].hash) << i;
+      EXPECT_EQ(entries[i].cached, ref[i].cached) << i;
+      EXPECT_EQ(entries[i].error, ref[i].error) << i;
+      EXPECT_EQ(entries[i].result, ref[i].result) << i;
+    }
+  }
+}
+
+TEST(SvcService, DuplicatesAndResubmissionsHitTheCache) {
+  const std::vector<svc::ScenarioSpec> specs = small_batch();
+  svc::Service service(svc::ServiceOptions{2, 64});
+  const std::vector<svc::BatchEntry> cold = service.evaluate_batch(specs);
+  EXPECT_FALSE(cold.front().cached);
+  EXPECT_TRUE(cold.back().cached);  // in-batch duplicate of specs[0]
+  EXPECT_EQ(cold.back().result, cold.front().result);
+  const std::vector<svc::BatchEntry> warm = service.evaluate_batch(specs);
+  for (const svc::BatchEntry& entry : warm) EXPECT_TRUE(entry.cached);
+}
+
+TEST(SvcService, RuntimeErrorsBecomePerEntryErrors) {
+  std::vector<svc::ScenarioSpec> specs = small_batch();
+  svc::ScenarioSpec bad;
+  bad.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  bad.workload.generator = "permutation";
+  bad.routing.policy = "static";
+  bad.routing.start = {1};  // wrong length for the permutation's flow count
+  specs.insert(specs.begin() + 1, bad);
+
+  svc::Service service(svc::ServiceOptions{2, 64});
+  const std::vector<svc::BatchEntry> entries = service.evaluate_batch(specs);
+  EXPECT_FALSE(entries[1].ok());
+  EXPECT_FALSE(entries[1].error.empty());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != 1) {
+      EXPECT_TRUE(entries[i].ok()) << entries[i].error;
+    }
+  }
+  // A failed evaluation must not be cached.
+  const svc::BatchEntry retry = service.evaluate(bad);
+  EXPECT_FALSE(retry.cached);
+  EXPECT_FALSE(retry.ok());
+}
+
+TEST(SvcService, ObsCountersTrackRequestsWhenEnabled) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Registry::instance().reset();
+  svc::Service service(svc::ServiceOptions{2, 64});
+  const std::vector<svc::ScenarioSpec> specs = small_batch();
+  (void)service.evaluate_batch(specs);
+  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  std::uint64_t requests = 0;
+  std::uint64_t dedup = 0;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == "svc.requests") requests = c.value;
+    if (c.name == "svc.dedup_hits") dedup = c.value;
+  }
+  EXPECT_EQ(requests, specs.size());
+  EXPECT_EQ(dedup, 1u);
+}
+
+}  // namespace
+}  // namespace closfair

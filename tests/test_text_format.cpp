@@ -115,6 +115,53 @@ TEST(TextFormat, RoundTripExplicitForm) {
   EXPECT_EQ(again.params.link_capacity, spec.params.link_capacity);
 }
 
+// Every error path must name the offending line: comments and blank lines
+// count toward the number the user sees in their editor.
+TEST(TextFormat, ErrorLineNumbersSkipCommentsAndBlanks) {
+  const struct {
+    const char* text;
+    const char* line;
+  } cases[] = {
+      {"# header\n\nclos n=1\n# note\nflow 1 1 -> 1 1 @bad\n", "line 5"},
+      {"clos n=1\nflow 1 1 -> 1 1\n\nflow 1 1 -> 1 1 x0\n", "line 4"},
+      {"clos n=1\n\nclos n=2\n", "line 3"},
+      {"# only a comment\nflow 1 1 -> 1 1\n", "line 2"},
+  };
+  for (const auto& c : cases) {
+    try {
+      parse_instance(c.text);
+      FAIL() << "expected ParseError for: " << c.text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string{e.what()}.find(c.line), std::string::npos)
+          << e.what() << " should mention " << c.line;
+    }
+  }
+}
+
+// serialize -> parse -> serialize is a fixed point even on input that is far
+// from canonical: scattered duplicates coalesce, rate/multiplicity order
+// normalizes, and a second round trip changes nothing.
+TEST(TextFormat, SerializeParseSerializeIsAFixedPoint) {
+  const std::string messy =
+      "# adversarial spacing and ordering\n"
+      "clos   middles=3   tors=6  servers=3  capacity=1\n"
+      "flow 1 1 -> 4 1 @1/3 x2\n"
+      "flow 1 1 -> 4 1 @1/3\n"  // coalesces with the preceding pair
+      "flow 2 1 -> 5 1\n"
+      "flow 2 2 -> 5 2 x1\n";
+  const std::string once = format_instance(parse_instance(messy));
+  const std::string twice = format_instance(parse_instance(once));
+  EXPECT_EQ(twice, once);
+  // The canonical form coalesced the split run of identical rated flows.
+  EXPECT_NE(once.find("x3 @1/3"), std::string::npos) << once;
+  // Semantics survive: same expanded flows and rates either way.
+  const InstanceSpec a = parse_instance(messy);
+  const InstanceSpec b = parse_instance(once);
+  EXPECT_EQ(a.flows, b.flows);
+  EXPECT_EQ(a.rates, b.rates);
+  EXPECT_EQ(a.params.num_middles, b.params.num_middles);
+}
+
 TEST(TextFormat, BuildClosMatchesParams) {
   const InstanceSpec spec = parse_instance("clos n=2\nflow 1 1 -> 3 1\n");
   const ClosNetwork net = spec.build_clos();
