@@ -1,0 +1,449 @@
+// serve_net — wire-protocol server benchmark (src/wire over src/svc).
+//
+//   $ ./serve_net [OUT.json]
+//
+// Gates the TCP front-end's production contracts over a real loopback
+// socket:
+//
+//   1. Byte identity: a mixed pipelined request stream (bare specs,
+//      envelopes, duplicates, a parse error, an evaluation error) returns
+//      responses byte-identical to the batch binary's, from fresh servers at
+//      1, 2, and 8 workers.
+//   2. Latency under load: three load points (two open-loop Poisson paced,
+//      one unpaced pipeline blast) of a cold/warm/duplicate mix, reporting
+//      p50/p99/p999 latency and achieved RPS.
+//   3. Overload shedding: offered load at >= 2x the measured sustainable
+//      rate against a watermark-1 server must produce explicit overload
+//      responses — every request still answered, in order, with bounded
+//      queueing — not unbounded buffering.
+//   4. Graceful drain: drain() with evaluations in flight answers everything
+//      admitted and closes cleanly.
+//
+// Emits BENCH_serve_net.json (path overridable) with the latency tables and
+// an obs counter snapshot — scripts/bench.sh diffs the deterministic
+// counters against the committed baseline. The snapshot is taken *before*
+// the overload phase (sheds make svc.cache_misses timing-dependent), and the
+// svc.cache_hits / wire.dedup_hits split — which depends on whether a repeat
+// arrives while its first occurrence is still in flight — is folded into one
+// deterministic svc.cache_hits_plus_dedup counter. Exits non-zero if any
+// gate fails.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json_export.hpp"
+#include "obs/obs.hpp"
+#include "svc/service.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "wire/client.hpp"
+#include "wire/protocol.hpp"
+#include "wire/server.hpp"
+
+using namespace closfair;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "CHECK FAILED: " << what << '\n';
+    ++failures;
+  }
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One evaluation cell, unique per `variant`: small enough that a load point
+/// finishes in seconds, expensive enough that queueing is real.
+std::string spec_body(std::uint64_t variant) {
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{3, 6, 3, Rational{1}};
+  spec.workload.generator = "uniform";
+  spec.workload.count = 12;
+  spec.workload.seed = 5000 + variant;
+  spec.routing.policy = variant % 2 == 0 ? "greedy" : "ecmp";
+  return spec.canonical();
+}
+
+// ------------------------------------------------------- byte-identity gate
+
+std::vector<std::string> mixed_request_lines() {
+  std::vector<std::string> lines;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    lines.push_back("{\"id\":" + std::to_string(i) + ",\"spec\":" + spec_body(i) + "}");
+  }
+  lines.push_back(spec_body(2));        // bare duplicate
+  lines.push_back("{definitely not json");
+  svc::ScenarioSpec bad;                // evaluation error: wrong start length
+  bad.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  bad.workload.generator = "permutation";
+  bad.routing.policy = "static";
+  bad.routing.start = {1};
+  lines.push_back(R"({"id":"boom","spec":)" + bad.to_json().dump() + "}");
+  lines.push_back(lines[0]);            // envelope duplicate
+  return lines;
+}
+
+/// The batch binary's answers for the same lines: the reference half of the
+/// byte-identity gate, computed in process exactly like run_batch().
+std::vector<std::string> batch_responses(const std::vector<std::string>& lines) {
+  std::vector<wire::Request> requests;
+  std::vector<svc::ScenarioSpec> specs;
+  std::vector<std::size_t> spec_of;
+  for (const std::string& line : lines) {
+    wire::Request request = wire::parse_request(line);
+    if (request.ok()) {
+      spec_of.push_back(specs.size());
+      specs.push_back(*request.spec);
+    } else {
+      spec_of.push_back(SIZE_MAX);
+    }
+    requests.push_back(std::move(request));
+  }
+  svc::Service service(svc::ServiceOptions{1, 512});
+  const std::vector<svc::BatchEntry> batch = service.evaluate_batch(specs);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (spec_of[i] == SIZE_MAX) {
+      out.push_back(wire::render_parse_error(requests[i].id, requests[i].error));
+      continue;
+    }
+    const svc::BatchEntry& entry = batch[spec_of[i]];
+    out.push_back(entry.ok()
+                      ? wire::render_result(requests[i].id, entry.hash, entry.cached,
+                                            entry.result)
+                      : wire::render_eval_error(requests[i].id, entry.hash,
+                                                entry.error));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- load points
+
+struct LoadResult {
+  double target_rps = 0.0;  ///< 0 = unpaced blast
+  double achieved_rps = 0.0;
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  std::size_t cached = 0;
+  std::size_t overloads = 0;
+  std::size_t errors = 0;
+  double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0, max_us = 0.0;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Cold/warm/duplicate mix (60:30:10): cold = fresh spec, warm = re-request
+/// a uniformly random earlier one, duplicate = repeat the previous line.
+std::vector<std::string> mixed_traffic(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> lines;
+  std::vector<std::string> history;
+  std::uint64_t cold = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t draw = rng.next_below(100);
+    std::string body;
+    if (!history.empty() && draw >= 60) {
+      body = draw < 90 ? history[rng.next_below(history.size())] : history.back();
+    } else {
+      body = spec_body(100 + cold++);
+    }
+    history.push_back(body);
+    lines.push_back(body);
+  }
+  return lines;
+}
+
+/// One open-loop run against a fresh server: a sender thread paces arrivals
+/// (Poisson at `target_rps`; unpaced when 0) while the main thread receives
+/// and classifies, matching latencies FIFO (responses are in order).
+LoadResult run_load_point(const std::vector<std::string>& lines, double target_rps,
+                          unsigned workers, wire::ServerOptions options) {
+  svc::Service service(svc::ServiceOptions{workers, 4096});
+  options.workers = workers;
+  wire::Server server(service, options);
+  server.start();
+
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  std::vector<std::atomic<std::int64_t>> send_ns(lines.size());
+
+  std::thread sender([&] {
+    Rng rng(99);
+    const Clock::time_point start = Clock::now();
+    double offset_s = 0.0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (target_rps > 0.0) {
+        offset_s += rng.next_exponential(target_rps);
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(offset_s)));
+      }
+      send_ns[i].store(Clock::now().time_since_epoch().count(),
+                       std::memory_order_release);
+      client.send(lines[i]);
+    }
+    client.finish_sending();
+  });
+
+  LoadResult r;
+  r.target_rps = target_rps;
+  r.requests = lines.size();
+  std::vector<double> latencies;
+  const Clock::time_point t0 = Clock::now();
+  while (auto response = client.recv()) {
+    const std::int64_t now_ns = Clock::now().time_since_epoch().count();
+    const std::int64_t sent = send_ns[r.completed].load(std::memory_order_acquire);
+    latencies.push_back(static_cast<double>(now_ns - sent) / 1000.0);
+    ++r.completed;
+    if (response->find("\"overload\":true") != std::string::npos) {
+      ++r.overloads;
+    } else if (response->find("\"error\":") != std::string::npos) {
+      ++r.errors;
+    } else if (response->find("\"cached\":true") != std::string::npos) {
+      ++r.cached;
+    }
+  }
+  r.seconds = seconds_since(t0);
+  sender.join();
+  client.close();
+  server.drain();
+
+  std::sort(latencies.begin(), latencies.end());
+  r.achieved_rps = r.seconds > 0.0 ? static_cast<double>(r.completed) / r.seconds : 0.0;
+  r.p50_us = percentile(latencies, 0.50);
+  r.p99_us = percentile(latencies, 0.99);
+  r.p999_us = percentile(latencies, 0.999);
+  r.max_us = latencies.empty() ? 0.0 : latencies.back();
+  return r;
+}
+
+Json load_result_json(const LoadResult& r) {
+  Json j = Json::object();
+  j.set("target_rps", Json::number(r.target_rps));
+  j.set("achieved_rps", Json::number(r.achieved_rps));
+  j.set("seconds", Json::number(r.seconds));
+  j.set("requests", Json::number(static_cast<std::int64_t>(r.requests)));
+  j.set("completed", Json::number(static_cast<std::int64_t>(r.completed)));
+  j.set("cached", Json::number(static_cast<std::int64_t>(r.cached)));
+  j.set("overloads", Json::number(static_cast<std::int64_t>(r.overloads)));
+  j.set("errors", Json::number(static_cast<std::int64_t>(r.errors)));
+  Json latency = Json::object();
+  latency.set("p50_us", Json::number(r.p50_us));
+  latency.set("p99_us", Json::number(r.p99_us));
+  latency.set("p999_us", Json::number(r.p999_us));
+  latency.set("max_us", Json::number(r.max_us));
+  j.set("latency", latency);
+  return j;
+}
+
+/// The committed-baseline metrics view: every counter except the two whose
+/// split is scheduling-dependent, replaced by their deterministic sum (for a
+/// fixed request stream, repeat requests resolve as *either* an in-flight
+/// dedup or a cache hit — which one depends on completion timing, but the
+/// total never does).
+obs::MetricsSnapshot filtered_snapshot() {
+  obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  std::uint64_t folded = 0;
+  std::vector<obs::MetricsSnapshot::CounterValue> kept;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == "svc.cache_hits" || c.name == "wire.dedup_hits" ||
+        c.name == "svc.dedup_hits") {
+      folded += c.value;
+    } else {
+      kept.push_back(c);
+    }
+  }
+  kept.push_back({"svc.cache_hits_plus_dedup", folded});
+  std::sort(kept.begin(), kept.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  snapshot.counters = std::move(kept);
+  snapshot.gauges.clear();      // queue depths / drain times are load-dependent
+  snapshot.histograms.clear();  // span durations are wall clock
+  return snapshot;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve_net.json";
+  if (argc > 1) out_path = argv[1];
+  if (argc > 2 || (!out_path.empty() && out_path[0] == '-')) {
+    std::cerr << "usage: serve_net [OUT.json]\n";
+    return 2;
+  }
+  obs::Registry::instance().reset();
+
+  Json report = Json::object();
+  report.set("bench", Json::string("serve_net"));
+
+  // ------------------------------------------------------- 1. byte identity
+  std::cout << "=== wire server benchmark ===\n\n--- byte identity vs batch mode ---\n";
+  const std::vector<std::string> lines = mixed_request_lines();
+  const std::vector<std::string> expected = batch_responses(lines);
+  TextTable table_id({"workers", "responses", "identical"});
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    svc::Service service(svc::ServiceOptions{workers, 512});
+    wire::ServerOptions options;
+    options.workers = workers;
+    wire::Server server(service, options);
+    server.start();
+    wire::Client client;
+    client.connect("127.0.0.1", server.port());
+    for (const std::string& line : lines) client.send(line);
+    client.finish_sending();
+    bool identical = true;
+    std::size_t received = 0;
+    while (auto response = client.recv()) {
+      if (received >= expected.size() || *response != expected[received]) {
+        identical = false;
+      }
+      ++received;
+    }
+    identical = identical && received == expected.size();
+    check(identical, "socket responses byte-identical to batch at " +
+                         std::to_string(workers) + " workers");
+    table_id.add_row({std::to_string(workers), std::to_string(received),
+                      identical ? "yes" : "NO"});
+    client.close();
+    server.drain();
+  }
+  std::cout << table_id << '\n';
+
+  // --------------------------------------------------------- 2. load points
+  std::cout << "--- load points (cold/warm/duplicate 60:30:10, 1 connection) ---\n";
+  const std::size_t kRequests = 400;
+  const std::vector<std::string> traffic = mixed_traffic(kRequests, 7);
+  const unsigned kWorkers = 4;
+  Json points = Json::array();
+  TextTable table_load({"target_rps", "achieved_rps", "completed", "cached",
+                        "p50_us", "p99_us", "p999_us"});
+  double sustainable_rps = 0.0;
+  // Unpaced blast first: its achieved rate is the sustainable ceiling the
+  // overload phase doubles. Admission limits sit above the request count so
+  // the load points measure queueing latency, not shedding (and the counter
+  // snapshot below stays deterministic — a shed evaluates nothing).
+  wire::ServerOptions load_options;
+  load_options.max_inflight_per_conn = kRequests;
+  load_options.queue_high_watermark = kRequests;
+  for (const double target : {0.0, 400.0, 800.0}) {
+    const LoadResult r = run_load_point(traffic, target, kWorkers, load_options);
+    if (target == 0.0) sustainable_rps = r.achieved_rps;
+    check(r.completed == r.requests,
+          "load point answered every request (target " + fmt_double(target, 0) + ")");
+    check(r.overloads == 0, "no sheds below the watermark (target " +
+                                fmt_double(target, 0) + ")");
+    check(r.errors == 0,
+          "no errors in the load mix (target " + fmt_double(target, 0) + ")");
+    check(r.cached > 0, "warm/duplicate traffic hit the cache (target " +
+                            fmt_double(target, 0) + ")");
+    table_load.add_row({target == 0.0 ? "blast" : fmt_double(target, 0),
+                        fmt_double(r.achieved_rps, 1), std::to_string(r.completed),
+                        std::to_string(r.cached), fmt_double(r.p50_us, 1),
+                        fmt_double(r.p99_us, 1), fmt_double(r.p999_us, 1)});
+    points.push_back(load_result_json(r));
+  }
+  std::cout << table_load << '\n';
+  report.set("load_points", std::move(points));
+  report.set("sustainable_rps", Json::number(sustainable_rps));
+
+  // Counter snapshot now: everything so far is a fixed request stream, while
+  // the overload phase below sheds (and therefore evaluates) a
+  // timing-dependent subset.
+  report.set("metrics", metrics_to_json(filtered_snapshot()));
+
+  // ------------------------------------------------------------ 3. overload
+  std::cout << "--- overload: >= 2x sustainable against watermark 1 ---\n";
+  {
+    const double offered = std::max(2.0 * sustainable_rps, 1000.0);
+    std::vector<std::string> cold;
+    for (std::uint64_t i = 0; i < 300; ++i) cold.push_back(spec_body(10000 + i));
+    wire::ServerOptions options;
+    options.queue_high_watermark = 1;
+    const LoadResult r = run_load_point(cold, offered, 1, options);
+    check(r.completed == r.requests, "overload phase answered every request");
+    check(r.overloads > 0, "overload phase shed explicitly");
+    check(r.overloads < r.requests, "overload phase still evaluated some requests");
+    check(r.errors == 0, "sheds are overloads, not errors");
+    std::cout << "offered " << fmt_double(offered, 0) << " rps -> "
+              << r.overloads << "/" << r.requests << " shed, "
+              << (r.requests - r.overloads - r.cached) << " evaluated, p99 "
+              << fmt_double(r.p99_us, 1) << " us\n\n";
+    Json j = load_result_json(r);
+    j.set("offered_rps", Json::number(offered));
+    report.set("overload", std::move(j));
+  }
+
+  // --------------------------------------------------------------- 4. drain
+  std::cout << "--- drain with evaluations in flight ---\n";
+  {
+    svc::Service service(svc::ServiceOptions{2, 512});
+    wire::ServerOptions options;
+    options.workers = 2;
+    wire::Server server(service, options);
+    server.start();
+    wire::Client client;
+    client.connect("127.0.0.1", server.port());
+    const std::size_t kInFlight = 12;
+    for (std::uint64_t i = 0; i < kInFlight; ++i) client.send(spec_body(20000 + i));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const auto drain_start = Clock::now();
+    server.drain();
+    const double drain_secs = seconds_since(drain_start);
+    std::size_t answered = 0;
+    bool clean_eof = false;
+    try {
+      while (client.recv().has_value()) ++answered;
+      clean_eof = true;
+    } catch (const wire::WireError&) {
+    }
+    check(clean_eof, "drain closes the stream cleanly (no truncated frame)");
+    check(answered <= kInFlight, "drain answers at most what was sent");
+    check(server.queue_depth() == 0, "drain leaves no queued evaluations");
+    std::cout << "drained in " << fmt_double(drain_secs * 1000.0, 1) << " ms, "
+              << answered << "/" << kInFlight << " admitted requests answered\n\n";
+    Json j = Json::object();
+    j.set("sent", Json::number(static_cast<std::int64_t>(kInFlight)));
+    j.set("answered", Json::number(static_cast<std::int64_t>(answered)));
+    j.set("drain_seconds", Json::number(drain_secs));
+    j.set("clean_eof", Json::boolean(clean_eof));
+    report.set("drain", std::move(j));
+  }
+
+  Json checks = Json::object();
+  checks.set("failed", Json::number(static_cast<std::int64_t>(failures)));
+  report.set("checks", std::move(checks));
+
+  std::ofstream out(out_path);
+  out << report.dump(2) << '\n';
+  out.close();
+  if (!out) {
+    std::cerr << "error: could not write report to " << out_path << '\n';
+    return 1;
+  }
+  std::cout << "report written to " << out_path << '\n';
+
+  if (failures > 0) {
+    std::cerr << failures << " check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "all checks passed\n";
+  return 0;
+}

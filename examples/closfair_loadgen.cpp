@@ -1,0 +1,375 @@
+// closfair_loadgen — load generator / traffic replayer for the wire server.
+//
+//   $ ./closfair_loadgen --host HOST --port PORT [traffic] [load] [output]
+//
+//   traffic (one of):
+//     --replay FILE    send the file's request lines in order (1 connection)
+//     --requests N     generate N mixed ScenarioSpec requests (default 100)
+//   generated-traffic shape:
+//     --mix C:W:D      percent cold : warm (re-request an earlier scenario) :
+//                      duplicate (back-to-back repeat); default 60:30:10
+//     --seed S         traffic/schedule seed (default 1)
+//     --clos-n N       Clos size of generated cells (default 3)
+//   load shape:
+//     --rps R          open-loop Poisson arrivals at R req/s, split across
+//                      connections (0 = unpaced full-pipeline blast; default)
+//     --conns K        parallel long-lived connections (default 1)
+//   output:
+//     --out FILE       write response payloads one per line (requires 1 conn)
+//     --json FILE      machine-readable report (bench/serve_net schema)
+//     --quiet          suppress the human-readable summary
+//
+// Open loop means arrivals do not wait for responses: when the server falls
+// behind, requests pipeline deeper instead of slowing the offered rate, so
+// measured latency reflects queueing — and past the admission-control
+// watermark the server sheds with explicit overload responses, which are
+// counted separately from errors. Per-connection responses arrive in request
+// order (docs/SERVICE.md), so latency is matched FIFO without envelope ids.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arg_parse.hpp"
+#include "svc/spec.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "wire/client.hpp"
+
+using namespace closfair;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "closfair_loadgen --host HOST --port PORT [--replay FILE | --requests N] "
+    "[--mix C:W:D] [--seed S] [--clos-n N] [--rps R] [--conns K] [--out FILE] "
+    "[--json FILE] [--quiet]";
+
+int usage() {
+  std::cerr << "usage: " << kUsage << '\n';
+  return 2;
+}
+
+/// One generated scenario cell: cheap to evaluate (greedy / ecmp on a small
+/// Clos), unique per `variant` so cold traffic always misses the cache.
+std::string spec_body(int clos_n, std::uint64_t variant) {
+  svc::ScenarioSpec spec;
+  spec.topology.params =
+      ClosNetwork::Params{clos_n, 2 * clos_n, clos_n, Rational{1}};
+  spec.workload.generator = "uniform";
+  spec.workload.count = static_cast<std::size_t>(4 * clos_n);
+  spec.workload.seed = 1000 + variant;
+  spec.routing.policy = variant % 2 == 0 ? "greedy" : "ecmp";
+  return spec.canonical();
+}
+
+struct Mix {
+  int cold = 60;
+  int warm = 30;
+  int dup = 10;
+};
+
+Mix parse_mix(const std::string& token) {
+  Mix mix;
+  const auto first = token.find(':');
+  const auto second = token.find(':', first == std::string::npos ? 0 : first + 1);
+  if (first == std::string::npos || second == std::string::npos) {
+    examples::bad_arg("--mix", token, "C:W:D percentages summing to 100", kUsage);
+  }
+  mix.cold = examples::checked_int(token.substr(0, first), "--mix cold", 0, 100, kUsage);
+  mix.warm = examples::checked_int(token.substr(first + 1, second - first - 1),
+                                   "--mix warm", 0, 100, kUsage);
+  mix.dup = examples::checked_int(token.substr(second + 1), "--mix dup", 0, 100, kUsage);
+  if (mix.cold + mix.warm + mix.dup != 100) {
+    examples::bad_arg("--mix", token, "C:W:D percentages summing to 100", kUsage);
+  }
+  return mix;
+}
+
+std::vector<std::string> generate_traffic(std::size_t count, const Mix& mix,
+                                          std::uint64_t seed, int clos_n) {
+  Rng rng(seed);
+  std::vector<std::string> lines;
+  std::vector<std::string> history;  // spec bodies issued so far
+  lines.reserve(count);
+  std::uint64_t cold_issued = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t draw = rng.next_below(100);
+    std::string body;
+    if (!history.empty() && draw >= static_cast<std::uint64_t>(mix.cold)) {
+      body = draw < static_cast<std::uint64_t>(mix.cold + mix.warm)
+                 ? history[rng.next_below(history.size())]  // warm re-request
+                 : history.back();                          // back-to-back duplicate
+    } else {
+      body = spec_body(clos_n, cold_issued++);
+    }
+    history.push_back(body);
+    lines.push_back("{\"id\":" + std::to_string(i) + ",\"spec\":" + body + "}");
+  }
+  return lines;
+}
+
+std::vector<std::string> read_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << '\n';
+    std::exit(1);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct ConnStats {
+  std::vector<double> latencies_us;
+  std::vector<std::string> responses;  // kept only when --out is in play
+  std::size_t completed = 0;
+  std::size_t overloads = 0;
+  std::size_t errors = 0;
+  std::size_t cached = 0;
+  Clock::time_point first_send{};
+  Clock::time_point last_recv{};
+  std::string failure;
+};
+
+void run_connection(const std::string& host, std::uint16_t port,
+                    const std::vector<std::string>& lines, double conn_rps,
+                    std::uint64_t schedule_seed, bool keep_responses,
+                    ConnStats& stats) {
+  wire::Client client;
+  try {
+    client.connect(host, port);
+  } catch (const std::exception& e) {
+    stats.failure = e.what();
+    return;
+  }
+
+  std::vector<std::atomic<std::int64_t>> send_ns(lines.size());
+  std::atomic<bool> send_failed{false};
+
+  std::thread sender([&] {
+    Rng rng(schedule_seed);
+    const Clock::time_point start = Clock::now();
+    double offset_s = 0.0;
+    try {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (conn_rps > 0.0) {
+          offset_s += rng.next_exponential(conn_rps);
+          std::this_thread::sleep_until(start + std::chrono::duration_cast<Clock::duration>(
+                                                    std::chrono::duration<double>(offset_s)));
+        }
+        const Clock::time_point now = Clock::now();
+        send_ns[i].store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch())
+                .count(),
+            std::memory_order_release);
+        client.send(lines[i]);
+      }
+      client.finish_sending();
+    } catch (const std::exception&) {
+      send_failed.store(true);
+    }
+  });
+
+  stats.first_send = Clock::now();
+  try {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      auto response = client.recv();
+      if (!response.has_value()) break;  // server drained under us
+      const Clock::time_point now = Clock::now();
+      stats.last_recv = now;
+      const std::int64_t sent = send_ns[i].load(std::memory_order_acquire);
+      const auto now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch())
+              .count();
+      stats.latencies_us.push_back(static_cast<double>(now_ns - sent) / 1000.0);
+      ++stats.completed;
+      if (response->find("\"overload\":true") != std::string::npos) {
+        ++stats.overloads;
+      } else if (response->find("\"error\":") != std::string::npos) {
+        ++stats.errors;
+      } else if (response->find("\"cached\":true") != std::string::npos) {
+        ++stats.cached;
+      }
+      if (keep_responses) stats.responses.push_back(std::move(*response));
+    }
+  } catch (const std::exception& e) {
+    stats.failure = e.what();
+  }
+  sender.join();
+  if (send_failed.load() && stats.failure.empty()) stats.failure = "send failed";
+  client.close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string replay_path;
+  std::size_t requests = 100;
+  Mix mix;
+  std::uint64_t seed = 1;
+  int clos_n = 3;
+  double rps = 0.0;
+  unsigned conns = 1;
+  std::string out_path;
+  std::string json_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = examples::checked_int(next(), "--port", 1, 65535, kUsage);
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--requests") {
+      requests = examples::checked_size(next(), "--requests", 1 << 24, kUsage);
+    } else if (arg == "--mix") {
+      mix = parse_mix(next());
+    } else if (arg == "--seed") {
+      seed = examples::checked_u64(next(), "--seed", kUsage);
+    } else if (arg == "--clos-n") {
+      clos_n = examples::checked_int(next(), "--clos-n", 2, 16, kUsage);
+    } else if (arg == "--rps") {
+      rps = examples::checked_double(next(), "--rps", 0.0, 1e9, kUsage);
+    } else if (arg == "--conns") {
+      conns = static_cast<unsigned>(examples::checked_int(next(), "--conns", 1, 1024, kUsage));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  if (port == 0) {
+    std::cerr << "--port is required\n";
+    return usage();
+  }
+  if (!replay_path.empty()) conns = 1;  // replay preserves stream order
+  if (!out_path.empty() && conns != 1) {
+    std::cerr << "--out requires --conns 1 (response order is per-connection)\n";
+    return usage();
+  }
+
+  const std::vector<std::string> lines =
+      replay_path.empty() ? generate_traffic(requests, mix, seed, clos_n)
+                          : read_replay(replay_path);
+  if (lines.empty()) {
+    std::cerr << "no requests to send\n";
+    return 1;
+  }
+
+  // Round-robin partition across connections; each connection is an
+  // independent open-loop Poisson source at rps/conns, so the aggregate
+  // arrival process is Poisson at the full target rate.
+  std::vector<std::vector<std::string>> per_conn(conns);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    per_conn[i % conns].push_back(lines[i]);
+  }
+  std::vector<ConnStats> stats(conns);
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (unsigned c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      run_connection(host, static_cast<std::uint16_t>(port), per_conn[c],
+                     rps / static_cast<double>(conns), seed + 7919 * (c + 1),
+                     !out_path.empty(), stats[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> latencies;
+  std::size_t completed = 0, overloads = 0, errors = 0, cached = 0;
+  for (const ConnStats& s : stats) {
+    if (!s.failure.empty()) {
+      std::cerr << "connection failed: " << s.failure << '\n';
+      return 1;
+    }
+    latencies.insert(latencies.end(), s.latencies_us.begin(), s.latencies_us.end());
+    completed += s.completed;
+    overloads += s.overloads;
+    errors += s.errors;
+    cached += s.cached;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double achieved_rps = wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double p999 = percentile(latencies, 0.999);
+  const double max_us = latencies.empty() ? 0.0 : latencies.back();
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << '\n';
+      return 1;
+    }
+    for (const std::string& response : stats[0].responses) out << response << '\n';
+  }
+
+  if (!quiet) {
+    TextTable table({"requests", "completed", "cached", "overloads", "errors",
+                     "rps", "p50_us", "p99_us", "p999_us"});
+    table.add_row({std::to_string(lines.size()), std::to_string(completed),
+                   std::to_string(cached), std::to_string(overloads),
+                   std::to_string(errors), fmt_double(achieved_rps, 1),
+                   fmt_double(p50, 1), fmt_double(p99, 1), fmt_double(p999, 1)});
+    std::cout << table;
+  }
+
+  if (!json_path.empty()) {
+    Json report = Json::object();
+    report.set("requests", Json::number(static_cast<std::int64_t>(lines.size())));
+    report.set("completed", Json::number(static_cast<std::int64_t>(completed)));
+    report.set("cached", Json::number(static_cast<std::int64_t>(cached)));
+    report.set("overloads", Json::number(static_cast<std::int64_t>(overloads)));
+    report.set("errors", Json::number(static_cast<std::int64_t>(errors)));
+    report.set("rps_target", Json::number(rps));
+    report.set("rps_achieved", Json::number(achieved_rps));
+    report.set("seconds", Json::number(wall_s));
+    Json latency = Json::object();
+    latency.set("p50_us", Json::number(p50));
+    latency.set("p99_us", Json::number(p99));
+    latency.set("p999_us", Json::number(p999));
+    latency.set("max_us", Json::number(max_us));
+    report.set("latency", latency);
+    std::ofstream out(json_path, std::ios::trunc);
+    out << report.dump(2) << '\n';
+  }
+
+  // Incomplete streams (server drained mid-run) are an operational signal,
+  // not a crash: report them in the exit status.
+  return completed == lines.size() ? 0 : 3;
+}

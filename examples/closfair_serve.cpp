@@ -1,4 +1,6 @@
-// closfair_serve — JSONL batch scenario-evaluation service (src/svc).
+// closfair_serve — scenario-evaluation service (src/svc + src/wire).
+//
+// Batch mode (default):
 //
 //   $ ./closfair_serve [--workers N] [--cache N] [--cache-file PATH]
 //                      [--in FILE] [--out FILE] [--metrics OUT.json]
@@ -17,6 +19,20 @@
 // contract in docs/SERVICE.md). --cache-file loads a JSONL cache spill
 // before the batch and rewrites it afterwards, so repeated invocations warm
 // each other.
+//
+// Server mode:
+//
+//   $ ./closfair_serve --listen HOST:PORT [--workers N] [--cache N]
+//                      [--cache-file PATH] [--port-file PATH] [--inflight N]
+//                      [--watermark N] [--max-frame BYTES] [--metrics OUT.json]
+//
+// Runs the persistent TCP front-end (docs/SERVICE.md "Wire protocol"):
+// length-prefixed frames carrying the same request/response lines, pipelined
+// over long-lived connections, with per-connection in-order responses,
+// admission control (overload responses instead of unbounded buffering), and
+// graceful drain on SIGTERM/SIGINT. PORT 0 binds an ephemeral port;
+// --port-file writes the bound port for scripts to discover. The cache spill
+// and metrics are written after the drain completes.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -28,18 +44,114 @@
 #include "io/json_export.hpp"
 #include "obs/obs.hpp"
 #include "svc/service.hpp"
+#include "wire/protocol.hpp"
+#include "wire/server.hpp"
 
 using namespace closfair;
 
 namespace {
 
 constexpr std::string_view kUsage =
-    "closfair_serve [--workers N] [--cache N] [--cache-file PATH] [--in FILE] "
-    "[--out FILE] [--metrics OUT.json]";
+    "closfair_serve [--listen HOST:PORT] [--workers N] [--cache N] "
+    "[--cache-file PATH] [--in FILE] [--out FILE] [--metrics OUT.json] "
+    "[--port-file PATH] [--inflight N] [--watermark N] [--max-frame BYTES]";
 
 int usage() {
   std::cerr << "usage: " << kUsage << '\n';
   return 2;
+}
+
+int run_batch(svc::Service& service, const std::string& in_path,
+              const std::string& out_path) {
+  std::ifstream in_file;
+  if (!in_path.empty()) {
+    in_file.open(in_path);
+    if (!in_file) {
+      std::cerr << "cannot open " << in_path << '\n';
+      return 1;
+    }
+  }
+  std::istream& in = in_path.empty() ? std::cin : in_file;
+
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot open " << out_path << '\n';
+      return 1;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  // Parse every line up front; parse failures become per-line error
+  // responses without consuming an evaluation slot.
+  std::vector<wire::Request> requests;
+  std::vector<svc::ScenarioSpec> specs;
+  std::vector<std::size_t> spec_of;  // line -> index into specs (or SIZE_MAX)
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    wire::Request request = wire::parse_request(line);
+    if (request.ok()) {
+      spec_of.push_back(specs.size());
+      specs.push_back(std::move(*request.spec));
+    } else {
+      spec_of.push_back(SIZE_MAX);
+      OBS_COUNTER_INC("svc.errors");
+    }
+    requests.push_back(std::move(request));
+  }
+
+  const std::vector<svc::BatchEntry> batch = service.evaluate_batch(specs);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const wire::Request& request = requests[i];
+    if (spec_of[i] == SIZE_MAX) {
+      out << wire::render_parse_error(request.id, request.error) << '\n';
+      continue;
+    }
+    const svc::BatchEntry& entry = batch[spec_of[i]];
+    out << (entry.ok() ? wire::render_result(request.id, entry.hash, entry.cached,
+                                             entry.result)
+                       : wire::render_eval_error(request.id, entry.hash, entry.error))
+        << '\n';
+  }
+  out.flush();
+  return 0;
+}
+
+int run_listen(svc::Service& service, const std::string& listen,
+               const wire::ServerOptions& base, const std::string& port_file) {
+  wire::ServerOptions options = base;
+  const std::size_t colon = listen.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "--listen expects HOST:PORT, got '" << listen << "'\n";
+    return 2;
+  }
+  options.host = listen.substr(0, colon);
+  options.port = static_cast<std::uint16_t>(examples::checked_int(
+      listen.substr(colon + 1), "--listen port", 0, 65535, kUsage));
+
+  wire::Server server(service, options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "cannot start server: " << e.what() << '\n';
+    return 1;
+  }
+  std::cerr << "listening on " << options.host << ":" << server.port() << '\n';
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file, std::ios::trunc);
+    if (!pf) {
+      std::cerr << "cannot write " << port_file << '\n';
+      return 1;
+    }
+    pf << server.port() << '\n';
+  }
+  server.run_until_signal();
+  std::cerr << "drained " << server.connections_accepted()
+            << " connection(s) worth of traffic; exiting\n";
+  return 0;
 }
 
 }  // namespace
@@ -51,6 +163,9 @@ int main(int argc, char** argv) {
   std::string in_path;
   std::string out_path;
   std::string metrics_path;
+  std::string listen;
+  std::string port_file;
+  wire::ServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -74,30 +189,36 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--metrics") {
       metrics_path = next();
+    } else if (arg == "--listen") {
+      listen = next();
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--inflight") {
+      server_options.max_inflight_per_conn =
+          examples::checked_size(next(), "--inflight", 1 << 20, kUsage);
+      if (server_options.max_inflight_per_conn == 0) {
+        server_options.max_inflight_per_conn = 1;
+      }
+    } else if (arg == "--watermark") {
+      server_options.queue_high_watermark =
+          examples::checked_size(next(), "--watermark", 1 << 24, kUsage);
+      if (server_options.queue_high_watermark == 0) {
+        server_options.queue_high_watermark = 1;
+      }
+    } else if (arg == "--max-frame") {
+      server_options.max_frame_bytes =
+          examples::checked_size(next(), "--max-frame", 1 << 30, kUsage);
+      if (server_options.max_frame_bytes < wire::kFrameHeaderBytes) {
+        server_options.max_frame_bytes = wire::kDefaultMaxFrameBytes;
+      }
     } else {
       return usage();
     }
   }
-
-  std::ifstream in_file;
-  if (!in_path.empty()) {
-    in_file.open(in_path);
-    if (!in_file) {
-      std::cerr << "cannot open " << in_path << '\n';
-      return 1;
-    }
+  if (!listen.empty() && (!in_path.empty() || !out_path.empty())) {
+    std::cerr << "--listen is exclusive with --in/--out\n";
+    return usage();
   }
-  std::istream& in = in_path.empty() ? std::cin : in_file;
-
-  std::ofstream out_file;
-  if (!out_path.empty()) {
-    out_file.open(out_path);
-    if (!out_file) {
-      std::cerr << "cannot open " << out_path << '\n';
-      return 1;
-    }
-  }
-  std::ostream& out = out_path.empty() ? std::cout : out_file;
 
   svc::Service service(svc::ServiceOptions{workers, cache_capacity});
   if (!cache_file.empty()) {
@@ -112,59 +233,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Parse every line up front; parse failures become per-line error
-  // responses without consuming an evaluation slot.
-  std::vector<svc::ScenarioSpec> specs;
-  std::vector<Json> ids;             // null when the request had no envelope id
-  std::vector<std::string> errors;   // per input line; empty = evaluable
-  std::vector<std::size_t> spec_of;  // line -> index into specs (or SIZE_MAX)
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    ids.push_back(Json::null());
-    errors.emplace_back();
-    spec_of.push_back(SIZE_MAX);
-    try {
-      const Json request = Json::parse(line);
-      const Json* spec_json = &request;
-      if (request.is_object()) {
-        if (const Json* inner = request.find("spec"); inner != nullptr) {
-          spec_json = inner;
-          if (const Json* id = request.find("id"); id != nullptr) ids.back() = *id;
-        }
-      }
-      spec_of.back() = specs.size();
-      specs.push_back(svc::ScenarioSpec::from_json(*spec_json));
-    } catch (const std::exception& e) {
-      spec_of.back() = SIZE_MAX;
-      errors.back() = e.what();
-      OBS_COUNTER_INC("svc.errors");
-    }
+  int status;
+  if (listen.empty()) {
+    status = run_batch(service, in_path, out_path);
+  } else {
+    server_options.workers = workers;
+    status = run_listen(service, listen, server_options, port_file);
   }
-
-  const std::vector<svc::BatchEntry> batch = service.evaluate_batch(specs);
-
-  char hash_hex[17];
-  for (std::size_t i = 0; i < spec_of.size(); ++i) {
-    Json response = Json::object();
-    if (!ids[i].is_null()) response.set("id", ids[i]);
-    if (spec_of[i] == SIZE_MAX) {
-      response.set("error", Json::string(errors[i]));
-    } else {
-      const svc::BatchEntry& entry = batch[spec_of[i]];
-      std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
-                    static_cast<unsigned long long>(entry.hash));
-      response.set("hash", Json::string(hash_hex));
-      if (entry.ok()) {
-        response.set("cached", Json::boolean(entry.cached));
-        response.set("result", entry.result.to_json());
-      } else {
-        response.set("error", Json::string(entry.error));
-      }
-    }
-    out << response.dump() << '\n';
-  }
-  out.flush();
+  if (status != 0) return status;
 
   if (!cache_file.empty()) {
     std::ofstream spill(cache_file, std::ios::trunc);

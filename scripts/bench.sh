@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Perf-regression check for the search engine, the degraded-fabric
-# evaluation, and the scenario service: build Release, run
-# bench/perf_report, bench/degraded_fabric, and bench/service against
-# scratch outputs, and diff the obs counter snapshots embedded in them
-# against the committed BENCH_search.json / BENCH_degraded.json /
-# BENCH_service.json baselines.
+# evaluation, the scenario service, and the wire server: build Release, run
+# bench/perf_report, bench/degraded_fabric, bench/service, and
+# bench/serve_net against scratch outputs, and diff the obs counter
+# snapshots embedded in them against the committed BENCH_search.json /
+# BENCH_degraded.json / BENCH_service.json / BENCH_serve_net.json baselines.
 #
 # Counters measuring algorithmic work (waterfill.*, lp.*, fault.*,
 # rate_control.*, svc.*, search.candidates, search.routings_covered) are
@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-release -j "$JOBS" --target perf_report degraded_fabric service >/dev/null
+cmake --build build-release -j "$JOBS" --target perf_report degraded_fabric service serve_net >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -29,9 +29,11 @@ build-release/bench/degraded_fabric "$TMP/BENCH_degraded.json"
 echo
 build-release/bench/service "$TMP/BENCH_service.json"
 echo
+build-release/bench/serve_net "$TMP/BENCH_serve_net.json"
+echo
 
 STATUS=0
-for BASELINE in BENCH_search.json BENCH_degraded.json BENCH_service.json; do
+for BASELINE in BENCH_search.json BENCH_degraded.json BENCH_service.json BENCH_serve_net.json; do
   if [ ! -f "$BASELINE" ]; then
     cp "$TMP/$BASELINE" "$BASELINE"
     echo "no committed $BASELINE found: wrote a first-run baseline."

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, a closfair_serve smoke run
-# diffed against a committed golden transcript, the search engine's
+# diffed against a committed golden transcript, a wire-server smoke (start
+# closfair_serve --listen, replay 20 mixed requests through closfair_loadgen,
+# diff against the batch-mode golden, SIGTERM-drain), the search engine's
 # serial-vs-parallel equivalence tests under ThreadSanitizer, the fault /
-# workload / rate-control / search tests under ASan+UBSan, and the
-# CLOSFAIR_OBS=OFF configuration (instrumentation compiled out) with its
+# workload / rate-control / search / wire-socket tests under ASan+UBSan, and
+# the CLOSFAIR_OBS=OFF configuration (instrumentation compiled out) with its
 # unit tests plus a link-level check that the obs TUs are empty.
 #
 # Usage: scripts/tier1.sh [jobs]
@@ -34,18 +36,49 @@ fi
 echo "3 requests answered, duplicate served from cache, golden matched"
 
 echo
+echo "== tier 1: wire server smoke (closfair_serve --listen + closfair_loadgen) =="
+PORT_FILE="$(mktemp)"
+WIRE_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT" "$PORT_FILE" "$WIRE_OUT"' EXIT
+: > "$PORT_FILE"
+build/examples/closfair_serve --listen 127.0.0.1:0 --workers 2 \
+    --port-file "$PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "FAIL: closfair_serve never wrote its bound port"
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+build/examples/closfair_loadgen --host 127.0.0.1 --port "$(cat "$PORT_FILE")" \
+    --replay tests/golden/serve_net_requests.jsonl --out "$WIRE_OUT" --quiet
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "FAIL: closfair_serve did not drain cleanly on SIGTERM"
+  exit 1
+fi
+if ! diff -u tests/golden/serve_net_responses.jsonl "$WIRE_OUT"; then
+  echo "FAIL: socket responses diverged from the batch-mode golden"
+  exit 1
+fi
+echo "20 pipelined requests answered byte-identically over the socket, SIGTERM drained"
+
+echo
 echo "== tier 1: SearchEngine tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCLOSFAIR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_search_engine
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'SearchEngine')
 
 echo
-echo "== tier 1: fault/workload/rate-control tests under ASan+UBSan =="
+echo "== tier 1: fault/workload/rate-control/wire tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCLOSFAIR_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS" --target \
-    test_fault test_workload test_rate_control test_search_engine
+    test_fault test_workload test_rate_control test_search_engine test_wire
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-    -R 'Fault|Workload|Trace|Rcp|Aimd|SearchEngine')
+    -R 'Fault|Workload|Trace|Rcp|Aimd|SearchEngine|Wire')
 
 echo
 echo "== tier 1: CLOSFAIR_OBS=OFF build (instrumentation compiled out) =="

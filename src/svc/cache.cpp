@@ -1,6 +1,7 @@
 #include "svc/cache.hpp"
 
 #include <cstdio>
+#include <iostream>
 #include <istream>
 #include <ostream>
 #include <utility>
@@ -86,10 +87,20 @@ std::size_t ResultCache::load(std::istream& in) {
   std::string line;
   std::size_t loaded = 0;
   std::size_t line_no = 0;
+  // A bad line is *deferred* rather than thrown: if it turns out to be the
+  // file's final record it was a torn append (process killed mid-save) and
+  // is skipped with a warning; a bad line followed by more content is real
+  // corruption and aborts the load.
+  std::string deferred;
+  bool deferred_is_json = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const auto rethrow = [&](const char* what) -> std::string {
+    if (!deferred.empty()) {
+      if (deferred_is_json) throw JsonParseError(deferred);
+      throw SpecError(deferred);
+    }
+    const auto annotate = [&](const char* what) -> std::string {
       return "cache line " + std::to_string(line_no) + ": " + what;
     };
     try {
@@ -108,10 +119,16 @@ std::size_t ResultCache::load(std::istream& in) {
       insert(spec.canonical(), ScenarioResult::from_json(*result_json));
       ++loaded;
     } catch (const JsonParseError& e) {
-      throw JsonParseError(rethrow(e.what()));
+      deferred = annotate(e.what());
+      deferred_is_json = true;
     } catch (const std::exception& e) {
-      throw SpecError(rethrow(e.what()));
+      deferred = annotate(e.what());
+      deferred_is_json = false;
     }
+  }
+  if (!deferred.empty()) {
+    OBS_COUNTER_INC("svc.cache_spill_skipped");
+    std::cerr << "warning: skipped torn trailing cache record (" << deferred << ")\n";
   }
   return loaded;
 }

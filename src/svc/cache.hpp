@@ -48,9 +48,11 @@ class ResultCache {
   void save(std::ostream& out) const;
 
   /// Load a save() spill, inserting line by line (so the stream's last line
-  /// ends up most recent). Returns the number of entries loaded. Throws
-  /// JsonParseError / SpecError on a malformed line; the error message
-  /// carries the 1-based line number.
+  /// ends up most recent). Returns the number of entries loaded. A malformed
+  /// *trailing* record — the signature of an append torn by a crash — is
+  /// skipped with a stderr warning and a svc.cache_spill_skipped count; a
+  /// malformed line followed by more content is corruption and throws
+  /// JsonParseError / SpecError with the 1-based line number.
   std::size_t load(std::istream& in);
 
  private:

@@ -1,0 +1,103 @@
+#include "wire/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace closfair::wire {
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                               &result);
+  if (rc != 0) {
+    throw WireError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_errno = 0;
+  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw WireError("connect " + host + ":" + std::to_string(port) + ": " +
+                    std::string(strerror(last_errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(std::string_view request_line) {
+  if (fd_ < 0) throw WireError("send on a closed client");
+  const std::string frame = encode_frame(request_line);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError("send: " + std::string(strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::recv() {
+  if (fd_ < 0) throw WireError("recv on a closed client");
+  char buf[64 * 1024];
+  while (true) {
+    if (auto payload = decoder_.next(); payload.has_value()) return payload;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError("recv: " + std::string(strerror(errno)));
+    }
+    if (n == 0) {
+      if (decoder_.buffered() > 0) {
+        throw WireError("server closed mid-frame (" +
+                        std::to_string(decoder_.buffered()) + " bytes buffered)");
+      }
+      return std::nullopt;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::call(std::string_view request_line) {
+  send(request_line);
+  auto response = recv();
+  if (!response.has_value()) throw WireError("server closed without answering");
+  return *response;
+}
+
+void Client::finish_sending() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace closfair::wire

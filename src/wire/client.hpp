@@ -1,0 +1,56 @@
+// closfair::wire — blocking client for the wire protocol.
+//
+// One long-lived TCP connection; requests are framed JSONL lines
+// (framing.hpp) and may be pipelined arbitrarily deep — the server
+// guarantees responses come back in request order, so a client can match
+// them FIFO without ids (closfair_loadgen's latency accounting relies on
+// exactly this). send() and recv() are independently thread-safe against
+// each other (one sender thread + one receiver thread is the intended
+// pipelined shape), but not against themselves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wire/framing.hpp"
+
+namespace closfair::wire {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to an IPv4 host (dotted quad or resolvable name) and port.
+  /// Throws WireError on failure. TCP_NODELAY is set — latency probes must
+  /// not be Nagle-delayed.
+  void connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Frame and write one request line (blocking until fully written).
+  void send(std::string_view request_line);
+
+  /// Next response payload in order; nullopt on clean server close. Throws
+  /// WireError on a truncated or oversized stream.
+  [[nodiscard]] std::optional<std::string> recv();
+
+  /// send() + recv() for unpipelined use; throws WireError if the server
+  /// closed instead of answering.
+  [[nodiscard]] std::string call(std::string_view request_line);
+
+  /// Half-close the write side: tells the server this client is done
+  /// sending (the server finishes in-flight work and then closes).
+  void finish_sending();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace closfair::wire

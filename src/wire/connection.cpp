@@ -1,0 +1,142 @@
+#include "wire/connection.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "wire/protocol.hpp"
+
+namespace closfair::wire {
+
+Pipeline::Pipeline(svc::ResultCache& cache, PipelineLimits limits)
+    : cache_(cache), limits_(limits) {
+  CF_CHECK_MSG(limits_.max_inflight >= 1, "Pipeline max_inflight must be >= 1");
+}
+
+Pipeline::Admission Pipeline::admit(std::string_view line, bool shed) {
+  // Parse outside the lock: admit() is only ever called from the
+  // connection's reader thread, so arrival order is the call order either
+  // way, and workers completing into other slots are not held up by spec
+  // canonicalization.
+  Request request = parse_request(line);
+  std::string canonical;
+  std::uint64_t hash = 0;
+  if (request.ok()) {
+    canonical = request.spec->canonical();
+    hash = svc::fnv1a64(canonical);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  OBS_COUNTER_INC("wire.requests");
+  Admission admission;
+  admission.seq = next_seq_++;
+  Slot slot;
+  slot.id = request.id;
+  slot.hash = hash;
+
+  if (!request.ok()) {
+    OBS_COUNTER_INC("wire.parse_errors");
+    slot.payload = render_parse_error(slot.id, request.error);
+  } else if (const auto it = pending_.find(canonical); it != pending_.end()) {
+    // Duplicate of an in-flight (or completed-but-uncommitted) evaluation:
+    // never re-evaluates, mirroring the batch dedup pre-pass.
+    OBS_COUNTER_INC("wire.dedup_hits");
+    Slot& first = slots_.at(it->second);
+    if (first.state == State::kEvaluating) {
+      slot.state = State::kAwaitingDup;
+      first.waiters.push_back(admission.seq);
+    } else if (first.ok) {
+      slot.payload = render_result(slot.id, hash, /*cached=*/true, first.result);
+    } else {
+      // First occurrence already completed with an error but has not been
+      // committed (written) yet; render the same error for this seq now.
+      slot.payload = render_eval_error(slot.id, hash, first.error);
+    }
+  } else if (auto hit = cache_.lookup(canonical); hit.has_value()) {
+    slot.payload = render_result(slot.id, hash, /*cached=*/true, *hit);
+  } else if (shed || inflight_ >= limits_.max_inflight) {
+    OBS_COUNTER_INC("wire.overload_sheds");
+    ++overloads_;
+    slot.payload = render_overload(
+        slot.id, shed ? "server overloaded: evaluation queue is over its watermark"
+                      : "server overloaded: connection in-flight budget exhausted");
+  } else {
+    slot.state = State::kEvaluating;
+    slot.canonical = canonical;
+    pending_.emplace(std::move(canonical), admission.seq);
+    ++inflight_;
+    admission.evaluate = true;
+    admission.spec = std::move(*request.spec);
+  }
+
+  slots_.emplace(admission.seq, std::move(slot));
+  OBS_GAUGE_SET("wire.pipeline_depth", slots_.size());
+  return admission;
+}
+
+void Pipeline::complete(std::uint64_t seq, svc::ScenarioResult result,
+                        std::string error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_.at(seq);
+  CF_CHECK_MSG(slot.state == State::kEvaluating, "complete() on a non-evaluating seq");
+  slot.ok = error.empty();
+  slot.result = std::move(result);
+  slot.error = std::move(error);
+  slot.payload = slot.ok
+                     ? render_result(slot.id, slot.hash, /*cached=*/false, slot.result)
+                     : render_eval_error(slot.id, slot.hash, slot.error);
+  slot.state = State::kReady;
+  --inflight_;
+  for (const std::uint64_t waiter_seq : slot.waiters) {
+    Slot& waiter = slots_.at(waiter_seq);
+    waiter.payload =
+        slot.ok ? render_result(waiter.id, waiter.hash, /*cached=*/true, slot.result)
+                : render_eval_error(waiter.id, waiter.hash, slot.error);
+    waiter.state = State::kReady;
+  }
+  slot.waiters.clear();
+}
+
+std::vector<std::string> Pipeline::take_ready() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  while (true) {
+    const auto it = slots_.find(next_write_);
+    if (it == slots_.end() || it->second.state != State::kReady) break;
+    Slot& slot = it->second;
+    if (!slot.canonical.empty()) {
+      // Seq-order commit: cache insertion (and with it LRU recency and any
+      // eviction) happens in response order, not completion order.
+      if (slot.ok) cache_.insert(slot.canonical, slot.result);
+      pending_.erase(slot.canonical);
+    }
+    OBS_COUNTER_INC("wire.responses");
+    out.push_back(std::move(slot.payload));
+    slots_.erase(it);
+    ++next_write_;
+  }
+  OBS_GAUGE_SET("wire.pipeline_depth", slots_.size());
+  return out;
+}
+
+std::size_t Pipeline::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+bool Pipeline::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.empty();
+}
+
+std::uint64_t Pipeline::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t Pipeline::overloads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overloads_;
+}
+
+}  // namespace closfair::wire

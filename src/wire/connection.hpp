@@ -1,0 +1,118 @@
+// closfair::wire — the per-connection request pipeline.
+//
+// A Pipeline owns everything about one connection's request stream except
+// the socket: sequence numbering, the deterministic admission pre-pass
+// (parse → overload shed → in-flight dedup → cache lookup → in-flight
+// budget), the reorder buffer that turns out-of-order shard completions
+// back into in-order responses, and the seq-order cache commit.
+//
+// Determinism contract (docs/SERVICE.md): for a fixed request stream on one
+// connection, the response byte stream is identical for every worker count
+// and identical to the batch binary fed the same lines — the same contract
+// svc::Service::evaluate_batch keeps in process. The mechanism is the same
+// too: all cache/dedup decisions happen in arrival order on the admitting
+// thread, workers only fill pre-assigned slots, and results commit to the
+// cache in sequence order when their response becomes writable. Worker
+// scheduling can change *when* a response is ready, never its bytes or the
+// cache's eviction order. (Across concurrent connections sharing one cache
+// the interleaving is the arrival order the kernel delivered — each stream
+// still sees coherent results, but cached-flag provenance is then genuinely
+// load-dependent.)
+//
+// Thread-safety: all methods lock one internal mutex. The intended callers
+// are the connection's reader thread (admit), any worker thread (complete),
+// and the connection's writer thread (take_ready).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/spec.hpp"
+#include "util/json.hpp"
+
+namespace closfair::wire {
+
+struct PipelineLimits {
+  /// Evaluations admitted but not yet completed before admit() sheds with an
+  /// overload response. Cache hits, duplicates, and parse errors never count
+  /// against the budget — they consume no worker.
+  std::size_t max_inflight = 64;
+};
+
+class Pipeline {
+ public:
+  Pipeline(svc::ResultCache& cache, PipelineLimits limits = {});
+
+  /// What admit() decided for one request line.
+  struct Admission {
+    std::uint64_t seq = 0;
+    bool evaluate = false;    ///< caller must evaluate `spec`, then complete(seq)
+    svc::ScenarioSpec spec;   ///< valid only when `evaluate`
+  };
+
+  /// Admit the next request line, in arrival order. `shed` additionally
+  /// forces an overload response (the server passes its global queue-depth
+  /// watermark verdict). When the returned Admission has evaluate == false
+  /// the response is already queued for take_ready().
+  [[nodiscard]] Admission admit(std::string_view line, bool shed = false);
+
+  /// Deliver an evaluation outcome for an admitted seq. `error` non-empty
+  /// means the evaluation failed; duplicates waiting on this seq are
+  /// fulfilled either way.
+  void complete(std::uint64_t seq, svc::ScenarioResult result, std::string error);
+
+  /// Drain every response that is ready *and* next in sequence order,
+  /// committing first-occurrence results to the cache as they pass. Returns
+  /// unframed response payloads, oldest first.
+  [[nodiscard]] std::vector<std::string> take_ready();
+
+  /// Evaluations admitted but not yet completed.
+  [[nodiscard]] std::size_t inflight() const;
+
+  /// True when every admitted request has been returned by take_ready().
+  [[nodiscard]] bool idle() const;
+
+  /// Requests admitted so far (== the next seq to be assigned).
+  [[nodiscard]] std::uint64_t admitted() const;
+
+  /// Overload responses issued so far (budget or shed).
+  [[nodiscard]] std::uint64_t overloads() const;
+
+ private:
+  enum class State {
+    kReady,        ///< payload rendered, waiting for its turn in seq order
+    kEvaluating,   ///< handed to a worker; complete() pending
+    kAwaitingDup,  ///< duplicate of an earlier in-flight seq
+  };
+
+  struct Slot {
+    Json id;
+    std::uint64_t hash = 0;
+    State state = State::kReady;
+    std::string payload;          ///< rendered response (kReady)
+    std::string canonical;        ///< non-empty for first-occurrence evaluations
+    svc::ScenarioResult result;   ///< completed result awaiting seq-order commit
+    std::string error;            ///< completed error (for late duplicates)
+    bool ok = false;              ///< result valid (vs. error) after complete()
+    std::vector<std::uint64_t> waiters;  ///< duplicate seqs fulfilled on complete
+  };
+
+  mutable std::mutex mu_;
+  svc::ResultCache& cache_;
+  PipelineLimits limits_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_write_ = 0;
+  std::uint64_t inflight_ = 0;
+  std::uint64_t overloads_ = 0;
+  std::map<std::uint64_t, Slot> slots_;  ///< ordered: take_ready walks from next_write_
+  std::unordered_map<std::string, std::uint64_t> pending_;  ///< canonical -> first seq
+};
+
+}  // namespace closfair::wire

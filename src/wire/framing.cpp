@@ -1,0 +1,70 @@
+#include "wire/framing.hpp"
+
+#include "obs/obs.hpp"
+
+namespace closfair::wire {
+
+void append_frame(std::string& out, std::string_view payload) {
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out.append(payload);
+}
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::check_header() {
+  if (buffered() < kFrameHeaderBytes) return;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+  const std::size_t length = (std::size_t{p[0]} << 24) | (std::size_t{p[1]} << 16) |
+                             (std::size_t{p[2]} << 8) | std::size_t{p[3]};
+  if (length > max_frame_bytes_) {
+    poisoned_ = true;
+    buffer_.clear();
+    pos_ = 0;
+    OBS_COUNTER_INC("wire.oversized_frames");
+    throw WireError("frame of " + std::to_string(length) +
+                    " bytes exceeds the maximum of " +
+                    std::to_string(max_frame_bytes_));
+  }
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (poisoned_) throw WireError("decoder poisoned by an oversized frame");
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer with dead bytes.
+  if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(data, n);
+  check_header();
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (poisoned_) throw WireError("decoder poisoned by an oversized frame");
+  // The frame at pos_ may have become current only after the previous next()
+  // consumed its predecessor, so its header is (re)checked here, not just at
+  // feed() time.
+  check_header();
+  if (buffered() < kFrameHeaderBytes) return std::nullopt;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+  const std::size_t length = (std::size_t{p[0]} << 24) | (std::size_t{p[1]} << 16) |
+                             (std::size_t{p[2]} << 8) | std::size_t{p[3]};
+  if (buffered() < kFrameHeaderBytes + length) return std::nullopt;
+  std::string payload = buffer_.substr(pos_ + kFrameHeaderBytes, length);
+  pos_ += kFrameHeaderBytes + length;
+  return payload;
+}
+
+}  // namespace closfair::wire

@@ -1,0 +1,78 @@
+// closfair::wire — length-prefixed framing for the persistent TCP front-end.
+//
+// A frame is a 4-byte big-endian payload length followed by that many bytes
+// of payload; payloads are the same JSONL request/response lines the batch
+// binary speaks (docs/SERVICE.md "Wire protocol"). The explicit length
+// prefix is what makes pipelining safe: a reader can slice a byte stream
+// into requests without scanning payload bytes for newlines, and a frame
+// that claims more than the configured maximum is rejected *before* any
+// buffer grows to hold it — a malformed or hostile peer cannot make the
+// server allocate unboundedly.
+//
+// FrameDecoder is a pure incremental reassembler (no I/O): feed() it
+// whatever read() produced — half a header, three frames and a tail, one
+// byte at a time — and next() yields complete payloads in order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace closfair::wire {
+
+/// Thrown on protocol violations (oversized frame) and socket-level
+/// failures (connect/bind/read errors in server.hpp / client.hpp).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Frame header: 4-byte big-endian payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default per-frame payload ceiling (1 MiB). Large inline instances fit
+/// with room to spare; anything bigger is a protocol violation.
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+
+/// Append one frame (header + payload) to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+/// One frame as fresh bytes — append_frame into an empty string.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame reassembler with partial-read tolerance and an
+/// oversized-frame guard. Not thread-safe (one per connection direction).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Buffer `n` more stream bytes. Throws WireError (and bumps
+  /// wire.oversized_frames) as soon as a buffered header announces a payload
+  /// larger than the configured maximum — the stream is then unusable and
+  /// the connection must close. No payload bytes of the oversized frame are
+  /// retained.
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// The next complete payload, in stream order; nullopt until one is fully
+  /// buffered.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned by next().
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+  [[nodiscard]] std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+  bool poisoned_ = false;
+
+  void check_header();
+};
+
+}  // namespace closfair::wire

@@ -1,0 +1,74 @@
+#include "wire/protocol.hpp"
+
+#include <cstdio>
+
+namespace closfair::wire {
+
+Request parse_request(std::string_view line) {
+  Request request;
+  try {
+    const Json parsed = Json::parse(line);
+    const Json* spec_json = &parsed;
+    if (parsed.is_object()) {
+      if (const Json* inner = parsed.find("spec"); inner != nullptr) {
+        spec_json = inner;
+        // The id is latched before the spec parses, so an invalid spec in an
+        // envelope still echoes the id in its error response.
+        if (const Json* id = parsed.find("id"); id != nullptr) request.id = *id;
+      }
+    }
+    request.spec = svc::ScenarioSpec::from_json(*spec_json);
+  } catch (const std::exception& e) {
+    request.spec.reset();
+    request.error = e.what();
+  }
+  return request;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return std::string{buf};
+}
+
+namespace {
+
+Json response_base(const Json& id) {
+  Json response = Json::object();
+  if (!id.is_null()) response.set("id", id);
+  return response;
+}
+
+}  // namespace
+
+std::string render_result(const Json& id, std::uint64_t hash, bool cached,
+                          const svc::ScenarioResult& result) {
+  Json response = response_base(id);
+  response.set("hash", Json::string(hash_hex(hash)));
+  response.set("cached", Json::boolean(cached));
+  response.set("result", result.to_json());
+  return response.dump();
+}
+
+std::string render_eval_error(const Json& id, std::uint64_t hash,
+                              const std::string& error) {
+  Json response = response_base(id);
+  response.set("hash", Json::string(hash_hex(hash)));
+  response.set("error", Json::string(error));
+  return response.dump();
+}
+
+std::string render_parse_error(const Json& id, const std::string& error) {
+  Json response = response_base(id);
+  response.set("error", Json::string(error));
+  return response.dump();
+}
+
+std::string render_overload(const Json& id, const std::string& detail) {
+  Json response = response_base(id);
+  response.set("overload", Json::boolean(true));
+  response.set("error", Json::string(detail));
+  return response.dump();
+}
+
+}  // namespace closfair::wire

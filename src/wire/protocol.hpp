@@ -1,0 +1,66 @@
+// closfair::wire — the request/response line protocol, factored out of the
+// batch binary so the one-shot JSONL mode and the persistent TCP server
+// produce byte-identical responses from one implementation.
+//
+// A request line is either a bare ScenarioSpec object or an envelope
+// {"id": <any scalar>, "spec": {...}} whose id is echoed back. Responses
+// (docs/SERVICE.md):
+//
+//   {"id":..., "hash":"<fnv1a64 hex>", "cached":<bool>, "result":{...}}
+//   {"id":..., "hash":"<fnv1a64 hex>", "error":"..."}   (evaluation failed)
+//   {"id":..., "error":"..."}                           (unparseable request)
+//   {"id":..., "overload":true, "error":"..."}          (load shed; wire only)
+//
+// The "id" key is present exactly when the request carried an envelope id,
+// and always first, so clients can match responses without knowing which
+// shape they will get.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "svc/spec.hpp"
+#include "util/json.hpp"
+
+namespace closfair::wire {
+
+/// A parsed request line. `spec` is empty when the line was unparseable;
+/// `error` then carries the parse/validation message. The envelope id (null
+/// when absent) survives either way — a bad spec inside an envelope still
+/// echoes its id.
+struct Request {
+  Json id;
+  std::optional<svc::ScenarioSpec> spec;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return spec.has_value(); }
+};
+
+/// Parse one request line. Never throws: malformed JSON and invalid specs
+/// come back as `error`.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// 16-digit lowercase hex of a content hash (the response "hash" value).
+[[nodiscard]] std::string hash_hex(std::uint64_t hash);
+
+/// Successful evaluation (or cache/duplicate hit).
+[[nodiscard]] std::string render_result(const Json& id, std::uint64_t hash,
+                                        bool cached,
+                                        const svc::ScenarioResult& result);
+
+/// Evaluation failed after the spec parsed (hash is known).
+[[nodiscard]] std::string render_eval_error(const Json& id, std::uint64_t hash,
+                                            const std::string& error);
+
+/// The request line itself did not parse (no hash).
+[[nodiscard]] std::string render_parse_error(const Json& id,
+                                             const std::string& error);
+
+/// Admission control shed the request (wire server only): explicit
+/// "overload" marker so load generators can separate sheds from failures.
+[[nodiscard]] std::string render_overload(const Json& id,
+                                          const std::string& detail);
+
+}  // namespace closfair::wire

@@ -1,0 +1,356 @@
+#include "wire/server.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "wire/protocol.hpp"
+
+namespace closfair::wire {
+namespace {
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// send() the whole buffer; false on a dead peer. MSG_NOSIGNAL: a client
+/// that vanished mid-response must not SIGPIPE the server.
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// run_until_signal() plumbing: the handler may only touch async-signal-safe
+// state, so it writes one byte into a static pipe the waiting thread reads.
+int g_signal_pipe[2] = {-1, -1};
+
+void drain_signal_handler(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+/// Per-connection state: the socket, the deterministic pipeline, and the
+/// reader/writer thread pair. Jobs hold a shared_ptr so a completion can
+/// always deliver, even into a connection that is tearing down.
+struct Server::Connection {
+  int fd = -1;
+  Pipeline pipeline;
+  std::thread reader;
+  std::thread writer;
+
+  std::mutex mu;                 ///< guards wakeups + flags below
+  std::condition_variable cv;    ///< writer wakeups
+  std::uint64_t wakeups = 0;
+  bool reading_done = false;
+  bool dead = false;             ///< write side failed; discard instead of send
+  std::string protocol_error;    ///< oversized frame: final response, then close
+  std::atomic<bool> finished{false};
+
+  Connection(int fd_in, svc::ResultCache& cache, PipelineLimits limits)
+      : fd(fd_in), pipeline(cache, limits) {}
+
+  void wake(bool done_reading = false) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++wakeups;
+      if (done_reading) reading_done = true;
+    }
+    cv.notify_one();
+  }
+};
+
+Server::Server(svc::Service& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  workers_ = options_.workers != 0 ? options_.workers : service_.options().workers;
+  if (workers_ < 1) workers_ = 1;
+}
+
+Server::~Server() { drain(); }
+
+void Server::start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    CF_CHECK_MSG(!started_, "Server::start() called twice");
+    started_ = true;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw WireError("socket(): " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    throw WireError("not an IPv4 address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw WireError("bind(" + options_.host + ":" + std::to_string(options_.port) +
+                    "): " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    throw WireError("listen(): " + std::string(strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_fds_) < 0) {
+    throw WireError("pipe(): " + std::string(strerror(errno)));
+  }
+
+  pool_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // drain() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    set_tcp_nodelay(fd);
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER_INC("wire.conns_accepted");
+
+    auto conn = std::make_shared<Connection>(
+        fd, service_.cache(), PipelineLimits{options_.max_inflight_per_conn});
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      reap_finished_locked();
+      conns_.push_back(std::move(conn));
+      obs::Registry::instance().gauge("wire.conns_active").set(
+          static_cast<std::int64_t>(conns_.size()));
+    }
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  std::vector<char> buf(64 * 1024);
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, peer reset, or drain()'s SHUT_RD
+    try {
+      decoder.feed(buf.data(), static_cast<std::size_t>(n));
+      while (auto frame = decoder.next()) {
+        const bool shed = queue_depth_.load(std::memory_order_relaxed) >=
+                          options_.queue_high_watermark;
+        Pipeline::Admission admission = conn->pipeline.admit(*frame, shed);
+        if (admission.evaluate) {
+          enqueue(Job{conn, admission.seq, std::move(admission.spec)});
+        }
+        conn->wake();  // non-evaluate admissions are ready immediately
+      }
+    } catch (const WireError& e) {
+      // Oversized frame: the stream is unrecoverable. Flush what was
+      // admitted, append one final error response, close.
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->protocol_error = e.what();
+      }
+      break;
+    }
+  }
+  conn->wake(/*done_reading=*/true);
+}
+
+void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      // Every state change (admission, completion, EOF, write failure)
+      // bumps wakeups, so waiting on the counter alone cannot miss an event
+      // or busy-spin on a level-triggered flag.
+      conn->cv.wait(lock, [&] { return conn->wakeups != seen; });
+      seen = conn->wakeups;
+    }
+    const std::vector<std::string> payloads = conn->pipeline.take_ready();
+    if (!payloads.empty()) {
+      std::string frames;
+      for (const std::string& payload : payloads) append_frame(frames, payload);
+      bool dead;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        dead = conn->dead;
+      }
+      if (!dead && !send_all(conn->fd, frames)) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->dead = true;
+        // Kick the reader out of recv(): a peer we cannot write to is gone.
+        ::shutdown(conn->fd, SHUT_RD);
+      }
+    }
+    std::unique_lock<std::mutex> lock(conn->mu);
+    if ((conn->reading_done && conn->pipeline.idle()) || conn->dead) {
+      if (!conn->protocol_error.empty() && !conn->dead) {
+        send_all(conn->fd,
+                 encode_frame(render_parse_error(Json::null(), conn->protocol_error)));
+      }
+      break;
+    }
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->finished.store(true);
+}
+
+void Server::enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(job));
+  }
+  const std::size_t depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  OBS_GAUGE_SET("wire.eval_queue_depth", depth);
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || stop_workers_; });
+      if (queue_.empty()) return;  // stop_workers_ and nothing left to flush
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    svc::ScenarioResult result;
+    std::string error;
+    try {
+      result = svc::evaluate_scenario(job.spec);
+    } catch (const std::exception& e) {
+      OBS_COUNTER_INC("svc.errors");
+      error = e.what();
+    }
+    OBS_COUNTER_INC("wire.evaluations");
+    const std::size_t depth = queue_depth_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    OBS_GAUGE_SET("wire.eval_queue_depth", depth);
+    job.conn->pipeline.complete(job.seq, std::move(result), std::move(error));
+    job.conn->wake();
+  }
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = **it;
+    if (conn.finished.load()) {
+      if (conn.reader.joinable()) conn.reader.join();
+      if (conn.writer.joinable()) conn.writer.join();
+      ::close(conn.fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  obs::Registry::instance().gauge("wire.conns_active").set(
+      static_cast<std::int64_t>(conns_.size()));
+}
+
+void Server::drain() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!started_ || drained_) return;
+  drained_ = true;
+  draining_.store(true);
+  OBS_SPAN("wire.drain");
+  const std::uint64_t t0 = obs::now_ns();
+
+  // 1. Stop accepting: wake the acceptor and close the listen socket.
+  {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+  acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+
+  // 2. Half-close every connection's read side: readers see EOF, so nothing
+  // new is admitted, but every admitted request still gets its response.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+
+  // 3. Let the workers flush the queue, then retire them.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : pool_) worker.join();
+  pool_.clear();
+
+  // 4. Writers flush the last responses and exit on pipeline idle.
+  for (const auto& conn : conns) {
+    if (conn->writer.joinable()) conn->writer.join();
+    ::close(conn->fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  obs::Registry::instance().gauge("wire.conns_active").set(0);
+  obs::Registry::instance().gauge("wire.drain_ns").set(
+      static_cast<std::int64_t>(obs::now_ns() - t0));
+}
+
+void Server::run_until_signal() {
+  if (g_signal_pipe[0] < 0) {
+    CF_CHECK_MSG(::pipe(g_signal_pipe) == 0, "signal pipe creation failed");
+  }
+  struct sigaction action {};
+  action.sa_handler = drain_signal_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  drain();
+}
+
+}  // namespace closfair::wire

@@ -1,0 +1,123 @@
+// closfair::wire — the persistent TCP front-end over svc::Service.
+//
+// One acceptor thread hands long-lived connections to a reader/writer
+// thread pair each; evaluations from every connection funnel into one
+// shared worker pool (the sharding engine of PR 5, now fed by sockets).
+// Each connection's Pipeline (connection.hpp) keeps the deterministic
+// admission order and reorders out-of-order completions back into
+// sequence-order responses, so the batch binary's byte-identity contract
+// holds end to end over the socket.
+//
+// Admission control is two-level: a per-connection in-flight budget
+// (PipelineLimits) and a global evaluation-queue high watermark. Either
+// trips an explicit {"overload":true,...} response instead of unbounded
+// buffering — memory is bounded by (connections x budget) regardless of
+// offered load.
+//
+// Graceful drain (SIGTERM via run_until_signal(), or drain() directly):
+// stop accepting, half-close every connection's read side so no new
+// requests are admitted, let the workers finish everything already
+// admitted, flush every response, then join. Drain wall time lands in the
+// wire.drain_ns gauge.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "wire/connection.hpp"
+#include "wire/framing.hpp"
+
+namespace closfair::wire {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the choice via port()
+  unsigned workers = 0;    ///< evaluation threads; 0 = service.options().workers
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  std::size_t max_inflight_per_conn = 64;   ///< per-connection admission budget
+  std::size_t queue_high_watermark = 256;   ///< global pending-eval shed threshold
+};
+
+class Server {
+ public:
+  /// The service outlives the server; its cache is shared across every
+  /// connection (and with any batch-mode use of the same Service).
+  Server(svc::Service& service, ServerOptions options = {});
+  ~Server();  ///< drains if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the acceptor + worker pool. Throws WireError
+  /// when the address cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); resolves port 0 choices).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Graceful drain; idempotent, safe from any non-signal thread.
+  void drain();
+
+  /// Install SIGTERM/SIGINT handlers and block until one arrives (or
+  /// drain() is called from elsewhere), then drain. One server per process.
+  void run_until_signal();
+
+  [[nodiscard]] bool draining() const { return draining_.load(); }
+
+  /// Pending + executing evaluations across all connections (the watermark
+  /// input).
+  [[nodiscard]] std::size_t queue_depth() const { return queue_depth_.load(); }
+
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return conns_accepted_.load();
+  }
+
+ private:
+  struct Connection;
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t seq = 0;
+    svc::ScenarioSpec spec;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void writer_loop(const std::shared_ptr<Connection>& conn);
+  void enqueue(Job job);
+  void reap_finished_locked();
+
+  svc::Service& service_;
+  ServerOptions options_;
+  unsigned workers_ = 1;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: drain() wakes the acceptor
+  std::thread acceptor_;
+  std::vector<std::thread> pool_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stop_workers_ = false;
+  std::atomic<std::size_t> queue_depth_{0};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool drained_ = false;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> conns_accepted_{0};
+};
+
+}  // namespace closfair::wire

@@ -21,6 +21,10 @@
 #include "routing/exhaustive.hpp"
 #include "svc/service.hpp"
 #include "util/rng.hpp"
+#include "wire/client.hpp"
+#include "wire/connection.hpp"
+#include "wire/framing.hpp"
+#include "wire/server.hpp"
 #include "workload/stochastic.hpp"
 
 using namespace closfair;
@@ -337,6 +341,35 @@ TEST(ObsDisabled, ServiceBatchLeavesNoMetrics) {
   EXPECT_TRUE(entries[0].ok());
   EXPECT_TRUE(entries[1].cached);
   EXPECT_TRUE(service.evaluate(spec).cached);  // cache-hit path
+  EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
+}
+
+// The wire layer bumps wire.* counters/gauges on every code path — framing
+// rejection, pipeline admission, server accept/drain. Under OBS=OFF a full
+// socket round trip (plus the poisoned-decoder path) must leave the registry
+// empty.
+TEST(ObsDisabled, WireServerRoundTripLeavesNoMetrics) {
+  // wire.oversized_frames path.
+  wire::FrameDecoder decoder(/*max_frame_bytes=*/8);
+  const char bad_header[4] = {0x7f, 0, 0, 0};
+  EXPECT_THROW(decoder.feed(bad_header, 4), wire::WireError);
+
+  // wire.requests / wire.dedup_hits / wire.overload_sheds / wire.responses
+  // plus the server-side conns/queue gauges, over a real socket.
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  spec.workload.generator = "permutation";
+  spec.workload.seed = 3;
+  svc::Service service(svc::ServiceOptions{2, 8});
+  wire::Server server(service, wire::ServerOptions{});
+  server.start();
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  const std::string line = spec.to_json().dump();
+  EXPECT_NE(client.call(line).find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(client.call(line).find("\"cached\":true"), std::string::npos);
+  client.close();
+  server.drain();
   EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
 }
 

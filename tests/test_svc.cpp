@@ -181,11 +181,17 @@ TEST(SvcCache, SpillAndReloadPreserveContentsAndRecency) {
 }
 
 TEST(SvcCache, LoadErrorsCarryLineNumbers) {
+  // A malformed line *followed by more content* is real corruption — only a
+  // torn final record is forgiven — and the error names the bad line.
   svc::ResultCache cache(4);
-  std::stringstream good;
+  std::stringstream one;
   cache.insert(seeded_spec_canonical(1), tiny_result(1));
-  cache.save(good);
-  std::stringstream bad(good.str() + "{not json\n");
+  cache.save(one);
+  std::stringstream two;
+  svc::ResultCache other(4);
+  other.insert(seeded_spec_canonical(2), tiny_result(2));
+  other.save(two);
+  std::stringstream bad(one.str() + "{not json\n" + two.str());
   svc::ResultCache target(4);
   try {
     target.load(bad);
@@ -193,6 +199,42 @@ TEST(SvcCache, LoadErrorsCarryLineNumbers) {
   } catch (const std::exception& e) {
     EXPECT_NE(std::string(e.what()).find("cache line 2"), std::string::npos) << e.what();
   }
+}
+
+TEST(SvcCache, TornTrailingRecordIsSkippedNotFatal) {
+  // A crash mid-save() tears the last JSONL record. Reload must keep every
+  // complete entry, skip the torn tail with a warning (and a
+  // svc.cache_spill_skipped count), and not abort.
+  svc::ResultCache cache(4);
+  cache.insert(seeded_spec_canonical(1), tiny_result(1));
+  cache.insert(seeded_spec_canonical(2), tiny_result(2));
+  std::stringstream spill;
+  cache.save(spill);
+  const std::string full = spill.str();
+  // Tear the final record in half (drop the last 20 bytes plus the newline).
+  const std::string torn = full.substr(0, full.size() - 21) + "\n";
+
+  if (obs::kEnabled) obs::Registry::instance().reset();
+  std::stringstream in(torn);
+  svc::ResultCache reloaded(4);
+  std::size_t loaded = 0;
+  EXPECT_NO_THROW(loaded = reloaded.load(in));
+  EXPECT_EQ(loaded, 1u);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.lookup(seeded_spec_canonical(1)).has_value());
+  EXPECT_FALSE(reloaded.lookup(seeded_spec_canonical(2)).has_value());
+  if (obs::kEnabled) {
+    std::uint64_t skipped = 0;
+    for (const auto& c : obs::Registry::instance().snapshot().counters) {
+      if (c.name == "svc.cache_spill_skipped") skipped = c.value;
+    }
+    EXPECT_EQ(skipped, 1u);
+  }
+
+  // A torn record with no trailing newline is the same torn-append shape.
+  std::stringstream in2(full.substr(0, full.size() - 21));
+  svc::ResultCache reloaded2(4);
+  EXPECT_EQ(reloaded2.load(in2), 1u);
 }
 
 // ------------------------------------------------------------------- service

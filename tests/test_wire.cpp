@@ -1,0 +1,507 @@
+// Tests for closfair::wire — length-prefixed framing (round-trip, partial
+// reads, oversized-frame rejection), the request/response line protocol, the
+// per-connection Pipeline (in-order responses from out-of-order completions,
+// dedup, admission control), and the TCP server end to end over a real
+// loopback socket: byte-identity with the batch binary for 1/2/8 workers,
+// overload shedding, and graceful drain (docs/SERVICE.md "Wire protocol").
+#include "wire/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "wire/client.hpp"
+#include "wire/connection.hpp"
+#include "wire/framing.hpp"
+#include "wire/protocol.hpp"
+
+namespace closfair {
+namespace {
+
+// ------------------------------------------------------------------- framing
+
+TEST(WireFraming, RoundTripPreservesPayloadsInOrder) {
+  const std::vector<std::string> payloads = {"hello", "", R"({"id":1})",
+                                             std::string(1000, 'x')};
+  std::string stream;
+  for (const std::string& p : payloads) wire::append_frame(stream, p);
+  EXPECT_EQ(stream.size(),
+            4 * wire::kFrameHeaderBytes + 5 + 0 + 8 + 1000);
+
+  wire::FrameDecoder decoder;
+  decoder.feed(stream);
+  for (const std::string& p : payloads) {
+    const auto got = decoder.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireFraming, OneByteAtATimeReassembles) {
+  // The decoder must tolerate arbitrarily unlucky read() boundaries: feed a
+  // three-frame stream one byte at a time and harvest after every byte.
+  const std::vector<std::string> payloads = {"a", "bb", std::string(300, 'z')};
+  std::string stream;
+  for (const std::string& p : payloads) wire::append_frame(stream, p);
+
+  wire::FrameDecoder decoder;
+  std::vector<std::string> got;
+  for (const char byte : stream) {
+    decoder.feed(&byte, 1);
+    while (auto frame = decoder.next()) got.push_back(std::move(*frame));
+  }
+  EXPECT_EQ(got, payloads);
+}
+
+TEST(WireFraming, EncodeFrameMatchesAppendFrame) {
+  std::string appended;
+  wire::append_frame(appended, "payload");
+  EXPECT_EQ(wire::encode_frame("payload"), appended);
+  // Header is big-endian.
+  EXPECT_EQ(appended[0], '\0');
+  EXPECT_EQ(appended[3], '\x07');
+}
+
+TEST(WireFraming, OversizedFrameRejectedBeforePayloadArrives) {
+  wire::FrameDecoder decoder(/*max_frame_bytes=*/16);
+  // Header announcing 17 bytes: rejected at feed() time, before any of the
+  // 17 payload bytes exist — the guard is what bounds a hostile peer.
+  const char header[4] = {0, 0, 0, 17};
+  EXPECT_THROW(decoder.feed(header, 4), wire::WireError);
+  EXPECT_EQ(decoder.buffered(), 0u);  // nothing retained
+  // The stream is unusable afterwards: every call reports the poisoning.
+  EXPECT_THROW(decoder.feed("x", 1), wire::WireError);
+  EXPECT_THROW(decoder.next(), wire::WireError);
+}
+
+TEST(WireFraming, FrameBeforeOversizedOneIsNotLost) {
+  // A valid frame followed by an oversized header: the valid payload must
+  // come out before the rejection fires (the check runs when the bad frame
+  // becomes current, not retroactively).
+  wire::FrameDecoder decoder(/*max_frame_bytes=*/16);
+  std::string stream = wire::encode_frame("ok");
+  const char bad[4] = {0x7f, 0, 0, 0};
+  stream.append(bad, 4);
+  decoder.feed(stream.data(), stream.size());
+  const auto first = decoder.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "ok");
+  EXPECT_THROW(decoder.next(), wire::WireError);
+}
+
+// ------------------------------------------------------------------ protocol
+
+std::string tiny_spec_json(std::uint64_t seed) {
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  spec.workload.generator = "uniform";
+  spec.workload.count = 6;
+  spec.workload.seed = seed;
+  spec.routing.policy = "greedy";
+  return spec.to_json().dump();
+}
+
+TEST(WireProtocol, ParsesBareSpecsAndEnvelopes) {
+  const wire::Request bare = wire::parse_request(tiny_spec_json(1));
+  EXPECT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.id.is_null());
+
+  const wire::Request enveloped =
+      wire::parse_request(R"({"id":42,"spec":)" + tiny_spec_json(1) + "}");
+  EXPECT_TRUE(enveloped.ok());
+  EXPECT_EQ(enveloped.id.as_int(), 42);
+  EXPECT_EQ(enveloped.spec->canonical(), bare.spec->canonical());
+}
+
+TEST(WireProtocol, BadLinesKeepTheEnvelopeId) {
+  const wire::Request garbage = wire::parse_request("{nope");
+  EXPECT_FALSE(garbage.ok());
+  EXPECT_FALSE(garbage.error.empty());
+
+  // The envelope parsed but the spec inside is invalid: the id must survive
+  // so the client can still match the error to its request.
+  const wire::Request bad_spec =
+      wire::parse_request(R"({"id":"req-7","spec":{"bogus":1}})");
+  EXPECT_FALSE(bad_spec.ok());
+  EXPECT_EQ(bad_spec.id.as_string(), "req-7");
+}
+
+TEST(WireProtocol, RenderedResponsesMatchDocumentedShapes) {
+  svc::ScenarioResult result;
+  result.num_flows = 1;
+  result.macro_rates = {Rational{1, 2}};
+  result.macro_throughput = Rational{1, 2};
+
+  const std::string anonymous = wire::render_result(Json::null(), 0xabcULL,
+                                                    /*cached=*/false, result);
+  EXPECT_EQ(anonymous.find("\"id\""), std::string::npos);
+  EXPECT_NE(anonymous.find("\"hash\":\"0000000000000abc\""), std::string::npos);
+  EXPECT_NE(anonymous.find("\"cached\":false"), std::string::npos);
+
+  const std::string with_id =
+      wire::render_result(Json::number(std::int64_t{3}), 0xabcULL, true, result);
+  EXPECT_EQ(with_id.find("{\"id\":3,"), 0u);  // id present and first
+  EXPECT_NE(with_id.find("\"cached\":true"), std::string::npos);
+
+  const std::string overload =
+      wire::render_overload(Json::null(), "queue over watermark");
+  EXPECT_NE(overload.find("\"overload\":true"), std::string::npos);
+  EXPECT_NE(overload.find("\"error\":"), std::string::npos);
+
+  const std::string parse_error =
+      wire::render_parse_error(Json::string("x"), "bad line");
+  EXPECT_EQ(parse_error, R"({"id":"x","error":"bad line"})");
+}
+
+// ------------------------------------------------------------------ pipeline
+
+svc::ScenarioResult fake_result(std::size_t num_flows) {
+  svc::ScenarioResult r;
+  r.num_flows = num_flows;
+  r.macro_rates.assign(num_flows, Rational{1, 2});
+  r.macro_throughput = Rational{static_cast<std::int64_t>(num_flows), 2};
+  return r;
+}
+
+wire::Pipeline::Admission admit_line(wire::Pipeline& pipeline, std::uint64_t seed) {
+  return pipeline.admit(R"({"id":)" + std::to_string(seed) + R"(,"spec":)" +
+                        tiny_spec_json(seed) + "}");
+}
+
+TEST(WirePipeline, OutOfOrderCompletionsComeBackInSequenceOrder) {
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache);
+  const auto a0 = admit_line(pipeline, 1);
+  const auto a1 = admit_line(pipeline, 2);
+  const auto a2 = admit_line(pipeline, 3);
+  ASSERT_TRUE(a0.evaluate && a1.evaluate && a2.evaluate);
+
+  pipeline.complete(a2.seq, fake_result(3), "");
+  EXPECT_TRUE(pipeline.take_ready().empty());  // head of line still evaluating
+  pipeline.complete(a0.seq, fake_result(1), "");
+  const auto first = pipeline.take_ready();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].find("{\"id\":1,"), 0u);
+  pipeline.complete(a1.seq, fake_result(2), "");
+  const auto rest = pipeline.take_ready();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].find("{\"id\":2,"), 0u);
+  EXPECT_EQ(rest[1].find("{\"id\":3,"), 0u);
+  EXPECT_TRUE(pipeline.idle());
+  EXPECT_EQ(pipeline.inflight(), 0u);
+}
+
+TEST(WirePipeline, DuplicateOfInFlightWaitsAndRendersCached) {
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache);
+  const auto first = admit_line(pipeline, 1);
+  ASSERT_TRUE(first.evaluate);
+  const auto dup = admit_line(pipeline, 1);
+  EXPECT_FALSE(dup.evaluate);  // dedup: never re-evaluates
+  EXPECT_TRUE(pipeline.take_ready().empty());
+
+  pipeline.complete(first.seq, fake_result(1), "");
+  const auto out = pipeline.take_ready();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(out[1].find("\"cached\":true"), std::string::npos);
+  // Both carry the same content hash.
+  const std::string hash = wire::hash_hex(svc::fnv1a64(
+      svc::ScenarioSpec::from_json(Json::parse(tiny_spec_json(1))).canonical()));
+  EXPECT_NE(out[0].find(hash), std::string::npos);
+  EXPECT_NE(out[1].find(hash), std::string::npos);
+}
+
+TEST(WirePipeline, DuplicateAfterErrorGetsTheSameError) {
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache);
+  const auto first = admit_line(pipeline, 1);
+  pipeline.complete(first.seq, {}, "middle stage exploded");
+  // First occurrence completed (with an error) but not yet taken: a
+  // duplicate must answer immediately with the same error, never hang.
+  const auto dup = admit_line(pipeline, 1);
+  EXPECT_FALSE(dup.evaluate);
+  const auto out = pipeline.take_ready();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].find("middle stage exploded"), std::string::npos);
+  EXPECT_NE(out[1].find("middle stage exploded"), std::string::npos);
+  // Errors are not cached: a fresh admission evaluates again.
+  EXPECT_TRUE(admit_line(pipeline, 1).evaluate);
+}
+
+TEST(WirePipeline, CacheHitsSkipEvaluation) {
+  svc::ResultCache cache(64);
+  const std::string canonical =
+      svc::ScenarioSpec::from_json(Json::parse(tiny_spec_json(5))).canonical();
+  cache.insert(canonical, fake_result(7));
+  wire::Pipeline pipeline(cache);
+  EXPECT_FALSE(admit_line(pipeline, 5).evaluate);
+  const auto out = pipeline.take_ready();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].find("\"cached\":true"), std::string::npos);
+}
+
+TEST(WirePipeline, BudgetAndShedProduceOverloadResponses) {
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache, wire::PipelineLimits{1});
+  const auto first = admit_line(pipeline, 1);
+  ASSERT_TRUE(first.evaluate);
+  // Budget of 1 exhausted: a distinct second spec sheds.
+  EXPECT_FALSE(admit_line(pipeline, 2).evaluate);
+  // Global watermark shed, even with budget available after completion.
+  pipeline.complete(first.seq, fake_result(1), "");
+  const auto shed =
+      pipeline.admit(R"({"id":9,"spec":)" + tiny_spec_json(3) + "}", /*shed=*/true);
+  EXPECT_FALSE(shed.evaluate);
+  EXPECT_EQ(pipeline.overloads(), 2u);
+
+  const auto out = pipeline.take_ready();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NE(out[0].find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(out[1].find("\"overload\":true"), std::string::npos);
+  EXPECT_NE(out[1].find("budget"), std::string::npos);
+  EXPECT_NE(out[2].find("\"overload\":true"), std::string::npos);
+  EXPECT_NE(out[2].find("watermark"), std::string::npos);
+}
+
+TEST(WirePipeline, ParseErrorsAnswerImmediately) {
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache);
+  EXPECT_FALSE(pipeline.admit("{nope").evaluate);
+  const auto out = pipeline.take_ready();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].find("\"error\":"), std::string::npos);
+  EXPECT_EQ(out[0].find("\"hash\""), std::string::npos);
+  EXPECT_TRUE(pipeline.idle());
+}
+
+// ------------------------------------------------------- server over loopback
+
+/// The byte-identity fixture: mixed request lines (bare specs, envelopes,
+/// duplicates, a parse error, an evaluation error) mirroring small_batch()
+/// in tests/test_svc.cpp.
+std::vector<std::string> mixed_request_lines() {
+  std::vector<std::string> lines;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    lines.push_back(R"({"id":)" + std::to_string(seed) + R"(,"spec":)" +
+                    tiny_spec_json(seed) + "}");
+  }
+  lines.push_back(tiny_spec_json(2));  // bare duplicate of an earlier spec
+  lines.push_back("{definitely not json");
+  // Evaluation error: static routing with a wrong-length start assignment.
+  svc::ScenarioSpec bad;
+  bad.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  bad.workload.generator = "permutation";
+  bad.routing.policy = "static";
+  bad.routing.start = {1};
+  lines.push_back(R"({"id":"boom","spec":)" + bad.to_json().dump() + "}");
+  lines.push_back(lines[0]);  // envelope duplicate, same id
+  return lines;
+}
+
+/// What the batch binary would answer: the reference half of the
+/// byte-identity gate, computed in process exactly like run_batch().
+std::vector<std::string> batch_responses(const std::vector<std::string>& lines) {
+  std::vector<wire::Request> requests;
+  std::vector<svc::ScenarioSpec> specs;
+  std::vector<std::size_t> spec_of;
+  for (const std::string& line : lines) {
+    wire::Request request = wire::parse_request(line);
+    if (request.ok()) {
+      spec_of.push_back(specs.size());
+      specs.push_back(*request.spec);
+    } else {
+      spec_of.push_back(SIZE_MAX);
+    }
+    requests.push_back(std::move(request));
+  }
+  svc::Service service(svc::ServiceOptions{1, 64});
+  const std::vector<svc::BatchEntry> batch = service.evaluate_batch(specs);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (spec_of[i] == SIZE_MAX) {
+      out.push_back(wire::render_parse_error(requests[i].id, requests[i].error));
+      continue;
+    }
+    const svc::BatchEntry& entry = batch[spec_of[i]];
+    out.push_back(entry.ok()
+                      ? wire::render_result(requests[i].id, entry.hash, entry.cached,
+                                            entry.result)
+                      : wire::render_eval_error(requests[i].id, entry.hash,
+                                                entry.error));
+  }
+  return out;
+}
+
+TEST(WireServer, SocketResponsesAreByteIdenticalToBatchForEveryWorkerCount) {
+  const std::vector<std::string> lines = mixed_request_lines();
+  const std::vector<std::string> expected = batch_responses(lines);
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    svc::Service service(svc::ServiceOptions{workers, 64});
+    wire::ServerOptions options;
+    options.workers = workers;
+    wire::Server server(service, options);
+    server.start();
+
+    wire::Client client;
+    client.connect("127.0.0.1", server.port());
+    for (const std::string& line : lines) client.send(line);  // fully pipelined
+    client.finish_sending();
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      const auto response = client.recv();
+      ASSERT_TRUE(response.has_value()) << "workers=" << workers << " line " << i;
+      EXPECT_EQ(*response, expected[i]) << "workers=" << workers << " line " << i;
+    }
+    EXPECT_FALSE(client.recv().has_value());  // server closes after our half-close
+    server.drain();
+  }
+}
+
+TEST(WireServer, SequentialCallsSeeTheSharedCache) {
+  svc::Service service(svc::ServiceOptions{2, 64});
+  wire::Server server(service, wire::ServerOptions{});
+  server.start();
+
+  wire::Client first;
+  first.connect("127.0.0.1", server.port());
+  EXPECT_NE(first.call(tiny_spec_json(1)).find("\"cached\":false"),
+            std::string::npos);
+  first.close();
+
+  // A new connection hits the cache the first one warmed.
+  wire::Client second;
+  second.connect("127.0.0.1", server.port());
+  EXPECT_NE(second.call(tiny_spec_json(1)).find("\"cached\":true"),
+            std::string::npos);
+  second.close();
+  server.drain();
+}
+
+TEST(WireServer, OverloadWatermarkShedsInsteadOfBuffering) {
+  svc::Service service(svc::ServiceOptions{1, 256});
+  wire::ServerOptions options;
+  options.workers = 1;
+  options.queue_high_watermark = 1;  // shed as soon as one evaluation waits
+  wire::Server server(service, options);
+  server.start();
+
+  const std::size_t kBlast = 40;
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  for (std::uint64_t i = 0; i < kBlast; ++i) {
+    client.send(R"({"id":)" + std::to_string(i) + R"(,"spec":)" +
+                tiny_spec_json(100 + i) + "}");
+  }
+  client.finish_sending();
+
+  std::size_t completed = 0, overloads = 0, ok = 0;
+  while (auto response = client.recv()) {
+    // In-order even under shedding: response i echoes id i.
+    EXPECT_NE(response->find("{\"id\":" + std::to_string(completed) + ","),
+              std::string::npos)
+        << *response;
+    if (response->find("\"overload\":true") != std::string::npos) {
+      ++overloads;
+    } else if (response->find("\"result\":") != std::string::npos) {
+      ++ok;
+    }
+    ++completed;
+  }
+  EXPECT_EQ(completed, kBlast);          // every request answered...
+  EXPECT_GT(overloads, 0u);              // ...some with an explicit shed...
+  EXPECT_GT(ok, 0u);                     // ...and the admitted ones evaluated.
+  EXPECT_EQ(server.queue_depth(), 0u);
+  server.drain();
+}
+
+TEST(WireServer, OversizedFrameGetsOneErrorThenClose) {
+  svc::Service service(svc::ServiceOptions{1, 64});
+  wire::ServerOptions options;
+  options.max_frame_bytes = 64;
+  wire::Server server(service, options);
+  server.start();
+
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  client.send(std::string(65, 'x'));  // framed payload over the server's cap
+  const auto response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"error\":"), std::string::npos);
+  EXPECT_NE(response->find("exceeds"), std::string::npos);
+  EXPECT_FALSE(client.recv().has_value());  // connection is closed after it
+  server.drain();
+}
+
+TEST(WireServer, DrainFlushesEverythingAlreadyAdmitted) {
+  svc::Service service(svc::ServiceOptions{2, 64});
+  wire::ServerOptions options;
+  options.workers = 2;
+  wire::Server server(service, options);
+  server.start();
+
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  const std::size_t kRequests = 6;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    client.send(R"({"id":)" + std::to_string(i) + R"(,"spec":)" +
+                tiny_spec_json(200 + i) + "}");
+  }
+  // Let the reader admit (most of) the burst, then drain concurrently with
+  // the in-flight evaluations.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.drain();
+  EXPECT_TRUE(server.draining());
+
+  // Every admitted request got a response, in order, before the close.
+  std::size_t received = 0;
+  while (auto response = client.recv()) {
+    EXPECT_NE(response->find("{\"id\":" + std::to_string(received) + ","),
+              std::string::npos)
+        << *response;
+    ++received;
+  }
+  EXPECT_LE(received, kRequests);
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(WireServer, ManyConnectionsShareOneServer) {
+  svc::Service service(svc::ServiceOptions{4, 256});
+  wire::ServerOptions options;
+  options.workers = 4;
+  wire::Server server(service, options);
+  server.start();
+
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        wire::Client client;
+        client.connect("127.0.0.1", server.port());
+        for (std::uint64_t i = 0; i < 5; ++i) {
+          const std::string response = client.call(tiny_spec_json(300 + i));
+          if (response.find("\"result\":") == std::string::npos) {
+            failures[c] = "bad response: " + response;
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(failures[c], "") << "client " << c;
+  EXPECT_EQ(server.connections_accepted(), static_cast<std::uint64_t>(kClients));
+  server.drain();
+}
+
+}  // namespace
+}  // namespace closfair
