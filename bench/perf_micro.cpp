@@ -62,6 +62,43 @@ void BM_WaterfillDouble(benchmark::State& state) {
 }
 BENCHMARK(BM_WaterfillDouble)->Args({2, 16})->Args({4, 64})->Args({8, 256})->Args({8, 1024});
 
+// WaterfillWorkspace throughput, fast path vs forced Rational fallback, on
+// the BENCH_search instance (C_4, 8 flows, seed 101). Each iteration is one
+// max_min_rates call over a fixed deterministic 64-assignment cycle —
+// items_per_second is water-fill calls per second; the ratio of the two
+// benchmarks is the fast-path speedup (acceptance target >= 5x). The Fast
+// variant also feeds the tier-1 Release perf smoke (scripts/tier1.sh) via
+// the committed floor in bench/waterfill_floor.json.
+void run_workspace_bench(benchmark::State& state, bool force_fallback) {
+  const Instance inst = make_instance(4, 8, 101);
+  WaterfillWorkspace workspace;
+  workspace.bind(inst.net, inst.flows);
+  workspace.set_force_fallback(force_fallback);
+  Rng rng(202);
+  std::vector<MiddleAssignment> cycle;
+  for (int c = 0; c < 64; ++c) {
+    MiddleAssignment middles(inst.flows.size());
+    for (int& m : middles) m = 1 + static_cast<int>(rng.next_below(4));
+    cycle.push_back(std::move(middles));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workspace.max_min_rates(cycle[i]));
+    i = (i + 1) % cycle.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_WaterfillWorkspaceFast(benchmark::State& state) {
+  run_workspace_bench(state, false);
+}
+BENCHMARK(BM_WaterfillWorkspaceFast);
+
+void BM_WaterfillWorkspaceFallback(benchmark::State& state) {
+  run_workspace_bench(state, true);
+}
+BENCHMARK(BM_WaterfillWorkspaceFallback);
+
 // Exhaustive-search engine: plain odometer vs canonical (symmetry-reduced)
 // enumeration, serial vs parallel. The "waterfills" counter is the number of
 // candidates actually evaluated — the acceptance metric for the canonical

@@ -42,6 +42,7 @@ struct LexConfig {
   bool canonical;
   bool pin_first;
   unsigned threads;
+  bool force_fallback = false;
 };
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -100,6 +101,10 @@ int main(int argc, char** argv) {
       {"canonical", true, true, 1},
       {"canonical_2_threads", true, true, 2},
       {"canonical_8_threads", true, true, 8},
+      // Same canonical search with the water-fill fast path disabled: its
+      // sorted vector feeds the same identity cross-check, so a fast-path
+      // divergence fails the report.
+      {"canonical_fallback", true, true, 1, true},
   };
 
   Json lex_runs = Json::array();
@@ -115,6 +120,7 @@ int main(int argc, char** argv) {
     options.exploit_middle_symmetry = config.canonical;
     options.fix_first_flow = config.pin_first;
     options.num_threads = config.threads;
+    options.force_waterfill_fallback = config.force_fallback;
     const auto start = std::chrono::steady_clock::now();
     const auto result = lex_max_min_exhaustive(net, flows, options);
     const double secs = seconds_since(start);
@@ -166,6 +172,67 @@ int main(int argc, char** argv) {
     tput.set("throughput_identical", Json::boolean(throughput_identical));
   }
 
+  // Water-fill core throughput: the same workspace evaluates a fixed
+  // 64-assignment cycle on the fast path and on the forced Rational
+  // fallback. Call counts are fixed (not time-based) so the embedded
+  // waterfill.* counters stay deterministic across machines; the speedup
+  // ratio is the acceptance gate for the int64 fixed-denominator engine.
+  Json wf_tput = Json::object();
+  double wf_speedup = 0.0;
+  bool wf_rates_identical = true;
+  {
+    WaterfillWorkspace workspace;
+    workspace.bind(net, flows);
+    Rng cycle_rng(202);
+    std::vector<MiddleAssignment> cycle;
+    for (int c = 0; c < 64; ++c) {
+      MiddleAssignment middles(flows.size());
+      for (int& m : middles) m = 1 + static_cast<int>(cycle_rng.next_below(kMiddles));
+      cycle.push_back(std::move(middles));
+    }
+    // Byte-identity across engines on every cycle entry first.
+    std::vector<std::vector<Rational>> fast_rates;
+    fast_rates.reserve(cycle.size());
+    for (const MiddleAssignment& middles : cycle) {
+      fast_rates.push_back(workspace.max_min_rates(middles));
+    }
+    workspace.set_force_fallback(true);
+    for (std::size_t c = 0; c < cycle.size(); ++c) {
+      if (workspace.max_min_rates(cycle[c]) != fast_rates[c]) wf_rates_identical = false;
+    }
+    workspace.set_force_fallback(false);
+
+    // Best-of-3 timing windows: a scheduler hiccup inflates one window, not
+    // the minimum, so the speedup gate stays stable on loaded machines.
+    constexpr int kFastPasses = 1200;
+    constexpr int kFallbackPasses = 200;
+    constexpr int kReps = 3;
+    const auto timed_passes = [&](int passes) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int pass = 0; pass < passes; ++pass) {
+          for (const MiddleAssignment& middles : cycle) {
+            (void)workspace.max_min_rates(middles);
+          }
+        }
+        best = std::min(best, seconds_since(start));
+      }
+      return best;
+    };
+    const double fast_secs = timed_passes(kFastPasses);
+    workspace.set_force_fallback(true);
+    const double fallback_secs = timed_passes(kFallbackPasses);
+
+    const double fast_cps = kFastPasses * 64 / fast_secs;
+    const double fallback_cps = kFallbackPasses * 64 / fallback_secs;
+    wf_speedup = fallback_cps > 0 ? fast_cps / fallback_cps : 0.0;
+    wf_tput.set("fast_calls_per_sec", Json::number(fast_cps));
+    wf_tput.set("fallback_calls_per_sec", Json::number(fallback_cps));
+    wf_tput.set("speedup", Json::number(wf_speedup));
+    wf_tput.set("rates_identical", Json::boolean(wf_rates_identical));
+  }
+
   const double full_ratio = canonical_waterfills == 0
                                 ? 0.0
                                 : static_cast<double>(odometer_full_waterfills) /
@@ -184,8 +251,11 @@ int main(int argc, char** argv) {
   report.set("instance", std::move(instance));
   report.set("lex_runs", std::move(lex_runs));
   report.set("throughput", std::move(tput));
+  report.set("waterfill_throughput", std::move(wf_tput));
   Json checks = Json::object();
   checks.set("sorted_vectors_identical", Json::boolean(sorted_identical));
+  checks.set("waterfill_rates_identical", Json::boolean(wf_rates_identical));
+  checks.set("waterfill_fast_speedup", Json::number(wf_speedup));
   checks.set("waterfill_reduction_vs_full_odometer", Json::number(full_ratio));
   checks.set("waterfill_reduction_vs_pinned_odometer", Json::number(pinned_ratio));
   checks.set("canonical_classes",
@@ -223,15 +293,23 @@ int main(int argc, char** argv) {
             << fmt_double(pinned_ratio, 1) << "x vs pinned)\n"
             << "lex-optimal sorted vectors identical across configs: "
             << (sorted_identical ? "yes" : "NO") << '\n'
+            << "water-fill fast path: " << fmt_double(wf_speedup, 1)
+            << "x the Rational fallback, rates identical: "
+            << (wf_rates_identical ? "yes" : "NO") << '\n'
             << "report written to " << out_path
             << (baseline ? " (first-run baseline)" : "") << '\n';
   if (!metrics_path.empty()) std::cout << "metrics written to " << metrics_path << '\n';
   if (!trace_path.empty()) std::cout << "trace written to " << trace_path << '\n';
 
-  if (!sorted_identical || !throughput_identical) return 1;
+  if (!sorted_identical || !throughput_identical || !wf_rates_identical) return 1;
   if (full_ratio < 10.0) {
     std::cout << (baseline ? "note" : "REGRESSION")
               << ": canonical reduction below 10x\n";
+    if (!baseline) return 1;
+  }
+  if (wf_speedup < 5.0) {
+    std::cout << (baseline ? "note" : "REGRESSION")
+              << ": water-fill fast path below 5x over the Rational fallback\n";
     if (!baseline) return 1;
   }
   return 0;

@@ -9,8 +9,11 @@
 # Counters measuring algorithmic work (waterfill.*, lp.*, fault.*,
 # rate_control.*, svc.*, search.candidates, search.routings_covered) are
 # deterministic for the fixed benchmark instances, so any increase is a
-# genuine work regression and fails the script. Wall-clock seconds and span
-# durations are reported but never gating — this machine is shared.
+# genuine work regression and fails the script. The waterfill.fast_calls /
+# waterfill.fallback_calls split is held exactly: any drift in either
+# direction fails, and the two must always sum to waterfill.calls.
+# Wall-clock seconds and span durations are reported but never gating —
+# this machine is shared.
 #
 # Usage: scripts/bench.sh [jobs]
 set -euo pipefail
@@ -59,6 +62,12 @@ cur_counters = cur.get("metrics", {}).get("counters", {})
 DETERMINISTIC_PREFIXES = ("waterfill.", "lp.", "fault.", "rate_control.", "svc.")
 DETERMINISTIC_NAMES = {"search.candidates", "search.routings_covered", "search.runs"}
 
+# Engine-selection counters: the fast/fallback split is decided at bind time
+# from the instance alone, so ANY drift (either direction) means the int64
+# engine silently changed which calls it accepts — a determinism break, not
+# an improvement.
+EXACT_NAMES = {"waterfill.fast_calls", "waterfill.fallback_calls"}
+
 def deterministic(name):
     return name in DETERMINISTIC_NAMES or name.startswith(DETERMINISTIC_PREFIXES)
 
@@ -69,6 +78,9 @@ for name in sorted(set(base_counters) | set(cur_counters)):
     c = cur_counters.get(name)
     if b == c:
         status = ""
+    elif name in EXACT_NAMES:
+        status = "REGRESSION (engine split drifted)"
+        regressions.append(name)
     elif b is None:
         status = "new"
     elif c is None:
@@ -88,6 +100,17 @@ for name, b, c, status in rows:
     bs = "-" if b is None else str(b)
     cs = "-" if c is None else str(c)
     print(f"{name:<{name_w}}  {bs:>12}  {cs:>12}  {status}")
+
+# Every water-fill call is answered by exactly one engine; a mismatch means
+# a call was double-counted or silently dropped by the dispatch path.
+wf_calls = cur_counters.get("waterfill.calls")
+if wf_calls is not None:
+    split = (cur_counters.get("waterfill.fast_calls", 0)
+             + cur_counters.get("waterfill.fallback_calls", 0))
+    if split != wf_calls:
+        print(f"\nFAIL: waterfill.fast_calls + waterfill.fallback_calls = {split} "
+              f"but waterfill.calls = {wf_calls}")
+        sys.exit(1)
 
 base_secs = {r["config"]: r["seconds"] for r in base.get("lex_runs", [])}
 cur_secs = {r["config"]: r["seconds"] for r in cur.get("lex_runs", [])}

@@ -2,8 +2,10 @@
 # Tier-1 verification: full build + test suite, a closfair_serve smoke run
 # diffed against a committed golden transcript, a wire-server smoke (start
 # closfair_serve --listen, replay 20 mixed requests through closfair_loadgen,
-# diff against the batch-mode golden, SIGTERM-drain), the search engine's
-# serial-vs-parallel equivalence tests under ThreadSanitizer, the fault /
+# diff against the batch-mode golden, SIGTERM-drain), a Release water-fill
+# perf smoke gated against the committed bench/waterfill_floor.json, the
+# search engine's serial-vs-parallel equivalence tests plus the water-fill
+# fast-path differential suite under ThreadSanitizer, the fault /
 # workload / rate-control / search / wire-socket tests under ASan+UBSan, and
 # the CLOSFAIR_OBS=OFF configuration (instrumentation compiled out) with its
 # unit tests plus a link-level check that the obs TUs are empty.
@@ -67,24 +69,60 @@ fi
 echo "20 pipelined requests answered byte-identically over the socket, SIGTERM drained"
 
 echo
-echo "== tier 1: SearchEngine tests under ThreadSanitizer =="
+echo "== tier 1: Release water-fill perf smoke vs committed floor =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" --target perf_micro >/dev/null
+PERF_JSON="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT" "$PORT_FILE" "$WIRE_OUT" "$PERF_JSON"' EXIT
+build-release/bench/perf_micro --benchmark_filter='^BM_WaterfillWorkspaceFast$' \
+    --benchmark_min_time=0.5 --benchmark_out="$PERF_JSON" \
+    --benchmark_out_format=json >/dev/null
+python3 - "$PERF_JSON" bench/waterfill_floor.json <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+with open(sys.argv[2]) as f:
+    floor = json.load(f)
+
+name = floor["benchmark"]
+rates = [b["items_per_second"] for b in run["benchmarks"] if b["name"] == name]
+if not rates:
+    print(f"FAIL: benchmark {name} missing from perf_micro output")
+    sys.exit(1)
+measured = max(rates)
+minimum = 0.8 * floor["floor_items_per_second"]
+verdict = "OK" if measured >= minimum else "FAIL"
+print(f"{name}: {measured / 1e6:.2f}M calls/s "
+      f"(floor {floor['floor_items_per_second'] / 1e6:.2f}M, "
+      f"fail below {minimum / 1e6:.2f}M): {verdict}")
+if measured < minimum:
+    print("FAIL: water-fill fast path regressed >20% below the committed floor")
+    sys.exit(1)
+EOF
+
+echo
+echo "== tier 1: SearchEngine + water-fill fast-path tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCLOSFAIR_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_search_engine
-(cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'SearchEngine')
+cmake --build build-tsan -j "$JOBS" --target test_search_engine test_waterfill_fastpath
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" -R 'SearchEngine|WaterfillFastpath')
 
 echo
 echo "== tier 1: fault/workload/rate-control/wire tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCLOSFAIR_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS" --target \
-    test_fault test_workload test_rate_control test_search_engine test_wire
+    test_fault test_workload test_rate_control test_search_engine test_wire \
+    test_waterfill_fastpath
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-    -R 'Fault|Workload|Trace|Rcp|Aimd|SearchEngine|Wire')
+    -R 'Fault|Workload|Trace|Rcp|Aimd|SearchEngine|Wire|WaterfillFastpath')
 
 echo
 echo "== tier 1: CLOSFAIR_OBS=OFF build (instrumentation compiled out) =="
 cmake -B build-noobs -S . -DCLOSFAIR_OBS=OFF >/dev/null
 cmake --build build-noobs -j "$JOBS" --target \
-    test_obs test_search_engine test_waterfill test_simplex test_maxmin_lp test_exhaustive
+    test_obs test_search_engine test_waterfill test_waterfill_fastpath \
+    test_simplex test_maxmin_lp test_exhaustive
 for tu in obs/obs.cpp.o obs/trace.cpp.o; do
   defined=$(nm "build-noobs/src/CMakeFiles/closfair.dir/$tu" | grep -c ' T ' || true)
   if [ "$defined" -ne 0 ]; then

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "fairness/waterfill.hpp"
+
 namespace closfair {
 
 template <typename R>
@@ -14,52 +16,62 @@ Allocation<R> weighted_max_min_fair(const Topology& topo, const FlowSet& flows,
     CF_CHECK_MSG(R{0} < w, "weighted max-min requires strictly positive weights");
   }
   const std::size_t num_flows = flows.size();
-  const std::size_t num_links = topo.num_links();
-  const std::vector<std::vector<FlowIndex>> on_link = flows_per_link(topo, routing);
 
-  // residual[l] = capacity - consumption of frozen flows - (active weight on
-  // l) * current level. active_weight[l] = total weight of unfrozen flows.
-  std::vector<R> residual(num_links, R{0});
-  std::vector<R> active_weight(num_links, R{0});
-  std::vector<bool> bounded(num_links, false);
-  for (std::size_t l = 0; l < num_links; ++l) {
-    const Link& link = topo.link(static_cast<LinkId>(l));
-    if (link.unbounded) continue;
-    bounded[l] = true;
-    residual[l] = capacity_as<R>(link);
-    for (FlowIndex f : on_link[l]) active_weight[l] += weights[f];
+  // Same bind-time bounded-link index as the unweighted engine: rounds run
+  // over dense slots, never re-checking topo.link(l).unbounded.
+  detail::FillIndex<R> index;
+  index.bind(topo, routing);
+  const std::size_t num_slots = index.num_slots();
+
+  // residual[s] = capacity - consumption of frozen flows - (active weight on
+  // s) * current level. active_weight[s] = total weight of unfrozen flows.
+  std::vector<R> residual = index.capacity;
+  std::vector<R> active_weight(num_slots, R{0});
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    for (std::size_t idx = index.slot_off[s]; idx < index.slot_off[s + 1]; ++idx) {
+      active_weight[s] += weights[index.slot_flows[idx]];
+    }
   }
 
   Allocation<R> alloc(num_flows);
   std::vector<bool> frozen(num_flows, false);
   std::size_t num_frozen = 0;
+  std::vector<std::uint32_t> saturated;  // slots attaining the round's level
+  std::vector<FlowIndex> to_freeze;      // both reused across rounds
+  saturated.reserve(num_slots);
 
   while (num_frozen < num_flows) {
-    // Next level increment: the smallest residual / active-weight over
-    // bounded links still carrying active flows.
+    // Next level increment: the smallest residual / active-weight over slots
+    // still carrying active flows. Each share is computed exactly once;
+    // slots attaining the minimum are collected during the same scan.
     std::optional<R> level;
-    for (std::size_t l = 0; l < num_links; ++l) {
-      if (!bounded[l] || active_weight[l] == R{0}) continue;
-      R share = residual[l] / active_weight[l];
-      if (!level || share < *level) level = std::move(share);
+    saturated.clear();
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      if (active_weight[s] == R{0}) continue;
+      R share = residual[s] / active_weight[s];
+      if (!level || share < *level) {
+        level = std::move(share);
+        saturated.clear();
+        saturated.push_back(static_cast<std::uint32_t>(s));
+      } else if (share == *level) {
+        saturated.push_back(static_cast<std::uint32_t>(s));
+      }
     }
     CF_CHECK_MSG(level.has_value(),
                  "flow with no bounded link: weighted max-min rate would be unbounded");
 
-    std::vector<FlowIndex> to_freeze;
-    for (std::size_t l = 0; l < num_links; ++l) {
-      if (!bounded[l] || active_weight[l] == R{0}) continue;
-      if (residual[l] / active_weight[l] == *level) {
-        for (FlowIndex f : on_link[l]) {
-          if (!frozen[f]) to_freeze.push_back(f);
-        }
+    to_freeze.clear();
+    for (std::uint32_t s : saturated) {
+      for (std::size_t idx = index.slot_off[s]; idx < index.slot_off[s + 1]; ++idx) {
+        const FlowIndex f = index.slot_flows[idx];
+        if (!frozen[f]) to_freeze.push_back(f);
       }
     }
     CF_CHECK(!to_freeze.empty());
 
-    for (std::size_t l = 0; l < num_links; ++l) {
-      if (!bounded[l] || active_weight[l] == R{0}) continue;
-      residual[l] -= *level * active_weight[l];
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      if (active_weight[s] == R{0}) continue;
+      residual[s] -= *level * active_weight[s];
     }
     for (FlowIndex f = 0; f < num_flows; ++f) {
       if (!frozen[f]) alloc.set_rate(f, alloc.rate(f) + *level * weights[f]);
@@ -68,9 +80,8 @@ Allocation<R> weighted_max_min_fair(const Topology& topo, const FlowSet& flows,
       if (frozen[f]) continue;
       frozen[f] = true;
       ++num_frozen;
-      for (LinkId l : routing.path(f)) {
-        const auto idx = static_cast<std::size_t>(l);
-        if (bounded[idx]) active_weight[idx] -= weights[f];
+      for (std::size_t idx = index.flow_off[f]; idx < index.flow_off[f + 1]; ++idx) {
+        active_weight[index.flow_slots[idx]] -= weights[f];
       }
     }
   }

@@ -67,6 +67,14 @@ struct ExhaustiveOptions {
   /// (§2.3), so reaching it proves optimality. Applies to lex search only.
   std::optional<std::vector<Rational>> stop_at_sorted;
 
+  /// Route every candidate evaluation onto the exact Rational water-fill
+  /// engine, bypassing the int64 fixed-denominator fast path even when it is
+  /// available. Results are byte-identical either way (the fast path falls
+  /// back on overflow and is differential-tested against the Rational
+  /// engine); this flag exists for those differential tests and for
+  /// fallback-engine benchmarks, not for production use.
+  bool force_waterfill_fallback = false;
+
   /// Throughput search only: stop once a routing attains the sum-of-
   /// capacities upper bound (min over the distinct source / destination
   /// links' capacity sums — no routing can exceed either). The returned

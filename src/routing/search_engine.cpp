@@ -82,6 +82,9 @@ void SearchEngine::record_run_metrics(const std::vector<SearchStats>& per_worker
   OBS_GAUGE_SET("search.workers", workers_);
   OBS_GAUGE_SET("search.prefixes", prefixes_.size());
   OBS_GAUGE_SET("search.pool_middles", pool_.size());
+  // Buffer growth observed by any worker's workspace after bind; a nonzero
+  // reading means a steady-state allocation slipped into the inner loop.
+  OBS_GAUGE_SET("waterfill.steady_state_allocs", total.workspace_allocs);
 #if CLOSFAIR_OBS_ENABLED
   // Work-balance distribution: one sample per worker. (Histogram values are
   // nominally nanoseconds; here the "duration" is a water-fill count.)
@@ -122,6 +125,7 @@ SearchEngine::SearchEngine(const ClosNetwork& net, const FlowSet& flows,
   const bool symmetric = fault::surviving_middles_symmetric(net);
   canonical_ = options.exploit_middle_symmetry && symmetric;
   fix_first_ = options.fix_first_flow && symmetric;
+  force_fallback_ = options.force_waterfill_fallback;
   const std::size_t num_flows = flows.size();
 
   // Guard the number of candidates that would be water-filled.

@@ -84,6 +84,7 @@ struct SearchOrder {
 struct SearchStats {
   std::uint64_t waterfill_invocations = 0;  ///< candidates actually evaluated
   std::uint64_t routings_covered = 0;       ///< full/pinned-space equivalent
+  std::uint64_t workspace_allocs = 0;       ///< post-bind buffer growth events
   bool canonical = false;                   ///< canonical mode was in effect
 };
 
@@ -115,6 +116,7 @@ class SearchEngine {
       OBS_SPAN("search.worker");
       WaterfillWorkspace workspace;
       workspace.bind(net_, flows_);
+      workspace.set_force_fallback(force_fallback_);
       MiddleAssignment middles(flows_.size(), 1);
       while (!stop.load(std::memory_order_relaxed)) {
         const std::size_t p = next.fetch_add(1, std::memory_order_relaxed);
@@ -129,6 +131,7 @@ class SearchEngine {
           stop.store(true, std::memory_order_relaxed);
         }
       }
+      stats[w].workspace_allocs = workspace.steady_state_allocs();
     };
 
     if (workers_ == 1) {
@@ -146,6 +149,7 @@ class SearchEngine {
       total.waterfill_invocations =
           detail::sat_add(total.waterfill_invocations, s.waterfill_invocations);
       total.routings_covered = detail::sat_add(total.routings_covered, s.routings_covered);
+      total.workspace_allocs = detail::sat_add(total.workspace_allocs, s.workspace_allocs);
     }
     record_run_metrics(stats, total);
     return total;
@@ -211,6 +215,8 @@ class SearchEngine {
   /// capacity-symmetric — the pin quotients by a relabeling that must be an
   /// automorphism to be sound.
   bool fix_first_ = false;
+  /// options.force_waterfill_fallback, applied to every worker's workspace.
+  bool force_fallback_ = false;
   unsigned workers_ = 1;
   std::size_t prefix_len_ = 0;
   std::vector<Prefix> prefixes_;

@@ -36,6 +36,24 @@ Int128 gcd128(Int128 a, Int128 b) {
 
 Rational::Rational(std::int64_t num, std::int64_t den) {
   if (den == 0) throw std::domain_error("Rational: zero denominator");
+  if (num != kMin64 && den != kMin64) {
+    // Common case entirely in 64-bit: negation is safe away from INT64_MIN,
+    // and the reduced pair can only shrink, so nothing can overflow.
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const std::uint64_t g =
+        std::gcd(static_cast<std::uint64_t>(num < 0 ? -num : num),
+                 static_cast<std::uint64_t>(den));
+    if (g > 1) {
+      num /= static_cast<std::int64_t>(g);
+      den /= static_cast<std::int64_t>(g);
+    }
+    num_ = num;
+    den_ = den;
+    return;
+  }
   // Normalize via 128-bit so that num == INT64_MIN does not overflow on negate.
   Int128 n = num;
   Int128 d = den;
@@ -135,6 +153,19 @@ std::ostream& operator<<(std::ostream& os, const Rational& r) {
   os << r.num();
   if (r.den() != 1) os << '/' << r.den();
   return os;
+}
+
+std::int64_t gcd_i64(std::int64_t a, std::int64_t b) {
+  return narrow(gcd128(Int128{a}, Int128{b}), "gcd");
+}
+
+bool checked_lcm_i64(std::int64_t a, std::int64_t b, std::int64_t& out) {
+  const std::int64_t g = gcd_i64(a, b);
+  if (g == 0) {
+    out = 0;
+    return true;
+  }
+  return checked_mul_i64(a / g, b, out);
 }
 
 Rational rational_from_string(std::string_view text) {

@@ -94,6 +94,39 @@ std::ostream& operator<<(std::ostream& os, const Rational& r);
 /// zero denominator. Used by the io/svc layers to round-trip exact rates.
 [[nodiscard]] Rational rational_from_string(std::string_view text);
 
+// ---------------------------------------------------------------------------
+// Overflow-probe helpers for fixed-point fast paths (fairness/waterfill.cpp).
+//
+// The water-fill fast path scales every capacity to a common denominator and
+// runs the filling rounds in pure int64 arithmetic. These primitives report
+// overflow through their return value instead of wrapping or throwing, so
+// the hot loop can detect the first unrepresentable intermediate and fall
+// back to the exact Rational engine.
+
+/// out = a + b; false iff the sum overflows int64 (out is then unspecified).
+[[nodiscard]] inline bool checked_add_i64(std::int64_t a, std::int64_t b,
+                                          std::int64_t& out) {
+  return !__builtin_add_overflow(a, b, &out);
+}
+
+/// out = a - b; false iff the difference overflows int64.
+[[nodiscard]] inline bool checked_sub_i64(std::int64_t a, std::int64_t b,
+                                          std::int64_t& out) {
+  return !__builtin_sub_overflow(a, b, &out);
+}
+
+/// out = a * b; false iff the product overflows int64.
+[[nodiscard]] inline bool checked_mul_i64(std::int64_t a, std::int64_t b,
+                                          std::int64_t& out) {
+  return !__builtin_mul_overflow(a, b, &out);
+}
+
+/// gcd of |a| and |b| (gcd(0, 0) == 0).
+[[nodiscard]] std::int64_t gcd_i64(std::int64_t a, std::int64_t b);
+
+/// out = lcm(a, b) for positive a, b; false iff the lcm exceeds int64.
+[[nodiscard]] bool checked_lcm_i64(std::int64_t a, std::int64_t b, std::int64_t& out);
+
 }  // namespace closfair
 
 template <>

@@ -274,5 +274,19 @@ TEST(SearchEngine, WorkspaceReusesBuffersWithoutAllocating) {
       << "water-fill inner loop allocated on the heap";
 }
 
+TEST(SearchEngine, SteadyStateAllocsGaugeReadsZero) {
+  // The engine sums every worker's workspace buffer-growth audit into the
+  // waterfill.steady_state_allocs gauge; a parallel search must leave it 0.
+  const ClosNetwork net = ClosNetwork::paper(4);
+  const FlowSet flows = random_flows(net, 8, 99);
+  ExhaustiveOptions options;
+  options.num_threads = 4;
+  (void)lex_max_min_exhaustive(net, flows, options);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(obs::Registry::instance().gauge("waterfill.steady_state_allocs").value(),
+              0);
+  }
+}
+
 }  // namespace
 }  // namespace closfair
