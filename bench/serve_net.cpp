@@ -40,6 +40,7 @@
 
 #include "io/json_export.hpp"
 #include "obs/obs.hpp"
+#include "obs/rt.hpp"
 #include "svc/service.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -254,6 +255,54 @@ Json load_result_json(const LoadResult& r) {
   return j;
 }
 
+// ---------------------------------------------------- stage-latency windows
+
+/// Registry histogram snapshot by name (zeroed HistogramValue when absent).
+obs::MetricsSnapshot::HistogramValue find_histogram(
+    const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name) return h;
+  }
+  obs::MetricsSnapshot::HistogramValue empty;
+  empty.name = name;
+  empty.buckets.assign(obs::kHistogramBuckets, 0);
+  return empty;
+}
+
+/// Bucket-wise difference after - before: isolates one phase's recordings
+/// from a cumulative histogram. min/max are unknowable for a window, so
+/// they are zeroed — estimate_quantile_ns then skips its range clamp.
+obs::MetricsSnapshot::HistogramValue histogram_window(
+    const obs::MetricsSnapshot::HistogramValue& before,
+    const obs::MetricsSnapshot::HistogramValue& after) {
+  obs::MetricsSnapshot::HistogramValue window;
+  window.name = after.name;
+  window.count = after.count - before.count;
+  window.total_ns = after.total_ns - before.total_ns;
+  window.buckets.assign(obs::kHistogramBuckets, 0);
+  for (std::size_t i = 0; i < window.buckets.size(); ++i) {
+    const std::uint64_t b = i < before.buckets.size() ? before.buckets[i] : 0;
+    const std::uint64_t a = i < after.buckets.size() ? after.buckets[i] : 0;
+    window.buckets[i] = a - b;
+  }
+  return window;
+}
+
+Json stage_window_json(const obs::MetricsSnapshot::HistogramValue& window) {
+  Json j = Json::object();
+  j.set("count", Json::number(static_cast<std::int64_t>(window.count)));
+  j.set("total_ns", Json::number(static_cast<std::int64_t>(window.total_ns)));
+  j.set("mean_ns",
+        Json::number(window.count == 0
+                         ? 0.0
+                         : static_cast<double>(window.total_ns) /
+                               static_cast<double>(window.count)));
+  j.set("p50_ns", Json::number(obs::estimate_quantile_ns(window, 0.50)));
+  j.set("p99_ns", Json::number(obs::estimate_quantile_ns(window, 0.99)));
+  j.set("p999_ns", Json::number(obs::estimate_quantile_ns(window, 0.999)));
+  return j;
+}
+
 /// The committed-baseline metrics view: every counter except the two whose
 /// split is scheduling-dependent, replaced by their deterministic sum (for a
 /// fixed request stream, repeat requests resolve as *either* an in-flight
@@ -295,16 +344,39 @@ int main(int argc, char** argv) {
   report.set("bench", Json::string("serve_net"));
 
   // ------------------------------------------------------- 1. byte identity
-  std::cout << "=== wire server benchmark ===\n\n--- byte identity vs batch mode ---\n";
+  std::cout << "=== wire server benchmark ===\n\n"
+            << "--- byte identity vs batch mode (+ concurrent admin scraper) ---\n";
   const std::vector<std::string> lines = mixed_request_lines();
   const std::vector<std::string> expected = batch_responses(lines);
-  TextTable table_id({"workers", "responses", "identical"});
+  TextTable table_id({"workers", "responses", "identical", "scrapes"});
   for (const unsigned workers : {1u, 2u, 8u}) {
     svc::Service service(svc::ServiceOptions{workers, 512});
     wire::ServerOptions options;
     options.workers = workers;
     wire::Server server(service, options);
     server.start();
+
+    // Concurrent admin client on its own connection: a fixed number of
+    // scrapes (so wire.admin_requests stays deterministic for the counter
+    // baseline) racing the data-plane replay below. The gate: scraping must
+    // not perturb data-plane bytes, and every scrape must answer
+    // well-formed.
+    std::size_t scrapes_ok = 0;
+    std::thread scraper([&] {
+      wire::Client admin;
+      admin.connect("127.0.0.1", server.port());
+      const char* verbs[] = {"metricsz", "tracez", "statusz",
+                             "metricsz", "tracez", "statusz"};
+      for (const char* verb : verbs) {
+        const std::string response = admin.call(verb);
+        if (response.rfind(std::string("{\"admin\":\"") + verb + "\"", 0) == 0) {
+          ++scrapes_ok;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      admin.close();
+    });
+
     wire::Client client;
     client.connect("127.0.0.1", server.port());
     for (const std::string& line : lines) client.send(line);
@@ -320,12 +392,21 @@ int main(int argc, char** argv) {
     identical = identical && received == expected.size();
     check(identical, "socket responses byte-identical to batch at " +
                          std::to_string(workers) + " workers");
+    scraper.join();
+    check(scrapes_ok == 6, "all 6 concurrent admin scrapes answered well-formed at " +
+                               std::to_string(workers) + " workers");
     table_id.add_row({std::to_string(workers), std::to_string(received),
-                      identical ? "yes" : "NO"});
+                      identical ? "yes" : "NO",
+                      std::to_string(scrapes_ok) + "/6"});
     client.close();
     server.drain();
   }
   std::cout << table_id << '\n';
+
+  // Stage-window boundary: everything up to here is the (near-)unloaded
+  // identity replay; the blast load point below queues deeply.
+  const obs::MetricsSnapshot snapshot_after_identity =
+      obs::Registry::instance().snapshot();
 
   // --------------------------------------------------------- 2. load points
   std::cout << "--- load points (cold/warm/duplicate 60:30:10, 1 connection) ---\n";
@@ -336,6 +417,7 @@ int main(int argc, char** argv) {
   TextTable table_load({"target_rps", "achieved_rps", "completed", "cached",
                         "p50_us", "p99_us", "p999_us"});
   double sustainable_rps = 0.0;
+  obs::MetricsSnapshot snapshot_after_blast;
   // Unpaced blast first: its achieved rate is the sustainable ceiling the
   // overload phase doubles. Admission limits sit above the request count so
   // the load points measure queueing latency, not shedding (and the counter
@@ -345,7 +427,10 @@ int main(int argc, char** argv) {
   load_options.queue_high_watermark = kRequests;
   for (const double target : {0.0, 400.0, 800.0}) {
     const LoadResult r = run_load_point(traffic, target, kWorkers, load_options);
-    if (target == 0.0) sustainable_rps = r.achieved_rps;
+    if (target == 0.0) {
+      sustainable_rps = r.achieved_rps;
+      snapshot_after_blast = obs::Registry::instance().snapshot();
+    }
     check(r.completed == r.requests,
           "load point answered every request (target " + fmt_double(target, 0) + ")");
     check(r.overloads == 0, "no sheds below the watermark (target " +
@@ -363,6 +448,83 @@ int main(int argc, char** argv) {
   std::cout << table_load << '\n';
   report.set("load_points", std::move(points));
   report.set("sustainable_rps", Json::number(sustainable_rps));
+
+  // -------------------------------------------- 2b. stage-latency windows
+  std::cout << "--- stage latency (wire.stage.queue_wait windows) ---\n";
+  {
+    // Unloaded window: the identity replays (a handful of pipelined
+    // requests against idle workers). Loaded window: the unpaced blast (400
+    // requests dumped into 4 workers → deep evaluation queue). Queue-wait
+    // must be ~0 in the former and clearly nonzero — and larger — in the
+    // latter.
+    const auto unloaded = find_histogram(snapshot_after_identity,
+                                         "wire.stage.queue_wait");
+    const auto loaded = histogram_window(
+        unloaded, find_histogram(snapshot_after_blast, "wire.stage.queue_wait"));
+    const double unloaded_mean =
+        unloaded.count == 0 ? 0.0
+                            : static_cast<double>(unloaded.total_ns) /
+                                  static_cast<double>(unloaded.count);
+    const double loaded_mean =
+        loaded.count == 0 ? 0.0
+                          : static_cast<double>(loaded.total_ns) /
+                                static_cast<double>(loaded.count);
+    check(unloaded.count > 0, "identity phase recorded queue-wait stages");
+    check(loaded.count > 0, "blast load point recorded queue-wait stages");
+    check(unloaded_mean < 20e6,
+          "unloaded queue-wait mean stays ~0 (< 20 ms; got " +
+              fmt_double(unloaded_mean / 1e6, 2) + " ms)");
+    check(loaded_mean > 0.0, "blast queue-wait is nonzero");
+    check(loaded_mean > unloaded_mean,
+          "blast queue-wait mean exceeds the unloaded mean");
+    std::cout << "unloaded mean " << fmt_double(unloaded_mean / 1e3, 1)
+              << " us (" << unloaded.count << " reqs), blast mean "
+              << fmt_double(loaded_mean / 1e3, 1) << " us (" << loaded.count
+              << " reqs), blast p99 "
+              << fmt_double(obs::estimate_quantile_ns(loaded, 0.99) / 1e3, 1)
+              << " us\n\n";
+    Json stage_latency = Json::object();
+    stage_latency.set("unloaded_queue_wait", stage_window_json(unloaded));
+    stage_latency.set("blast_queue_wait", stage_window_json(loaded));
+    report.set("stage_latency", std::move(stage_latency));
+  }
+
+  // Every flight-recorder entry must account for its wall time exactly:
+  // the stage marks partition [arrival, finish] by construction, so the
+  // stage durations sum to wall_ns with zero tolerance.
+  {
+    const std::vector<obs::rt::RequestTrace> recent =
+        obs::rt::FlightRecorder::instance().recent();
+    check(!recent.empty(), "flight recorder holds completed traces");
+    std::size_t exact = 0;
+    for (const obs::rt::RequestTrace& trace : recent) {
+      std::uint64_t stage_sum = 0;
+      for (const std::uint64_t ns : trace.stage_ns) stage_sum += ns;
+      if (stage_sum == trace.wall_ns()) ++exact;
+    }
+    check(exact == recent.size(),
+          "stage durations sum to wall time for every recorded trace");
+
+    // Embed a tracez sample (the last few recent + shame entries) so the
+    // committed baseline shows a real stage breakdown. Wall-clock values
+    // are non-gating — scripts/bench.sh diffs only metrics.counters.
+    Json sample = Json::object();
+    Json recent_json = Json::array();
+    const std::size_t first = recent.size() > 5 ? recent.size() - 5 : 0;
+    for (std::size_t i = first; i < recent.size(); ++i) {
+      recent_json.push_back(obs::rt::trace_to_json(recent[i]));
+    }
+    sample.set("recent", std::move(recent_json));
+    Json shame_json = Json::array();
+    const std::vector<obs::rt::RequestTrace> shame =
+        obs::rt::FlightRecorder::instance().shame();
+    const std::size_t shame_first = shame.size() > 5 ? shame.size() - 5 : 0;
+    for (std::size_t i = shame_first; i < shame.size(); ++i) {
+      shame_json.push_back(obs::rt::trace_to_json(shame[i]));
+    }
+    sample.set("shame", std::move(shame_json));
+    report.set("tracez_sample", std::move(sample));
+  }
 
   // Counter snapshot now: everything so far is a fixed request stream, while
   // the overload phase below sheds (and therefore evaluates) a

@@ -18,6 +18,12 @@
 //     --out FILE       write response payloads one per line (requires 1 conn)
 //     --json FILE      machine-readable report (bench/serve_net schema)
 //     --quiet          suppress the human-readable summary
+//   admin plane (docs/OBSERVABILITY.md; no traffic is generated):
+//     --admin VERB     send one metricsz/statusz/tracez frame, print the
+//                      JSON response, exit
+//     --watch SECS     scrape metricsz every SECS seconds and print a
+//                      rate/latency delta line per tick (Ctrl-C to stop)
+//     --watch-count N  stop --watch after N ticks (0 = forever; default)
 //
 // Open loop means arrivals do not wait for responses: when the server falls
 // behind, requests pipeline deeper instead of slowing the offered rate, so
@@ -28,6 +34,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -41,6 +48,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "wire/client.hpp"
+#include "wire/protocol.hpp"
 
 using namespace closfair;
 using Clock = std::chrono::steady_clock;
@@ -50,7 +58,7 @@ namespace {
 constexpr std::string_view kUsage =
     "closfair_loadgen --host HOST --port PORT [--replay FILE | --requests N] "
     "[--mix C:W:D] [--seed S] [--clos-n N] [--rps R] [--conns K] [--out FILE] "
-    "[--json FILE] [--quiet]";
+    "[--json FILE] [--quiet] [--admin VERB | --watch SECS [--watch-count N]]";
 
 int usage() {
   std::cerr << "usage: " << kUsage << '\n';
@@ -218,6 +226,105 @@ void run_connection(const std::string& host, std::uint16_t port,
   client.close();
 }
 
+// ------------------------------------------------------------- admin plane
+
+/// One-shot admin scrape: send the verb, print the JSON payload verbatim.
+/// Scripts (tier1's metricsz/statusz shape check) build on this.
+int run_admin(const std::string& host, std::uint16_t port,
+              const std::string& verb) {
+  if (!wire::is_admin_verb(verb)) {
+    std::cerr << "--admin takes metricsz, statusz, or tracez (got \"" << verb
+              << "\")\n";
+    return 2;
+  }
+  wire::Client client;
+  try {
+    client.connect(host, port);
+    std::cout << client.call(verb) << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "admin scrape failed: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+/// Periodic metricsz scrape: one line per tick with request/response/
+/// evaluation/shed rates (deltas over the interval) and the server's
+/// wire.request latency quantiles. Counter deltas are computed client-side;
+/// quantiles are the server's own log-linear estimates (cumulative, not
+/// per-interval — the histogram has no snapshot reset).
+int run_watch(const std::string& host, std::uint16_t port, double interval_s,
+              std::size_t ticks) {
+  wire::Client client;
+  try {
+    client.connect(host, port);
+  } catch (const std::exception& e) {
+    std::cerr << "connect failed: " << e.what() << '\n';
+    return 1;
+  }
+  std::printf("%8s %9s %9s %9s %9s %9s %9s %9s\n", "tick", "req/s", "resp/s",
+              "eval/s", "shed/s", "p50_ms", "p99_ms", "p999_ms");
+  std::uint64_t prev[4] = {0, 0, 0, 0};
+  for (std::size_t tick = 0; ticks == 0 || tick < ticks; ++tick) {
+    if (tick != 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+    Json metrics;
+    try {
+      const Json response = Json::parse(client.call("metricsz"));
+      const Json* m = response.find("metrics");
+      if (m == nullptr) {  // OBS=OFF server: a well-formed error object
+        const Json* error = response.find("error");
+        std::cerr << "server has no metrics: "
+                  << (error != nullptr && error->is_string() ? error->as_string()
+                                                             : "unknown")
+                  << '\n';
+        return 1;
+      }
+      metrics = *m;
+    } catch (const std::exception& e) {
+      std::cerr << "metricsz scrape failed: " << e.what() << '\n';
+      return 1;
+    }
+    const Json& counters = metrics.at("counters");
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const Json* v = counters.find(name);
+      return v != nullptr ? static_cast<std::uint64_t>(v->as_int()) : 0;
+    };
+    const std::uint64_t now[4] = {
+        counter("wire.requests"), counter("wire.responses"),
+        counter("wire.evaluations"), counter("wire.overload_sheds")};
+    double quantiles_ms[3] = {0.0, 0.0, 0.0};
+    if (const Json* hist = metrics.at("histograms").find("wire.request")) {
+      const char* keys[3] = {"p50_ns", "p99_ns", "p999_ns"};
+      for (int i = 0; i < 3; ++i) {
+        if (const Json* q = hist->find(keys[i])) {
+          quantiles_ms[i] = q->as_double() / 1e6;
+        }
+      }
+    }
+    if (tick == 0) {
+      // First sample has no delta baseline: print cumulative totals.
+      std::printf("%8s %9llu %9llu %9llu %9llu %9.2f %9.2f %9.2f  (totals)\n",
+                  "0", static_cast<unsigned long long>(now[0]),
+                  static_cast<unsigned long long>(now[1]),
+                  static_cast<unsigned long long>(now[2]),
+                  static_cast<unsigned long long>(now[3]), quantiles_ms[0],
+                  quantiles_ms[1], quantiles_ms[2]);
+    } else {
+      std::printf("%8zu %9.1f %9.1f %9.1f %9.1f %9.2f %9.2f %9.2f\n", tick,
+                  static_cast<double>(now[0] - prev[0]) / interval_s,
+                  static_cast<double>(now[1] - prev[1]) / interval_s,
+                  static_cast<double>(now[2] - prev[2]) / interval_s,
+                  static_cast<double>(now[3] - prev[3]) / interval_s,
+                  quantiles_ms[0], quantiles_ms[1], quantiles_ms[2]);
+    }
+    std::fflush(stdout);
+    for (int i = 0; i < 4; ++i) prev[i] = now[i];
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +340,9 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string json_path;
   bool quiet = false;
+  std::string admin_verb;
+  double watch_interval_s = 0.0;
+  std::size_t watch_ticks = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -267,6 +377,13 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--admin") {
+      admin_verb = next();
+    } else if (arg == "--watch") {
+      watch_interval_s =
+          examples::checked_double(next(), "--watch", 0.01, 3600.0, kUsage);
+    } else if (arg == "--watch-count") {
+      watch_ticks = examples::checked_size(next(), "--watch-count", 1 << 20, kUsage);
     } else {
       return usage();
     }
@@ -274,6 +391,17 @@ int main(int argc, char** argv) {
   if (port == 0) {
     std::cerr << "--port is required\n";
     return usage();
+  }
+  if (!admin_verb.empty() && watch_interval_s > 0.0) {
+    std::cerr << "--admin and --watch are mutually exclusive\n";
+    return usage();
+  }
+  if (!admin_verb.empty()) {
+    return run_admin(host, static_cast<std::uint16_t>(port), admin_verb);
+  }
+  if (watch_interval_s > 0.0) {
+    return run_watch(host, static_cast<std::uint16_t>(port), watch_interval_s,
+                     watch_ticks);
   }
   if (!replay_path.empty()) conns = 1;  // replay preserves stream order
   if (!out_path.empty() && conns != 1) {

@@ -25,6 +25,7 @@
 //   $ ./closfair_serve --listen HOST:PORT [--workers N] [--cache N]
 //                      [--cache-file PATH] [--port-file PATH] [--inflight N]
 //                      [--watermark N] [--max-frame BYTES] [--metrics OUT.json]
+//                      [--flight-recorder OUT.jsonl]
 //
 // Runs the persistent TCP front-end (docs/SERVICE.md "Wire protocol"):
 // length-prefixed frames carrying the same request/response lines, pipelined
@@ -33,6 +34,11 @@
 // graceful drain on SIGTERM/SIGINT. PORT 0 binds an ephemeral port;
 // --port-file writes the bound port for scripts to discover. The cache spill
 // and metrics are written after the drain completes.
+//
+// While the server runs, the admin verbs metricsz / statusz / tracez answer
+// on the same port (send the bare verb as a frame; closfair_loadgen --admin
+// or --watch wraps this). --flight-recorder dumps the recorder's recent ring
+// as Chrome-trace JSONL after the drain (empty under CLOSFAIR_OBS=OFF).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -43,6 +49,7 @@
 #include "arg_parse.hpp"
 #include "io/json_export.hpp"
 #include "obs/obs.hpp"
+#include "obs/rt.hpp"
 #include "svc/service.hpp"
 #include "wire/protocol.hpp"
 #include "wire/server.hpp"
@@ -54,7 +61,8 @@ namespace {
 constexpr std::string_view kUsage =
     "closfair_serve [--listen HOST:PORT] [--workers N] [--cache N] "
     "[--cache-file PATH] [--in FILE] [--out FILE] [--metrics OUT.json] "
-    "[--port-file PATH] [--inflight N] [--watermark N] [--max-frame BYTES]";
+    "[--port-file PATH] [--inflight N] [--watermark N] [--max-frame BYTES] "
+    "[--flight-recorder OUT.jsonl]";
 
 int usage() {
   std::cerr << "usage: " << kUsage << '\n';
@@ -165,6 +173,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string listen;
   std::string port_file;
+  std::string flight_recorder_path;
   wire::ServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -193,6 +202,8 @@ int main(int argc, char** argv) {
       listen = next();
     } else if (arg == "--port-file") {
       port_file = next();
+    } else if (arg == "--flight-recorder") {
+      flight_recorder_path = next();
     } else if (arg == "--inflight") {
       server_options.max_inflight_per_conn =
           examples::checked_size(next(), "--inflight", 1 << 20, kUsage);
@@ -253,6 +264,15 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     std::ofstream metrics(metrics_path);
     metrics << metrics_to_json(obs::Registry::instance().snapshot()).dump(2) << '\n';
+  }
+  if (!flight_recorder_path.empty()) {
+    std::ofstream recorder_out(flight_recorder_path, std::ios::trunc);
+    if (!recorder_out) {
+      std::cerr << "cannot write " << flight_recorder_path << '\n';
+      return 1;
+    }
+    recorder_out << obs::rt::dump_chrome_jsonl(
+        obs::rt::FlightRecorder::instance().recent());
   }
   return 0;
 }

@@ -9,7 +9,11 @@
 # Counters measuring algorithmic work (waterfill.*, lp.*, fault.*,
 # rate_control.*, svc.*, search.candidates, search.routings_covered) are
 # deterministic for the fixed benchmark instances, so any increase is a
-# genuine work regression and fails the script. The waterfill.fast_calls /
+# genuine work regression and fails the script. The wire-server request
+# counters (wire.requests/responses/evaluations/parse_errors/overload_sheds/
+# conns_accepted/admin_requests) are likewise fixed by serve_net's request
+# streams — its snapshot lands before the timing-dependent overload phase
+# and the admin scraper sends a fixed number of verbs. The waterfill.fast_calls /
 # waterfill.fallback_calls split is held exactly: any drift in either
 # direction fails, and the two must always sum to waterfill.calls.
 # Wall-clock seconds and span durations are reported but never gating —
@@ -60,7 +64,14 @@ cur_counters = cur.get("metrics", {}).get("counters", {})
 # Thread-count- and machine-independent work counters: deterministic for the
 # fixed benchmark instances, so an increase is a real regression.
 DETERMINISTIC_PREFIXES = ("waterfill.", "lp.", "fault.", "rate_control.", "svc.")
-DETERMINISTIC_NAMES = {"search.candidates", "search.routings_covered", "search.runs"}
+DETERMINISTIC_NAMES = {
+    "search.candidates", "search.routings_covered", "search.runs",
+    # serve_net: fixed request streams, snapshot taken before the overload
+    # phase, fixed admin scrape count -> all exactly reproducible.
+    "wire.requests", "wire.responses", "wire.evaluations",
+    "wire.parse_errors", "wire.overload_sheds", "wire.conns_accepted",
+    "wire.admin_requests",
+}
 
 # Engine-selection counters: the fast/fallback split is decided at bind time
 # from the instance alone, so ANY drift (either direction) means the int64

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Metric-name drift check: the inventory tables in docs/OBSERVABILITY.md
+# must list exactly the metric names registered in src/.
+#
+# Source side: string literals passed to the instrumentation macros
+# (OBS_COUNTER_INC / OBS_COUNTER_ADD / OBS_GAUGE_SET / OBS_SPAN) or to the
+# Registry accessors (.counter( / .gauge( / .histogram(), with comment
+# lines skipped so doc examples don't count.
+#
+# Doc side: every backticked dotted token in the first cell of a
+# `| `name` | ... |` table row (a cell may hold several names, e.g.
+# `lp.infeasible` / `lp.unbounded`; the dot requirement keeps non-metric
+# tables like the stage-semantics one out of scope).
+#
+# Fails listing the drift in both directions. Run by scripts/tier1.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/OBSERVABILITY.md
+CALL_RE='(OBS_COUNTER_INC|OBS_COUNTER_ADD|OBS_GAUGE_SET|OBS_SPAN|\.(counter|gauge|histogram))[[:space:]]*\([[:space:]]*"'
+
+src_names="$(grep -rhE "$CALL_RE" src/ \
+  | grep -vE '^[[:space:]]*(//|\*)' \
+  | grep -oE "${CALL_RE}[^\"]+\"" \
+  | grep -oE '"[^"]+"' | tr -d '"' | sort -u)"
+
+doc_names="$(grep -E '^\| `' "$DOC" \
+  | cut -d'|' -f2 \
+  | grep -oE '`[^`]+`' | tr -d '\`' | grep -F . | sort -u)"
+
+if [ -z "$src_names" ]; then
+  echo "check_metrics_docs: FAIL — extracted no metric names from src/ (pattern rot?)" >&2
+  exit 1
+fi
+if [ -z "$doc_names" ]; then
+  echo "check_metrics_docs: FAIL — extracted no metric names from $DOC (table format changed?)" >&2
+  exit 1
+fi
+
+undocumented="$(comm -23 <(printf '%s\n' "$src_names") <(printf '%s\n' "$doc_names"))"
+stale="$(comm -13 <(printf '%s\n' "$src_names") <(printf '%s\n' "$doc_names"))"
+
+STATUS=0
+if [ -n "$undocumented" ]; then
+  echo "check_metrics_docs: metrics registered in src/ but missing from $DOC:" >&2
+  printf '  %s\n' $undocumented >&2
+  STATUS=1
+fi
+if [ -n "$stale" ]; then
+  echo "check_metrics_docs: metrics documented in $DOC but not registered in src/:" >&2
+  printf '  %s\n' $stale >&2
+  STATUS=1
+fi
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "check_metrics_docs: FAIL (keep the inventory tables in sync with the code)" >&2
+  exit 1
+fi
+echo "check_metrics_docs: OK ($(printf '%s\n' "$src_names" | wc -l) metric names in sync)"

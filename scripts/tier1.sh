@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, a closfair_serve smoke run
-# diffed against a committed golden transcript, a wire-server smoke (start
-# closfair_serve --listen, replay 20 mixed requests through closfair_loadgen,
-# diff against the batch-mode golden, SIGTERM-drain), a Release water-fill
-# perf smoke gated against the committed bench/waterfill_floor.json, the
-# search engine's serial-vs-parallel equivalence tests plus the water-fill
-# fast-path differential suite under ThreadSanitizer, the fault /
-# workload / rate-control / search / wire-socket tests under ASan+UBSan, and
-# the CLOSFAIR_OBS=OFF configuration (instrumentation compiled out) with its
-# unit tests plus a link-level check that the obs TUs are empty.
+# Tier-1 verification: a metric-name docs drift check
+# (scripts/check_metrics_docs.sh), full build + test suite, a closfair_serve
+# smoke run diffed against a committed golden transcript, a wire-server
+# smoke (start closfair_serve --listen, replay 20 mixed requests through
+# closfair_loadgen, scrape the metricsz/statusz admin verbs and diff the
+# stable counter subset against tests/golden/serve_net_admin_counters.json,
+# diff the data responses against the batch-mode golden, SIGTERM-drain), a
+# Release water-fill perf smoke gated against the committed
+# bench/waterfill_floor.json, the search engine's serial-vs-parallel
+# equivalence tests plus the water-fill fast-path differential suite under
+# ThreadSanitizer, the fault / workload / rate-control / search /
+# wire-socket tests under ASan+UBSan, and the CLOSFAIR_OBS=OFF
+# configuration (instrumentation compiled out) with its unit tests plus a
+# link-level check that the obs TUs are empty.
 #
 # Usage: scripts/tier1.sh [jobs]
 set -euo pipefail
@@ -16,6 +20,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+echo "== tier 1: metric names vs docs/OBSERVABILITY.md =="
+scripts/check_metrics_docs.sh
+
+echo
 echo "== tier 1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -57,6 +65,10 @@ if [ ! -s "$PORT_FILE" ]; then
 fi
 build/examples/closfair_loadgen --host 127.0.0.1 --port "$(cat "$PORT_FILE")" \
     --replay tests/golden/serve_net_requests.jsonl --out "$WIRE_OUT" --quiet
+METRICSZ="$(build/examples/closfair_loadgen --host 127.0.0.1 \
+    --port "$(cat "$PORT_FILE")" --admin metricsz)"
+STATUSZ="$(build/examples/closfair_loadgen --host 127.0.0.1 \
+    --port "$(cat "$PORT_FILE")" --admin statusz)"
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then
   echo "FAIL: closfair_serve did not drain cleanly on SIGTERM"
@@ -66,6 +78,44 @@ if ! diff -u tests/golden/serve_net_responses.jsonl "$WIRE_OUT"; then
   echo "FAIL: socket responses diverged from the batch-mode golden"
   exit 1
 fi
+python3 - "$METRICSZ" "$STATUSZ" \
+    tests/golden/serve_net_admin_counters.json <<'EOF'
+import json
+import sys
+
+metricsz = json.loads(sys.argv[1])
+statusz = json.loads(sys.argv[2])
+
+# Shape: metricsz is a full registry snapshot, statusz a server status line.
+assert metricsz.get("admin") == "metricsz", metricsz
+counters = metricsz["metrics"]["counters"]
+hists = metricsz["metrics"]["histograms"]
+assert "wire.request" in hists, sorted(hists)
+for key in ("p50_ns", "p99_ns", "p999_ns"):
+    assert hists["wire.request"][key] > 0, hists["wire.request"]
+assert statusz.get("admin") == "statusz", statusz
+for key in ("uptime_ns", "workers", "draining", "conns_active",
+            "conns_accepted", "queue_depth", "queue_high_watermark",
+            "max_inflight_per_conn", "overload_sheds", "cache_size",
+            "cache_capacity"):
+    assert key in statusz, f"statusz missing {key}: {statusz}"
+assert statusz["workers"] == 2 and statusz["draining"] is False, statusz
+
+# The replayed request stream and the scrape count are fixed, so this
+# counter subset is exactly reproducible (scheduling-dependent splits like
+# wire.dedup_hits / svc.cache_hits stay out).
+with open(sys.argv[3]) as f:
+    golden = json.load(f)
+subset = {name: counters.get(name, 0) for name in golden}
+if subset != golden:
+    print("FAIL: admin-scrape counters diverged from the committed golden")
+    for name in sorted(golden):
+        marker = "" if subset[name] == golden[name] else "   <-- drift"
+        print(f"  {name}: golden {golden[name]}, scraped {subset[name]}{marker}")
+    sys.exit(1)
+print("admin plane: metricsz/statusz well-formed, "
+      f"{len(golden)} stable counters matched the golden")
+EOF
 echo "20 pipelined requests answered byte-identically over the socket, SIGTERM drained"
 
 echo
@@ -123,7 +173,7 @@ cmake -B build-noobs -S . -DCLOSFAIR_OBS=OFF >/dev/null
 cmake --build build-noobs -j "$JOBS" --target \
     test_obs test_search_engine test_waterfill test_waterfill_fastpath \
     test_simplex test_maxmin_lp test_exhaustive
-for tu in obs/obs.cpp.o obs/trace.cpp.o; do
+for tu in obs/obs.cpp.o obs/trace.cpp.o obs/rt.cpp.o; do
   defined=$(nm "build-noobs/src/CMakeFiles/closfair.dir/$tu" | grep -c ' T ' || true)
   if [ "$defined" -ne 0 ]; then
     echo "FAIL: $tu defines $defined symbols in an OBS=OFF build"

@@ -76,6 +76,11 @@ Json metrics_to_json(const obs::MetricsSnapshot& snapshot) {
     entry.set("total_ns", Json::number(static_cast<std::int64_t>(h.total_ns)));
     entry.set("min_ns", Json::number(static_cast<std::int64_t>(h.min_ns)));
     entry.set("max_ns", Json::number(static_cast<std::int64_t>(h.max_ns)));
+    // Log-linear quantile estimates from the buckets (obs.hpp): never off
+    // by more than one octave, exact for single-value distributions.
+    entry.set("p50_ns", Json::number(obs::estimate_quantile_ns(h, 0.50)));
+    entry.set("p99_ns", Json::number(obs::estimate_quantile_ns(h, 0.99)));
+    entry.set("p999_ns", Json::number(obs::estimate_quantile_ns(h, 0.999)));
     // Log2-ns buckets, truncated after the last nonzero bin to keep dumps
     // readable; bucket i counts durations in [2^(i-1), 2^i) ns.
     std::size_t last = h.buckets.size();

@@ -23,6 +23,8 @@
 // distinction is documented per metric in docs/OBSERVABILITY.md.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -70,6 +72,46 @@ struct MetricsSnapshot {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
 };
+
+/// Estimate the q-quantile (q in [0, 1]) of a histogram snapshot by
+/// log-linear interpolation: the target rank is located in its log2-ns
+/// bucket, then interpolated linearly in log-space across the bucket's
+/// [2^(i-1), 2^i) range — the bucket boundaries bound the true quantile, so
+/// the estimate is never off by more than one octave, and interpolation
+/// recovers most of that. The result is clamped to the recorded
+/// [min_ns, max_ns], which makes degenerate (single-value) distributions
+/// exact. Returns 0 for an empty histogram. Inline (not in obs.cpp): it
+/// works on snapshot data in both OBS builds, and the OFF build requires
+/// the obs TUs to stay symbol-free.
+[[nodiscard]] inline double estimate_quantile_ns(
+    const MetricsSnapshot::HistogramValue& hist, double q) {
+  if (hist.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(hist.count);
+  double cumulative = 0.0;
+  double estimate = static_cast<double>(hist.max_ns);
+  for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(hist.buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (i == 0) {
+        estimate = 0.0;  // bucket 0 holds only 0 ns durations
+      } else {
+        const double lo = std::exp2(static_cast<double>(i) - 1.0);
+        const double fraction = std::max(0.0, (rank - cumulative) / in_bucket);
+        estimate = lo * std::exp2(fraction);  // log-linear across [lo, 2*lo)
+      }
+      break;
+    }
+    cumulative += in_bucket;
+  }
+  // Clamp into the observed range: the true quantile cannot leave it, and
+  // single-value distributions come out exact.
+  if (hist.max_ns > 0) {
+    estimate = std::min(estimate, static_cast<double>(hist.max_ns));
+  }
+  return std::max(estimate, static_cast<double>(hist.min_ns));
+}
 
 #if CLOSFAIR_OBS_ENABLED
 

@@ -1,0 +1,245 @@
+// closfair::obs::rt — request-scoped tracing and the flight recorder.
+//
+// A RequestTrace rides inside each wire::Pipeline slot and records a
+// per-request stage breakdown (read → parse → admit → queue-wait → evaluate
+// → reorder-wait → write) as successive monotonic marks: every mark_at()
+// charges the time since the previous mark to one stage, so the stage sums
+// reconstruct the request's wall time *exactly* — no sampling, no drift.
+// The data path never allocates: the trace is a preallocated POD inside the
+// slot, marks are one steady-clock read plus an add, and completed traces
+// are published to a fixed-size lock-free ring (the flight recorder).
+//
+// The flight recorder keeps two seqlock rings: `recent` (the last
+// kRecentCapacity completed requests) and `shame` (the slowest / shed /
+// errored ones — anything an operator would page through after an
+// incident). Writers are wait-free (one fetch_add plus a slot copy);
+// readers (the tracez admin verb, bench dumps) retry torn slots. record()
+// also feeds the wire.stage.* and wire.request registry histograms, which
+// is where metricsz quantiles come from.
+//
+// With CLOSFAIR_OBS=OFF every type here collapses to an empty inline stub
+// (RequestTrace and WorkerStamps become empty structs, so
+// [[no_unique_address]] members vanish), rt.cpp compiles to nothing, and
+// the wire server is bit-for-bit the uninstrumented code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace closfair::obs::rt {
+
+/// Pipeline stages a request's wall time is charged to, in order. Every
+/// nanosecond between arrival (the recv() tick) and the post-write mark
+/// lands in exactly one stage.
+enum class Stage : std::uint8_t {
+  kRead = 0,     ///< recv() tick → admit() entry (kernel → reader handoff)
+  kParse,        ///< JSON parse + spec canonicalization
+  kAdmit,        ///< pipeline lock: dedup/cache lookup, budget check
+  kQueueWait,    ///< admitted → a worker dequeued it
+  kEvaluate,     ///< scenario evaluation on the worker
+  kReorderWait,  ///< completed → drained in seq order by the writer
+  kWrite,        ///< frame assembly + send()
+};
+inline constexpr std::size_t kStageCount = 7;
+
+[[nodiscard]] constexpr const char* stage_name(Stage stage) noexcept {
+  constexpr const char* kNames[kStageCount] = {
+      "read", "parse", "admit", "queue_wait", "evaluate", "reorder_wait", "write"};
+  return kNames[static_cast<std::size_t>(stage)];
+}
+
+/// How the request was answered (set at admission, refined at completion).
+enum class Outcome : std::uint8_t {
+  kEvaluated = 0,  ///< fresh evaluation on a worker
+  kCached,         ///< answered from the result cache
+  kDeduped,        ///< coalesced onto an in-flight duplicate
+  kOverload,       ///< shed by admission control
+  kParseError,     ///< request line did not parse
+  kEvalError,      ///< evaluation threw
+  kAdmin,          ///< metricsz / statusz / tracez
+};
+
+[[nodiscard]] constexpr const char* outcome_name(Outcome outcome) noexcept {
+  constexpr const char* kNames[7] = {"evaluated", "cached",      "deduped",
+                                     "overload",  "parse_error", "eval_error",
+                                     "admin"};
+  return kNames[static_cast<std::size_t>(outcome)];
+}
+
+#if CLOSFAIR_OBS_ENABLED
+
+/// One request's stage clock. Trivially copyable; lives inside the pipeline
+/// slot and is only ever touched under the pipeline lock, so it needs no
+/// atomics of its own.
+struct RequestTrace {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t arrival_ns = 0;  ///< recv() tick (steady clock)
+  std::uint64_t finish_ns = 0;   ///< last mark; 0 until finish()
+  std::uint64_t last_ns = 0;     ///< previous mark (internal)
+  std::array<std::uint64_t, kStageCount> stage_ns{};
+  Outcome outcome = Outcome::kEvaluated;
+  bool active = false;
+
+  void begin(std::uint64_t conn, std::uint64_t sequence,
+             std::uint64_t recv_ns) noexcept {
+    conn_id = conn;
+    seq = sequence;
+    arrival_ns = recv_ns != 0 ? recv_ns : now_ns();
+    last_ns = arrival_ns;
+    finish_ns = 0;
+    stage_ns.fill(0);
+    outcome = Outcome::kEvaluated;
+    active = true;
+  }
+
+  /// Charge [last mark, now) to `stage`. Clamps backwards ticks (a worker's
+  /// stamp can be older than a later reader-side mark), so stage sums stay
+  /// exactly equal to wall time under any interleaving.
+  void mark_at(Stage stage, std::uint64_t now) noexcept {
+    if (!active) return;
+    if (now < last_ns) now = last_ns;
+    stage_ns[static_cast<std::size_t>(stage)] += now - last_ns;
+    last_ns = now;
+  }
+
+  void mark(Stage stage) noexcept { mark_at(stage, now_ns()); }
+
+  void set_outcome(Outcome o) noexcept { outcome = o; }
+
+  /// Seal the trace: wall time becomes the span arrival → last mark, which
+  /// equals the sum of the stage durations by construction.
+  void finish() noexcept {
+    finish_ns = last_ns;
+    active = false;
+  }
+
+  [[nodiscard]] std::uint64_t wall_ns() const noexcept {
+    return finish_ns - arrival_ns;
+  }
+};
+
+/// Ticks a worker takes outside the pipeline lock: dequeue (ends
+/// queue-wait) and evaluation-done (ends evaluate). Passed by value into
+/// Pipeline::complete(), which charges the stages under the lock.
+struct WorkerStamps {
+  std::uint64_t dequeue_ns = 0;
+  std::uint64_t eval_done_ns = 0;
+};
+
+[[nodiscard]] inline WorkerStamps begin_work() noexcept {
+  return WorkerStamps{now_ns(), 0};
+}
+inline void end_work(WorkerStamps& stamps) noexcept {
+  stamps.eval_done_ns = now_ns();
+}
+
+/// Process-wide ring of completed traces. record() is wait-free per writer
+/// (seqlock slots: version 0 = being written, version v = global index
+/// v - 1); recent()/shame() copy out whatever is consistent right now and
+/// skip slots torn by a concurrent writer.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRecentCapacity = 256;
+  static constexpr std::size_t kShameCapacity = 64;
+  /// Default slowness bar for the shame ring; tune per deployment via
+  /// set_slow_threshold_ns().
+  static constexpr std::uint64_t kDefaultSlowThresholdNs = 10'000'000;
+
+  static FlightRecorder& instance();
+
+  /// Publish a finished trace: always into `recent`; into `shame` when the
+  /// outcome is overload/parse_error/eval_error or wall time is at or over
+  /// the slow threshold. Also records the wire.stage.* and wire.request
+  /// histograms for non-admin requests.
+  void record(const RequestTrace& trace) noexcept;
+
+  /// Completed traces, oldest first. Bounded by the ring capacities.
+  [[nodiscard]] std::vector<RequestTrace> recent() const;
+  [[nodiscard]] std::vector<RequestTrace> shame() const;
+
+  void set_slow_threshold_ns(std::uint64_t ns) noexcept;
+  [[nodiscard]] std::uint64_t slow_threshold_ns() const noexcept;
+
+  /// Forget every recorded trace. Not safe against concurrent record();
+  /// call between runs (tests, bench phases), like Registry::reset().
+  void reset() noexcept;
+
+ private:
+  FlightRecorder() = default;
+};
+
+/// One trace as a JSON object: conn/seq/arrival_ns/wall_ns/outcome plus a
+/// stages_ns map keyed by stage_name(). The tracez payload is arrays of
+/// these.
+[[nodiscard]] Json trace_to_json(const RequestTrace& trace);
+
+/// Chrome-trace JSONL ("ph":"X" complete events, one per nonzero stage plus
+/// one per request, tid = connection id): load into about:tracing or
+/// Perfetto alongside the OBS_SPAN stream from obs/trace.cpp.
+[[nodiscard]] std::string dump_chrome_jsonl(const std::vector<RequestTrace>& traces);
+
+#else  // !CLOSFAIR_OBS_ENABLED — empty inline stubs, no library symbols.
+
+/// Empty stub: [[no_unique_address]] members of this type occupy no space,
+/// and every method is an inert inline no-op (ObsDisabled tests assert
+/// std::is_empty_v on this). The static constexpr stage_ns keeps readers of
+/// the stage breakdown (bench/serve_net) compiling without adding state.
+struct RequestTrace {
+  static constexpr std::array<std::uint64_t, kStageCount> stage_ns{};
+  void begin(std::uint64_t, std::uint64_t, std::uint64_t) noexcept {}
+  void mark_at(Stage, std::uint64_t) noexcept {}
+  void mark(Stage) noexcept {}
+  void set_outcome(Outcome) noexcept {}
+  void finish() noexcept {}
+  [[nodiscard]] std::uint64_t wall_ns() const noexcept { return 0; }
+};
+
+/// static constexpr members keep `stamps.dequeue_ns` expressions compiling
+/// in call sites while the struct itself stays empty.
+struct WorkerStamps {
+  static constexpr std::uint64_t dequeue_ns = 0;
+  static constexpr std::uint64_t eval_done_ns = 0;
+};
+
+[[nodiscard]] inline WorkerStamps begin_work() noexcept { return {}; }
+inline void end_work(WorkerStamps&) noexcept {}
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRecentCapacity = 0;
+  static constexpr std::size_t kShameCapacity = 0;
+  static constexpr std::uint64_t kDefaultSlowThresholdNs = 0;
+
+  static FlightRecorder& instance() {
+    static FlightRecorder recorder;
+    return recorder;
+  }
+  void record(const RequestTrace&) noexcept {}
+  [[nodiscard]] std::vector<RequestTrace> recent() const { return {}; }
+  [[nodiscard]] std::vector<RequestTrace> shame() const { return {}; }
+  void set_slow_threshold_ns(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t slow_threshold_ns() const noexcept { return 0; }
+  void reset() noexcept {}
+
+ private:
+  FlightRecorder() = default;
+};
+
+[[nodiscard]] inline Json trace_to_json(const RequestTrace&) {
+  return Json::null();
+}
+[[nodiscard]] inline std::string dump_chrome_jsonl(
+    const std::vector<RequestTrace>&) {
+  return {};
+}
+
+#endif  // CLOSFAIR_OBS_ENABLED
+
+}  // namespace closfair::obs::rt

@@ -8,17 +8,21 @@
 
 namespace closfair::wire {
 
-Pipeline::Pipeline(svc::ResultCache& cache, PipelineLimits limits)
-    : cache_(cache), limits_(limits) {
+Pipeline::Pipeline(svc::ResultCache& cache, PipelineLimits limits,
+                   std::uint64_t conn_id)
+    : cache_(cache), limits_(limits), conn_id_(conn_id) {
   CF_CHECK_MSG(limits_.max_inflight >= 1, "Pipeline max_inflight must be >= 1");
 }
 
-Pipeline::Admission Pipeline::admit(std::string_view line, bool shed) {
+Pipeline::Admission Pipeline::admit(std::string_view line, bool shed,
+                                    std::uint64_t recv_ns) {
   // Parse outside the lock: admit() is only ever called from the
   // connection's reader thread, so arrival order is the call order either
   // way, and workers completing into other slots are not held up by spec
   // canonicalization.
+  [[maybe_unused]] const std::uint64_t entry_ns = obs::now_ns();
   Request request = parse_request(line);
+  [[maybe_unused]] const std::uint64_t parsed_ns = obs::now_ns();
   std::string canonical;
   std::uint64_t hash = 0;
   if (request.ok()) {
@@ -33,14 +37,19 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed) {
   Slot slot;
   slot.id = request.id;
   slot.hash = hash;
+  slot.trace.begin(conn_id_, admission.seq, recv_ns != 0 ? recv_ns : entry_ns);
+  slot.trace.mark_at(obs::rt::Stage::kRead, entry_ns);
+  slot.trace.mark_at(obs::rt::Stage::kParse, parsed_ns);
 
   if (!request.ok()) {
     OBS_COUNTER_INC("wire.parse_errors");
+    slot.trace.set_outcome(obs::rt::Outcome::kParseError);
     slot.payload = render_parse_error(slot.id, request.error);
   } else if (const auto it = pending_.find(canonical); it != pending_.end()) {
     // Duplicate of an in-flight (or completed-but-uncommitted) evaluation:
     // never re-evaluates, mirroring the batch dedup pre-pass.
     OBS_COUNTER_INC("wire.dedup_hits");
+    slot.trace.set_outcome(obs::rt::Outcome::kDeduped);
     Slot& first = slots_.at(it->second);
     if (first.state == State::kEvaluating) {
       slot.state = State::kAwaitingDup;
@@ -53,9 +62,11 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed) {
       slot.payload = render_eval_error(slot.id, hash, first.error);
     }
   } else if (auto hit = cache_.lookup(canonical); hit.has_value()) {
+    slot.trace.set_outcome(obs::rt::Outcome::kCached);
     slot.payload = render_result(slot.id, hash, /*cached=*/true, *hit);
   } else if (shed || inflight_ >= limits_.max_inflight) {
     OBS_COUNTER_INC("wire.overload_sheds");
+    slot.trace.set_outcome(obs::rt::Outcome::kOverload);
     ++overloads_;
     slot.payload = render_overload(
         slot.id, shed ? "server overloaded: evaluation queue is over its watermark"
@@ -68,17 +79,38 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed) {
     admission.evaluate = true;
     admission.spec = std::move(*request.spec);
   }
+  slot.trace.mark(obs::rt::Stage::kAdmit);
 
   slots_.emplace(admission.seq, std::move(slot));
   OBS_GAUGE_SET("wire.pipeline_depth", slots_.size());
   return admission;
 }
 
+void Pipeline::admit_ready(std::string payload) {
+  [[maybe_unused]] const std::uint64_t entry_ns = obs::now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = next_seq_++;
+  Slot slot;
+  slot.admin = true;
+  slot.trace.begin(conn_id_, seq, entry_ns);
+  slot.trace.set_outcome(obs::rt::Outcome::kAdmin);
+  slot.trace.mark(obs::rt::Stage::kAdmit);
+  slot.payload = std::move(payload);
+  slots_.emplace(seq, std::move(slot));
+  OBS_GAUGE_SET("wire.pipeline_depth", slots_.size());
+}
+
 void Pipeline::complete(std::uint64_t seq, svc::ScenarioResult result,
-                        std::string error) {
+                        std::string error, obs::rt::WorkerStamps stamps) {
   std::lock_guard<std::mutex> lock(mu_);
   Slot& slot = slots_.at(seq);
   CF_CHECK_MSG(slot.state == State::kEvaluating, "complete() on a non-evaluating seq");
+  // Queue-wait ends at the worker's dequeue tick, evaluation at its done
+  // tick; the remaining gap up to the writer's drain falls into
+  // reorder-wait (mark_at clamps, so a stale stamp can never go backwards).
+  slot.trace.mark_at(obs::rt::Stage::kQueueWait, stamps.dequeue_ns);
+  slot.trace.mark_at(obs::rt::Stage::kEvaluate, stamps.eval_done_ns);
+  if (!error.empty()) slot.trace.set_outcome(obs::rt::Outcome::kEvalError);
   slot.ok = error.empty();
   slot.result = std::move(result);
   slot.error = std::move(error);
@@ -98,6 +130,7 @@ void Pipeline::complete(std::uint64_t seq, svc::ScenarioResult result,
 }
 
 std::vector<std::string> Pipeline::take_ready() {
+  [[maybe_unused]] const std::uint64_t drain_ns = obs::now_ns();
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   while (true) {
@@ -110,13 +143,33 @@ std::vector<std::string> Pipeline::take_ready() {
       if (slot.ok) cache_.insert(slot.canonical, slot.result);
       pending_.erase(slot.canonical);
     }
-    OBS_COUNTER_INC("wire.responses");
+    if (!slot.admin) OBS_COUNTER_INC("wire.responses");
+    if constexpr (obs::kEnabled) {
+      slot.trace.mark_at(obs::rt::Stage::kReorderWait, drain_ns);
+      pending_write_.push_back(slot.trace);
+    }
     out.push_back(std::move(slot.payload));
     slots_.erase(it);
     ++next_write_;
   }
   OBS_GAUGE_SET("wire.pipeline_depth", slots_.size());
   return out;
+}
+
+void Pipeline::commit_written() {
+  if constexpr (obs::kEnabled) {
+    std::vector<obs::rt::RequestTrace> written;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      written.swap(pending_write_);
+    }
+    const std::uint64_t now = obs::now_ns();
+    for (obs::rt::RequestTrace& trace : written) {
+      trace.mark_at(obs::rt::Stage::kWrite, now);
+      trace.finish();
+      obs::rt::FlightRecorder::instance().record(trace);
+    }
+  }
 }
 
 std::size_t Pipeline::inflight() const {

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/rt.hpp"
 #include "svc/cache.hpp"
 #include "svc/spec.hpp"
 #include "util/json.hpp"
@@ -48,7 +49,10 @@ struct PipelineLimits {
 
 class Pipeline {
  public:
-  Pipeline(svc::ResultCache& cache, PipelineLimits limits = {});
+  /// `conn_id` labels this pipeline's request traces (flight recorder /
+  /// tracez); 0 is fine for batch or test use.
+  Pipeline(svc::ResultCache& cache, PipelineLimits limits = {},
+           std::uint64_t conn_id = 0);
 
   /// What admit() decided for one request line.
   struct Admission {
@@ -60,18 +64,33 @@ class Pipeline {
   /// Admit the next request line, in arrival order. `shed` additionally
   /// forces an overload response (the server passes its global queue-depth
   /// watermark verdict). When the returned Admission has evaluate == false
-  /// the response is already queued for take_ready().
-  [[nodiscard]] Admission admit(std::string_view line, bool shed = false);
+  /// the response is already queued for take_ready(). `recv_ns` is the
+  /// recv() tick that delivered the line (the trace's arrival time; 0 =
+  /// stamp on entry).
+  [[nodiscard]] Admission admit(std::string_view line, bool shed = false,
+                                std::uint64_t recv_ns = 0);
+
+  /// Queue an already-rendered response payload (the admin plane's
+  /// metricsz/statusz/tracez answers) at the next seq, so it interleaves
+  /// into the response stream in arrival order like any data-plane request.
+  void admit_ready(std::string payload);
 
   /// Deliver an evaluation outcome for an admitted seq. `error` non-empty
   /// means the evaluation failed; duplicates waiting on this seq are
-  /// fulfilled either way.
-  void complete(std::uint64_t seq, svc::ScenarioResult result, std::string error);
+  /// fulfilled either way. `stamps` carries the worker's dequeue /
+  /// evaluation-done ticks for the stage breakdown (empty under OBS=OFF).
+  void complete(std::uint64_t seq, svc::ScenarioResult result, std::string error,
+                obs::rt::WorkerStamps stamps = {});
 
   /// Drain every response that is ready *and* next in sequence order,
   /// committing first-occurrence results to the cache as they pass. Returns
   /// unframed response payloads, oldest first.
   [[nodiscard]] std::vector<std::string> take_ready();
+
+  /// Tell the pipeline the payloads from the last take_ready() batch have
+  /// been written to the socket: their traces get the write stage charged
+  /// and are published to the flight recorder. No-op under OBS=OFF.
+  void commit_written();
 
   /// Evaluations admitted but not yet completed.
   [[nodiscard]] std::size_t inflight() const;
@@ -101,12 +120,19 @@ class Pipeline {
     svc::ScenarioResult result;   ///< completed result awaiting seq-order commit
     std::string error;            ///< completed error (for late duplicates)
     bool ok = false;              ///< result valid (vs. error) after complete()
+    bool admin = false;           ///< admin-plane response (admit_ready); kept
+                                  ///< out of the wire.requests/responses counters
     std::vector<std::uint64_t> waiters;  ///< duplicate seqs fulfilled on complete
+    [[no_unique_address]] obs::rt::RequestTrace trace;  ///< empty under OBS=OFF
   };
 
   mutable std::mutex mu_;
   svc::ResultCache& cache_;
   PipelineLimits limits_;
+  std::uint64_t conn_id_ = 0;
+  /// Traces drained by take_ready(), awaiting commit_written(). Never
+  /// touched under OBS=OFF (no per-request work or allocation).
+  std::vector<obs::rt::RequestTrace> pending_write_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_write_ = 0;
   std::uint64_t inflight_ = 0;

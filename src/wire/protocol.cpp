@@ -71,4 +71,8 @@ std::string render_overload(const Json& id, const std::string& detail) {
   return response.dump();
 }
 
+bool is_admin_verb(std::string_view payload) {
+  return payload == "metricsz" || payload == "statusz" || payload == "tracez";
+}
+
 }  // namespace closfair::wire

@@ -63,4 +63,10 @@ struct Request {
 [[nodiscard]] std::string render_overload(const Json& id,
                                           const std::string& detail);
 
+/// True when a frame payload is one of the admin-plane verbs — exactly
+/// "metricsz", "statusz", or "tracez" (docs/OBSERVABILITY.md). Verbs are
+/// not valid JSON, so they can never collide with a request line; the
+/// server answers them in stream order without touching the data plane.
+[[nodiscard]] bool is_admin_verb(std::string_view payload);
+
 }  // namespace closfair::wire

@@ -13,7 +13,9 @@
 #include <cerrno>
 #include <utility>
 
+#include "io/json_export.hpp"
 #include "obs/obs.hpp"
+#include "obs/rt.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "wire/protocol.hpp"
@@ -70,8 +72,9 @@ struct Server::Connection {
   std::string protocol_error;    ///< oversized frame: final response, then close
   std::atomic<bool> finished{false};
 
-  Connection(int fd_in, svc::ResultCache& cache, PipelineLimits limits)
-      : fd(fd_in), pipeline(cache, limits) {}
+  Connection(int fd_in, svc::ResultCache& cache, PipelineLimits limits,
+             std::uint64_t conn_id)
+      : fd(fd_in), pipeline(cache, limits, conn_id) {}
 
   void wake(bool done_reading = false) {
     {
@@ -119,6 +122,7 @@ void Server::start() {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  start_ns_ = obs::now_ns();
 
   if (::pipe(wake_fds_) < 0) {
     throw WireError("pipe(): " + std::string(strerror(errno)));
@@ -143,11 +147,13 @@ void Server::accept_loop() {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) continue;
     set_tcp_nodelay(fd);
-    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t conn_id =
+        conns_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
     OBS_COUNTER_INC("wire.conns_accepted");
 
     auto conn = std::make_shared<Connection>(
-        fd, service_.cache(), PipelineLimits{options_.max_inflight_per_conn});
+        fd, service_.cache(), PipelineLimits{options_.max_inflight_per_conn},
+        conn_id);
     conn->reader = std::thread([this, conn] { reader_loop(conn); });
     conn->writer = std::thread([this, conn] { writer_loop(conn); });
     {
@@ -167,12 +173,25 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF, peer reset, or drain()'s SHUT_RD
+    // One arrival stamp per recv() batch: every frame it delivered was on
+    // the wire by this tick, so the gap to its admit() entry is read time.
+    const std::uint64_t recv_ns = obs::now_ns();
     try {
       decoder.feed(buf.data(), static_cast<std::size_t>(n));
       while (auto frame = decoder.next()) {
+        if (is_admin_verb(*frame)) {
+          // Admin verbs bypass parse/shed entirely — they must answer even
+          // (especially) when the data plane is overloaded — but flow
+          // through the pipeline's seq order like any response.
+          OBS_COUNTER_INC("wire.admin_requests");
+          conn->pipeline.admit_ready(admin_response(*frame));
+          conn->wake();
+          continue;
+        }
         const bool shed = queue_depth_.load(std::memory_order_relaxed) >=
                           options_.queue_high_watermark;
-        Pipeline::Admission admission = conn->pipeline.admit(*frame, shed);
+        Pipeline::Admission admission =
+            conn->pipeline.admit(*frame, shed, recv_ns);
         if (admission.evaluate) {
           enqueue(Job{conn, admission.seq, std::move(admission.spec)});
         }
@@ -217,6 +236,10 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
         // Kick the reader out of recv(): a peer we cannot write to is gone.
         ::shutdown(conn->fd, SHUT_RD);
       }
+      // Seal the drained traces (write stage ends here) and publish them to
+      // the flight recorder — even for a dead peer, where the write is the
+      // failed attempt.
+      conn->pipeline.commit_written();
     }
     std::unique_lock<std::mutex> lock(conn->mu);
     if ((conn->reading_done && conn->pipeline.idle()) || conn->dead) {
@@ -251,6 +274,7 @@ void Server::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    obs::rt::WorkerStamps stamps = obs::rt::begin_work();
     svc::ScenarioResult result;
     std::string error;
     try {
@@ -259,10 +283,12 @@ void Server::worker_loop() {
       OBS_COUNTER_INC("svc.errors");
       error = e.what();
     }
+    obs::rt::end_work(stamps);
     OBS_COUNTER_INC("wire.evaluations");
     const std::size_t depth = queue_depth_.fetch_sub(1, std::memory_order_relaxed) - 1;
     OBS_GAUGE_SET("wire.eval_queue_depth", depth);
-    job.conn->pipeline.complete(job.seq, std::move(result), std::move(error));
+    job.conn->pipeline.complete(job.seq, std::move(result), std::move(error),
+                                stamps);
     job.conn->wake();
   }
 }
@@ -335,6 +361,70 @@ void Server::drain() {
   obs::Registry::instance().gauge("wire.conns_active").set(0);
   obs::Registry::instance().gauge("wire.drain_ns").set(
       static_cast<std::int64_t>(obs::now_ns() - t0));
+}
+
+std::string Server::admin_response(std::string_view verb) {
+  Json response = Json::object();
+  response.set("admin", Json::string(std::string(verb)));
+  if constexpr (!obs::kEnabled) {
+    // Well-formed, self-describing refusal: the admin plane stays reachable
+    // in OBS=OFF builds, it just has nothing to report.
+    response.set("error",
+                 Json::string("observability disabled (CLOSFAIR_OBS=OFF)"));
+    return response.dump();
+  } else {
+    if (verb == "metricsz") {
+      response.set("metrics",
+                   metrics_to_json(obs::Registry::instance().snapshot()));
+    } else if (verb == "statusz") {
+      std::size_t active = 0;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        active = conns_.size();
+      }
+      response.set("uptime_ns", Json::number(static_cast<std::int64_t>(
+                                    obs::now_ns() - start_ns_)));
+      response.set("workers", Json::number(static_cast<std::int64_t>(workers_)));
+      response.set("draining", Json::boolean(draining_.load()));
+      response.set("conns_active",
+                   Json::number(static_cast<std::int64_t>(active)));
+      response.set("conns_accepted", Json::number(static_cast<std::int64_t>(
+                                         conns_accepted_.load())));
+      response.set("queue_depth", Json::number(static_cast<std::int64_t>(
+                                      queue_depth_.load())));
+      response.set("queue_high_watermark",
+                   Json::number(static_cast<std::int64_t>(
+                       options_.queue_high_watermark)));
+      response.set("max_inflight_per_conn",
+                   Json::number(static_cast<std::int64_t>(
+                       options_.max_inflight_per_conn)));
+      response.set("overload_sheds",
+                   Json::number(static_cast<std::int64_t>(
+                       obs::Registry::instance()
+                           .counter("wire.overload_sheds")
+                           .total())));
+      response.set("cache_size", Json::number(static_cast<std::int64_t>(
+                                     service_.cache().size())));
+      response.set("cache_capacity", Json::number(static_cast<std::int64_t>(
+                                         service_.cache().capacity())));
+    } else {  // tracez (is_admin_verb gated the dispatch)
+      const obs::rt::FlightRecorder& recorder =
+          obs::rt::FlightRecorder::instance();
+      response.set("slow_threshold_ns", Json::number(static_cast<std::int64_t>(
+                                            recorder.slow_threshold_ns())));
+      Json recent = Json::array();
+      for (const obs::rt::RequestTrace& trace : recorder.recent()) {
+        recent.push_back(obs::rt::trace_to_json(trace));
+      }
+      response.set("recent", std::move(recent));
+      Json shame = Json::array();
+      for (const obs::rt::RequestTrace& trace : recorder.shame()) {
+        shame.push_back(obs::rt::trace_to_json(trace));
+      }
+      response.set("shame", std::move(shame));
+    }
+    return response.dump();
+  }
 }
 
 void Server::run_until_signal() {

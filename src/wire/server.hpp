@@ -95,10 +95,16 @@ class Server {
   void enqueue(Job job);
   void reap_finished_locked();
 
+  /// Render the response payload for an admin verb (metricsz / statusz /
+  /// tracez). Under OBS=OFF every verb answers a well-formed
+  /// "observability disabled" error object instead.
+  [[nodiscard]] std::string admin_response(std::string_view verb);
+
   svc::Service& service_;
   ServerOptions options_;
   unsigned workers_ = 1;
   std::uint16_t port_ = 0;
+  std::uint64_t start_ns_ = 0;  ///< start() tick; statusz uptime base
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: drain() wakes the acceptor
   std::thread acceptor_;

@@ -1,12 +1,16 @@
 // Tests for closfair::obs — counter aggregation across threads, registry
-// reset semantics, span nesting in the JSONL trace output, and the
-// determinism of algorithmic counters across worker-thread counts.
+// reset semantics, span nesting in the JSONL trace output, the determinism
+// of algorithmic counters across worker-thread counts, histogram quantile
+// estimation against known distributions, and the obs::rt request-tracing
+// building blocks (stage accounting, flight-recorder rings, Chrome JSONL).
 //
 // With CLOSFAIR_OBS=OFF the same binary compiles against the inline stubs
-// and the tests instead prove the layer is inert: snapshots stay empty and
-// tracing cannot be activated.
+// and the tests instead prove the layer is inert: snapshots stay empty,
+// tracing cannot be activated, the request-trace structs are empty types,
+// and the wire admin verbs answer with a well-formed "disabled" error.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -14,9 +18,12 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "io/json_export.hpp"
 #include "obs/obs.hpp"
+#include "obs/rt.hpp"
 #include "obs/trace.hpp"
 #include "routing/exhaustive.hpp"
 #include "svc/service.hpp"
@@ -313,6 +320,230 @@ TEST(ObsDeterminism, SearchCountersMatchEngineStats) {
   EXPECT_EQ(counter_value(snapshot, "waterfill.calls"), result.waterfill_invocations);
 }
 
+// ----------------------------------------------------------------- quantiles
+
+namespace {
+
+const obs::MetricsSnapshot::HistogramValue* find_hist(
+    const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(ObsQuantiles, EmptyHistogramEstimatesZero) {
+  obs::MetricsSnapshot::HistogramValue empty;
+  EXPECT_EQ(obs::estimate_quantile_ns(empty, 0.5), 0.0);
+}
+
+TEST(ObsQuantiles, SingleValuedDistributionIsExact) {
+  // Every sample is 1000 ns: the min/max clamp collapses the log-linear
+  // bucket estimate onto the one observed value, for every quantile.
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Histogram& hist = registry.histogram("test.quant_single");
+  for (int i = 0; i < 100; ++i) hist.record_ns(1000);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const auto* h = find_hist(snapshot, "test.quant_single");
+  ASSERT_NE(h, nullptr);
+  for (const double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::estimate_quantile_ns(*h, q), 1000.0) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantiles, ZeroDurationsEstimateZero) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Histogram& hist = registry.histogram("test.quant_zero");
+  for (int i = 0; i < 10; ++i) hist.record_ns(0);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const auto* h = find_hist(snapshot, "test.quant_zero");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(obs::estimate_quantile_ns(*h, 0.5), 0.0);
+}
+
+TEST(ObsQuantiles, UniformDistributionWithinBucketResolution) {
+  // 1..1000 ns uniformly: the true p50 is 500 and sits in the [256, 512)
+  // bucket; log-linear interpolation lands near 497. The relative error of
+  // the estimator is bounded by one bucket (a factor of 2) before clamping.
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Histogram& hist = registry.histogram("test.quant_uniform");
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record_ns(v);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const auto* h = find_hist(snapshot, "test.quant_uniform");
+  ASSERT_NE(h, nullptr);
+  const double p50 = obs::estimate_quantile_ns(*h, 0.50);
+  const double p99 = obs::estimate_quantile_ns(*h, 0.99);
+  const double p999 = obs::estimate_quantile_ns(*h, 0.999);
+  EXPECT_GE(p50, 300.0);
+  EXPECT_LE(p50, 700.0);
+  EXPECT_GE(p99, 800.0);   // true p99 = 990
+  EXPECT_LE(p99, 1000.0);  // never past the observed max
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, 1000.0);
+}
+
+TEST(ObsQuantiles, BimodalTailIsSeparated) {
+  // 90% fast (100 ns) / 10% slow (100 us): p50 must report the fast mode,
+  // p99 the slow one — the failure mode a mean would hide.
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Histogram& hist = registry.histogram("test.quant_bimodal");
+  for (int i = 0; i < 90; ++i) hist.record_ns(100);
+  for (int i = 0; i < 10; ++i) hist.record_ns(100000);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const auto* h = find_hist(snapshot, "test.quant_bimodal");
+  ASSERT_NE(h, nullptr);
+  const double p50 = obs::estimate_quantile_ns(*h, 0.50);
+  const double p99 = obs::estimate_quantile_ns(*h, 0.99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 200.0);
+  EXPECT_GE(p99, 50000.0);
+  EXPECT_LE(p99, 100000.0);
+}
+
+TEST(ObsQuantiles, MetricsJsonCarriesQuantileEstimates) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  registry.histogram("test.quant_json").record_ns(1000);
+  const Json exported = metrics_to_json(registry.snapshot());
+  const Json* hists = exported.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const Json* h = hists->find("test.quant_json");
+  ASSERT_NE(h, nullptr);
+  for (const char* key : {"p50_ns", "p99_ns", "p999_ns"}) {
+    const Json* quantile = h->find(key);
+    ASSERT_NE(quantile, nullptr) << key;
+    EXPECT_DOUBLE_EQ(quantile->as_double(), 1000.0) << key;
+  }
+}
+
+// ---------------------------------------------------------- request tracing
+
+namespace {
+
+obs::rt::RequestTrace finished_trace(std::uint64_t conn, std::uint64_t seq,
+                                     std::uint64_t wall_ns,
+                                     obs::rt::Outcome outcome) {
+  obs::rt::RequestTrace trace;
+  trace.begin(conn, seq, /*recv_ns=*/1000);
+  trace.mark_at(obs::rt::Stage::kEvaluate, 1000 + wall_ns);
+  trace.set_outcome(outcome);
+  trace.finish();
+  return trace;
+}
+
+}  // namespace
+
+TEST(ObsRt, StageMarksPartitionWallTimeExactly) {
+  using obs::rt::Stage;
+  obs::rt::RequestTrace trace;
+  trace.begin(7, 3, /*recv_ns=*/1000);
+  trace.mark_at(Stage::kRead, 1500);
+  trace.mark_at(Stage::kParse, 1500);      // zero-length stage
+  trace.mark_at(Stage::kAdmit, 1400);      // backwards tick: clamped to 0
+  trace.mark_at(Stage::kQueueWait, 2100);  // measured from the clamp point
+  trace.mark_at(Stage::kEvaluate, 2600);
+  trace.mark_at(Stage::kReorderWait, 2600);
+  trace.mark_at(Stage::kWrite, 3000);
+  trace.finish();
+
+  EXPECT_EQ(trace.conn_id, 7u);
+  EXPECT_EQ(trace.seq, 3u);
+  EXPECT_EQ(trace.wall_ns(), 2000u);
+  EXPECT_EQ(trace.stage_ns[static_cast<std::size_t>(Stage::kRead)], 500u);
+  EXPECT_EQ(trace.stage_ns[static_cast<std::size_t>(Stage::kParse)], 0u);
+  EXPECT_EQ(trace.stage_ns[static_cast<std::size_t>(Stage::kAdmit)], 0u);
+  EXPECT_EQ(trace.stage_ns[static_cast<std::size_t>(Stage::kQueueWait)], 600u);
+  EXPECT_EQ(trace.stage_ns[static_cast<std::size_t>(Stage::kEvaluate)], 500u);
+  EXPECT_EQ(trace.stage_ns[static_cast<std::size_t>(Stage::kWrite)], 400u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t ns : trace.stage_ns) sum += ns;
+  EXPECT_EQ(sum, trace.wall_ns());  // exact: the invariant of mark_at()
+
+  // Marks after finish() are inert.
+  trace.mark_at(Stage::kWrite, 9000);
+  EXPECT_EQ(trace.wall_ns(), 2000u);
+}
+
+TEST(ObsRt, FlightRecorderRoutesToRecentAndShame) {
+  auto& recorder = obs::rt::FlightRecorder::instance();
+  recorder.reset();
+  obs::Registry::instance().reset();
+  recorder.set_slow_threshold_ns(1'000'000);
+
+  recorder.record(finished_trace(1, 0, 500'000, obs::rt::Outcome::kEvaluated));
+  recorder.record(finished_trace(1, 1, 1'000, obs::rt::Outcome::kParseError));
+  recorder.record(finished_trace(1, 2, 2'000'000, obs::rt::Outcome::kEvaluated));
+  recorder.record(finished_trace(1, 3, 100, obs::rt::Outcome::kAdmin));
+
+  const auto recent = recorder.recent();
+  ASSERT_EQ(recent.size(), 4u);  // everything, oldest first
+  EXPECT_EQ(recent[0].seq, 0u);
+  EXPECT_EQ(recent[3].seq, 3u);
+
+  const auto shame = recorder.shame();  // errored + slow only
+  ASSERT_EQ(shame.size(), 2u);
+  EXPECT_EQ(shame[0].seq, 1u);
+  EXPECT_EQ(shame[1].seq, 2u);
+
+  // Non-admin traces feed the wire.request histogram; the admin one did not.
+  EXPECT_EQ(obs::Registry::instance().histogram("wire.request").count(), 3u);
+
+  recorder.reset();
+  EXPECT_TRUE(recorder.recent().empty());
+  EXPECT_TRUE(recorder.shame().empty());
+  EXPECT_EQ(recorder.slow_threshold_ns(),
+            obs::rt::FlightRecorder::kDefaultSlowThresholdNs);
+}
+
+TEST(ObsRt, FlightRecorderKeepsTheLastCapacityTraces) {
+  auto& recorder = obs::rt::FlightRecorder::instance();
+  recorder.reset();
+  obs::Registry::instance().reset();
+  constexpr std::size_t kTotal = obs::rt::FlightRecorder::kRecentCapacity + 44;
+  for (std::size_t seq = 0; seq < kTotal; ++seq) {
+    recorder.record(finished_trace(1, seq, 1'000, obs::rt::Outcome::kEvaluated));
+  }
+  const auto recent = recorder.recent();
+  ASSERT_EQ(recent.size(), obs::rt::FlightRecorder::kRecentCapacity);
+  EXPECT_EQ(recent.front().seq, 44u);  // the oldest surviving trace
+  EXPECT_EQ(recent.back().seq, kTotal - 1);
+  recorder.reset();
+}
+
+TEST(ObsRt, TraceJsonAndChromeJsonlShapes) {
+  obs::rt::RequestTrace trace;
+  trace.begin(5, 2, /*recv_ns=*/1000);
+  trace.mark_at(obs::rt::Stage::kRead, 2000);
+  trace.mark_at(obs::rt::Stage::kEvaluate, 4000);
+  trace.finish();
+
+  const Json j = obs::rt::trace_to_json(trace);
+  EXPECT_EQ(j.find("conn")->as_int(), 5);
+  EXPECT_EQ(j.find("seq")->as_int(), 2);
+  EXPECT_EQ(j.find("wall_ns")->as_int(), 3000);
+  EXPECT_EQ(j.find("outcome")->as_string(), "evaluated");
+  EXPECT_EQ(j.find("stages_ns")->find("read")->as_int(), 1000);
+  EXPECT_EQ(j.find("stages_ns")->find("evaluate")->as_int(), 2000);
+  EXPECT_EQ(j.find("stages_ns")->find("write")->as_int(), 0);
+
+  const std::string jsonl = obs::rt::dump_chrome_jsonl({trace});
+  // One request event plus one per nonzero stage (read, evaluate).
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+  EXPECT_NE(jsonl.find("\"name\":\"wire.request/evaluated\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"wire.stage.read\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"wire.stage.evaluate\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"name\":\"wire.stage.write\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"tid\":5"), std::string::npos);
+}
+
 #else  // !CLOSFAIR_OBS_ENABLED
 
 // OBS=OFF: instrumented code must leave no trace. The stubs return empty
@@ -388,6 +619,56 @@ TEST(ObsDisabled, MacrosAreInert) {
   OBS_COUNTER_INC("test.off");
   OBS_GAUGE_SET("test.off_gauge", 3);
   OBS_SPAN("test.off_span");
+  EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
+}
+
+// The per-request overhead of tracing must be *structurally* zero under
+// OBS=OFF: the trace and worker-stamp structs are empty types (so the
+// [[no_unique_address]] member in the pipeline slot occupies no space), and
+// the flight recorder swallows everything.
+TEST(ObsDisabled, RequestTraceStructuresAreEmpty) {
+  EXPECT_TRUE(std::is_empty_v<obs::rt::RequestTrace>);
+  EXPECT_TRUE(std::is_empty_v<obs::rt::WorkerStamps>);
+
+  obs::rt::RequestTrace trace;
+  trace.begin(1, 2, 3);
+  trace.mark(obs::rt::Stage::kRead);
+  trace.set_outcome(obs::rt::Outcome::kParseError);
+  trace.finish();
+  EXPECT_EQ(trace.wall_ns(), 0u);
+
+  auto& recorder = obs::rt::FlightRecorder::instance();
+  recorder.record(trace);
+  EXPECT_TRUE(recorder.recent().empty());
+  EXPECT_TRUE(recorder.shame().empty());
+  EXPECT_TRUE(obs::rt::trace_to_json(trace).is_null());
+  EXPECT_TRUE(obs::rt::dump_chrome_jsonl({trace}).empty());
+}
+
+// The admin plane stays reachable with observability compiled out: every
+// verb answers a well-formed self-describing error, the data plane is
+// untouched, and the registry stays empty through it all.
+TEST(ObsDisabled, AdminVerbsAnswerDisabledOverTheWire) {
+  svc::ScenarioSpec spec;
+  spec.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  spec.workload.generator = "permutation";
+  spec.workload.seed = 3;
+  svc::Service service(svc::ServiceOptions{1, 8});
+  wire::Server server(service, wire::ServerOptions{});
+  server.start();
+
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  for (const std::string verb : {"metricsz", "statusz", "tracez"}) {
+    EXPECT_EQ(client.call(verb),
+              "{\"admin\":\"" + verb +
+                  "\",\"error\":\"observability disabled (CLOSFAIR_OBS=OFF)\"}");
+  }
+  // Data requests still work, interleaved after the scrapes.
+  EXPECT_NE(client.call(spec.to_json().dump()).find("\"cached\":false"),
+            std::string::npos);
+  client.close();
+  server.drain();
   EXPECT_TRUE(obs::Registry::instance().snapshot().empty());
 }
 

@@ -1,18 +1,24 @@
 // Tests for closfair::wire — length-prefixed framing (round-trip, partial
 // reads, oversized-frame rejection), the request/response line protocol, the
 // per-connection Pipeline (in-order responses from out-of-order completions,
-// dedup, admission control), and the TCP server end to end over a real
-// loopback socket: byte-identity with the batch binary for 1/2/8 workers,
-// overload shedding, and graceful drain (docs/SERVICE.md "Wire protocol").
+// dedup, admission control), the TCP server end to end over a real
+// loopback socket (byte-identity with the batch binary for 1/2/8 workers,
+// overload shedding, graceful drain — docs/SERVICE.md "Wire protocol"),
+// and the admin plane / request tracing: metricsz/statusz/tracez verbs,
+// failure-path counters, and the stage-sum = wall-time invariant of every
+// flight-recorder entry (docs/OBSERVABILITY.md).
 #include "wire/server.hpp"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/rt.hpp"
 #include "svc/service.hpp"
 #include "wire/client.hpp"
 #include "wire/connection.hpp"
@@ -469,6 +475,204 @@ TEST(WireServer, DrainFlushesEverythingAlreadyAdmitted) {
   EXPECT_LE(received, kRequests);
   EXPECT_EQ(server.queue_depth(), 0u);
 }
+
+// ------------------------------------------------ admin plane + request traces
+
+TEST(WireProtocol, AdminVerbDetectionIsExact) {
+  EXPECT_TRUE(wire::is_admin_verb("metricsz"));
+  EXPECT_TRUE(wire::is_admin_verb("statusz"));
+  EXPECT_TRUE(wire::is_admin_verb("tracez"));
+  // Anything else — including near-misses — is a data-plane payload. Verbs
+  // are not valid JSON, so no legal request can collide with them.
+  EXPECT_FALSE(wire::is_admin_verb("METRICSZ"));
+  EXPECT_FALSE(wire::is_admin_verb("metricsz "));
+  EXPECT_FALSE(wire::is_admin_verb(""));
+  EXPECT_FALSE(wire::is_admin_verb(R"({"id":1})"));
+}
+
+TEST(WirePipeline, AdminResponsesInterleaveInArrivalOrder) {
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache);
+  const auto first = admit_line(pipeline, 1);
+  ASSERT_TRUE(first.evaluate);
+  pipeline.admit_ready("ADMIN-PAYLOAD");  // takes the seq between the two
+  const auto second = admit_line(pipeline, 2);
+  ASSERT_TRUE(second.evaluate);
+
+  // Even with the later evaluation finishing first, the admin payload holds
+  // its arrival-order position behind the head-of-line request.
+  pipeline.complete(second.seq, fake_result(2), "");
+  EXPECT_TRUE(pipeline.take_ready().empty());
+  pipeline.complete(first.seq, fake_result(1), "");
+  const auto out = pipeline.take_ready();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].find("{\"id\":1,"), 0u);
+  EXPECT_EQ(out[1], "ADMIN-PAYLOAD");
+  EXPECT_EQ(out[2].find("{\"id\":2,"), 0u);
+  EXPECT_TRUE(pipeline.idle());
+}
+
+#if CLOSFAIR_OBS_ENABLED
+
+std::uint64_t counter_total(const std::string& name) {
+  return obs::Registry::instance().counter(name).total();
+}
+
+TEST(WireCounters, OversizedFramePoisoningBumpsCounter) {
+  // Decoder-level: the counter fires when the hostile header is rejected.
+  const std::uint64_t before = counter_total("wire.oversized_frames");
+  wire::FrameDecoder decoder(/*max_frame_bytes=*/16);
+  const char header[4] = {0, 0, 0, 17};
+  EXPECT_THROW(decoder.feed(header, 4), wire::WireError);
+  EXPECT_EQ(counter_total("wire.oversized_frames"), before + 1);
+  // The poisoned decoder re-throws without re-counting the same frame.
+  EXPECT_THROW(decoder.next(), wire::WireError);
+  EXPECT_EQ(counter_total("wire.oversized_frames"), before + 1);
+
+  // Server-level: the same counter fires on a live oversized frame.
+  svc::Service service(svc::ServiceOptions{1, 64});
+  wire::ServerOptions options;
+  options.max_frame_bytes = 64;
+  wire::Server server(service, options);
+  server.start();
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  client.send(std::string(65, 'x'));
+  ASSERT_TRUE(client.recv().has_value());   // the final error response
+  EXPECT_FALSE(client.recv().has_value());  // then close
+  server.drain();
+  EXPECT_EQ(counter_total("wire.oversized_frames"), before + 2);
+}
+
+TEST(WireCounters, BudgetAndWatermarkShedsBumpCounter) {
+  const std::uint64_t before = counter_total("wire.overload_sheds");
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache, wire::PipelineLimits{1});
+  const auto first = admit_line(pipeline, 1);
+  ASSERT_TRUE(first.evaluate);
+  EXPECT_FALSE(admit_line(pipeline, 2).evaluate);  // budget exhausted
+  EXPECT_EQ(counter_total("wire.overload_sheds"), before + 1);
+  pipeline.complete(first.seq, fake_result(1), "");
+  const auto shed =
+      pipeline.admit(R"({"id":9,"spec":)" + tiny_spec_json(3) + "}", /*shed=*/true);
+  EXPECT_FALSE(shed.evaluate);  // watermark shed with budget available
+  EXPECT_EQ(counter_total("wire.overload_sheds"), before + 2);
+  (void)pipeline.take_ready();
+}
+
+TEST(WireAdmin, VerbsInterleaveWithDataAndOnlyCountAsAdmin) {
+  const std::uint64_t admin_before = counter_total("wire.admin_requests");
+  const std::uint64_t requests_before = counter_total("wire.requests");
+  const std::uint64_t responses_before = counter_total("wire.responses");
+
+  svc::Service service(svc::ServiceOptions{2, 64});
+  wire::ServerOptions options;
+  options.workers = 2;
+  wire::Server server(service, options);
+  server.start();
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+
+  // Pipelined data / admin / data: responses come back in arrival order.
+  client.send(R"({"id":0,"spec":)" + tiny_spec_json(400) + "}");
+  client.send("statusz");
+  client.send(R"({"id":1,"spec":)" + tiny_spec_json(401) + "}");
+  client.finish_sending();
+  const auto r0 = client.recv();
+  const auto r1 = client.recv();
+  const auto r2 = client.recv();
+  ASSERT_TRUE(r0 && r1 && r2);
+  EXPECT_EQ(r0->find("{\"id\":0,"), 0u);
+  EXPECT_EQ(r1->find("{\"admin\":\"statusz\""), 0u);
+  EXPECT_EQ(r2->find("{\"id\":1,"), 0u);
+  EXPECT_FALSE(client.recv().has_value());
+
+  const Json status = Json::parse(*r1);
+  EXPECT_EQ(status.find("workers")->as_int(), 2);
+  EXPECT_FALSE(status.find("draining")->as_bool());
+  EXPECT_GT(status.find("uptime_ns")->as_int(), 0);
+  EXPECT_EQ(status.find("conns_accepted")->as_int(), 1);
+  server.drain();
+
+  // Admin traffic is invisible to the data-plane counters: scraping any
+  // number of times cannot move the bench.sh-gated totals.
+  EXPECT_EQ(counter_total("wire.admin_requests"), admin_before + 1);
+  EXPECT_EQ(counter_total("wire.requests"), requests_before + 2);
+  EXPECT_EQ(counter_total("wire.responses"), responses_before + 2);
+}
+
+TEST(WireAdmin, MetricszAndTracezAreWellFormed) {
+  obs::rt::FlightRecorder::instance().reset();
+  svc::Service service(svc::ServiceOptions{2, 64});
+  wire::Server server(service, wire::ServerOptions{});
+  server.start();
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_NE(client.call(tiny_spec_json(500 + i)).find("\"result\":"),
+              std::string::npos);
+  }
+
+  const Json metricsz = Json::parse(client.call("metricsz"));
+  EXPECT_EQ(metricsz.find("admin")->as_string(), "metricsz");
+  const Json* counters = metricsz.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("wire.requests"), nullptr);
+  EXPECT_GE(counters->find("wire.requests")->as_int(), 3);
+  const Json* hists = metricsz.find("metrics")->find("histograms");
+  ASSERT_NE(hists, nullptr);
+
+  const Json tracez = Json::parse(client.call("tracez"));
+  EXPECT_EQ(tracez.find("admin")->as_string(), "tracez");
+  EXPECT_GT(tracez.find("slow_threshold_ns")->as_int(), 0);
+  ASSERT_NE(tracez.find("recent"), nullptr);
+  ASSERT_NE(tracez.find("shame"), nullptr);
+  client.close();
+  server.drain();
+}
+
+TEST(WireTrace, FlightRecorderStageSumsEqualWallTime) {
+  obs::rt::FlightRecorder::instance().reset();
+  const std::vector<std::string> lines = mixed_request_lines();
+  svc::Service service(svc::ServiceOptions{2, 64});
+  wire::ServerOptions options;
+  options.workers = 2;
+  wire::Server server(service, options);
+  server.start();
+
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  for (const std::string& line : lines) client.send(line);
+  client.send("tracez");  // an admin request rides along in the same stream
+  client.finish_sending();
+  std::size_t responses = 0;
+  while (client.recv()) ++responses;
+  EXPECT_EQ(responses, lines.size() + 1);
+  server.drain();  // joins the writer: every trace is committed by now
+
+  const auto recent = obs::rt::FlightRecorder::instance().recent();
+  ASSERT_EQ(recent.size(), lines.size() + 1);
+  std::map<obs::rt::Outcome, std::size_t> outcomes;
+  for (const obs::rt::RequestTrace& trace : recent) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t ns : trace.stage_ns) sum += ns;
+    // The acceptance invariant, with tolerance 0: successive marks charge
+    // every nanosecond between arrival and the write mark to exactly one
+    // stage, so the breakdown accounts for the full wall time.
+    EXPECT_EQ(sum, trace.wall_ns()) << "seq " << trace.seq;
+    EXPECT_GT(trace.wall_ns(), 0u) << "seq " << trace.seq;
+    EXPECT_EQ(trace.conn_id, 1u);
+    ++outcomes[trace.outcome];
+  }
+  // The mixed stream's outcome mix survives into the recorder.
+  EXPECT_EQ(outcomes[obs::rt::Outcome::kAdmin], 1u);
+  EXPECT_EQ(outcomes[obs::rt::Outcome::kParseError], 1u);
+  EXPECT_EQ(outcomes[obs::rt::Outcome::kEvalError], 1u);
+  EXPECT_GE(outcomes[obs::rt::Outcome::kEvaluated], 4u);
+  obs::rt::FlightRecorder::instance().reset();
+}
+
+#endif  // CLOSFAIR_OBS_ENABLED
 
 TEST(WireServer, ManyConnectionsShareOneServer) {
   svc::Service service(svc::ServiceOptions{4, 256});
