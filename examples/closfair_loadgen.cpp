@@ -8,6 +8,9 @@
 //   generated-traffic shape:
 //     --mix C:W:D      percent cold : warm (re-request an earlier scenario) :
 //                      duplicate (back-to-back repeat); default 60:30:10
+//     --delta P        percent of requests sent as delta patches
+//                      ({"base":"<hash>","patch":{...}}) against an earlier
+//                      cold request on the same connection (default 0)
 //     --seed S         traffic/schedule seed (default 1)
 //     --clos-n N       Clos size of generated cells (default 3)
 //   load shape:
@@ -57,8 +60,9 @@ namespace {
 
 constexpr std::string_view kUsage =
     "closfair_loadgen --host HOST --port PORT [--replay FILE | --requests N] "
-    "[--mix C:W:D] [--seed S] [--clos-n N] [--rps R] [--conns K] [--out FILE] "
-    "[--json FILE] [--quiet] [--admin VERB | --watch SECS [--watch-count N]]";
+    "[--mix C:W:D] [--delta P] [--seed S] [--clos-n N] [--rps R] [--conns K] "
+    "[--out FILE] [--json FILE] [--quiet] "
+    "[--admin VERB | --watch SECS [--watch-count N]]";
 
 int usage() {
   std::cerr << "usage: " << kUsage << '\n';
@@ -101,15 +105,40 @@ Mix parse_mix(const std::string& token) {
   return mix;
 }
 
+/// `delta_pct` requests (when an earlier cold body exists on the same
+/// connection under a `conns`-way round-robin split) are sent as delta
+/// patches against that body's content address. Referencing only
+/// same-connection history keeps the base resolvable under the server's
+/// arrival-order resolution: the base is either cached or still pending on
+/// that very connection. Patches alternate an objective switch with a
+/// middle-stage fault so both the result-reuse and re-evaluate warm paths
+/// see traffic. With --delta 0 the request stream is bit-for-bit what it
+/// was before the flag existed (the extra draw is only consumed on delta).
 std::vector<std::string> generate_traffic(std::size_t count, const Mix& mix,
-                                          std::uint64_t seed, int clos_n) {
+                                          int delta_pct, std::uint64_t seed,
+                                          int clos_n, unsigned conns) {
   Rng rng(seed);
   std::vector<std::string> lines;
   std::vector<std::string> history;  // spec bodies issued so far
+  std::vector<std::vector<std::string>> conn_cold(conns);  // cold bodies per conn
   lines.reserve(count);
   std::uint64_t cold_issued = 0;
+  std::uint64_t deltas_issued = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t draw = rng.next_below(100);
+    std::vector<std::string>& cold_here = conn_cold[i % conns];
+    if (delta_pct > 0 && draw < static_cast<std::uint64_t>(delta_pct) &&
+        !cold_here.empty()) {
+      const std::string& base = cold_here[rng.next_below(cold_here.size())];
+      const std::string patch =
+          deltas_issued++ % 2 == 0
+              ? "{\"objective\":\"maxmin_lp\"}"
+              : "{\"fail_middles\":[1]}";
+      lines.push_back("{\"id\":" + std::to_string(i) + ",\"delta\":{\"base\":\"" +
+                      wire::hash_hex(svc::fnv1a64(base)) + "\",\"patch\":" +
+                      patch + "}}");
+      continue;  // deltas never enter the warm/dup history
+    }
     std::string body;
     if (!history.empty() && draw >= static_cast<std::uint64_t>(mix.cold)) {
       body = draw < static_cast<std::uint64_t>(mix.cold + mix.warm)
@@ -117,6 +146,7 @@ std::vector<std::string> generate_traffic(std::size_t count, const Mix& mix,
                  : history.back();                          // back-to-back duplicate
     } else {
       body = spec_body(clos_n, cold_issued++);
+      cold_here.push_back(body);
     }
     history.push_back(body);
     lines.push_back("{\"id\":" + std::to_string(i) + ",\"spec\":" + body + "}");
@@ -333,6 +363,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::size_t requests = 100;
   Mix mix;
+  int delta_pct = 0;
   std::uint64_t seed = 1;
   int clos_n = 3;
   double rps = 0.0;
@@ -363,6 +394,8 @@ int main(int argc, char** argv) {
       requests = examples::checked_size(next(), "--requests", 1 << 24, kUsage);
     } else if (arg == "--mix") {
       mix = parse_mix(next());
+    } else if (arg == "--delta") {
+      delta_pct = examples::checked_int(next(), "--delta", 0, 100, kUsage);
     } else if (arg == "--seed") {
       seed = examples::checked_u64(next(), "--seed", kUsage);
     } else if (arg == "--clos-n") {
@@ -410,8 +443,9 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<std::string> lines =
-      replay_path.empty() ? generate_traffic(requests, mix, seed, clos_n)
-                          : read_replay(replay_path);
+      replay_path.empty()
+          ? generate_traffic(requests, mix, delta_pct, seed, clos_n, conns)
+          : read_replay(replay_path);
   if (lines.empty()) {
     std::cerr << "no requests to send\n";
     return 1;

@@ -7,10 +7,11 @@
 //
 // Reads one request per line (stdin, or --in FILE), evaluates the batch
 // through the sharded service, and writes one response per line (stdout, or
-// --out FILE), aligned with the requests. A request line is either a bare
-// ScenarioSpec object (docs/SERVICE.md) or an envelope
-// {"id": ..., "spec": {...}} whose id (any JSON scalar) is echoed back.
-// Responses:
+// --out FILE), aligned with the requests. A request line is a bare
+// ScenarioSpec object (docs/SERVICE.md), a delta request
+// {"base":"<hash>","patch":{...}} against an earlier line's result, or an
+// envelope {"id": ..., "spec": {...}} / {"id": ..., "delta": {...}} whose id
+// (any JSON scalar) is echoed back. Responses:
 //
 //   {"id":..., "hash":"<fnv1a64 hex>", "cached":false, "result":{...}}
 //   {"id":..., "error":"..."}                       (bad line or failed cell)
@@ -94,35 +95,64 @@ int run_batch(svc::Service& service, const std::string& in_path,
   // Parse every line up front; parse failures become per-line error
   // responses without consuming an evaluation slot.
   std::vector<wire::Request> requests;
-  std::vector<svc::ScenarioSpec> specs;
-  std::vector<std::size_t> spec_of;  // line -> index into specs (or SIZE_MAX)
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     wire::Request request = wire::parse_request(line);
-    if (request.ok()) {
-      spec_of.push_back(specs.size());
-      specs.push_back(std::move(*request.spec));
-    } else {
-      spec_of.push_back(SIZE_MAX);
-      OBS_COUNTER_INC("svc.errors");
-    }
+    if (!request.ok()) OBS_COUNTER_INC("svc.errors");
     requests.push_back(std::move(request));
   }
 
-  const std::vector<svc::BatchEntry> batch = service.evaluate_batch(specs);
+  // Evaluate in segments: runs of direct specs go through the sharded batch
+  // path, each delta resolves sequentially at its line position. Because a
+  // segment flushes before any delta evaluates, a delta's base is always
+  // already committed to the cache when an earlier line produced it —
+  // matching the wire server's arrival-order resolution.
+  std::vector<svc::BatchEntry> entries(requests.size());
+  std::vector<bool> has_entry(requests.size(), false);
+  std::vector<svc::ScenarioSpec> segment;
+  std::vector<std::size_t> segment_lines;
+  const auto flush_segment = [&] {
+    if (segment.empty()) return;
+    std::vector<svc::BatchEntry> batch = service.evaluate_batch(segment);
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      entries[segment_lines[j]] = std::move(batch[j]);
+      has_entry[segment_lines[j]] = true;
+    }
+    segment.clear();
+    segment_lines.clear();
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    wire::Request& request = requests[i];
+    if (request.is_delta()) {
+      flush_segment();
+      entries[i] = service.evaluate_delta(*request.delta);
+      has_entry[i] = true;
+    } else if (request.spec.has_value()) {
+      segment_lines.push_back(i);
+      segment.push_back(std::move(*request.spec));
+    }
+  }
+  flush_segment();
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const wire::Request& request = requests[i];
-    if (spec_of[i] == SIZE_MAX) {
+    if (!has_entry[i]) {
       out << wire::render_parse_error(request.id, request.error) << '\n';
       continue;
     }
-    const svc::BatchEntry& entry = batch[spec_of[i]];
-    out << (entry.ok() ? wire::render_result(request.id, entry.hash, entry.cached,
-                                             entry.result)
-                       : wire::render_eval_error(request.id, entry.hash, entry.error))
-        << '\n';
+    const svc::BatchEntry& entry = entries[i];
+    if (!entry.ok() && entry.hash == 0) {
+      // Delta resolution failed before a patched spec existed — no hash to
+      // report, same shape the wire server uses.
+      out << wire::render_parse_error(request.id, entry.error) << '\n';
+    } else {
+      out << (entry.ok()
+                  ? wire::render_result(request.id, entry.hash, entry.cached,
+                                        entry.result)
+                  : wire::render_eval_error(request.id, entry.hash, entry.error))
+          << '\n';
+    }
   }
   out.flush();
   return 0;

@@ -15,7 +15,9 @@
 # streams — its snapshot lands before the timing-dependent overload phase
 # and the admin scraper sends a fixed number of verbs. The waterfill.fast_calls /
 # waterfill.fallback_calls split is held exactly: any drift in either
-# direction fails, and the two must always sum to waterfill.calls.
+# direction fails, and the two must always sum to waterfill.calls. The
+# svc.delta_hits / svc.delta_warm_starts outcomes of bench/service's scripted
+# delta stream are held exactly the same way.
 # Wall-clock seconds and span durations are reported but never gating —
 # this machine is shared.
 #
@@ -73,11 +75,15 @@ DETERMINISTIC_NAMES = {
     "wire.admin_requests",
 }
 
-# Engine-selection counters: the fast/fallback split is decided at bind time
-# from the instance alone, so ANY drift (either direction) means the int64
-# engine silently changed which calls it accepts — a determinism break, not
-# an improvement.
-EXACT_NAMES = {"waterfill.fast_calls", "waterfill.fallback_calls"}
+# Exactly-held counters, any drift (either direction) fails:
+#  - the waterfill fast/fallback split is decided at bind time from the
+#    instance alone, so drift means the int64 engine silently changed which
+#    calls it accepts — a determinism break, not an improvement;
+#  - the delta outcome counters are fixed by bench/service's delta request
+#    stream (every hit and every warm start is scripted), so drift means
+#    the delta resolution or warm-start path changed behavior.
+EXACT_NAMES = {"waterfill.fast_calls", "waterfill.fallback_calls",
+               "svc.delta_hits", "svc.delta_warm_starts"}
 
 def deterministic(name):
     return name in DETERMINISTIC_NAMES or name.startswith(DETERMINISTIC_PREFIXES)
@@ -90,7 +96,7 @@ for name in sorted(set(base_counters) | set(cur_counters)):
     if b == c:
         status = ""
     elif name in EXACT_NAMES:
-        status = "REGRESSION (engine split drifted)"
+        status = "REGRESSION (exactly-held counter drifted)"
         regressions.append(name)
     elif b is None:
         status = "new"

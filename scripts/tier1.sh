@@ -6,6 +6,9 @@
 # closfair_loadgen, scrape the metricsz/statusz admin verbs and diff the
 # stable counter subset against tests/golden/serve_net_admin_counters.json,
 # diff the data responses against the batch-mode golden, SIGTERM-drain), a
+# delta smoke (replay the golden base+delta request file through batch mode
+# AND the wire server, diff both against the one committed response golden —
+# warm-started delta evaluation must be byte-identical on every path), a
 # Release water-fill perf smoke gated against the committed
 # bench/waterfill_floor.json, the search engine's serial-vs-parallel
 # equivalence tests plus the water-fill fast-path differential suite under
@@ -117,6 +120,42 @@ print("admin plane: metricsz/statusz well-formed, "
       f"{len(golden)} stable counters matched the golden")
 EOF
 echo "20 pipelined requests answered byte-identically over the socket, SIGTERM drained"
+
+echo
+echo "== tier 1: delta smoke (base+delta replay, batch and wire vs one golden) =="
+DELTA_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT" "$PORT_FILE" "$WIRE_OUT" "$DELTA_OUT"' EXIT
+build/examples/closfair_serve --workers 2 \
+    --in tests/golden/serve_delta_requests.jsonl --out "$DELTA_OUT"
+if ! diff -u tests/golden/serve_delta_responses.jsonl "$DELTA_OUT"; then
+  echo "FAIL: batch-mode delta responses diverged from the committed golden"
+  exit 1
+fi
+: > "$PORT_FILE"
+build/examples/closfair_serve --listen 127.0.0.1:0 --workers 2 \
+    --port-file "$PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "FAIL: closfair_serve never wrote its bound port (delta smoke)"
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+build/examples/closfair_loadgen --host 127.0.0.1 --port "$(cat "$PORT_FILE")" \
+    --replay tests/golden/serve_delta_requests.jsonl --out "$DELTA_OUT" --quiet
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "FAIL: closfair_serve did not drain cleanly on SIGTERM (delta smoke)"
+  exit 1
+fi
+if ! diff -u tests/golden/serve_delta_responses.jsonl "$DELTA_OUT"; then
+  echo "FAIL: wire delta responses diverged from the committed golden"
+  exit 1
+fi
+echo "5 delta classes + dup/unknown-base/bad-patch answered byte-identically on both paths"
 
 echo
 echo "== tier 1: Release water-fill perf smoke vs committed floor =="

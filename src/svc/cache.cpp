@@ -36,27 +36,76 @@ std::optional<ScenarioResult> ResultCache::lookup(const std::string& canonical) 
   return entries_.front().result;
 }
 
-void ResultCache::insert(const std::string& canonical, const ScenarioResult& result) {
+bool ResultCache::insert(const std::string& canonical, const ScenarioResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
-  insert_locked(canonical, result);
+  const bool fresh = insert_locked(canonical, result);
   OBS_GAUGE_SET("svc.cache_size", entries_.size());
+  return fresh;
 }
 
-void ResultCache::insert_locked(const std::string& canonical,
+bool ResultCache::insert_locked(const std::string& canonical,
                                 const ScenarioResult& result) {
   const auto it = index_.find(canonical);
   if (it != index_.end()) {
-    it->second->result = result;
+    // Same key ⇒ byte-identical result (the determinism contract), so the
+    // refresh is semantically a no-op; skip the assignment while pinned —
+    // pin holders read the result object without the lock.
+    if (it->second->pins == 0) it->second->result = result;
     entries_.splice(entries_.begin(), entries_, it->second);
-    return;
+    return false;
   }
   if (entries_.size() >= capacity_) {
-    index_.erase(entries_.back().spec);
-    entries_.pop_back();
-    OBS_COUNTER_INC("svc.cache_evictions");
+    // Evict the least-recently-used unpinned entry; when every entry is
+    // pinned, run over capacity rather than invalidate a live reader.
+    for (auto victim = std::prev(entries_.end());; --victim) {
+      if (victim->pins == 0) {
+        erase_locked(victim);
+        OBS_COUNTER_INC("svc.cache_evictions");
+        break;
+      }
+      if (victim == entries_.begin()) break;
+    }
   }
-  entries_.push_front(Entry{canonical, result});
+  entries_.push_front(Entry{canonical, result, 0});
   index_.emplace(canonical, entries_.begin());
+  by_hash_[fnv1a64(canonical)] = entries_.begin();
+  return true;
+}
+
+void ResultCache::erase_locked(std::list<Entry>::iterator it) {
+  const auto hashed = by_hash_.find(fnv1a64(it->spec));
+  if (hashed != by_hash_.end() && hashed->second == it) by_hash_.erase(hashed);
+  index_.erase(it->spec);
+  entries_.erase(it);
+}
+
+std::optional<ResultCache::BasePin> ResultCache::pin_base(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_hash_.find(hash);
+  if (it == by_hash_.end()) return std::nullopt;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  ++it->second->pins;
+  return BasePin{this, it->second};
+}
+
+void ResultCache::unpin(std::list<Entry>::iterator it) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK_MSG(it->pins > 0, "BasePin released an entry that was not pinned");
+  --it->pins;
+}
+
+ResultCache::BasePin& ResultCache::BasePin::operator=(BasePin&& other) noexcept {
+  if (this != &other) {
+    if (cache_ != nullptr) cache_->unpin(it_);
+    cache_ = other.cache_;
+    it_ = other.it_;
+    other.cache_ = nullptr;
+  }
+  return *this;
+}
+
+ResultCache::BasePin::~BasePin() {
+  if (cache_ != nullptr) cache_->unpin(it_);
 }
 
 std::size_t ResultCache::size() const {
@@ -66,8 +115,13 @@ std::size_t ResultCache::size() const {
 
 void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  index_.clear();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->pins == 0) {
+      erase_locked(it++);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ResultCache::save(std::ostream& out) const {
@@ -116,8 +170,11 @@ std::size_t ResultCache::load(std::istream& in) {
       // forever without ever matching a lookup.
       const ScenarioSpec spec =
           ScenarioSpec::from_json(Json::parse(spec_text->as_string()));
-      insert(spec.canonical(), ScenarioResult::from_json(*result_json));
-      ++loaded;
+      const ScenarioResult result = ScenarioResult::from_json(*result_json);
+      std::lock_guard<std::mutex> lock(mu_);
+      // Only a *new* entry counts: a duplicate canonical line refreshes the
+      // existing node (insert replaces, it doesn't add).
+      if (insert_locked(spec.canonical(), result)) ++loaded;
     } catch (const JsonParseError& e) {
       deferred = annotate(e.what());
       deferred_is_json = true;
@@ -130,6 +187,11 @@ std::size_t ResultCache::load(std::istream& in) {
     OBS_COUNTER_INC("svc.cache_spill_skipped");
     std::cerr << "warning: skipped torn trailing cache record (" << deferred << ")\n";
   }
+  // One refresh at the end keeps the gauge honest regardless of how the
+  // stream terminated (duplicate lines, a skipped torn record, or an empty
+  // spill set the gauge to the true size rather than a stale per-line echo).
+  std::lock_guard<std::mutex> lock(mu_);
+  OBS_GAUGE_SET("svc.cache_size", entries_.size());
   return loaded;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -30,6 +31,31 @@ namespace closfair::svc {
 namespace {
 
 [[noreturn]] void fail(const std::string& message) { throw SpecError(message); }
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return std::string{buf};
+}
+
+/// Warm-start inputs threaded into evaluate_clos by evaluate_scenario_warm.
+/// Every reuse is certified (macro: projection equality; rates: Lemma 2.2 on
+/// the patched instance), so hints can only change wall-clock, never bytes.
+struct WarmHints {
+  const ScenarioResult* base = nullptr;  ///< seed for the final allocation
+  bool reuse_macro = false;              ///< replay base->macro_rates verbatim
+};
+
+/// The topology+workload projection of a spec. Equal projections generate
+/// the same flow collection and therefore the same macro-switch reference —
+/// the exact LP and water-fill agree on it, so the projection ignores
+/// routing, objective, and fault.
+std::string macro_projection(const ScenarioSpec& spec) {
+  ScenarioSpec stripped;
+  stripped.topology = spec.topology;
+  stripped.workload = spec.workload;
+  return stripped.canonical();
+}
 
 /// Generate the coordinate-level collection (and declared target rates, for
 /// inline instances). Generator draws consume `rng`; a subsequent seedless
@@ -126,10 +152,12 @@ ScenarioResult evaluate_fattree(const ScenarioSpec& spec) {
   return result;
 }
 
-ScenarioResult evaluate_clos(const ScenarioSpec& spec) {
+ScenarioResult evaluate_clos(const ScenarioSpec& spec, const WarmHints& hints = {}) {
   const Fabric fabric{spec.topology.params.num_tors, spec.topology.params.servers_per_tor};
   Rng rng(spec.workload.seed);
   std::vector<std::optional<Rational>> targets;
+  // Always generated, even under a warm start: seedless seeded policies
+  // continue this Rng stream, and the flow collection itself is needed.
   const FlowCollection specs = make_workload(spec.workload, fabric, rng, targets);
 
   // The macro reference is always the *pristine* macro-switch: degraded-vs-
@@ -137,11 +165,18 @@ ScenarioResult evaluate_clos(const ScenarioSpec& spec) {
   const MacroSwitch ms(MacroSwitch::Params{spec.topology.params.num_tors,
                                            spec.topology.params.servers_per_tor,
                                            spec.topology.params.link_capacity});
-  const FlowSet ms_flows = instantiate(ms, specs);
-  const auto macro = spec.objective == "maxmin_lp" && spec.routing.policy == "none"
-                         ? max_min_fair_lp<Rational>(ms.topology(), ms_flows,
-                                                     macro_routing(ms, ms_flows))
-                         : max_min_fair<Rational>(ms, ms_flows);
+  const auto cold_macro = [&]() {
+    const FlowSet ms_flows = instantiate(ms, specs);
+    return spec.objective == "maxmin_lp" && spec.routing.policy == "none"
+               ? max_min_fair_lp<Rational>(ms.topology(), ms_flows,
+                                           macro_routing(ms, ms_flows))
+               : max_min_fair<Rational>(ms, ms_flows);
+  };
+  // Replaying the base macro is exact: the projection matched, so the base
+  // was computed over this very flow collection (LP and water-fill agree on
+  // the unique allocation, so the base's objective does not matter).
+  const auto macro = hints.reuse_macro ? Allocation<Rational>(hints.base->macro_rates)
+                                       : cold_macro();
 
   ScenarioResult result;
   result.num_flows = specs.size();
@@ -255,11 +290,20 @@ ScenarioResult evaluate_clos(const ScenarioSpec& spec) {
     fail("policy '" + policy + "' is not evaluable on a Clos topology");
   }
 
+  // Seed the final allocation with the base result's rates when available:
+  // the bottleneck certifier accepts them only if they are max-min fair on
+  // the *patched* routing, and the max-min allocation is unique, so an
+  // accepted seed is the cold answer verbatim.
+  const bool seedable = hints.base != nullptr && hints.base->routed;
+  const Routing routing_paths = expand_routing(net, flows, middles);
   const auto alloc =
       spec.objective == "maxmin_lp"
-          ? max_min_fair_lp<Rational>(net.topology(), flows,
-                                      expand_routing(net, flows, middles))
-          : max_min_fair<Rational>(net, flows, middles);
+          ? (seedable ? max_min_fair_lp_seeded(net.topology(), flows, routing_paths,
+                                               hints.base->rates)
+                      : max_min_fair_lp<Rational>(net.topology(), flows, routing_paths))
+          : (seedable ? max_min_fair_seeded(net.topology(), flows, routing_paths,
+                                            hints.base->rates)
+                      : max_min_fair<Rational>(net.topology(), flows, routing_paths));
   fill_routed(result, alloc);
   result.middles = std::move(middles);
   return result;
@@ -272,6 +316,60 @@ ScenarioResult evaluate_scenario(const ScenarioSpec& spec) {
   OBS_COUNTER_INC("svc.evaluations");
   if (spec.topology.kind == "fattree") return evaluate_fattree(spec);
   return evaluate_clos(spec);
+}
+
+ScenarioResult evaluate_scenario_warm(const ScenarioSpec& spec,
+                                      const ScenarioSpec& base_spec,
+                                      const ScenarioResult& base_result) {
+  // Objective-only switch: routing search never reads the objective and the
+  // exact LP and water-fill compute the same unique allocation, so the base
+  // result *is* the cold result of the patched spec.
+  {
+    ScenarioSpec probe = spec;
+    probe.objective = base_spec.objective;
+    if (probe.canonical() == base_spec.canonical()) {
+      OBS_COUNTER_INC("svc.delta_result_reuses");
+      return base_result;
+    }
+  }
+  OBS_SPAN("svc.evaluate");
+  OBS_COUNTER_INC("svc.evaluations");
+  OBS_COUNTER_INC("svc.delta_warm_starts");
+  if (spec.topology.kind == "fattree") return evaluate_fattree(spec);
+  WarmHints hints;
+  hints.base = &base_result;
+  hints.reuse_macro = macro_projection(spec) == macro_projection(base_spec);
+  return evaluate_clos(spec, hints);
+}
+
+DeltaResolution resolve_delta(
+    ResultCache& cache, const DeltaRequest& delta,
+    const std::function<std::optional<std::string>(std::uint64_t)>& inflight) {
+  OBS_COUNTER_INC("svc.delta_requests");
+  DeltaResolution res;
+  std::optional<std::string> base_canonical;
+  res.base = cache.pin_base(delta.base);
+  if (res.base.has_value()) {
+    base_canonical = res.base->canonical();
+  } else if (inflight) {
+    base_canonical = inflight(delta.base);
+  }
+  if (!base_canonical.has_value()) {
+    OBS_COUNTER_INC("svc.delta_base_misses");
+    res.error = "unknown base " + hash_hex(delta.base) + ": not in the result cache";
+    return res;
+  }
+  try {
+    ScenarioSpec base_spec = ScenarioSpec::from_json(Json::parse(*base_canonical));
+    res.spec = delta.patch.apply(base_spec);
+    if (res.base.has_value()) res.base_spec = std::move(base_spec);
+  } catch (const std::exception& e) {
+    OBS_COUNTER_INC("svc.delta_patch_errors");
+    res.base.reset();
+    res.base_spec.reset();
+    res.error = e.what();
+  }
+  return res;
 }
 
 // ---------------------------------------------------------------------------
@@ -294,6 +392,36 @@ BatchEntry Service::evaluate(const ScenarioSpec& spec) {
   }
   try {
     entry.result = evaluate_scenario(spec);
+  } catch (const std::exception& e) {
+    OBS_COUNTER_INC("svc.errors");
+    entry.error = e.what();
+    return entry;
+  }
+  cache_.insert(canonical, entry.result);
+  return entry;
+}
+
+BatchEntry Service::evaluate_delta(const DeltaRequest& delta) {
+  BatchEntry entry;
+  DeltaResolution res = resolve_delta(cache_, delta);
+  if (!res.ok()) {
+    // hash stays 0: resolution failed before a patched spec ever existed.
+    entry.error = std::move(res.error);
+    return entry;
+  }
+  OBS_COUNTER_INC("svc.requests");
+  const std::string canonical = res.spec.canonical();
+  entry.hash = fnv1a64(canonical);
+  if (auto hit = cache_.lookup(canonical); hit.has_value()) {
+    OBS_COUNTER_INC("svc.delta_hits");
+    entry.result = std::move(*hit);
+    entry.cached = true;
+    return entry;
+  }
+  try {
+    entry.result = res.base.has_value()
+                       ? evaluate_scenario_warm(res.spec, *res.base_spec, res.base->result())
+                       : evaluate_scenario(res.spec);
   } catch (const std::exception& e) {
     OBS_COUNTER_INC("svc.errors");
     entry.error = e.what();

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,45 @@ namespace closfair::svc {
 /// ParseError escape) on specs that are well-formed but unevaluable — e.g. a
 /// "static" start of the wrong length. Wrapped in the svc.evaluate span.
 [[nodiscard]] ScenarioResult evaluate_scenario(const ScenarioSpec& spec);
+
+/// Evaluate `spec` warm-started from a base scenario and its result.
+/// Byte-identity with evaluate_scenario(spec) is structural, not asserted:
+/// when only the objective changed, the base result is returned wholesale
+/// (routing search is objective-independent and the exact LP and water-fill
+/// compute the same unique allocation — svc.delta_result_reuses); otherwise
+/// the base's macro reference is replayed when topology+workload are
+/// untouched, and the base rates seed the final allocation, accepted only
+/// when the Lemma 2.2 bottleneck certifier confirms them on the *patched*
+/// instance (waterfill.seed_hits / lp.seed_hits) and recomputed cold
+/// otherwise. Bumps svc.delta_warm_starts when it actually evaluates.
+[[nodiscard]] ScenarioResult evaluate_scenario_warm(const ScenarioSpec& spec,
+                                                    const ScenarioSpec& base_spec,
+                                                    const ScenarioResult& base_result);
+
+/// Outcome of resolving a DeltaRequest: the patched spec, plus — when the
+/// base was found in the cache — a pinned handle on the base entry and the
+/// parsed base spec for warm-starting. A non-empty `error` means resolution
+/// failed (unknown base address, or a patch that does not apply).
+struct DeltaResolution {
+  ScenarioSpec spec;
+  std::optional<ResultCache::BasePin> base;  ///< pin held across the warm evaluation
+  std::optional<ScenarioSpec> base_spec;     ///< set iff `base` is
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Resolve a delta request against `cache` (svc.delta_requests): pin the
+/// base entry by content hash and apply the patch to its canonical spec.
+/// When the cache has no such entry, `inflight` (if provided) may map the
+/// hash to the canonical bytes of a base currently being evaluated — the
+/// patch then still resolves, only without a warm result (the wire pipeline
+/// uses this so a delta racing its own base on one connection never
+/// spuriously misses). Bumps svc.delta_base_misses / svc.delta_patch_errors
+/// on the two failure modes.
+[[nodiscard]] DeltaResolution resolve_delta(
+    ResultCache& cache, const DeltaRequest& delta,
+    const std::function<std::optional<std::string>(std::uint64_t)>& inflight = nullptr);
 
 /// One batch response: the result (or an error), plus cache provenance.
 struct BatchEntry {
@@ -48,6 +89,14 @@ class Service {
 
   /// Evaluate one spec through the cache.
   [[nodiscard]] BatchEntry evaluate(const ScenarioSpec& spec);
+
+  /// Resolve and evaluate one delta request through the cache. On
+  /// resolution failure the entry carries the error with hash == 0 (no spec
+  /// ever existed to address); otherwise the entry is exactly what
+  /// evaluate() would return for the patched spec — byte-identical to a
+  /// cold request — with svc.delta_hits counting patched specs served
+  /// straight from the cache.
+  [[nodiscard]] BatchEntry evaluate_delta(const DeltaRequest& delta);
 
   /// Evaluate a batch with the worker pool; responses align with `specs` by
   /// index. Within the batch, duplicate canonical specs evaluate once (the

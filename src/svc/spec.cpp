@@ -398,6 +398,31 @@ Json routing_json(const RoutingSpec& routing) {
 
 // --------------------------------------------------------------------- fault
 
+/// One {"stage","tor","middle","factor"} deration entry — shared between the
+/// fault group and the delta patch grammar (patch.derate_links).
+fault::LinkDeration parse_derated_link(const Json& item, const char* where) {
+  if (!item.is_object()) {
+    fail(std::string{where} + ": derated link entries must be objects");
+  }
+  check_keys(item, {"stage", "tor", "middle", "factor"}, "derated link");
+  fault::LinkDeration d;
+  const std::string stage = get_string(require(item, "stage", "derated link"), "stage");
+  if (stage == "uplink") {
+    d.stage = fault::LinkStage::kUplink;
+  } else if (stage == "downlink") {
+    d.stage = fault::LinkStage::kDownlink;
+  } else {
+    fail(std::string{where} + ": stage must be 'uplink' or 'downlink'");
+  }
+  d.tor = static_cast<int>(get_int(require(item, "tor", "derated link"), "tor"));
+  d.middle = static_cast<int>(get_int(require(item, "middle", "derated link"), "middle"));
+  d.factor = get_rational(require(item, "factor", "derated link"), "factor");
+  if (d.factor.is_negative() || Rational{1} < d.factor) {
+    fail(std::string{where} + ": factor must lie in [0, 1]");
+  }
+  return d;
+}
+
 FaultSpec parse_fault(const Json& obj) {
   check_keys(obj,
              {"failed_middles", "derated_links", "degraded_pods", "sample_middles",
@@ -420,24 +445,7 @@ FaultSpec parse_fault(const Json& obj) {
   if (const Json* derated = obj.find("derated_links"); derated != nullptr) {
     if (!derated->is_array()) fail("fault: derated_links must be an array");
     for (const Json& item : derated->items()) {
-      if (!item.is_object()) fail("fault: derated_links entries must be objects");
-      check_keys(item, {"stage", "tor", "middle", "factor"}, "fault.derated_links");
-      fault::LinkDeration d;
-      const std::string stage = get_string(require(item, "stage", "derated_links"), "stage");
-      if (stage == "uplink") {
-        d.stage = fault::LinkStage::kUplink;
-      } else if (stage == "downlink") {
-        d.stage = fault::LinkStage::kDownlink;
-      } else {
-        fail("fault: stage must be 'uplink' or 'downlink'");
-      }
-      d.tor = static_cast<int>(get_int(require(item, "tor", "derated_links"), "tor"));
-      d.middle = static_cast<int>(get_int(require(item, "middle", "derated_links"), "middle"));
-      d.factor = get_rational(require(item, "factor", "derated_links"), "factor");
-      if (d.factor.is_negative() || Rational{1} < d.factor) {
-        fail("fault: factor must lie in [0, 1]");
-      }
-      fs.scenario.derated_links.push_back(d);
+      fs.scenario.derated_links.push_back(parse_derated_link(item, "fault"));
     }
   }
   if (const Json* pods = obj.find("degraded_pods"); pods != nullptr) {
@@ -602,6 +610,157 @@ std::uint64_t fnv1a64(std::string_view bytes) {
     hash *= 1099511628211ULL;
   }
   return hash;
+}
+
+// ------------------------------------------------------------------- deltas
+
+SpecPatch SpecPatch::from_json(const Json& json) {
+  if (!json.is_object()) fail("delta patch must be a JSON object");
+  check_keys(json, {"add_flows", "remove_flows", "fail_middles", "derate_links", "objective"},
+             "patch");
+  SpecPatch patch;
+  if (const Json* add = json.find("add_flows"); add != nullptr) {
+    if (!add->is_array()) fail("patch: add_flows must be an array");
+    for (const Json& item : add->items()) {
+      if (!item.is_object()) fail("patch: add_flows entries must be objects");
+      check_keys(item, {"src_tor", "src_server", "dst_tor", "dst_server", "rate"},
+                 "patch.add_flows");
+      FlowPatch fp;
+      fp.src_tor = static_cast<int>(get_int(require(item, "src_tor", "add_flows"), "src_tor"));
+      fp.src_server =
+          static_cast<int>(get_int(require(item, "src_server", "add_flows"), "src_server"));
+      fp.dst_tor = static_cast<int>(get_int(require(item, "dst_tor", "add_flows"), "dst_tor"));
+      fp.dst_server =
+          static_cast<int>(get_int(require(item, "dst_server", "add_flows"), "dst_server"));
+      if (fp.src_tor < 1 || fp.src_server < 1 || fp.dst_tor < 1 || fp.dst_server < 1) {
+        fail("patch: flow coordinates must be >= 1");
+      }
+      if (const Json* rate = item.find("rate"); rate != nullptr) {
+        fp.rate = get_rational(*rate, "rate");
+        if (fp.rate->is_negative()) fail("patch: rate must be non-negative");
+      }
+      patch.add_flows.push_back(fp);
+    }
+  }
+  if (const Json* remove = json.find("remove_flows"); remove != nullptr) {
+    if (!remove->is_array()) fail("patch: remove_flows must be an array");
+    for (const Json& item : remove->items()) {
+      const std::int64_t idx = get_int(item, "remove_flows");
+      if (idx < 0) fail("patch: remove_flows entries must be >= 0");
+      patch.remove_flows.push_back(static_cast<std::size_t>(idx));
+    }
+    auto sorted = patch.remove_flows;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      fail("patch: remove_flows entries must be distinct");
+    }
+  }
+  if (const Json* failed = json.find("fail_middles"); failed != nullptr) {
+    if (!failed->is_array()) fail("patch: fail_middles must be an array");
+    for (const Json& item : failed->items()) {
+      const std::int64_t m = get_int(item, "fail_middles");
+      if (m < 1) fail("patch: fail_middles entries must be >= 1");
+      patch.fail_middles.push_back(static_cast<int>(m));
+    }
+  }
+  if (const Json* derated = json.find("derate_links"); derated != nullptr) {
+    if (!derated->is_array()) fail("patch: derate_links must be an array");
+    for (const Json& item : derated->items()) {
+      patch.derate_links.push_back(parse_derated_link(item, "patch"));
+    }
+  }
+  if (const Json* objective = json.find("objective"); objective != nullptr) {
+    patch.objective = get_string(*objective, "objective");
+    if (*patch.objective != "maxmin" && *patch.objective != "maxmin_lp") {
+      fail("patch: objective must be 'maxmin' or 'maxmin_lp'");
+    }
+  }
+  return patch;
+}
+
+ScenarioSpec SpecPatch::apply(const ScenarioSpec& base) const {
+  ScenarioSpec patched = base;
+
+  if (!add_flows.empty() || !remove_flows.empty()) {
+    if (patched.workload.instance.empty()) {
+      fail("patch: flow edits require the base workload to be an inline instance");
+    }
+    if (!patched.routing.start.empty()) {
+      fail("patch: flow edits invalidate the base routing.start; restate the scenario");
+    }
+    InstanceSpec inst = parse_instance(patched.workload.instance);
+    // Remove first — indices address the *base* flow list — in descending
+    // order so earlier erasures don't shift later indices.
+    std::vector<std::size_t> removals = remove_flows;
+    std::sort(removals.begin(), removals.end(),
+              [](std::size_t a, std::size_t b) { return a > b; });
+    for (std::size_t idx : removals) {
+      if (idx >= inst.flows.size()) {
+        fail("patch: remove_flows index " + std::to_string(idx) + " out of range (base has " +
+             std::to_string(inst.flows.size()) + " flows)");
+      }
+      inst.flows.erase(inst.flows.begin() + static_cast<std::ptrdiff_t>(idx));
+      if (!inst.rates.empty()) {
+        inst.rates.erase(inst.rates.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+    }
+    for (const FlowPatch& fp : add_flows) {
+      if (inst.rates.empty() && fp.rate.has_value()) {
+        inst.rates.assign(inst.flows.size(), std::nullopt);
+      }
+      inst.flows.push_back(FlowSpec{fp.src_tor, fp.src_server, fp.dst_tor, fp.dst_server});
+      if (!inst.rates.empty()) inst.rates.push_back(fp.rate);
+    }
+    if (inst.flows.empty()) fail("patch: removing every flow leaves an empty instance");
+    patched.workload.instance = format_instance(inst);
+  }
+
+  if (!fail_middles.empty()) {
+    auto& failed = patched.fault.scenario.failed_middles;
+    failed.insert(failed.end(), fail_middles.begin(), fail_middles.end());
+    std::sort(failed.begin(), failed.end());
+    failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+  }
+  for (const fault::LinkDeration& d : derate_links) {
+    patched.fault.scenario.derated_links.push_back(d);
+  }
+  if (objective.has_value()) patched.objective = *objective;
+
+  // Normalize through the exact round trip a cold request takes, so the
+  // patched spec — and with it the canonical bytes and content address — is
+  // indistinguishable from a client spelling the scenario directly. This
+  // also re-runs the full strict validation (instance coordinates, fault on
+  // non-Clos bases, flow-count/start mismatches, ...).
+  try {
+    return ScenarioSpec::from_json(patched.to_json());
+  } catch (const SpecError& e) {
+    fail(std::string{"patch does not apply: "} + e.what());
+  }
+}
+
+DeltaRequest DeltaRequest::from_json(const Json& json) {
+  if (!json.is_object()) fail("delta request must be a JSON object");
+  check_keys(json, {"base", "patch"}, "delta");
+  DeltaRequest delta;
+  const std::string hex = get_string(require(json, "base", "delta"), "base");
+  if (hex.size() != 16) {
+    fail("delta: base must be a 16-digit lowercase hex content address");
+  }
+  for (const char c : hex) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      fail("delta: base must be a 16-digit lowercase hex content address");
+    }
+    delta.base = (delta.base << 4) | digit;
+  }
+  if (const Json* patch = json.find("patch"); patch != nullptr) {
+    delta.patch = SpecPatch::from_json(*patch);
+  }
+  return delta;
 }
 
 // ---------------------------------------------------------------------------

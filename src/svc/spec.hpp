@@ -133,6 +133,56 @@ struct ScenarioSpec {
 /// FNV-1a 64 over arbitrary bytes (the service's content-address function).
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
 
+/// One flow to add via a delta patch (1-based coordinates, like the text
+/// format's `flow a b -> c d [@R]` line).
+struct FlowPatch {
+  int src_tor = 1;
+  int src_server = 1;
+  int dst_tor = 1;
+  int dst_server = 1;
+  std::optional<Rational> rate;  ///< declared target rate (replication runs)
+};
+
+/// A declarative edit of a base ScenarioSpec — the "patch" half of a delta
+/// request (docs/SERVICE.md "Delta requests"). Application order: flows
+/// (remove, then add), faults (fail_middles merged sorted-unique,
+/// derate_links appended), then the objective switch. Flow edits require the
+/// base workload to be an inline instance and are rejected when the base
+/// carries an explicit routing.start (the start indexes the old flow list).
+struct SpecPatch {
+  std::vector<FlowPatch> add_flows;
+  std::vector<std::size_t> remove_flows;  ///< 0-based indices into the base flows
+  std::vector<int> fail_middles;
+  std::vector<fault::LinkDeration> derate_links;
+  std::optional<std::string> objective;
+
+  static SpecPatch from_json(const Json& json);
+
+  [[nodiscard]] bool empty() const {
+    return add_flows.empty() && remove_flows.empty() && fail_middles.empty() &&
+           derate_links.empty() && !objective.has_value();
+  }
+
+  /// The patched spec, normalized through the same from_json(to_json())
+  /// round trip a cold request takes — so the patched spec's canonical bytes
+  /// (and with them its content address) are exactly what a client spelling
+  /// the scenario directly would get. Throws SpecError when the patch does
+  /// not apply (flow edits without an inline instance, index out of range,
+  /// fault on a non-Clos base, ...).
+  [[nodiscard]] ScenarioSpec apply(const ScenarioSpec& base) const;
+};
+
+/// A delta request: patch the scenario addressed by `base` (the FNV-1a 64
+/// content hash a previous response reported) with `patch`.
+struct DeltaRequest {
+  std::uint64_t base = 0;
+  SpecPatch patch;
+
+  /// Parse {"base":"<16-digit hex>", "patch":{...}}; "patch" may be omitted
+  /// (an empty patch re-addresses the base spec itself).
+  static DeltaRequest from_json(const Json& json);
+};
+
 /// Exhaustive-search work stats, reported for exhaustive_* policies so
 /// sweeps can gate engine determinism through the service.
 struct SearchStats {

@@ -43,7 +43,7 @@ void Client::connect(const std::string& host, std::uint16_t port) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
-  decoder_ = FrameDecoder();
+  decoder_ = FrameDecoder(max_frame_bytes_);
 }
 
 void Client::close() {
@@ -55,7 +55,7 @@ void Client::close() {
 
 void Client::send(std::string_view request_line) {
   if (fd_ < 0) throw WireError("send on a closed client");
-  const std::string frame = encode_frame(request_line);
+  const std::string frame = encode_frame(request_line, max_frame_bytes_);
   std::size_t off = 0;
   while (off < frame.size()) {
     const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,

@@ -20,7 +20,12 @@ namespace closfair::wire {
 
 class Client {
  public:
-  Client() = default;
+  /// `max_frame_bytes` bounds both directions: recv() rejects oversized
+  /// server frames (as before), and send() now refuses to encode a request
+  /// the server would reject anyway — the error surfaces at the call site
+  /// instead of as a torn connection.
+  explicit Client(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes), decoder_(max_frame_bytes) {}
   ~Client() { close(); }
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -50,6 +55,7 @@ class Client {
 
  private:
   int fd_ = -1;
+  std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
   FrameDecoder decoder_;
 };
 

@@ -25,7 +25,7 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed,
   [[maybe_unused]] const std::uint64_t parsed_ns = obs::now_ns();
   std::string canonical;
   std::uint64_t hash = 0;
-  if (request.ok()) {
+  if (request.spec.has_value()) {
     canonical = request.spec->canonical();
     hash = svc::fnv1a64(canonical);
   }
@@ -36,12 +36,42 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed,
   admission.seq = next_seq_++;
   Slot slot;
   slot.id = request.id;
-  slot.hash = hash;
   slot.trace.begin(conn_id_, admission.seq, recv_ns != 0 ? recv_ns : entry_ns);
   slot.trace.mark_at(obs::rt::Stage::kRead, entry_ns);
   slot.trace.mark_at(obs::rt::Stage::kParse, parsed_ns);
 
-  if (!request.ok()) {
+  // Delta resolution runs under the pipeline lock, in arrival order — the
+  // pending set IS this connection's in-flight view, so a delta pipelined
+  // behind its own base always finds it: either committed (pinned, warm) or
+  // still pending (cold evaluation of the patched spec; byte-identical).
+  std::shared_ptr<WarmStart> warm;
+  if (request.is_delta()) {
+    const auto inflight_base = [this](std::uint64_t want) -> std::optional<std::string> {
+      for (const auto& [pending_canonical, seq] : pending_) {
+        (void)seq;
+        if (svc::fnv1a64(pending_canonical) == want) return pending_canonical;
+      }
+      return std::nullopt;
+    };
+    svc::DeltaResolution res = svc::resolve_delta(cache_, *request.delta, inflight_base);
+    if (res.ok()) {
+      canonical = res.spec.canonical();
+      hash = svc::fnv1a64(canonical);
+      request.spec = std::move(res.spec);
+      if (res.base.has_value()) {
+        warm = std::make_shared<WarmStart>(
+            WarmStart{std::move(*res.base), std::move(*res.base_spec)});
+      }
+    } else {
+      // Resolution failed before a patched spec existed: answer like a
+      // parse error (no hash), exactly as the batch binary does.
+      request.spec.reset();
+      request.error = std::move(res.error);
+    }
+  }
+  slot.hash = hash;
+
+  if (!request.spec.has_value()) {
     OBS_COUNTER_INC("wire.parse_errors");
     slot.trace.set_outcome(obs::rt::Outcome::kParseError);
     slot.payload = render_parse_error(slot.id, request.error);
@@ -49,6 +79,7 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed,
     // Duplicate of an in-flight (or completed-but-uncommitted) evaluation:
     // never re-evaluates, mirroring the batch dedup pre-pass.
     OBS_COUNTER_INC("wire.dedup_hits");
+    if (request.is_delta()) OBS_COUNTER_INC("svc.delta_hits");
     slot.trace.set_outcome(obs::rt::Outcome::kDeduped);
     Slot& first = slots_.at(it->second);
     if (first.state == State::kEvaluating) {
@@ -62,6 +93,7 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed,
       slot.payload = render_eval_error(slot.id, hash, first.error);
     }
   } else if (auto hit = cache_.lookup(canonical); hit.has_value()) {
+    if (request.is_delta()) OBS_COUNTER_INC("svc.delta_hits");
     slot.trace.set_outcome(obs::rt::Outcome::kCached);
     slot.payload = render_result(slot.id, hash, /*cached=*/true, *hit);
   } else if (shed || inflight_ >= limits_.max_inflight) {
@@ -78,6 +110,7 @@ Pipeline::Admission Pipeline::admit(std::string_view line, bool shed,
     ++inflight_;
     admission.evaluate = true;
     admission.spec = std::move(*request.spec);
+    admission.warm = std::move(warm);
   }
   slot.trace.mark(obs::rt::Stage::kAdmit);
 

@@ -1,10 +1,23 @@
 #include "wire/framing.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 
 namespace closfair::wire {
 
-void append_frame(std::string& out, std::string_view payload) {
+void append_frame(std::string& out, std::string_view payload,
+                  std::size_t max_payload_bytes) {
+  // Guard before any byte lands in `out`: a payload the header cannot
+  // express would encode a corrupt (truncated) length, and one over the
+  // peer's configured maximum would only poison the remote decoder.
+  if (payload.size() > max_payload_bytes || payload.size() > kMaxEncodableFrameBytes) {
+    OBS_COUNTER_INC("wire.oversized_sends");
+    throw WireError("refusing to encode a frame of " + std::to_string(payload.size()) +
+                    " bytes (maximum " +
+                    std::to_string(std::min(max_payload_bytes, kMaxEncodableFrameBytes)) +
+                    ")");
+  }
   const auto n = static_cast<std::uint32_t>(payload.size());
   out.push_back(static_cast<char>((n >> 24) & 0xff));
   out.push_back(static_cast<char>((n >> 16) & 0xff));
@@ -13,10 +26,10 @@ void append_frame(std::string& out, std::string_view payload) {
   out.append(payload);
 }
 
-std::string encode_frame(std::string_view payload) {
+std::string encode_frame(std::string_view payload, std::size_t max_payload_bytes) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
-  append_frame(out, payload);
+  append_frame(out, payload, max_payload_bytes);
   return out;
 }
 

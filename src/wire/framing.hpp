@@ -37,11 +37,24 @@ inline constexpr std::size_t kFrameHeaderBytes = 4;
 /// with room to spare; anything bigger is a protocol violation.
 inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
 
-/// Append one frame (header + payload) to `out`.
-void append_frame(std::string& out, std::string_view payload);
+/// Hard encoding ceiling: the 4-byte big-endian header cannot express a
+/// longer payload. A payload above this silently truncated its length
+/// before the encode-side guard existed; now it throws.
+inline constexpr std::size_t kMaxEncodableFrameBytes = 0xffffffff;
+
+/// Append one frame (header + payload) to `out`. Throws WireError (and
+/// bumps wire.oversized_sends) when the payload exceeds `max_payload_bytes`
+/// or the absolute kMaxEncodableFrameBytes header limit — *before* touching
+/// `out`, so already-appended frames stay intact and sendable. Callers that
+/// speak to a peer pass the peer-facing limit (Client / the server's writer
+/// pass their configured max_frame_bytes) so an oversized payload fails
+/// loudly at the sender instead of poisoning the remote decoder.
+void append_frame(std::string& out, std::string_view payload,
+                  std::size_t max_payload_bytes = kMaxEncodableFrameBytes);
 
 /// One frame as fresh bytes — append_frame into an empty string.
-[[nodiscard]] std::string encode_frame(std::string_view payload);
+[[nodiscard]] std::string encode_frame(std::string_view payload,
+                                       std::size_t max_payload_bytes = kMaxEncodableFrameBytes);
 
 /// Incremental frame reassembler with partial-read tolerance and an
 /// oversized-frame guard. Not thread-safe (one per connection direction).

@@ -9,17 +9,29 @@ Request parse_request(std::string_view line) {
   try {
     const Json parsed = Json::parse(line);
     const Json* spec_json = &parsed;
+    const Json* delta_json = nullptr;
     if (parsed.is_object()) {
       if (const Json* inner = parsed.find("spec"); inner != nullptr) {
         spec_json = inner;
-        // The id is latched before the spec parses, so an invalid spec in an
-        // envelope still echoes the id in its error response.
+        // The id is latched before the body parses, so an invalid spec or
+        // delta in an envelope still echoes the id in its error response.
         if (const Json* id = parsed.find("id"); id != nullptr) request.id = *id;
+      } else if (const Json* inner_delta = parsed.find("delta"); inner_delta != nullptr) {
+        delta_json = inner_delta;
+        if (const Json* id = parsed.find("id"); id != nullptr) request.id = *id;
+      } else if (parsed.find("base") != nullptr) {
+        // A bare delta: "base" can never be a ScenarioSpec key.
+        delta_json = &parsed;
       }
     }
-    request.spec = svc::ScenarioSpec::from_json(*spec_json);
+    if (delta_json != nullptr) {
+      request.delta = svc::DeltaRequest::from_json(*delta_json);
+    } else {
+      request.spec = svc::ScenarioSpec::from_json(*spec_json);
+    }
   } catch (const std::exception& e) {
     request.spec.reset();
+    request.delta.reset();
     request.error = e.what();
   }
   return request;

@@ -2,9 +2,10 @@
 // batch binary so the one-shot JSONL mode and the persistent TCP server
 // produce byte-identical responses from one implementation.
 //
-// A request line is either a bare ScenarioSpec object or an envelope
-// {"id": <any scalar>, "spec": {...}} whose id is echoed back. Responses
-// (docs/SERVICE.md):
+// A request line is a bare ScenarioSpec object, a bare delta request
+// {"base":"<hash>","patch":{...}}, or an envelope {"id": <any scalar>,
+// "spec": {...}} / {"id": ..., "delta": {...}} whose id is echoed back.
+// Responses (docs/SERVICE.md):
 //
 //   {"id":..., "hash":"<fnv1a64 hex>", "cached":<bool>, "result":{...}}
 //   {"id":..., "hash":"<fnv1a64 hex>", "error":"..."}   (evaluation failed)
@@ -26,16 +27,19 @@
 
 namespace closfair::wire {
 
-/// A parsed request line. `spec` is empty when the line was unparseable;
-/// `error` then carries the parse/validation message. The envelope id (null
-/// when absent) survives either way — a bad spec inside an envelope still
-/// echoes its id.
+/// A parsed request line: exactly one of `spec` (a direct scenario) or
+/// `delta` (a patch against a cached base) when the line parsed; otherwise
+/// both are empty and `error` carries the parse/validation message. The
+/// envelope id (null when absent) survives either way — a bad spec or delta
+/// inside an envelope still echoes its id.
 struct Request {
   Json id;
   std::optional<svc::ScenarioSpec> spec;
+  std::optional<svc::DeltaRequest> delta;
   std::string error;
 
-  [[nodiscard]] bool ok() const { return spec.has_value(); }
+  [[nodiscard]] bool ok() const { return spec.has_value() || delta.has_value(); }
+  [[nodiscard]] bool is_delta() const { return delta.has_value(); }
 };
 
 /// Parse one request line. Never throws: malformed JSON and invalid specs

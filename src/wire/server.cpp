@@ -193,7 +193,8 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         Pipeline::Admission admission =
             conn->pipeline.admit(*frame, shed, recv_ns);
         if (admission.evaluate) {
-          enqueue(Job{conn, admission.seq, std::move(admission.spec)});
+          enqueue(Job{conn, admission.seq, std::move(admission.spec),
+                      std::move(admission.warm)});
         }
         conn->wake();  // non-evaluate admissions are ready immediately
       }
@@ -224,11 +225,23 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
     const std::vector<std::string> payloads = conn->pipeline.take_ready();
     if (!payloads.empty()) {
       std::string frames;
-      for (const std::string& payload : payloads) append_frame(frames, payload);
+      bool oversized = false;
+      for (const std::string& payload : payloads) {
+        try {
+          append_frame(frames, payload, options_.max_frame_bytes);
+        } catch (const WireError&) {
+          // The throw happens before any header byte lands, so every frame
+          // already in `frames` is complete: flush those, then give up on
+          // the connection — the peer could never decode this response.
+          oversized = true;
+          break;
+        }
+      }
       bool dead;
       {
         std::lock_guard<std::mutex> lock(conn->mu);
-        dead = conn->dead;
+        if (oversized) conn->dead = true;
+        dead = conn->dead && !oversized;
       }
       if (!dead && !send_all(conn->fd, frames)) {
         std::lock_guard<std::mutex> lock(conn->mu);
@@ -278,11 +291,17 @@ void Server::worker_loop() {
     svc::ScenarioResult result;
     std::string error;
     try {
-      result = svc::evaluate_scenario(job.spec);
+      // Delta jobs carry their pinned base: warm evaluation is byte-identical
+      // to cold by construction, so the response stream cannot tell.
+      result = job.warm != nullptr
+                   ? svc::evaluate_scenario_warm(job.spec, job.warm->base_spec,
+                                                 job.warm->pin.result())
+                   : svc::evaluate_scenario(job.spec);
     } catch (const std::exception& e) {
       OBS_COUNTER_INC("svc.errors");
       error = e.what();
     }
+    job.warm.reset();  // release the base pin as soon as the result exists
     obs::rt::end_work(stamps);
     OBS_COUNTER_INC("wire.evaluations");
     const std::size_t depth = queue_depth_.fetch_sub(1, std::memory_order_relaxed) - 1;

@@ -86,6 +86,7 @@ class Server {
     std::shared_ptr<Connection> conn;
     std::uint64_t seq = 0;
     svc::ScenarioSpec spec;
+    std::shared_ptr<WarmStart> warm;  ///< delta base context (null for direct specs)
   };
 
   void accept_loop();

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -349,6 +350,277 @@ TEST(SvcService, RuntimeErrorsBecomePerEntryErrors) {
   const svc::BatchEntry retry = service.evaluate(bad);
   EXPECT_FALSE(retry.cached);
   EXPECT_FALSE(retry.ok());
+}
+
+// ------------------------------------------------------------ cache pinning
+
+TEST(SvcCache, InsertReportsWhetherTheEntryIsNew) {
+  svc::ResultCache cache(4);
+  EXPECT_TRUE(cache.insert(seeded_spec_canonical(1), tiny_result(1)));
+  EXPECT_FALSE(cache.insert(seeded_spec_canonical(1), tiny_result(1)));
+  EXPECT_TRUE(cache.insert(seeded_spec_canonical(2), tiny_result(2)));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SvcCache, PinnedBasesAreExemptFromEviction) {
+  svc::ResultCache cache(2);
+  const std::string a = seeded_spec_canonical(1);
+  cache.insert(a, tiny_result(1));
+  auto pin = cache.pin_base(svc::fnv1a64(a));
+  ASSERT_TRUE(pin.has_value());
+  EXPECT_EQ(pin->canonical(), a);
+  EXPECT_EQ(pin->result().num_flows, 1u);
+
+  // Two more inserts would evict `a` under plain LRU; the pin protects it.
+  cache.insert(seeded_spec_canonical(2), tiny_result(2));
+  cache.insert(seeded_spec_canonical(3), tiny_result(3));
+  EXPECT_TRUE(cache.lookup(a).has_value());
+
+  // clear() also respects the pin, then the unpinned entry goes on the next
+  // eviction pressure after release.
+  cache.clear();
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  pin.reset();
+  cache.insert(seeded_spec_canonical(4), tiny_result(4));
+  cache.insert(seeded_spec_canonical(5), tiny_result(5));
+  EXPECT_FALSE(cache.lookup(a).has_value());
+}
+
+TEST(SvcCache, PinBaseMissesUnknownHashes) {
+  svc::ResultCache cache(2);
+  cache.insert(seeded_spec_canonical(1), tiny_result(1));
+  EXPECT_FALSE(cache.pin_base(0xdeadbeefULL).has_value());
+}
+
+TEST(SvcCache, LoadCountsDistinctEntriesAndRefreshesTheGauge) {
+  // Duplicate canonical lines in a spill (e.g. two services spilling the
+  // same hot entry) must not inflate the loaded count.
+  svc::ResultCache one(4);
+  one.insert(seeded_spec_canonical(1), tiny_result(1));
+  std::stringstream single;
+  one.save(single);
+  const std::string record = single.str();
+
+  if (obs::kEnabled) obs::Registry::instance().reset();
+  std::stringstream in(record + record + record);
+  svc::ResultCache reloaded(4);
+  EXPECT_EQ(reloaded.load(in), 1u);
+  EXPECT_EQ(reloaded.size(), 1u);
+
+  if (obs::kEnabled) {
+    std::int64_t gauge = -1;
+    for (const auto& g : obs::Registry::instance().snapshot().gauges) {
+      if (g.name == "svc.cache_size") gauge = g.value;
+    }
+    EXPECT_EQ(gauge, 1);
+  }
+}
+
+TEST(SvcCache, GaugeIsHonestWhenTheFinalRecordIsTorn) {
+  svc::ResultCache cache(4);
+  cache.insert(seeded_spec_canonical(1), tiny_result(1));
+  cache.insert(seeded_spec_canonical(2), tiny_result(2));
+  std::stringstream spill;
+  cache.save(spill);
+  const std::string full = spill.str();
+
+  if (obs::kEnabled) obs::Registry::instance().reset();
+  std::stringstream in(full.substr(0, full.size() - 21) + "\n");
+  svc::ResultCache reloaded(4);
+  EXPECT_EQ(reloaded.load(in), 1u);
+  if (obs::kEnabled) {
+    std::int64_t gauge = -1;
+    for (const auto& g : obs::Registry::instance().snapshot().gauges) {
+      if (g.name == "svc.cache_size") gauge = g.value;
+    }
+    // The gauge must reflect what actually loaded, not count the torn tail.
+    EXPECT_EQ(gauge, 1);
+  }
+}
+
+// ------------------------------------------------------------------- deltas
+
+svc::SpecPatch parse_patch(const std::string& text) {
+  return svc::SpecPatch::from_json(Json::parse(text));
+}
+
+std::string hash_hex16(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return std::string{buf};
+}
+
+TEST(SvcDelta, PatchParsingIsStrict) {
+  EXPECT_TRUE(parse_patch("{}").empty());
+  EXPECT_THROW(parse_patch(R"({"bogus":1})"), svc::SpecError);
+  EXPECT_THROW(parse_patch(R"({"objective":"fastest"})"), svc::SpecError);
+  EXPECT_THROW(parse_patch(R"({"remove_flows":[0,0]})"), svc::SpecError);
+  EXPECT_THROW(parse_patch(R"({"remove_flows":[-1]})"), svc::SpecError);
+  EXPECT_THROW(parse_patch(R"({"fail_middles":[0]})"), svc::SpecError);
+  EXPECT_THROW(parse_patch(R"({"add_flows":[{"src_tor":0}]})"), svc::SpecError);
+  EXPECT_THROW(
+      parse_patch(R"({"derate_links":[{"stage":"up","tor":1,"middle":1,"factor":"1/2"}]})"),
+      svc::SpecError);
+  EXPECT_THROW(
+      parse_patch(R"({"derate_links":[{"stage":"uplink","tor":1,"middle":1,"factor":"3/2"}]})"),
+      svc::SpecError);
+}
+
+TEST(SvcDelta, DeltaRequestParsesContentAddresses) {
+  const svc::DeltaRequest delta = svc::DeltaRequest::from_json(
+      Json::parse(R"({"base":"00000000deadbeef","patch":{"fail_middles":[2]}})"));
+  EXPECT_EQ(delta.base, 0xdeadbeefULL);
+  EXPECT_EQ(delta.patch.fail_middles, std::vector<int>{2});
+  // Wrong length, uppercase, and non-hex addresses are all rejected.
+  EXPECT_THROW(svc::DeltaRequest::from_json(Json::parse(R"({"base":"abc"})")),
+               svc::SpecError);
+  EXPECT_THROW(svc::DeltaRequest::from_json(Json::parse(R"({"base":"00000000DEADBEEF"})")),
+               svc::SpecError);
+  EXPECT_THROW(svc::DeltaRequest::from_json(Json::parse(R"({"base":"00000000deadbeeg"})")),
+               svc::SpecError);
+  EXPECT_THROW(svc::DeltaRequest::from_json(Json::parse(R"({"patch":{}})")),
+               svc::SpecError);
+}
+
+svc::ScenarioSpec instance_base() {
+  return parse_spec(
+      R"({"workload":{"instance":"clos n=2\nflow 1 1 -> 3 1\nflow 2 1 -> 4 1\n"},
+          "routing":{"policy":"greedy"}})");
+}
+
+TEST(SvcDelta, FlowEditsRewriteTheInlineInstance) {
+  const svc::ScenarioSpec base = instance_base();
+  const svc::ScenarioSpec added =
+      parse_patch(R"({"add_flows":[{"src_tor":1,"src_server":2,"dst_tor":2,"dst_server":1}]})")
+          .apply(base);
+  EXPECT_NE(added.canonical(), base.canonical());
+  EXPECT_NE(added.workload.instance.find("1 2 -> 2 1"), std::string::npos);
+
+  const svc::ScenarioSpec removed = parse_patch(R"({"remove_flows":[0]})").apply(base);
+  EXPECT_EQ(removed.workload.instance.find("1 1 -> 3 1"), std::string::npos);
+  EXPECT_NE(removed.workload.instance.find("2 1 -> 4 1"), std::string::npos);
+
+  // Out-of-range removal, removing every flow, and flow edits against a
+  // generator workload all fail with a patch error.
+  EXPECT_THROW(parse_patch(R"({"remove_flows":[7]})").apply(base), svc::SpecError);
+  EXPECT_THROW(parse_patch(R"({"remove_flows":[0,1]})").apply(base), svc::SpecError);
+  svc::ScenarioSpec generated;
+  generated.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  generated.workload.generator = "permutation";
+  EXPECT_THROW(parse_patch(R"({"remove_flows":[0]})").apply(generated), svc::SpecError);
+}
+
+TEST(SvcDelta, FaultAndObjectivePatchesComposeWithExistingGroups) {
+  svc::ScenarioSpec base = instance_base();
+  base.fault.scenario.failed_middles = {2};
+  const svc::ScenarioSpec patched =
+      parse_patch(R"({"fail_middles":[1,2],"objective":"maxmin_lp"})").apply(base);
+  EXPECT_EQ(patched.fault.scenario.failed_middles, (std::vector<int>{1, 2}));
+  EXPECT_EQ(patched.objective, "maxmin_lp");
+  // The patched spec is canonical: reparsing is a fixed point.
+  EXPECT_EQ(svc::ScenarioSpec::from_json(patched.to_json()).canonical(),
+            patched.canonical());
+}
+
+/// Every delta class: warm evaluation must be byte-identical to the cold
+/// evaluation of the patched spec (the tentpole contract).
+TEST(SvcDelta, WarmEvaluationMatchesColdBytesForEveryClass) {
+  svc::ScenarioSpec clos_base;
+  clos_base.topology.params = ClosNetwork::Params{2, 4, 2, Rational{1}};
+  clos_base.workload.generator = "uniform";
+  clos_base.workload.count = 6;
+  clos_base.workload.seed = 3;
+
+  const struct {
+    const char* name;
+    svc::ScenarioSpec base;
+    const char* patch;
+  } cases[] = {
+      {"add_flow", instance_base(),
+       R"({"add_flows":[{"src_tor":1,"src_server":2,"dst_tor":2,"dst_server":1}]})"},
+      {"remove_flow", instance_base(), R"({"remove_flows":[0]})"},
+      {"fail_middle", clos_base, R"({"fail_middles":[1]})"},
+      {"derate_link", clos_base,
+       R"({"derate_links":[{"stage":"uplink","tor":1,"middle":2,"factor":"1/2"}]})"},
+      {"objective_switch", clos_base, R"({"objective":"maxmin_lp"})"},
+  };
+  for (const auto& tc : cases) {
+    const svc::ScenarioSpec patched = parse_patch(tc.patch).apply(tc.base);
+    const svc::ScenarioResult base_result = svc::evaluate_scenario(tc.base);
+    const svc::ScenarioResult warm =
+        svc::evaluate_scenario_warm(patched, tc.base, base_result);
+    const svc::ScenarioResult cold = svc::evaluate_scenario(patched);
+    EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump()) << tc.name;
+  }
+}
+
+TEST(SvcDelta, ServiceEvaluateDeltaMatchesColdService) {
+  const svc::ScenarioSpec base = instance_base();
+  const svc::DeltaRequest delta = svc::DeltaRequest::from_json(Json::parse(
+      R"({"base":")" + hash_hex16(base.content_hash()) +
+      R"(","patch":{"objective":"maxmin_lp"}})"));
+
+  svc::Service warm_service(svc::ServiceOptions{1, 16});
+  ASSERT_TRUE(warm_service.evaluate(base).ok());
+  const svc::BatchEntry warm = warm_service.evaluate_delta(delta);
+  ASSERT_TRUE(warm.ok()) << warm.error;
+
+  svc::Service cold_service(svc::ServiceOptions{1, 16});
+  const svc::BatchEntry cold =
+      cold_service.evaluate(delta.patch.apply(base));
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_EQ(warm.hash, cold.hash);
+  EXPECT_EQ(warm.result.to_json().dump(), cold.result.to_json().dump());
+
+  // Re-submitting the same delta is a cache hit on the patched spec.
+  const svc::BatchEntry again = warm_service.evaluate_delta(delta);
+  EXPECT_TRUE(again.cached);
+
+  // A base the cache has never seen resolves to an error with hash == 0.
+  svc::DeltaRequest unknown = delta;
+  unknown.base ^= 1;
+  const svc::BatchEntry miss = warm_service.evaluate_delta(unknown);
+  EXPECT_FALSE(miss.ok());
+  EXPECT_EQ(miss.hash, 0u);
+  EXPECT_NE(miss.error.find("unknown base"), std::string::npos) << miss.error;
+
+  // A patch that does not apply reports the patch error, hash == 0.
+  const svc::DeltaRequest bad = svc::DeltaRequest::from_json(Json::parse(
+      R"({"base":")" + hash_hex16(base.content_hash()) +
+      R"(","patch":{"remove_flows":[9]}})"));
+  const svc::BatchEntry broken = warm_service.evaluate_delta(bad);
+  EXPECT_FALSE(broken.ok());
+  EXPECT_EQ(broken.hash, 0u);
+}
+
+TEST(SvcDelta, DeltaCountersTrackOutcomesWhenEnabled) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Registry::instance().reset();
+  const svc::ScenarioSpec base = instance_base();
+  svc::Service service(svc::ServiceOptions{1, 16});
+  ASSERT_TRUE(service.evaluate(base).ok());
+
+  const svc::DeltaRequest objective_delta = svc::DeltaRequest::from_json(Json::parse(
+      R"({"base":")" + hash_hex16(base.content_hash()) +
+      R"(","patch":{"objective":"maxmin_lp"}})"));
+  (void)service.evaluate_delta(objective_delta);  // warm: wholesale result reuse
+  (void)service.evaluate_delta(objective_delta);  // cache hit on patched spec
+  svc::DeltaRequest unknown = objective_delta;
+  unknown.base ^= 1;
+  (void)service.evaluate_delta(unknown);  // base miss
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  std::uint64_t requests = 0, hits = 0, misses = 0, reuses = 0;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == "svc.delta_requests") requests = c.value;
+    if (c.name == "svc.delta_hits") hits = c.value;
+    if (c.name == "svc.delta_base_misses") misses = c.value;
+    if (c.name == "svc.delta_result_reuses") reuses = c.value;
+  }
+  EXPECT_EQ(requests, 3u);
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(reuses, 1u);
 }
 
 TEST(SvcService, ObsCountersTrackRequestsWhenEnabled) {

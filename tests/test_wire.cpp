@@ -86,6 +86,79 @@ TEST(WireFraming, OversizedFrameRejectedBeforePayloadArrives) {
   EXPECT_THROW(decoder.next(), wire::WireError);
 }
 
+TEST(WireFraming, HeaderSplitAcrossTwoFeedsReassembles) {
+  // The 4-byte header itself can straddle a read() boundary: nothing may
+  // surface (and nothing may be misparsed) until all four length bytes exist.
+  const std::string stream = wire::encode_frame("payload");
+  wire::FrameDecoder decoder;
+  decoder.feed(stream.data(), 2);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 2u);
+  decoder.feed(stream.data() + 2, stream.size() - 2);
+  const auto got = decoder.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "payload");
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(WireFraming, FrameExactlyAtMaxFrameBytesIsAccepted) {
+  // The limit is inclusive: exactly max_frame_bytes passes, one more poisons.
+  const std::string at_limit(16, 'a');
+  wire::FrameDecoder decoder(/*max_frame_bytes=*/16);
+  decoder.feed(wire::encode_frame(at_limit));
+  EXPECT_EQ(decoder.next(), at_limit);
+
+  wire::FrameDecoder strict(/*max_frame_bytes=*/16);
+  EXPECT_THROW(strict.feed(wire::encode_frame(std::string(17, 'a'))),
+               wire::WireError);
+}
+
+TEST(WireFraming, ZeroLengthPayloadIsAFrameNotSilence) {
+  // An empty payload is a legal frame: next() must distinguish "a complete
+  // empty frame" (engaged optional) from "nothing buffered yet" (nullopt).
+  wire::FrameDecoder decoder;
+  decoder.feed(wire::encode_frame(""));
+  const auto got = decoder.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(WireFraming, BackToBackFramesInOneFeedAllSurface) {
+  std::string stream;
+  wire::append_frame(stream, "one");
+  wire::append_frame(stream, "");
+  wire::append_frame(stream, "three");
+  wire::FrameDecoder decoder;
+  decoder.feed(stream);
+  EXPECT_EQ(decoder.next(), "one");
+  EXPECT_EQ(decoder.next(), "");
+  EXPECT_EQ(decoder.next(), "three");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireFraming, EncodeSideRefusesOversizedPayloadBeforeTouchingOut) {
+  // The encode-side guard (the framing.cpp:8 bugfix): a payload over the
+  // limit throws before any header byte lands, so frames already appended
+  // stay complete and sendable.
+  std::string out;
+  wire::append_frame(out, "ok");
+  const std::string snapshot = out;
+  EXPECT_THROW(wire::append_frame(out, std::string(9, 'x'), /*max=*/8),
+               wire::WireError);
+  EXPECT_EQ(out, snapshot);
+  EXPECT_THROW(wire::encode_frame(std::string(9, 'x'), /*max=*/8),
+               wire::WireError);
+  // At the limit still encodes.
+  wire::append_frame(out, std::string(8, 'x'), /*max=*/8);
+  wire::FrameDecoder decoder;
+  decoder.feed(out);
+  EXPECT_EQ(decoder.next(), "ok");
+  EXPECT_EQ(decoder.next(), std::string(8, 'x'));
+}
+
 TEST(WireFraming, FrameBeforeOversizedOneIsNotLost) {
   // A valid frame followed by an oversized header: the valid payload must
   // come out before the rejection fires (the check runs when the bad frame
@@ -136,6 +209,30 @@ TEST(WireProtocol, BadLinesKeepTheEnvelopeId) {
       wire::parse_request(R"({"id":"req-7","spec":{"bogus":1}})");
   EXPECT_FALSE(bad_spec.ok());
   EXPECT_EQ(bad_spec.id.as_string(), "req-7");
+}
+
+TEST(WireProtocol, ParsesDeltaRequestsBareAndEnveloped) {
+  // A bare delta: "base" can never be a ScenarioSpec key, so the two bare
+  // forms cannot collide.
+  const wire::Request bare = wire::parse_request(R"({"base":"00000000deadbeef"})");
+  EXPECT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.is_delta());
+  EXPECT_FALSE(bare.spec.has_value());
+  EXPECT_EQ(bare.delta->base, 0xdeadbeefULL);
+  EXPECT_TRUE(bare.delta->patch.empty());
+
+  const wire::Request enveloped = wire::parse_request(
+      R"({"id":7,"delta":{"base":"00000000deadbeef","patch":{"fail_middles":[2]}}})");
+  EXPECT_TRUE(enveloped.is_delta());
+  EXPECT_EQ(enveloped.id.as_int(), 7);
+  EXPECT_EQ(enveloped.delta->patch.fail_middles, std::vector<int>{2});
+
+  // A bad delta inside an envelope keeps the id, exactly like a bad spec.
+  const wire::Request bad = wire::parse_request(R"({"id":9,"delta":{"base":"xyz"}})");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.is_delta());
+  EXPECT_EQ(bad.id.as_int(), 9);
+  EXPECT_FALSE(bad.error.empty());
 }
 
 TEST(WireProtocol, RenderedResponsesMatchDocumentedShapes) {
@@ -389,6 +486,107 @@ TEST(WireServer, SequentialCallsSeeTheSharedCache) {
   server.drain();
 }
 
+TEST(WireServer, DeltaRequestsMatchColdEvaluationOverLoopback) {
+  // The wire half of the tentpole gate: delta responses over a real socket
+  // must be the exact bytes a cold evaluation of the patched spec renders —
+  // including when the delta is pipelined so hard its base is still in
+  // flight at admit time (the pending-set resolution path).
+  const svc::ScenarioSpec base =
+      svc::ScenarioSpec::from_json(Json::parse(tiny_spec_json(1)));
+  const std::string base_hash = wire::hash_hex(svc::fnv1a64(base.canonical()));
+  const svc::SpecPatch patch =
+      svc::SpecPatch::from_json(Json::parse(R"({"objective":"maxmin_lp"})"));
+  const svc::ScenarioSpec patched = patch.apply(base);
+  const std::uint64_t patched_hash = svc::fnv1a64(patched.canonical());
+  const svc::ScenarioResult cold = svc::evaluate_scenario(patched);
+  const std::string expected_base = wire::render_result(
+      Json::number(std::int64_t{1}), svc::fnv1a64(base.canonical()),
+      /*cached=*/false, svc::evaluate_scenario(base));
+  const std::string expected_delta = wire::render_result(
+      Json::number(std::int64_t{2}), patched_hash, /*cached=*/false, cold);
+  const std::string expected_dup = wire::render_result(
+      Json::number(std::int64_t{4}), patched_hash, /*cached=*/true, cold);
+  const std::string delta_line_tail =
+      R"(,"delta":{"base":")" + base_hash + R"(","patch":{"objective":"maxmin_lp"}}})";
+
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    svc::Service service(svc::ServiceOptions{workers, 64});
+    wire::ServerOptions options;
+    options.workers = workers;
+    wire::Server server(service, options);
+    server.start();
+
+    wire::Client client;
+    client.connect("127.0.0.1", server.port());
+    // One pipelined burst: base, delta-on-that-base, unknown base, dup delta.
+    client.send(R"({"id":1,"spec":)" + tiny_spec_json(1) + "}");
+    client.send(R"({"id":2)" + delta_line_tail);
+    client.send(R"({"id":3,"delta":{"base":"00000000000000aa"}})");
+    client.send(R"({"id":4)" + delta_line_tail);
+    client.finish_sending();
+
+    const auto r1 = client.recv();
+    const auto r2 = client.recv();
+    const auto r3 = client.recv();
+    const auto r4 = client.recv();
+    ASSERT_TRUE(r1 && r2 && r3 && r4) << "workers=" << workers;
+    EXPECT_EQ(*r1, expected_base) << "workers=" << workers;
+    EXPECT_EQ(*r2, expected_delta) << "workers=" << workers;
+    // Unknown base answers like a parse error: no hash ever existed.
+    EXPECT_EQ(*r3,
+              R"({"id":3,"error":"unknown base 00000000000000aa: not in the result cache"})");
+    EXPECT_EQ(*r4, expected_dup) << "workers=" << workers;
+    EXPECT_FALSE(client.recv().has_value());
+    server.drain();
+  }
+}
+
+TEST(WireClient, SendRefusesPayloadOverItsFrameLimitWithoutTearing) {
+  svc::Service service(svc::ServiceOptions{1, 64});
+  wire::Server server(service, wire::ServerOptions{});
+  server.start();
+
+  wire::Client client(/*max_frame_bytes=*/4096);
+  client.connect("127.0.0.1", server.port());
+  // The refusal happens before any byte reaches the socket...
+  EXPECT_THROW(client.send(std::string(5000, 'x')), wire::WireError);
+  // ...so the connection is still perfectly usable afterwards.
+  EXPECT_NE(client.call(tiny_spec_json(1)).find("\"result\":"),
+            std::string::npos);
+  client.close();
+  server.drain();
+}
+
+TEST(WireServer, OversizedResponseFlushesEarlierFramesThenCloses) {
+  // A response the peer could never decode must not be truncated onto the
+  // wire: the writer flushes the complete frames built so far, then gives
+  // up on the connection.
+  svc::Service service(svc::ServiceOptions{1, 64});
+  const svc::ScenarioSpec base =
+      svc::ScenarioSpec::from_json(Json::parse(tiny_spec_json(1)));
+  (void)service.evaluate(base);  // warm the cache so a short delta line hits
+  const std::string base_hash = wire::hash_hex(svc::fnv1a64(base.canonical()));
+
+  wire::ServerOptions options;
+  options.max_frame_bytes = 96;  // requests below fit; a result response does not
+  wire::Server server(service, options);
+  server.start();
+
+  wire::Client client;
+  client.connect("127.0.0.1", server.port());
+  // Short error response (< 96 bytes): survives.
+  client.send(R"({"id":1,"delta":{"base":"00000000000000aa"}})");
+  // Cache-hit result response (> 96 bytes): unencodable at this limit.
+  client.send(R"({"id":2,"delta":{"base":")" + base_hash + R"("}})");
+  client.finish_sending();
+
+  const auto first = client.recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->find("unknown base"), std::string::npos);
+  EXPECT_FALSE(client.recv().has_value());  // closed instead of torn bytes
+  server.drain();
+}
+
 TEST(WireServer, OverloadWatermarkShedsInsteadOfBuffering) {
   svc::Service service(svc::ServiceOptions{1, 256});
   wire::ServerOptions options;
@@ -557,6 +755,47 @@ TEST(WireCounters, BudgetAndWatermarkShedsBumpCounter) {
       pipeline.admit(R"({"id":9,"spec":)" + tiny_spec_json(3) + "}", /*shed=*/true);
   EXPECT_FALSE(shed.evaluate);  // watermark shed with budget available
   EXPECT_EQ(counter_total("wire.overload_sheds"), before + 2);
+  (void)pipeline.take_ready();
+}
+
+TEST(WireCounters, OversizedSendBumpsCounter) {
+  const std::uint64_t before = counter_total("wire.oversized_sends");
+  std::string out;
+  EXPECT_THROW(wire::append_frame(out, std::string(9, 'x'), /*max=*/8),
+               wire::WireError);
+  EXPECT_EQ(counter_total("wire.oversized_sends"), before + 1);
+  // The Client send path routes through the same guard.
+  wire::Client client(/*max_frame_bytes=*/64);
+  svc::Service service(svc::ServiceOptions{1, 64});
+  wire::Server server(service, wire::ServerOptions{});
+  server.start();
+  client.connect("127.0.0.1", server.port());
+  EXPECT_THROW(client.send(std::string(65, 'x')), wire::WireError);
+  EXPECT_EQ(counter_total("wire.oversized_sends"), before + 2);
+  client.close();
+  server.drain();
+}
+
+TEST(WireCounters, DeltaTrafficCountsHitsOnDedupAndCache) {
+  const std::uint64_t hits_before = counter_total("svc.delta_hits");
+  svc::ResultCache cache(64);
+  wire::Pipeline pipeline(cache);
+  const std::string base_line = tiny_spec_json(1);
+  const std::string base_hash = wire::hash_hex(svc::fnv1a64(
+      svc::ScenarioSpec::from_json(Json::parse(base_line)).canonical()));
+  const auto first = admit_line(pipeline, 1);
+  ASSERT_TRUE(first.evaluate);
+  // An empty-patch delta re-addresses the base, which is still in flight on
+  // this pipeline: resolved from the pending set, then deduped — a hit.
+  const auto dup = pipeline.admit(R"({"id":2,"delta":{"base":")" + base_hash + R"("}})");
+  EXPECT_FALSE(dup.evaluate);
+  EXPECT_EQ(counter_total("svc.delta_hits"), hits_before + 1);
+  pipeline.complete(first.seq, fake_result(1), "");
+  (void)pipeline.take_ready();
+  // Base now committed to the shared cache: the same delta is a cache hit.
+  const auto again = pipeline.admit(R"({"id":3,"delta":{"base":")" + base_hash + R"("}})");
+  EXPECT_FALSE(again.evaluate);
+  EXPECT_EQ(counter_total("svc.delta_hits"), hits_before + 2);
   (void)pipeline.take_ready();
 }
 
